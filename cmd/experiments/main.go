@@ -1,0 +1,78 @@
+// Command experiments regenerates the evaluation tables E1–E12 described
+// in DESIGN.md and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                      # full suite, text tables to stdout
+//	experiments -run E1,E5 -quick    # selected experiments, reduced sizes
+//	experiments -csv out/            # additionally write one CSV per table
+//	experiments -seed 7 -trials 1000 # reproducible heavier run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"partfeas/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E5) or 'all'")
+		seed    = flag.Uint64("seed", 20160523, "RNG seed (default: IPDPS 2016 conference date)")
+		trials  = flag.Int("trials", 0, "trials per cell (0 = per-experiment default)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		quick   = flag.Bool("quick", false, "reduced sizes/trials for a fast pass")
+		csvDir  = flag.String("csv", "", "directory to also write per-table CSVs into")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, Quick: *quick}
+	if err := run(cfg, *runList, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, runList, csvDir string) error {
+	ids := experiments.IDs()
+	if runList != "all" && runList != "" {
+		ids = nil
+		for _, id := range strings.Split(runList, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		tab, err := experiments.Run(id, cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if csvDir != "" {
+			path := filepath.Join(csvDir, strings.ToLower(id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("suite complete in %v (seed=%d quick=%v)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Quick)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partfeas/internal/experiments"
+)
+
+func TestRunSelectedWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	if err := run(cfg, "E12", dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "e12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "c_s") {
+		t.Errorf("csv content: %q", string(b)[:60])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	if err := run(cfg, "E99", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadCSVDir(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	if err := run(cfg, "E12", "/dev/null/not-a-dir"); err == nil {
+		t.Error("unusable csv dir accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Command feastest runs the paper's partitioned feasibility test on a
+// task set and platform read from JSON files.
+//
+// Usage:
+//
+//	feastest -tasks tasks.json -machines machines.json -scheduler edf -alpha 2
+//	feastest -tasks tasks.json -machines machines.json -theorem I.3
+//
+// The exit status is 0 when the test accepts and 2 when it rejects, so
+// the tool composes in scripts. With -analyze it additionally prints both
+// adversary scalings and the minimal accepting augmentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partfeas"
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func main() {
+	var (
+		tasksPath    = flag.String("tasks", "", "path to task-set JSON (required)")
+		machinesPath = flag.String("machines", "", "path to platform JSON (required)")
+		scheduler    = flag.String("scheduler", "edf", "per-machine policy: edf or rms")
+		alpha        = flag.Float64("alpha", 1, "speed augmentation α > 0")
+		theorem      = flag.String("theorem", "", "run at a theorem's proved α: I.1, I.2, I.3 or I.4 (overrides -scheduler/-alpha)")
+		analyze      = flag.Bool("analyze", false, "also print adversary scalings and minimal accepting α")
+	)
+	flag.Parse()
+	if err := run(*tasksPath, *machinesPath, *scheduler, *alpha, *theorem, *analyze); err != nil {
+		fmt.Fprintln(os.Stderr, "feastest:", err)
+		if err == errRejected {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+var errRejected = fmt.Errorf("task set rejected")
+
+func run(tasksPath, machinesPath, scheduler string, alpha float64, theorem string, analyze bool) error {
+	if tasksPath == "" || machinesPath == "" {
+		return fmt.Errorf("-tasks and -machines are required")
+	}
+	ts, err := readTasks(tasksPath)
+	if err != nil {
+		return err
+	}
+	plat, err := readPlatform(machinesPath)
+	if err != nil {
+		return err
+	}
+
+	var rep partfeas.Report
+	if theorem != "" {
+		thm, err := parseTheorem(theorem)
+		if err != nil {
+			return err
+		}
+		rep, err = partfeas.TestTheorem(ts, plat, thm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("theorem %v: scheduler=%v adversary=%v α=%.4f\n", thm, thm.Scheduler(), thm.Adversary(), thm.Alpha())
+	} else {
+		sch, err := parseScheduler(scheduler)
+		if err != nil {
+			return err
+		}
+		rep, err = partfeas.Test(ts, plat, sch, alpha)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("test: scheduler=%v α=%.4f\n", sch, alpha)
+	}
+
+	fmt.Printf("tasks=%d machines=%d total-utilization=%.4f total-speed=%.4f\n",
+		len(ts), len(plat), ts.TotalUtilization(), plat.TotalSpeed())
+
+	if rep.Accepted {
+		fmt.Println("result: ACCEPTED")
+		printPartition(ts, plat, rep)
+	} else {
+		fmt.Println("result: REJECTED")
+		if ft := rep.Partition.FailedTask; ft >= 0 {
+			fmt.Printf("failing task (τ_n): %v (utilization %.4f)\n", ts[ft], ts[ft].Utilization())
+		}
+	}
+
+	if analyze {
+		if err := printAnalysis(ts, plat); err != nil {
+			return err
+		}
+	}
+	if !rep.Accepted {
+		return errRejected
+	}
+	return nil
+}
+
+func printPartition(ts partfeas.TaskSet, plat partfeas.Platform, rep partfeas.Report) {
+	fmt.Println("witness partition:")
+	for j := range plat {
+		var names []string
+		for i, mj := range rep.Partition.Assignment {
+			if mj == j {
+				names = append(names, ts[i].Name)
+			}
+		}
+		fmt.Printf("  %s (speed %.3g, α-load %.4f/%.4f): %s\n",
+			plat[j].Name, plat[j].Speed, rep.Partition.Loads[j], rep.Alpha*plat[j].Speed,
+			strings.Join(names, ", "))
+	}
+}
+
+func printAnalysis(ts partfeas.TaskSet, plat partfeas.Platform) error {
+	a, err := partfeas.Analyze(ts, plat)
+	if err != nil {
+		return err
+	}
+	fmt.Println("analysis:")
+	if a.SigmaPartitionedExact {
+		fmt.Printf("  σ_part (exact partitioned adversary) = %.4f\n", a.SigmaPartitioned)
+	} else {
+		fmt.Println("  σ_part: instance too large for the exact solver")
+	}
+	fmt.Printf("  σ_LP   (migratory LP adversary)       = %.4f\n", a.SigmaMigratory)
+	fmt.Printf("  minimal accepting α: EDF = %.4f, RMS = %.4f\n", a.MinAlphaEDF, a.MinAlphaRMS)
+	for i, thm := range partfeas.Theorems {
+		verdict := "reject"
+		if a.Reports[i].Accepted {
+			verdict = "accept"
+		}
+		fmt.Printf("  theorem %v (α=%.4f): %s\n", thm, thm.Alpha(), verdict)
+	}
+	return nil
+}
+
+func parseScheduler(s string) (partfeas.Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "edf":
+		return partfeas.EDF, nil
+	case "rms", "rm":
+		return partfeas.RMS, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (want edf or rms)", s)
+	}
+}
+
+func parseTheorem(s string) (partfeas.Theorem, error) {
+	switch strings.ToUpper(strings.TrimPrefix(strings.ToUpper(s), "THEOREM")) {
+	case "I.1", "1":
+		return partfeas.TheoremI1, nil
+	case "I.2", "2":
+		return partfeas.TheoremI2, nil
+	case "I.3", "3":
+		return partfeas.TheoremI3, nil
+	case "I.4", "4":
+		return partfeas.TheoremI4, nil
+	default:
+		return 0, fmt.Errorf("unknown theorem %q (want I.1, I.2, I.3 or I.4)", s)
+	}
+}
+
+func readTasks(path string) (task.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return task.ReadJSON(f)
+}
+
+func readPlatform(path string) (machine.Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return machine.ReadJSON(f)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partfeas"
+)
+
+func writeInstance(t *testing.T, tasksJSON, machinesJSON string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "tasks.json")
+	mp := filepath.Join(dir, "machines.json")
+	if err := os.WriteFile(tp, []byte(tasksJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, []byte(machinesJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return tp, mp
+}
+
+const goodTasks = `{"tasks":[{"name":"a","wcet":1,"period":4},{"name":"b","wcet":1,"period":2}]}`
+const goodMachines = `{"machines":[{"name":"m0","speed":1}]}`
+
+func TestParseScheduler(t *testing.T) {
+	if s, err := parseScheduler("edf"); err != nil || s != partfeas.EDF {
+		t.Errorf("edf: %v %v", s, err)
+	}
+	if s, err := parseScheduler("RMS"); err != nil || s != partfeas.RMS {
+		t.Errorf("RMS: %v %v", s, err)
+	}
+	if s, err := parseScheduler("rm"); err != nil || s != partfeas.RMS {
+		t.Errorf("rm: %v %v", s, err)
+	}
+	if _, err := parseScheduler("bogus"); err == nil {
+		t.Error("bogus accepted")
+	}
+}
+
+func TestParseTheorem(t *testing.T) {
+	cases := map[string]partfeas.Theorem{
+		"I.1": partfeas.TheoremI1, "i.2": partfeas.TheoremI2,
+		"3": partfeas.TheoremI3, "I.4": partfeas.TheoremI4,
+	}
+	for in, want := range cases {
+		got, err := parseTheorem(in)
+		if err != nil || got != want {
+			t.Errorf("parseTheorem(%q) = %v (%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseTheorem("I.5"); err == nil {
+		t.Error("I.5 accepted")
+	}
+}
+
+func TestRunAccept(t *testing.T) {
+	tp, mp := writeInstance(t, goodTasks, goodMachines)
+	if err := run(tp, mp, "edf", 1, "", true); err != nil {
+		t.Errorf("accepting run failed: %v", err)
+	}
+	if err := run(tp, mp, "", 0, "I.1", false); err != nil {
+		t.Errorf("theorem run failed: %v", err)
+	}
+}
+
+func TestRunReject(t *testing.T) {
+	over := `{"tasks":[{"wcet":3,"period":4},{"wcet":3,"period":4}]}`
+	tp, mp := writeInstance(t, over, goodMachines)
+	err := run(tp, mp, "edf", 1, "", false)
+	if err != errRejected {
+		t.Errorf("err = %v, want errRejected", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tp, mp := writeInstance(t, goodTasks, goodMachines)
+	if err := run("", mp, "edf", 1, "", false); err == nil {
+		t.Error("missing tasks path accepted")
+	}
+	if err := run(tp, mp, "bogus", 1, "", false); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if err := run(tp, mp, "edf", 1, "I.9", false); err == nil {
+		t.Error("bad theorem accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), mp, "edf", 1, "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad, mp2 := writeInstance(t, `{"tasks":[]}`, goodMachines)
+	if err := run(bad, mp2, "edf", 1, "", false); err == nil {
+		t.Error("empty task set accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command genwork emits random task-set and platform JSON files from the
+// workload families the experiment suite uses, for feeding feastest and
+// simulate.
+//
+// Usage:
+//
+//	genwork -n 12 -m 4 -load 0.8 -utils uunifast -speeds big.LITTLE \
+//	        -tasks tasks.json -machines machines.json -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+	"partfeas/internal/workload"
+)
+
+func main() {
+	var (
+		n            = flag.Int("n", 12, "number of tasks")
+		m            = flag.Int("m", 4, "number of machines")
+		load         = flag.Float64("load", 0.8, "target U/Σs for the uunifast family")
+		utils        = flag.String("utils", "uunifast", "utilization family: uunifast, bimodal, exponential")
+		speeds       = flag.String("speeds", "uniform", "speed family: uniform, geometric, big.LITTLE, identical")
+		periods      = flag.String("periods", "loguniform", "period family: loguniform, divisors")
+		seed         = flag.Uint64("seed", 1, "RNG seed")
+		tasksPath    = flag.String("tasks", "tasks.json", "output task-set JSON path")
+		machinesPath = flag.String("machines", "machines.json", "output platform JSON path")
+	)
+	flag.Parse()
+	if err := run(*n, *m, *load, *utils, *speeds, *periods, *seed, *tasksPath, *machinesPath); err != nil {
+		fmt.Fprintln(os.Stderr, "genwork:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, load float64, utils, speeds, periods string, seed uint64, tasksPath, machinesPath string) error {
+	rng := workload.NewRNG(seed)
+
+	var sf workload.SpeedFamily
+	switch speeds {
+	case "uniform":
+		sf = workload.SpeedsUniform
+	case "geometric":
+		sf = workload.SpeedsGeometric
+	case "big.LITTLE", "biglittle":
+		sf = workload.SpeedsBigLittle
+	case "identical":
+		sf = workload.SpeedsIdentical
+	default:
+		return fmt.Errorf("unknown speed family %q", speeds)
+	}
+	plat, err := sf.Platform(rng, m)
+	if err != nil {
+		return err
+	}
+
+	var uf workload.UtilizationFamily
+	switch utils {
+	case "uunifast":
+		uf = workload.UtilUUniFast
+	case "bimodal":
+		uf = workload.UtilBimodal
+	case "exponential":
+		uf = workload.UtilExponential
+	default:
+		return fmt.Errorf("unknown utilization family %q", utils)
+	}
+	us, err := uf.Utilizations(rng, n, load*plat.TotalSpeed())
+	if err != nil {
+		return err
+	}
+
+	var ps []int64
+	switch periods {
+	case "loguniform":
+		ps = make([]int64, n)
+		for i := range ps {
+			ps[i], err = workload.LogUniformPeriod(rng, 10, 10000)
+			if err != nil {
+				return err
+			}
+		}
+	case "divisors":
+		ps, err = workload.DivisorGridPeriods(rng, n, 2520)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown period family %q (want loguniform or divisors)", periods)
+	}
+
+	ts, err := workload.TasksFromUtilizations(us, ps, 0)
+	if err != nil {
+		return err
+	}
+
+	if err := writeTasks(tasksPath, ts); err != nil {
+		return err
+	}
+	if err := writePlatform(machinesPath, plat); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tasks (U=%.4f) to %s and %d machines (Σs=%.4f) to %s\n",
+		len(ts), ts.TotalUtilization(), tasksPath, len(plat), plat.TotalSpeed(), machinesPath)
+	return nil
+}
+
+func writeTasks(path string, ts task.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writePlatform(path string, p machine.Platform) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func TestRunWritesValidFiles(t *testing.T) {
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "tasks.json")
+	mp := filepath.Join(dir, "machines.json")
+	for _, tc := range []struct {
+		utils, speeds, periods string
+	}{
+		{"uunifast", "uniform", "loguniform"},
+		{"bimodal", "geometric", "divisors"},
+		{"exponential", "big.LITTLE", "divisors"},
+		{"uunifast", "identical", "loguniform"},
+	} {
+		if err := run(8, 3, 0.7, tc.utils, tc.speeds, tc.periods, 7, tp, mp); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		tf, err := os.Open(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := task.ReadJSON(tf)
+		tf.Close()
+		if err != nil || len(ts) != 8 {
+			t.Fatalf("%+v: tasks invalid: %v (%v)", tc, len(ts), err)
+		}
+		mf, err := os.Open(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, err := machine.ReadJSON(mf)
+		mf.Close()
+		if err != nil || len(plat) != 3 {
+			t.Fatalf("%+v: machines invalid: %v (%v)", tc, len(plat), err)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for i := 0; i < 2; i++ {
+		if err := run(5, 2, 0.6, "uunifast", "uniform", "divisors", 99,
+			filepath.Join(dir, "t"+string(rune('0'+i))+".json"),
+			filepath.Join(dir, "m"+string(rune('0'+i))+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if read("t0.json") != read("t1.json") || read("m0.json") != read("m1.json") {
+		t.Error("same seed produced different workloads")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "t.json")
+	mp := filepath.Join(dir, "m.json")
+	if err := run(5, 2, 0.6, "nope", "uniform", "divisors", 1, tp, mp); err == nil {
+		t.Error("bad utils family accepted")
+	}
+	if err := run(5, 2, 0.6, "uunifast", "nope", "divisors", 1, tp, mp); err == nil {
+		t.Error("bad speed family accepted")
+	}
+	if err := run(5, 2, 0.6, "uunifast", "uniform", "nope", 1, tp, mp); err == nil {
+		t.Error("bad period family accepted")
+	}
+	if err := run(5, 2, 0.6, "uunifast", "uniform", "divisors", 1, "/nonexistent/dir/t.json", mp); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

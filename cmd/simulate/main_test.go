@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFiles(t *testing.T, tasks, machines string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "tasks.json")
+	mp := filepath.Join(dir, "machines.json")
+	if err := os.WriteFile(tp, []byte(tasks), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, []byte(machines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return tp, mp
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	tp, mp := writeFiles(t,
+		`{"tasks":[{"name":"a","wcet":1,"period":2},{"name":"b","wcet":1,"period":4}]}`,
+		`{"machines":[{"speed":1},{"speed":1}]}`)
+	if err := run(tp, mp, "edf", 1, 0, 40); err != nil {
+		t.Errorf("EDF run: %v", err)
+	}
+	if err := run(tp, mp, "rms", 1.5, 8, 0); err != nil {
+		t.Errorf("RMS run: %v", err)
+	}
+}
+
+func TestRunRejectedSet(t *testing.T) {
+	tp, mp := writeFiles(t,
+		`{"tasks":[{"wcet":3,"period":4},{"wcet":3,"period":4}]}`,
+		`{"machines":[{"speed":1}]}`)
+	if err := run(tp, mp, "edf", 1, 0, 0); err == nil {
+		t.Error("rejected set should error")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	tp, mp := writeFiles(t,
+		`{"tasks":[{"wcet":1,"period":2}]}`,
+		`{"machines":[{"speed":1}]}`)
+	if err := run("", mp, "edf", 1, 0, 0); err == nil {
+		t.Error("missing path accepted")
+	}
+	if err := run(tp, mp, "bogus", 1, 0, 0); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if err := run(tp, filepath.Join(t.TempDir(), "no.json"), "edf", 1, 0, 0); err == nil {
+		t.Error("missing machines file accepted")
+	}
+}
+
+func TestRunHyperperiodOverflowFallback(t *testing.T) {
+	// Coprime large periods make the hyperperiod overflow; the tool must
+	// fall back to a bounded horizon instead of failing.
+	tp, mp := writeFiles(t,
+		`{"tasks":[{"wcet":1,"period":99991},{"wcet":1,"period":99989},{"wcet":1,"period":99961},{"wcet":1,"period":99971}]}`,
+		`{"machines":[{"speed":1}]}`)
+	if err := run(tp, mp, "edf", 1, 0, 0); err != nil {
+		t.Errorf("overflow fallback failed: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package partfeas
+
+import "partfeas/internal/dbf"
+
+// ConstrainedTask is a sporadic task whose relative deadline may be
+// shorter than its period (C ≤ D ≤ P) — the generalization of the
+// paper's implicit-deadline model handled by demand-bound-function
+// analysis.
+type ConstrainedTask = dbf.Task
+
+// ConstrainedSet is a collection of constrained-deadline tasks.
+type ConstrainedSet = dbf.Set
+
+// TestConstrainedEDF runs the first-fit partitioning test with exact
+// processor-demand (DBF) admission — EDF on every machine — at speed
+// augmentation alpha. approxK > 0 switches to the (1+1/k)-approximate
+// demand bound, trading acceptance for speed; approxK <= 0 is exact.
+func TestConstrainedEDF(ts ConstrainedSet, p Platform, alpha float64, approxK int) (feasible bool, assignment []int, err error) {
+	return dbf.FirstFit(ts, p, alpha, approxK)
+}
+
+// TestConstrainedDM runs the first-fit partitioning test with exact
+// deadline-monotonic response-time admission — static priorities on
+// every machine — at speed augmentation alpha.
+func TestConstrainedDM(ts ConstrainedSet, p Platform, alpha float64) (feasible bool, assignment []int, err error) {
+	return dbf.FirstFitDM(ts, p, alpha)
+}
+
+// FeasibleArbitraryEDF decides exact EDF schedulability of an
+// arbitrary-deadline set (D may exceed P) on one machine of the given
+// speed, via processor-demand analysis over the synchronous busy period.
+func FeasibleArbitraryEDF(ts ConstrainedSet, speed float64) (bool, error) {
+	return dbf.FeasibleEDFArbitrary(ts, speed)
+}
+
+// FeasibleArbitraryDM decides exact deadline-monotonic schedulability of
+// an arbitrary-deadline set on one machine, via Lehoczky level-i
+// busy-period analysis.
+func FeasibleArbitraryDM(ts ConstrainedSet, speed float64) (bool, error) {
+	return dbf.FeasibleDMArbitrary(ts, speed)
+}
+
+// AssignOPA runs Audsley's optimal priority assignment for an
+// arbitrary-deadline set on one machine of the given speed, returning the
+// priority order (order[0] = highest). ok=false is a definitive verdict:
+// no fixed-priority assignment works.
+func AssignOPA(ts ConstrainedSet, speed float64) (order []int, ok bool, err error) {
+	return dbf.AssignOPA(ts, speed)
+}

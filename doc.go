@@ -1,0 +1,50 @@
+// Package partfeas implements partitioned feasibility tests for
+// implicit-deadline sporadic task systems on heterogeneous (uniform /
+// related) multiprocessors, reproducing
+//
+//	Ahuja, Lu, Moseley: "Partitioned Feasibility Tests for Sporadic Tasks
+//	on Heterogeneous Machines", IPDPS 2016.
+//
+// # The problem
+//
+// A sporadic task τ_i releases jobs at least P_i time units apart; each
+// job needs up to C_i units of work and must finish within P_i of its
+// release. The platform has m machines with speeds s_1 ≤ … ≤ s_m. A
+// partitioned scheduler fixes each task to one machine. Deciding whether
+// a partition exists is strongly NP-hard, so practical tests are
+// approximate: an α-approximate feasibility test accepts whenever the
+// adversary can schedule the task set on machines α× faster, and its
+// rejection certifies the adversary fails at the original speeds.
+//
+// # The algorithm
+//
+// One greedy pass (the paper's §III): sort tasks by non-increasing
+// utilization w_i = C_i/P_i, sort machines by non-decreasing speed, and
+// first-fit each task onto the first machine whose single-machine test
+// still passes at speed α·s — the exact utilization bound for EDF, the
+// Liu–Layland bound for RMS. Test and TestTheorem run it; the Report
+// carries the witness partition or the failing task.
+//
+// # The guarantees
+//
+// Four theorems, surfaced as TheoremI1 … TheoremI4 with their proved
+// augmentation factors:
+//
+//	I.1  EDF vs partitioned optimum    α = 2
+//	I.2  RMS vs partitioned optimum    α = 1/(√2−1) ≈ 2.414
+//	I.3  EDF vs migratory (LP) bound   α = 2.98
+//	I.4  RMS vs migratory (LP) bound   α = 3.34
+//
+// Both adversaries are implemented, not assumed: PartitionedMinScaling is
+// an exact branch-and-bound and MigratoryMinScaling the closed-form LP
+// bound, so the guarantees are checkable on any instance (see the E1–E12
+// experiment suite under internal/experiments and EXPERIMENTS.md).
+//
+// # Beyond the test
+//
+// Simulate replays a partition in an exact rational-arithmetic
+// discrete-event scheduler (synchronous periodic releases over a
+// hyperperiod) to observe the accepted schedule actually meeting
+// deadlines, and Analyze bundles the tests, adversary scalings and
+// minimal-α measurement for one instance.
+package partfeas

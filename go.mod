@@ -1,0 +1,3 @@
+module partfeas
+
+go 1.22

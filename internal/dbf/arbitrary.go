@@ -1,0 +1,347 @@
+package dbf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/machine"
+)
+
+// Arbitrary-deadline analysis: D may exceed P, so several jobs of one
+// task can be live at once. The demand bound function formula is
+// unchanged; what changes is the schedulability machinery — EDF needs the
+// synchronous busy period as its checkpoint horizon, and fixed-priority
+// analysis needs Lehoczky's level-i busy-period iteration over every job
+// in the busy period, not just the first.
+
+// ValidateArbitrary checks the task under the arbitrary-deadline model:
+// WCET and period positive, deadline at least the WCET (a job that cannot
+// even run to completion by its deadline on an infinitely fast machine is
+// malformed), but deadline may exceed the period.
+func (t Task) ValidateArbitrary() error {
+	if t.WCET <= 0 {
+		return fmt.Errorf("dbf: task %q: WCET %d must be positive", t.Name, t.WCET)
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("dbf: task %q: period %d must be positive", t.Name, t.Period)
+	}
+	if t.Deadline < t.WCET {
+		return fmt.Errorf("dbf: task %q: deadline %d < WCET %d", t.Name, t.Deadline, t.WCET)
+	}
+	return nil
+}
+
+// ValidateArbitrary checks every task under the arbitrary-deadline model.
+func (s Set) ValidateArbitrary() error {
+	if len(s) == 0 {
+		return errors.New("dbf: empty task set")
+	}
+	for i, t := range s {
+		if err := t.ValidateArbitrary(); err != nil {
+			return fmt.Errorf("dbf: task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// busyPeriod returns the length of the synchronous processor busy period
+// on a speed-s machine: the smallest fixed point of
+// W(t) = Σ ⌈t/P_i⌉·C_i / s. Requires total utilization strictly below the
+// speed; otherwise ok is false.
+func (s Set) busyPeriod(speed float64) (length float64, ok bool) {
+	u := s.TotalUtilization()
+	if u >= speed {
+		return 0, false
+	}
+	t := 0.0
+	for _, tk := range s {
+		t += float64(tk.WCET) / speed
+	}
+	for iter := 0; iter < 1<<20; iter++ {
+		next := 0.0
+		for _, tk := range s {
+			next += math.Ceil(t/float64(tk.Period)) * float64(tk.WCET) / speed
+		}
+		if next <= t {
+			return t, true
+		}
+		t = next
+	}
+	return 0, false
+}
+
+// FeasibleEDFArbitrary decides exactly whether EDF schedules an
+// arbitrary-deadline set on a speed-s machine, by processor-demand
+// analysis with the synchronous busy period as checkpoint horizon
+// (Baruah, Mok & Rosier). Total utilization at or above the speed is
+// handled like FeasibleEDF: infeasible above; at equality, fall back to
+// one hyperperiod plus the largest deadline.
+func FeasibleEDFArbitrary(s Set, speed float64) (bool, error) {
+	if err := s.ValidateArbitrary(); err != nil {
+		return false, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return false, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	u := s.TotalUtilization()
+	if u > speed*(1+1e-12) {
+		return false, nil
+	}
+	var maxD int64
+	for _, t := range s {
+		if t.Deadline > maxD {
+			maxD = t.Deadline
+		}
+	}
+	var horizon int64
+	if bp, ok := s.busyPeriod(speed); ok {
+		horizon = int64(math.Ceil(bp))
+		if horizon < maxD {
+			horizon = maxD
+		}
+	} else {
+		hp := int64(1)
+		for _, t := range s {
+			g := gcd(hp, t.Period)
+			if q := hp / g; t.Period > (1<<62)/q {
+				return false, ErrHorizonTooLarge
+			}
+			hp = hp / g * t.Period
+		}
+		if hp > (1<<62)-maxD {
+			return false, ErrHorizonTooLarge
+		}
+		horizon = hp + maxD
+	}
+	return checkDemand(s, speed, horizon)
+}
+
+// ResponseTimesDMArbitrary computes exact worst-case response times
+// under deadline-monotonic fixed priorities for arbitrary deadlines,
+// using Lehoczky's level-i busy-period analysis: within task i's busy
+// period of Q jobs, the q-th job finishes at the fixed point of
+// F = ((q+1)·C_i + Σ_{hp} ⌈F/P_j⌉·C_j)/s and responds in F − q·P_i.
+// Entries are +Inf when a response exceeds the deadline (iteration for
+// later jobs of that task stops there).
+func ResponseTimesDMArbitrary(s Set, speed float64) ([]float64, error) {
+	if err := s.ValidateArbitrary(); err != nil {
+		return nil, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	idx := dmOrder(s)
+	res := make([]float64, len(s))
+	for rank, i := range idx {
+		r, err := worstResponseAtLowest(s, idx[:rank], i, speed)
+		if err != nil {
+			return nil, err
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// worstResponseAtLowest returns the worst-case response time of task i
+// when every task in hp has higher priority, via Lehoczky level-i
+// busy-period analysis. +Inf means the response exceeds the deadline (or
+// is unbounded). This depends only on the *set* hp, not its internal
+// order — the property Audsley's optimal priority assignment relies on.
+func worstResponseAtLowest(s Set, hp []int, i int, speed float64) (float64, error) {
+	level := append(Set{}, s[i])
+	for _, j := range hp {
+		level = append(level, s[j])
+	}
+	bp, ok := level.busyPeriod(speed)
+	if !ok {
+		// Level utilization ≥ speed. Strictly above: responses grow
+		// without bound. Exactly at the speed: the synchronous pattern
+		// repeats every level hyperperiod, so checking the jobs inside
+		// one hyperperiod is exact.
+		if level.TotalUtilization() > speed*(1+1e-12) {
+			return math.Inf(1), nil
+		}
+		hpLen := int64(1)
+		for _, tk := range level {
+			g := gcd(hpLen, tk.Period)
+			if q := hpLen / g; tk.Period > (1<<40)/q {
+				return 0, ErrHorizonTooLarge
+			}
+			hpLen = hpLen / g * tk.Period
+		}
+		bp = float64(hpLen)
+	}
+	q := int64(math.Ceil(bp / float64(s[i].Period)))
+	if q < 1 {
+		q = 1
+	}
+	worst := 0.0
+	for job := int64(0); job < q; job++ {
+		f, ok := fixedPointFinish(s, hp, i, job, speed)
+		if !ok {
+			return math.Inf(1), nil
+		}
+		r := f - float64(job*s[i].Period)
+		if r > worst {
+			worst = r
+		}
+		if worst > float64(s[i].Deadline) {
+			return math.Inf(1), nil
+		}
+	}
+	return worst, nil
+}
+
+// AssignOPA runs Audsley's optimal priority assignment: levels are filled
+// from lowest to highest, placing at each level any unassigned task whose
+// worst response there meets its deadline. It returns the priority order
+// (order[0] = highest priority) and ok=false when no fixed-priority
+// assignment is feasible — OPA is optimal, so this is a definitive
+// verdict for the arbitrary-deadline model on one machine.
+func AssignOPA(s Set, speed float64) (order []int, ok bool, err error) {
+	if err := s.ValidateArbitrary(); err != nil {
+		return nil, false, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, false, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	n := len(s)
+	unassigned := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		unassigned = append(unassigned, i)
+	}
+	reversed := make([]int, 0, n) // lowest priority first
+	for level := n - 1; level >= 0; level-- {
+		placed := -1
+		for pos, i := range unassigned {
+			hp := make([]int, 0, len(unassigned)-1)
+			for _, j := range unassigned {
+				if j != i {
+					hp = append(hp, j)
+				}
+			}
+			r, err := worstResponseAtLowest(s, hp, i, speed)
+			if err != nil {
+				return nil, false, err
+			}
+			if r <= float64(s[i].Deadline) {
+				placed = pos
+				break
+			}
+		}
+		if placed == -1 {
+			return nil, false, nil
+		}
+		reversed = append(reversed, unassigned[placed])
+		unassigned = append(unassigned[:placed], unassigned[placed+1:]...)
+	}
+	order = make([]int, n)
+	for k := range reversed {
+		order[n-1-k] = reversed[k]
+	}
+	return order, true, nil
+}
+
+// FeasibleOPA reports whether any fixed-priority assignment schedules the
+// arbitrary-deadline set on a speed-s machine.
+func FeasibleOPA(s Set, speed float64) (bool, error) {
+	_, ok, err := AssignOPA(s, speed)
+	return ok, err
+}
+
+// fixedPointFinish iterates F = ((q+1)·C_i + Σ_hp ⌈F/P_j⌉·C_j)/speed.
+func fixedPointFinish(s Set, hp []int, i int, q int64, speed float64) (float64, bool) {
+	target := float64(q+1) * float64(s[i].WCET)
+	f := target / speed
+	for iter := 0; iter < 1<<20; iter++ {
+		next := target
+		for _, j := range hp {
+			next += math.Ceil(f/float64(s[j].Period)) * float64(s[j].WCET)
+		}
+		next /= speed
+		if next <= f {
+			return next, true
+		}
+		// Divergence guard: beyond q·P + D the response already fails.
+		if next > float64(q*s[i].Period+s[i].Deadline)+1 {
+			return 0, false
+		}
+		f = next
+	}
+	return 0, false
+}
+
+// FeasibleDMArbitrary reports exact DM schedulability for
+// arbitrary-deadline sets on a speed-s machine.
+func FeasibleDMArbitrary(s Set, speed float64) (bool, error) {
+	rts, err := ResponseTimesDMArbitrary(s, speed)
+	if err != nil {
+		return false, err
+	}
+	for i, r := range rts {
+		if r > float64(s[i].Deadline) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FirstFitOPA runs the paper's partitioning shape with OPA-admission:
+// a task joins a machine when Audsley's assignment still schedules the
+// machine's whole set at speed α·s — the strongest fixed-priority
+// admission available for arbitrary deadlines.
+func FirstFitOPA(s Set, p machine.Platform, alpha float64) (feasible bool, assignment []int, err error) {
+	if err := s.ValidateArbitrary(); err != nil {
+		return false, nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return false, nil, fmt.Errorf("dbf: %w", err)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return false, nil, fmt.Errorf("dbf: alpha %v must be positive", alpha)
+	}
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := s[order[a]].Density(), s[order[b]].Density()
+		if da != db {
+			return da > db
+		}
+		return s[order[a]].Deadline < s[order[b]].Deadline
+	})
+	mOrder := make([]int, len(p))
+	for j := range mOrder {
+		mOrder[j] = j
+	}
+	sort.SliceStable(mOrder, func(a, b int) bool { return p[mOrder[a]].Speed < p[mOrder[b]].Speed })
+
+	assignment = make([]int, len(s))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	perMachine := make([]Set, len(p))
+	for _, ti := range order {
+		placed := false
+		for _, mj := range mOrder {
+			candidate := append(append(Set{}, perMachine[mj]...), s[ti])
+			ok, aerr := FeasibleOPA(candidate, alpha*p[mj].Speed)
+			if aerr != nil {
+				return false, nil, aerr
+			}
+			if ok {
+				perMachine[mj] = candidate
+				assignment[ti] = mj
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false, assignment, nil
+		}
+	}
+	return true, assignment, nil
+}

@@ -1,0 +1,211 @@
+package dbf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/rational"
+)
+
+func TestValidateArbitrary(t *testing.T) {
+	ok := Task{WCET: 2, Deadline: 10, Period: 4} // D > P allowed
+	if err := ok.ValidateArbitrary(); err != nil {
+		t.Errorf("D > P rejected: %v", err)
+	}
+	if err := ok.Validate(); err == nil {
+		t.Error("constrained Validate must still reject D > P")
+	}
+	bad := Task{WCET: 3, Deadline: 2, Period: 4}
+	if err := bad.ValidateArbitrary(); err == nil {
+		t.Error("D < C accepted")
+	}
+	if err := (Set{}).ValidateArbitrary(); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestBusyPeriod(t *testing.T) {
+	// One task C=1, P=2 on speed 1: busy period = 1.
+	s := Set{{WCET: 1, Deadline: 2, Period: 2}}
+	bp, ok := s.busyPeriod(1)
+	if !ok || math.Abs(bp-1) > 1e-9 {
+		t.Errorf("busy period = %v (%v), want 1", bp, ok)
+	}
+	// Two tasks (1,2), (1,3): U = 5/6; W(1)=2, W(2)=2 → bp=2.
+	s2 := Set{{WCET: 1, Deadline: 2, Period: 2}, {WCET: 1, Deadline: 3, Period: 3}}
+	bp, ok = s2.busyPeriod(1)
+	if !ok || math.Abs(bp-2) > 1e-9 {
+		t.Errorf("busy period = %v (%v), want 2", bp, ok)
+	}
+	// Overloaded: no finite busy period.
+	if _, ok := (Set{{WCET: 3, Deadline: 3, Period: 2}}).busyPeriod(1); ok {
+		t.Error("overloaded set reported a busy period")
+	}
+}
+
+func TestFeasibleEDFArbitraryDGreaterThanP(t *testing.T) {
+	// C=3, D=6, P=4: U = 0.75, feasible under EDF on speed 1 although
+	// consecutive jobs overlap.
+	s := Set{{WCET: 3, Deadline: 6, Period: 4}}
+	ok, err := FeasibleEDFArbitrary(s, 1)
+	if err != nil || !ok {
+		t.Errorf("D>P single task: %v (%v), want feasible", ok, err)
+	}
+	// U = 1.0 exactly with relaxed deadlines: feasible.
+	s2 := Set{
+		{WCET: 3, Deadline: 6, Period: 4},
+		{WCET: 2, Deadline: 12, Period: 8},
+	}
+	ok, err = FeasibleEDFArbitrary(s2, 1)
+	if err != nil || !ok {
+		t.Errorf("U=1 arbitrary: %v (%v), want feasible", ok, err)
+	}
+	// Tight deadlines force a demand violation: dbf(3) = 5 > 3.
+	s3 := Set{
+		{WCET: 3, Deadline: 3, Period: 4},
+		{WCET: 2, Deadline: 3, Period: 8},
+	}
+	ok, err = FeasibleEDFArbitrary(s3, 1)
+	if err != nil || ok {
+		t.Errorf("dbf(3)=5 > 3: %v (%v), want infeasible", ok, err)
+	}
+}
+
+func TestFeasibleEDFArbitraryValidation(t *testing.T) {
+	if _, err := FeasibleEDFArbitrary(Set{}, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	s := Set{{WCET: 1, Deadline: 2, Period: 2}}
+	if _, err := FeasibleEDFArbitrary(s, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	over := Set{{WCET: 3, Deadline: 9, Period: 2}}
+	ok, err := FeasibleEDFArbitrary(over, 1)
+	if err != nil || ok {
+		t.Errorf("U>1: %v (%v)", ok, err)
+	}
+}
+
+func TestDMArbitraryOverloadedLevel(t *testing.T) {
+	// U = 0.5 + 0.6 = 1.1 > 1: the low task's level is overloaded and its
+	// response is unbounded.
+	s := Set{
+		{Name: "hp", WCET: 2, Deadline: 4, Period: 4},
+		{Name: "lo", WCET: 3, Deadline: 8, Period: 5},
+	}
+	rts, err := ResponseTimesDMArbitrary(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rts[1], 1) {
+		t.Errorf("overloaded level should be Inf, got %v", rts[1])
+	}
+	// Feasible variant.
+	s2 := Set{
+		{Name: "hp", WCET: 2, Deadline: 4, Period: 4},
+		{Name: "lo", WCET: 2, Deadline: 8, Period: 5},
+	}
+	ok, err := FeasibleDMArbitrary(s2, 1)
+	if err != nil || !ok {
+		t.Errorf("feasible variant: %v (%v)", ok, err)
+	}
+	if _, err := ResponseTimesDMArbitrary(Set{}, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := ResponseTimesDMArbitrary(s2, -1); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestDMArbitraryMatchesConstrainedOnConstrainedSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(12))
+			d := int64(1 + rng.Intn(int(p)))
+			c := int64(1 + rng.Intn(int(min64(d, p))))
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.Validate() != nil {
+			continue
+		}
+		a, err := FeasibleDM(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FeasibleDMArbitrary(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("trial %d: constrained RTA %v, arbitrary RTA %v for %v", trial, a, b, s)
+		}
+	}
+}
+
+// Arbitrary-deadline analyses never accept a set the simulator shows
+// missing (soundness of accept over several hyperperiods).
+func TestArbitraryAnalysesMatchSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(197))
+	decisive := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(4))
+			d := c + rng.Int63n(2*p) // may exceed P
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.ValidateArbitrary() != nil {
+			continue
+		}
+		hp := int64(1)
+		ok := true
+		for _, tk := range s {
+			g := gcd(hp, tk.Period)
+			hp = hp / g * tk.Period
+			if hp > 5_000 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		horizon := 4 * hp
+		edfAnalysis, err := FeasibleEDFArbitrary(s, 1)
+		if err != nil {
+			continue
+		}
+		edfMisses, _, err := SimulateEDF(s, rational.One(), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edfAnalysis && edfMisses > 0 {
+			t.Fatalf("trial %d: EDF analysis accepts but sim misses %d for %v", trial, edfMisses, s)
+		}
+		dmAnalysis, err := FeasibleDMArbitrary(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dmMisses, _, err := SimulateDM(s, rational.One(), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dmAnalysis && dmMisses > 0 {
+			t.Fatalf("trial %d: DM analysis accepts but sim misses %d for %v", trial, dmMisses, s)
+		}
+		// DM-accept implies EDF-accept (EDF optimal on one machine).
+		if dmAnalysis && !edfAnalysis {
+			t.Fatalf("trial %d: DM accepts but EDF analysis rejects for %v", trial, s)
+		}
+		decisive++
+	}
+	if decisive < 100 {
+		t.Errorf("only %d decisive trials", decisive)
+	}
+}

@@ -1,0 +1,348 @@
+// Package dbf extends the feasibility machinery to constrained-deadline
+// sporadic tasks (C ≤ D ≤ P), the generalization the paper's related
+// work ([4], [7] — Baruah & Fisher; Chen & Chakraborty) studies.
+//
+// For implicit deadlines the EDF test collapses to Σw ≤ s; with D < P it
+// becomes processor-demand analysis: EDF schedules the set on a speed-s
+// machine iff the demand bound function
+//
+//	dbf(t) = Σ_i max(0, ⌊(t − D_i)/P_i⌋ + 1)·C_i
+//
+// never exceeds s·t. The test checks all deadline checkpoints up to a
+// bounded horizon; ApproxFeasibleEDF uses the k-step approximate dbf
+// (exact for the first k jobs of each task, linear beyond), which is the
+// classic (1+1/k)-approximate test.
+//
+// FirstFit runs the paper's partitioning algorithm with DBF admission —
+// the natural constrained-deadline extension of the §III algorithm.
+package dbf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/machine"
+)
+
+// Task is a constrained-deadline sporadic task: jobs need C time units
+// (at unit speed), are released at least P apart, and must finish within
+// D of release, with C ≤ D ≤ P.
+type Task struct {
+	Name     string
+	WCET     int64
+	Deadline int64
+	Period   int64
+}
+
+// Validate reports whether the task is well-formed and constrained.
+func (t Task) Validate() error {
+	if t.WCET <= 0 {
+		return fmt.Errorf("dbf: task %q: WCET %d must be positive", t.Name, t.WCET)
+	}
+	if t.Deadline < t.WCET {
+		return fmt.Errorf("dbf: task %q: deadline %d < WCET %d", t.Name, t.Deadline, t.WCET)
+	}
+	if t.Period < t.Deadline {
+		return fmt.Errorf("dbf: task %q: period %d < deadline %d (constrained model)", t.Name, t.Period, t.Deadline)
+	}
+	return nil
+}
+
+// Utilization returns C/P.
+func (t Task) Utilization() float64 { return float64(t.WCET) / float64(t.Period) }
+
+// Density returns C/D, the utilization's constrained-deadline analogue.
+func (t Task) Density() float64 { return float64(t.WCET) / float64(t.Deadline) }
+
+// Set is a collection of constrained-deadline tasks.
+type Set []Task
+
+// Validate checks every task.
+func (s Set) Validate() error {
+	if len(s) == 0 {
+		return errors.New("dbf: empty task set")
+	}
+	for i, t := range s {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("dbf: task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TotalUtilization returns Σ C_i/P_i.
+func (s Set) TotalUtilization() float64 {
+	u := 0.0
+	for _, t := range s {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// TotalDensity returns Σ C_i/D_i.
+func (s Set) TotalDensity() float64 {
+	d := 0.0
+	for _, t := range s {
+		d += t.Density()
+	}
+	return d
+}
+
+// DBF returns the demand bound function at time t: the maximal work that
+// can both be released and be due within any window of length t.
+func (s Set) DBF(t int64) int64 {
+	var demand int64
+	for _, tk := range s {
+		if t < tk.Deadline {
+			continue
+		}
+		jobs := (t-tk.Deadline)/tk.Period + 1
+		demand += jobs * tk.WCET
+	}
+	return demand
+}
+
+// ApproxDBF returns the k-step approximate demand bound: exact for each
+// task's first k jobs, then the linear upper bound C + w·(t − D). It
+// upper-bounds DBF for all t, so acceptance under ApproxDBF implies
+// acceptance under DBF.
+func (s Set) ApproxDBF(t int64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	demand := 0.0
+	for _, tk := range s {
+		if t < tk.Deadline {
+			continue
+		}
+		switchPoint := tk.Deadline + int64(k-1)*tk.Period
+		if t < switchPoint {
+			jobs := (t-tk.Deadline)/tk.Period + 1
+			demand += float64(jobs * tk.WCET)
+		} else {
+			demand += float64(tk.WCET) + tk.Utilization()*float64(t-tk.Deadline)
+		}
+	}
+	return demand
+}
+
+// maxCheckpoints bounds the number of deadline checkpoints FeasibleEDF
+// will enumerate before giving up.
+const maxCheckpoints = 5_000_000
+
+// ErrHorizonTooLarge is returned when the analysis horizon needs more
+// checkpoints than the budget allows (utilization too close to capacity
+// with wildly incommensurate periods).
+var ErrHorizonTooLarge = errors.New("dbf: analysis horizon too large")
+
+// FeasibleEDF decides exactly whether EDF schedules the set on one
+// machine of the given speed, via processor-demand analysis over all
+// deadline checkpoints up to the La bound
+//
+//	L = max_i(D_i, (Σ_i (P_i − D_i)·w_i) / (s − U)).
+//
+// Total utilization above the speed is immediately infeasible; exactly
+// at the speed, the implicit-deadline subcase (D = P for all tasks) is
+// feasible and everything else falls back to checking up to the maximum
+// deadline-adjusted hyperperiod if affordable.
+func FeasibleEDF(s Set, speed float64) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return false, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	u := s.TotalUtilization()
+	if u > speed*(1+1e-12) {
+		return false, nil
+	}
+	implicit := true
+	var maxD int64
+	for _, t := range s {
+		if t.Deadline != t.Period {
+			implicit = false
+		}
+		if t.Deadline > maxD {
+			maxD = t.Deadline
+		}
+	}
+	if implicit {
+		return u <= speed*(1+1e-12), nil
+	}
+	var horizon int64
+	if u < speed*(1-1e-9) {
+		num := 0.0
+		for _, t := range s {
+			num += float64(t.Period-t.Deadline) * t.Utilization()
+		}
+		la := num / (speed - u)
+		horizon = int64(math.Ceil(la))
+		if horizon < maxD {
+			horizon = maxD
+		}
+	} else {
+		// U == speed: fall back to one hyperperiod + max deadline.
+		hp := int64(1)
+		for _, t := range s {
+			g := gcd(hp, t.Period)
+			if q := hp / g; t.Period > (1<<62)/q {
+				return false, ErrHorizonTooLarge
+			}
+			hp = hp / g * t.Period
+		}
+		if hp > (1<<62)-maxD {
+			return false, ErrHorizonTooLarge
+		}
+		horizon = hp + maxD
+	}
+	return checkDemand(s, speed, horizon)
+}
+
+// checkDemand enumerates absolute deadlines t ≤ horizon and verifies
+// dbf(t) ≤ speed·t at each.
+func checkDemand(s Set, speed float64, horizon int64) (bool, error) {
+	// Merge the per-task deadline streams D_i, D_i+P_i, … with a simple
+	// next-checkpoint scan (heap-free; n is small).
+	next := make([]int64, len(s))
+	for i, t := range s {
+		next[i] = t.Deadline
+	}
+	checked := 0
+	for {
+		// Earliest unchecked checkpoint.
+		t := int64(math.MaxInt64)
+		for i := range next {
+			if next[i] < t {
+				t = next[i]
+			}
+		}
+		if t > horizon || t == math.MaxInt64 {
+			return true, nil
+		}
+		if float64(s.DBF(t)) > speed*float64(t)*(1+1e-12) {
+			return false, nil
+		}
+		for i, tk := range s {
+			if next[i] == t {
+				next[i] += tk.Period
+			}
+		}
+		checked++
+		if checked > maxCheckpoints {
+			return false, ErrHorizonTooLarge
+		}
+	}
+}
+
+// ApproxFeasibleEDF is the k-step approximate test: it checks the exact
+// demand at each task's first k deadlines and the linear bound beyond.
+// It never accepts an infeasible set (ApproxDBF ≥ DBF); it may reject
+// feasible sets by a factor at most (1 + 1/k) in speed.
+func ApproxFeasibleEDF(s Set, speed float64, k int) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return false, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	if k < 1 {
+		k = 1
+	}
+	u := s.TotalUtilization()
+	if u > speed*(1+1e-12) {
+		return false, nil
+	}
+	// Checkpoints: each task's first k deadlines (beyond them the
+	// approximate dbf is linear with slope ≤ Σw ≤ speed, so if it holds
+	// at every switch point it holds forever).
+	var points []int64
+	for _, t := range s {
+		for j := 0; j < k; j++ {
+			points = append(points, t.Deadline+int64(j)*t.Period)
+		}
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a] < points[b] })
+	for _, t := range points {
+		if s.ApproxDBF(t, k) > speed*float64(t)*(1+1e-12) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FirstFit runs the paper's partitioning algorithm with DBF admission:
+// tasks in non-increasing density order, machines in non-decreasing
+// speed order, first machine whose accumulated set stays EDF-feasible at
+// speed α·s. The exact test runs per admission when k <= 0; otherwise
+// the k-step approximate test.
+func FirstFit(s Set, p machine.Platform, alpha float64, k int) (feasible bool, assignment []int, err error) {
+	if err := s.Validate(); err != nil {
+		return false, nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return false, nil, fmt.Errorf("dbf: %w", err)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return false, nil, fmt.Errorf("dbf: alpha %v must be positive", alpha)
+	}
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := s[order[a]].Density(), s[order[b]].Density()
+		if da != db {
+			return da > db
+		}
+		return s[order[a]].Deadline < s[order[b]].Deadline
+	})
+	mOrder := make([]int, len(p))
+	for j := range mOrder {
+		mOrder[j] = j
+	}
+	sort.SliceStable(mOrder, func(a, b int) bool { return p[mOrder[a]].Speed < p[mOrder[b]].Speed })
+
+	assignment = make([]int, len(s))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	perMachine := make([]Set, len(p))
+	for _, ti := range order {
+		placed := false
+		for _, mj := range mOrder {
+			candidate := append(append(Set{}, perMachine[mj]...), s[ti])
+			var ok bool
+			var aerr error
+			if k <= 0 {
+				ok, aerr = FeasibleEDF(candidate, alpha*p[mj].Speed)
+			} else {
+				ok, aerr = ApproxFeasibleEDF(candidate, alpha*p[mj].Speed, k)
+			}
+			if aerr != nil {
+				return false, nil, aerr
+			}
+			if ok {
+				perMachine[mj] = candidate
+				assignment[ti] = mj
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false, assignment, nil
+		}
+	}
+	return true, assignment, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

@@ -1,0 +1,149 @@
+package dbf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/machine"
+)
+
+// dmOrder returns task indices in deadline-monotonic priority order
+// (smaller relative deadline = higher priority), which is the optimal
+// fixed-priority assignment for constrained-deadline sporadic tasks on
+// one machine (Leung & Whitehead).
+func dmOrder(s Set) []int {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := s[idx[a]], s[idx[b]]
+		if ta.Deadline != tb.Deadline {
+			return ta.Deadline < tb.Deadline
+		}
+		if ta.Period != tb.Period {
+			return ta.Period < tb.Period
+		}
+		return ta.WCET < tb.WCET
+	})
+	return idx
+}
+
+// ResponseTimesDM computes exact worst-case response times under
+// deadline-monotonic preemptive fixed priorities on a speed-s machine.
+// Entries are +Inf for tasks whose response exceeds their deadline.
+func ResponseTimesDM(s Set, speed float64) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+	}
+	idx := dmOrder(s)
+	res := make([]float64, len(s))
+	for rank, i := range idx {
+		ci := float64(s[i].WCET) / speed
+		deadline := float64(s[i].Deadline)
+		r := ci
+		const maxIter = 1 << 20
+		converged := false
+		for iter := 0; iter < maxIter; iter++ {
+			next := ci
+			for _, j := range idx[:rank] {
+				next += math.Ceil(r/float64(s[j].Period)) * float64(s[j].WCET) / speed
+			}
+			if next > deadline {
+				r = math.Inf(1)
+				converged = true
+				break
+			}
+			if next <= r {
+				r = next
+				converged = true
+				break
+			}
+			r = next
+		}
+		if !converged {
+			return nil, fmt.Errorf("dbf: DM response-time iteration did not converge for task %d", i)
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// FeasibleDM reports whether the set is schedulable under
+// deadline-monotonic fixed priorities on a speed-s machine (exact, via
+// response-time analysis; the synchronous pattern is the critical
+// instant for constrained deadlines).
+func FeasibleDM(s Set, speed float64) (bool, error) {
+	rts, err := ResponseTimesDM(s, speed)
+	if err != nil {
+		return false, err
+	}
+	for i, r := range rts {
+		if r > float64(s[i].Deadline) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FirstFitDM runs the paper's partitioning shape with exact DM
+// response-time admission: tasks in non-increasing density order,
+// machines in non-decreasing speed order — the fixed-priority
+// constrained-deadline analogue of FirstFit.
+func FirstFitDM(s Set, p machine.Platform, alpha float64) (feasible bool, assignment []int, err error) {
+	if err := s.Validate(); err != nil {
+		return false, nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return false, nil, fmt.Errorf("dbf: %w", err)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return false, nil, fmt.Errorf("dbf: alpha %v must be positive", alpha)
+	}
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := s[order[a]].Density(), s[order[b]].Density()
+		if da != db {
+			return da > db
+		}
+		return s[order[a]].Deadline < s[order[b]].Deadline
+	})
+	mOrder := make([]int, len(p))
+	for j := range mOrder {
+		mOrder[j] = j
+	}
+	sort.SliceStable(mOrder, func(a, b int) bool { return p[mOrder[a]].Speed < p[mOrder[b]].Speed })
+
+	assignment = make([]int, len(s))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	perMachine := make([]Set, len(p))
+	for _, ti := range order {
+		placed := false
+		for _, mj := range mOrder {
+			candidate := append(append(Set{}, perMachine[mj]...), s[ti])
+			ok, aerr := FeasibleDM(candidate, alpha*p[mj].Speed)
+			if aerr != nil {
+				return false, nil, aerr
+			}
+			if ok {
+				perMachine[mj] = candidate
+				assignment[ti] = mj
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false, assignment, nil
+		}
+	}
+	return true, assignment, nil
+}

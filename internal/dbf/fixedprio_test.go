@@ -1,0 +1,208 @@
+package dbf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+)
+
+func TestResponseTimesDMBasic(t *testing.T) {
+	// DM order by deadline: (1,2,8) before (2,5,5).
+	s := Set{
+		{Name: "lo", WCET: 2, Deadline: 5, Period: 5},
+		{Name: "hi", WCET: 1, Deadline: 2, Period: 8},
+	}
+	rts, err := ResponseTimesDM(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rts[1]-1) > 1e-9 {
+		t.Errorf("hi response = %v, want 1", rts[1])
+	}
+	// lo: 2 + ceil(R/8)*1 → 3.
+	if math.Abs(rts[0]-3) > 1e-9 {
+		t.Errorf("lo response = %v, want 3", rts[0])
+	}
+	ok, err := FeasibleDM(s, 1)
+	if err != nil || !ok {
+		t.Errorf("FeasibleDM = %v (%v)", ok, err)
+	}
+}
+
+func TestFeasibleDMRejectsOverload(t *testing.T) {
+	s := Set{
+		{WCET: 2, Deadline: 2, Period: 4},
+		{WCET: 2, Deadline: 2, Period: 4},
+	}
+	ok, err := FeasibleDM(s, 1)
+	if err != nil || ok {
+		t.Errorf("FeasibleDM = %v (%v), want infeasible", ok, err)
+	}
+	ok, err = FeasibleDM(s, 2)
+	if err != nil || !ok {
+		t.Errorf("speed 2: %v (%v), want feasible", ok, err)
+	}
+}
+
+func TestResponseTimesDMValidation(t *testing.T) {
+	if _, err := ResponseTimesDM(Set{}, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	s := Set{{WCET: 1, Deadline: 2, Period: 2}}
+	if _, err := ResponseTimesDM(s, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+// DM analysis agrees with the DM simulator over one hyperperiod.
+func TestDMAnalysisMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	decisive := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(12))
+			d := int64(1 + rng.Intn(int(p)))
+			c := int64(1 + rng.Intn(int(min64(d, p))))
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.Validate() != nil {
+			continue
+		}
+		hp := int64(1)
+		var maxD int64
+		ok := true
+		for _, tk := range s {
+			g := gcd(hp, tk.Period)
+			hp = hp / g * tk.Period
+			if hp > 10_000 {
+				ok = false
+				break
+			}
+			if tk.Deadline > maxD {
+				maxD = tk.Deadline
+			}
+		}
+		if !ok {
+			continue
+		}
+		analysis, err := FeasibleDM(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		misses, _, err := SimulateDM(s, rational.One(), hp+maxD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if analysis != (misses == 0) {
+			t.Fatalf("trial %d: DM analysis=%v, sim misses=%d for %v", trial, analysis, misses, s)
+		}
+		decisive++
+	}
+	if decisive < 100 {
+		t.Errorf("only %d decisive trials", decisive)
+	}
+}
+
+// EDF dominates DM: anything DM schedules, EDF schedules (EDF is optimal
+// on one machine).
+func TestEDFDominatesDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(14))
+			d := int64(1 + rng.Intn(int(p)))
+			c := int64(1 + rng.Intn(int(min64(d, p))))
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.Validate() != nil {
+			continue
+		}
+		dm, err := FeasibleDM(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dm {
+			continue
+		}
+		edf, err := FeasibleEDF(s, 1)
+		if err != nil {
+			continue // horizon issues: skip
+		}
+		if !edf {
+			t.Fatalf("trial %d: DM feasible but EDF not for %v", trial, s)
+		}
+	}
+}
+
+func TestFirstFitDM(t *testing.T) {
+	p := machine.New(1, 1)
+	s := Set{
+		{Name: "a", WCET: 2, Deadline: 2, Period: 8},
+		{Name: "b", WCET: 2, Deadline: 2, Period: 8},
+		{Name: "c", WCET: 1, Deadline: 8, Period: 8},
+	}
+	ok, asg, err := FirstFitDM(s, p, 1)
+	if err != nil || !ok {
+		t.Fatalf("FirstFitDM: %v (%v)", ok, err)
+	}
+	if asg[0] == asg[1] {
+		t.Errorf("tight pair not separated: %v", asg)
+	}
+	// Validation errors.
+	if _, _, err := FirstFitDM(Set{}, p, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := FirstFitDM(s, machine.Platform{}, 1); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if _, _, err := FirstFitDM(s, p, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+// FF-EDF(DBF) dominates FF-DM on identical instances (EDF admission is
+// weaker to violate).
+func TestFirstFitEDFDominatesDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(4 + rng.Intn(20))
+			d := int64(2 + rng.Intn(int(p-1)))
+			c := int64(1 + rng.Intn(int(min64(d, 6))))
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.Validate() != nil {
+			continue
+		}
+		p := machine.New(1, 2)
+		okDM, _, err := FirstFitDM(s, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okDM {
+			continue
+		}
+		okEDF, _, err := FirstFit(s, p, 1, 0)
+		if err != nil {
+			continue
+		}
+		if !okEDF {
+			t.Fatalf("trial %d: FF-DM accepted but FF-EDF(DBF) rejected %v", trial, s)
+		}
+	}
+}
+
+func TestSimulateDMValidation(t *testing.T) {
+	if _, _, err := SimulateDM(Set{}, rational.One(), 10); err == nil {
+		t.Error("empty set accepted")
+	}
+}

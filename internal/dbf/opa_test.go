@@ -1,0 +1,213 @@
+package dbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+)
+
+func TestAssignOPAValidation(t *testing.T) {
+	if _, _, err := AssignOPA(Set{}, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	s := Set{{WCET: 1, Deadline: 2, Period: 2}}
+	if _, _, err := AssignOPA(s, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestAssignOPASimple(t *testing.T) {
+	s := Set{
+		{Name: "a", WCET: 1, Deadline: 2, Period: 4},
+		{Name: "b", WCET: 2, Deadline: 8, Period: 8},
+	}
+	order, ok, err := AssignOPA(s, 1)
+	if err != nil || !ok {
+		t.Fatalf("OPA: %v (%v)", ok, err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// The tight-deadline task must end up with the higher priority here:
+	// at the lowest level its response behind b (2 + 1 = 3 > 2) fails.
+	if order[0] != 0 {
+		t.Errorf("order = %v, want task 0 highest", order)
+	}
+}
+
+func TestOPAInfeasible(t *testing.T) {
+	s := Set{
+		{WCET: 2, Deadline: 2, Period: 4},
+		{WCET: 2, Deadline: 2, Period: 4},
+	}
+	ok, err := FeasibleOPA(s, 1)
+	if err != nil || ok {
+		t.Errorf("simultaneous tight pair: %v (%v), want infeasible", ok, err)
+	}
+}
+
+// OPA accepts at least everything DM accepts (optimality, one direction).
+func TestOPADominatesDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(199))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(4))
+			d := c + rng.Int63n(2*p)
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.ValidateArbitrary() != nil {
+			continue
+		}
+		dm, err := FeasibleDMArbitrary(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dm {
+			continue
+		}
+		opa, err := FeasibleOPA(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opa {
+			t.Fatalf("trial %d: DM feasible but OPA not — contradicts optimality — for %v", trial, s)
+		}
+	}
+}
+
+// On some arbitrary-deadline instance OPA strictly beats DM — the classic
+// reason DM is not optimal when D > P.
+func TestOPABeatsDMSomewhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	found := false
+	for trial := 0; trial < 3000 && !found; trial++ {
+		n := 2 + rng.Intn(2)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(4))
+			d := c + rng.Int63n(3*p)
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.ValidateArbitrary() != nil {
+			continue
+		}
+		dm, err := FeasibleDMArbitrary(s, 1)
+		if err != nil {
+			continue
+		}
+		opa, err := FeasibleOPA(s, 1)
+		if err != nil {
+			continue
+		}
+		if opa && !dm {
+			found = true
+		}
+		if dm && !opa {
+			t.Fatalf("trial %d: DM feasible but OPA not for %v", trial, s)
+		}
+	}
+	if !found {
+		t.Log("no OPA-beats-DM witness found in 3000 draws (rare but not an error)")
+	}
+}
+
+// An OPA-returned order is actually feasible when replayed: every task's
+// worst response at its assigned level meets its deadline.
+func TestOPAOrderIsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(3))
+			d := c + rng.Int63n(2*p)
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.ValidateArbitrary() != nil {
+			continue
+		}
+		order, ok, err := AssignOPA(s, 1)
+		if err != nil || !ok {
+			continue
+		}
+		for rank, i := range order {
+			r, err := worstResponseAtLowest(s, order[:rank], i, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r > float64(s[i].Deadline) {
+				t.Fatalf("trial %d: OPA order %v infeasible at rank %d for %v", trial, order, rank, s)
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Errorf("only %d feasible orders checked", checked)
+	}
+}
+
+func TestFirstFitOPA(t *testing.T) {
+	p := machine.New(1, 1)
+	s := Set{
+		{Name: "a", WCET: 2, Deadline: 2, Period: 8},
+		{Name: "b", WCET: 2, Deadline: 2, Period: 8},
+		{Name: "c", WCET: 1, Deadline: 16, Period: 8}, // D > P
+	}
+	ok, asg, err := FirstFitOPA(s, p, 1)
+	if err != nil || !ok {
+		t.Fatalf("FirstFitOPA: %v (%v)", ok, err)
+	}
+	if asg[0] == asg[1] {
+		t.Errorf("tight pair not separated: %v", asg)
+	}
+	if _, _, err := FirstFitOPA(Set{}, p, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := FirstFitOPA(s, machine.Platform{}, 1); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if _, _, err := FirstFitOPA(s, p, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+// FF-OPA accepts whatever FF-DM accepts on constrained sets (OPA admission
+// is at least as strong per machine).
+func TestFirstFitOPADominatesDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(4 + rng.Intn(16))
+			d := int64(2 + rng.Intn(int(p-1)))
+			c := int64(1 + rng.Int63n(min64(d, 5)))
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		if s.Validate() != nil {
+			continue
+		}
+		p := machine.New(1, 2)
+		dmOK, _, err := FirstFitDM(s, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dmOK {
+			continue
+		}
+		opaOK, _, err := FirstFitOPA(s, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opaOK {
+			t.Fatalf("trial %d: FF-DM accepted but FF-OPA rejected %v", trial, s)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/fractional"
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func mustSet(t testing.TB, us []float64) task.Set {
+	t.Helper()
+	s, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMinScalingTrivial(t *testing.T) {
+	// One task, one machine: σ = w/s.
+	ts := mustSet(t, []float64{0.5})
+	res, err := MinScaling(ts, machine.New(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sigma-0.25) > 1e-9 {
+		t.Errorf("σ = %v, want 0.25", res.Sigma)
+	}
+	if len(res.Assignment) != 1 || res.Assignment[0] != 0 {
+		t.Errorf("assignment = %v", res.Assignment)
+	}
+}
+
+func TestMinScalingThreeHalvesOnTwo(t *testing.T) {
+	// Three 2/3 tasks on two unit machines: best partition puts two on one
+	// machine → σ = 4/3 (the migratory adversary manages σ = 1; see
+	// fractional tests — this is exactly the partitioned/migratory gap).
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 2, Period: 3}, {WCET: 2, Period: 3},
+	}
+	res, err := MinScaling(ts, machine.New(1, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sigma-4.0/3) > 1e-9 {
+		t.Errorf("σ = %v, want 4/3", res.Sigma)
+	}
+}
+
+func TestMinScalingHeterogeneous(t *testing.T) {
+	// Tasks 0.9 and 0.2; machines speed 1 and 0.25.
+	// Options: both on fast: 1.1; split big→fast small→slow: max(0.9, 0.8) = 0.9;
+	// split big→slow: 3.6. Best σ = 0.9.
+	ts := mustSet(t, []float64{0.9, 0.2})
+	res, err := MinScaling(ts, machine.New(1, 0.25), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sigma-0.9) > 1e-9 {
+		t.Errorf("σ = %v, want 0.9", res.Sigma)
+	}
+}
+
+func TestAssignmentAchievesSigma(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		res, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := make([]float64, m)
+		for i, j := range res.Assignment {
+			if j < 0 || j >= m {
+				t.Fatalf("trial %d: assignment out of range: %v", trial, res.Assignment)
+			}
+			loads[j] += ts[i].Utilization()
+		}
+		worst := 0.0
+		for j := range loads {
+			if v := loads[j] / speeds[j]; v > worst {
+				worst = v
+			}
+		}
+		if math.Abs(worst-res.Sigma) > 1e-9 {
+			t.Fatalf("trial %d: assignment achieves %v, reported σ %v", trial, worst, res.Sigma)
+		}
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(3)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		res, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForceMinScaling(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Sigma-bf) > 1e-9 {
+			t.Fatalf("trial %d: B&B σ=%v, brute force σ=%v (n=%d m=%d us=%v speeds=%v)",
+				trial, res.Sigma, bf, n, m, us, speeds)
+		}
+	}
+}
+
+// σ_LP ≤ σ_part always: the migratory adversary is at least as strong.
+func TestLPWeakerThanPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		res, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigmaLP, err := fractional.MinScaling(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigmaLP > res.Sigma+1e-9 {
+			t.Fatalf("trial %d: σ_LP %v > σ_part %v", trial, sigmaLP, res.Sigma)
+		}
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.5})
+	ok, err := Feasible(ts, machine.New(1, 1), Options{})
+	if err != nil || !ok {
+		t.Errorf("two halves on two units: %v (%v)", ok, err)
+	}
+	ts2 := mustSet(t, []float64{0.9, 0.9, 0.9})
+	ok, err = Feasible(ts2, machine.New(1, 1), Options{})
+	if err != nil || ok {
+		t.Errorf("three 0.9 on two units: %v (%v), want infeasible", ok, err)
+	}
+	// Exact boundary: loads exactly equal speeds.
+	ts3 := task.Set{{WCET: 1, Period: 1}, {WCET: 1, Period: 2}}
+	ok, err = Feasible(ts3, machine.New(1, 0.5), Options{})
+	if err != nil || !ok {
+		t.Errorf("exact-fit instance: %v (%v), want feasible", ok, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := MinScaling(task.Set{}, machine.New(1), Options{}); err == nil {
+		t.Error("empty set should fail")
+	}
+	ts := mustSet(t, []float64{0.5})
+	if _, err := MinScaling(ts, machine.Platform{}, Options{}); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := BruteForceMinScaling(task.Set{}, machine.New(1)); err == nil {
+		t.Error("brute force empty set should fail")
+	}
+	if _, err := BruteForceMinScaling(ts, machine.Platform{}); err == nil {
+		t.Error("brute force empty platform should fail")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	us := make([]float64, 18)
+	for i := range us {
+		us[i] = 0.3 + rng.Float64()*0.2
+	}
+	ts := mustSet(t, us)
+	p := machine.New(1, 1.1, 1.2, 1.3)
+	_, err := MinScaling(ts, p, Options{NodeBudget: 100})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBruteForceTooLarge(t *testing.T) {
+	us := make([]float64, 30)
+	for i := range us {
+		us[i] = 0.1
+	}
+	ts := mustSet(t, us)
+	if _, err := BruteForceMinScaling(ts, machine.New(1, 1, 1, 1)); err == nil {
+		t.Error("30 tasks on 4 machines should exceed brute force limit")
+	}
+}
+
+// Symmetry pruning must not change results on platforms with many equal
+// machines.
+func TestEqualMachinesSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		ts := mustSet(t, us)
+		p := machine.New(1, 1, 1)
+		res, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForceMinScaling(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Sigma-bf) > 1e-9 {
+			t.Fatalf("trial %d: σ=%v, brute=%v", trial, res.Sigma, bf)
+		}
+	}
+}
+
+func BenchmarkMinScaling12x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	us := make([]float64, 12)
+	for i := range us {
+		us[i] = 0.1 + rng.Float64()*0.8
+	}
+	ts, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := machine.New(0.5, 1, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinScaling(ts, p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The parallel solver must return exactly the sequential optimum.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		seq, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MinScalingParallel(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seq.Sigma-par.Sigma) > 1e-12 {
+			t.Fatalf("trial %d: sequential σ=%v parallel σ=%v", trial, seq.Sigma, par.Sigma)
+		}
+		// The parallel assignment must achieve its σ.
+		loads := make([]float64, m)
+		for i, j := range par.Assignment {
+			loads[j] += ts[i].Utilization()
+		}
+		worst := 0.0
+		for j := range loads {
+			if v := loads[j] / speeds[j]; v > worst {
+				worst = v
+			}
+		}
+		if math.Abs(worst-par.Sigma) > 1e-9 {
+			t.Fatalf("trial %d: parallel assignment achieves %v, reported %v", trial, worst, par.Sigma)
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := MinScalingParallel(task.Set{}, machine.New(1), Options{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	ts := mustSet(t, []float64{0.5})
+	if _, err := MinScalingParallel(ts, machine.Platform{}, Options{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+	// Tiny instances route to the sequential path.
+	res, err := MinScalingParallel(ts, machine.New(2), Options{})
+	if err != nil || math.Abs(res.Sigma-0.25) > 1e-9 {
+		t.Errorf("tiny instance: %v (%v)", res.Sigma, err)
+	}
+}
+
+// The concurrent path must also match when forced with multiple workers
+// on any host.
+func TestParallelForcedWorkersMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(9)
+		m := 2 + rng.Intn(3)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		seq, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MinScalingParallel(ts, p, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seq.Sigma-par.Sigma) > 1e-12 {
+			t.Fatalf("trial %d: forced-workers σ=%v, sequential σ=%v", trial, par.Sigma, seq.Sigma)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// MinScalingParallel computes σ_part exactly like MinScaling but explores
+// the branch-and-bound tree with a pool of worker goroutines sharing one
+// incumbent. The tree is split at the root: every assignment of the first
+// splitDepth tasks becomes an independent subtree; workers drain the
+// subtree queue and publish incumbent improvements through a mutex-guarded
+// bound that all subtrees prune against. Results are identical to the
+// sequential solver (the optimum is unique even if visit order is not).
+func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, error) {
+	if err := ts.Validate(); err != nil {
+		return Result{}, fmt.Errorf("exact: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("exact: %w", err)
+	}
+	budget := opts.NodeBudget
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n, m := len(ts), len(p)
+	if n <= 2 || workers == 1 {
+		return MinScaling(ts, p, opts)
+	}
+
+	// Order tasks and machines as the sequential solver does.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	utils := ts.Utilizations()
+	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
+	mOrder := make([]int, m)
+	for j := range mOrder {
+		mOrder[j] = j
+	}
+	speeds := p.Speeds()
+	sort.SliceStable(mOrder, func(a, b int) bool { return speeds[mOrder[a]] > speeds[mOrder[b]] })
+
+	sortedUtil := make([]float64, n)
+	for k, i := range order {
+		sortedUtil[k] = utils[i]
+	}
+	sortedSpeed := make([]float64, m)
+	for k, j := range mOrder {
+		sortedSpeed[k] = speeds[j]
+	}
+	suffix := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1] + sortedUtil[k]
+	}
+	totalSpeed := 0.0
+	for _, sp := range sortedSpeed {
+		totalSpeed += sp
+	}
+
+	// Shared incumbent, seeded by the greedy bound.
+	seed := &solver{
+		n: n, m: m,
+		util: sortedUtil, speed: sortedSpeed,
+		load: make([]float64, m), asg: make([]int, n), best: make([]int, n),
+		suffix: suffix, totalSpeed: totalSpeed,
+	}
+	greedyVal := seed.greedy()
+
+	type shared struct {
+		mu        sync.Mutex
+		incumbent float64
+		best      []int
+		nodes     int64
+		exceeded  bool
+	}
+	sh := &shared{incumbent: greedyVal, best: append([]int(nil), seed.asgGreedy...)}
+
+	// Enumerate prefix assignments of the first splitDepth tasks,
+	// pruning symmetric machine choices (identical speed, same prefix
+	// content signature only matters through loads — equal loads on
+	// equal speeds are interchangeable).
+	splitDepth := 1
+	for branches := m; branches < 4*workers && splitDepth < n-1 && splitDepth < 3; {
+		splitDepth++
+		branches *= m
+	}
+	var prefixes [][]int
+	var gen func(depth int, cur []int)
+	gen = func(depth int, cur []int) {
+		if depth == splitDepth {
+			prefixes = append(prefixes, append([]int(nil), cur...))
+			return
+		}
+		loads := make([]float64, m)
+		for k, j := range cur {
+			loads[j] += sortedUtil[k]
+		}
+		for j := 0; j < m; j++ {
+			dup := false
+			for i := 0; i < j; i++ {
+				if sortedSpeed[i] == sortedSpeed[j] && loads[i] == loads[j] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			gen(depth+1, append(cur, j))
+		}
+	}
+	gen(0, nil)
+
+	perBudget := budget / int64(len(prefixes))
+	if perBudget < 1024 {
+		perBudget = 1024
+	}
+
+	queue := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for prefix := range queue {
+				s := &solver{
+					n: n, m: m,
+					util: sortedUtil, speed: sortedSpeed,
+					load: make([]float64, m), asg: make([]int, n), best: make([]int, n),
+					suffix: suffix, totalSpeed: totalSpeed,
+					budget: perBudget,
+				}
+				sh.mu.Lock()
+				s.incumbent = sh.incumbent
+				sh.mu.Unlock()
+				maxNorm := 0.0
+				ok := true
+				for k, j := range prefix {
+					s.load[j] += sortedUtil[k]
+					s.asg[k] = j
+					if v := s.load[j] / s.speed[j]; v > maxNorm {
+						maxNorm = v
+					}
+					if maxNorm >= s.incumbent {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					s.dfs(len(prefix), maxNorm)
+				}
+				sh.mu.Lock()
+				sh.nodes += s.nodes
+				if s.exceeded {
+					sh.exceeded = true
+				}
+				if s.incumbent < sh.incumbent {
+					sh.incumbent = s.incumbent
+					copy(sh.best, s.best)
+				}
+				sh.mu.Unlock()
+			}
+		}()
+	}
+	for _, prefix := range prefixes {
+		queue <- prefix
+	}
+	close(queue)
+	wg.Wait()
+
+	if sh.exceeded {
+		return Result{}, fmt.Errorf("exact: parallel n=%d m=%d: %w", n, m, ErrBudgetExceeded)
+	}
+	// Guard against numeric edge: the greedy seed may remain the best.
+	if sh.incumbent > greedyVal {
+		sh.incumbent = greedyVal
+		copy(sh.best, seed.asgGreedy)
+	}
+
+	assignment := make([]int, n)
+	for k, i := range order {
+		assignment[i] = mOrder[sh.best[k]]
+	}
+	return Result{Sigma: sh.incumbent, Assignment: assignment, Nodes: sh.nodes}, nil
+}

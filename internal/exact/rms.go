@@ -1,0 +1,172 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/sched"
+	"partfeas/internal/task"
+)
+
+// FeasibleRMS reports whether some partition exists in which every
+// machine's assigned set passes exact rate-monotonic response-time
+// analysis at speed alpha·s_j — the optimal *partitioned RMS* scheduler,
+// a strictly weaker adversary than the EDF-partitioned optimum of
+// Theorems I.1/I.2. Branch-and-bound: tasks in non-increasing utilization
+// order, per-node admission via RTA (monotone: adding tasks never helps),
+// equal-machine symmetry pruning, and a fast utilization-based prune
+// (RTA-feasible implies utilization ≤ speed).
+func FeasibleRMS(ts task.Set, p machine.Platform, alpha float64, opts Options) (bool, error) {
+	if err := ts.Validate(); err != nil {
+		return false, fmt.Errorf("exact: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return false, fmt.Errorf("exact: %w", err)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return false, fmt.Errorf("exact: alpha %v must be positive", alpha)
+	}
+	budget := opts.NodeBudget
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+
+	n, m := len(ts), len(p)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	utils := ts.Utilizations()
+	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
+
+	speeds := make([]float64, m)
+	for j := range p {
+		speeds[j] = alpha * p[j].Speed
+	}
+
+	s := &rmsSolver{
+		ts:     ts,
+		order:  order,
+		speeds: speeds,
+		loads:  make([]float64, m),
+		sets:   make([]task.Set, m),
+		budget: budget,
+	}
+	ok := s.dfs(0)
+	if s.exceeded {
+		return false, fmt.Errorf("exact: RMS n=%d m=%d: %w", n, m, ErrBudgetExceeded)
+	}
+	return ok, nil
+}
+
+type rmsSolver struct {
+	ts       task.Set
+	order    []int
+	speeds   []float64
+	loads    []float64
+	sets     []task.Set
+	nodes    int64
+	budget   int64
+	exceeded bool
+}
+
+func (s *rmsSolver) dfs(k int) bool {
+	s.nodes++
+	if s.nodes > s.budget {
+		s.exceeded = true
+		return false
+	}
+	if k == len(s.order) {
+		return true
+	}
+	tk := s.ts[s.order[k]]
+	w := tk.Utilization()
+	for j := range s.speeds {
+		// Symmetry: skip machines identical (speed and current content
+		// signature) to an earlier sibling.
+		if s.duplicate(j) {
+			continue
+		}
+		// Necessary condition first — RTA is the expensive check.
+		if s.loads[j]+w > s.speeds[j]+1e-12 {
+			continue
+		}
+		candidate := append(s.sets[j], tk)
+		ok, err := sched.RMSFeasibleExact(candidate, s.speeds[j])
+		if err != nil || !ok {
+			continue
+		}
+		s.sets[j] = candidate
+		s.loads[j] += w
+		if s.dfs(k + 1) {
+			return true
+		}
+		s.sets[j] = s.sets[j][:len(s.sets[j])-1]
+		s.loads[j] -= w
+		if s.exceeded {
+			return false
+		}
+	}
+	return false
+}
+
+func (s *rmsSolver) duplicate(j int) bool {
+	for i := 0; i < j; i++ {
+		if s.speeds[i] == s.speeds[j] && s.loads[i] == s.loads[j] && len(s.sets[i]) == len(s.sets[j]) {
+			same := true
+			for t := range s.sets[i] {
+				if s.sets[i][t] != s.sets[j][t] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MinScalingRMS computes σ_partRMS: the minimal uniform speed scaling at
+// which a partitioned RMS schedule exists, by bisection over FeasibleRMS.
+// The bracket comes from the EDF-partitioned optimum σ_part: RMS needs
+// at least as much speed as EDF (lo = σ_part) and at most σ_part/ln 2
+// (the same partition passes the Liu–Layland bound there).
+func MinScalingRMS(ts task.Set, p machine.Platform, opts Options) (float64, error) {
+	base, err := MinScaling(ts, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	lo := base.Sigma
+	hi := base.Sigma / math.Ln2 * (1 + 1e-9)
+	okHi, err := FeasibleRMS(ts, p, hi, opts)
+	if err != nil {
+		return 0, err
+	}
+	if !okHi {
+		return 0, fmt.Errorf("exact: RMS bracket top %v unexpectedly infeasible", hi)
+	}
+	okLo, err := FeasibleRMS(ts, p, lo, opts)
+	if err != nil {
+		return 0, err
+	}
+	if okLo {
+		return lo, nil
+	}
+	for hi-lo > 1e-7*lo {
+		mid := (lo + hi) / 2
+		ok, err := FeasibleRMS(ts, p, mid, opts)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

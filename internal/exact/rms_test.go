@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/core"
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func TestFeasibleRMSValidation(t *testing.T) {
+	ts := mustSet(t, []float64{0.5})
+	p := machine.New(1)
+	if _, err := FeasibleRMS(task.Set{}, p, 1, Options{}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := FeasibleRMS(ts, machine.Platform{}, 1, Options{}); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := FeasibleRMS(ts, p, 0, Options{}); err == nil {
+		t.Error("zero alpha should fail")
+	}
+	if _, err := FeasibleRMS(ts, p, math.NaN(), Options{}); err == nil {
+		t.Error("NaN alpha should fail")
+	}
+}
+
+func TestFeasibleRMSBasic(t *testing.T) {
+	// Harmonic set: RM schedules up to utilization 1 on one machine.
+	ts := task.Set{
+		{WCET: 1, Period: 2},
+		{WCET: 1, Period: 4},
+		{WCET: 1, Period: 4},
+	}
+	ok, err := FeasibleRMS(ts, machine.New(1), 1, Options{})
+	if err != nil || !ok {
+		t.Errorf("harmonic U=1: %v (%v), want feasible", ok, err)
+	}
+	// The classic RM-infeasible pair on one machine…
+	pair := task.Set{
+		{WCET: 2, Period: 5},
+		{WCET: 4, Period: 7},
+	}
+	ok, err = FeasibleRMS(pair, machine.New(1), 1, Options{})
+	if err != nil || ok {
+		t.Errorf("(2,5),(4,7) on one machine: %v (%v), want infeasible", ok, err)
+	}
+	// …fits trivially on two machines.
+	ok, err = FeasibleRMS(pair, machine.New(1, 1), 1, Options{})
+	if err != nil || !ok {
+		t.Errorf("(2,5),(4,7) on two machines: %v (%v), want feasible", ok, err)
+	}
+}
+
+// σ_part ≤ σ_partRMS ≤ σ_part/ln2: the RMS optimum sits between the EDF
+// optimum and its Liu–Layland inflation.
+func TestMinScalingRMSBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := int64(2 + rng.Intn(20))
+			c := int64(1 + rng.Intn(int(p)))
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		p := machine.New(func() []float64 {
+			ss := make([]float64, m)
+			for j := range ss {
+				ss[j] = 0.5 + rng.Float64()*2
+			}
+			return ss
+		}()...)
+		edf, err := MinScaling(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms, err := MinScalingRMS(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rms < edf.Sigma-1e-6 {
+			t.Fatalf("trial %d: σ_partRMS %v < σ_part %v", trial, rms, edf.Sigma)
+		}
+		if rms > edf.Sigma/math.Ln2+1e-6 {
+			t.Fatalf("trial %d: σ_partRMS %v > σ_part/ln2 %v", trial, rms, edf.Sigma/math.Ln2)
+		}
+		// Verify minimality bracketing: feasible at rms·(1+ε), infeasible
+		// just below (unless rms == edf.Sigma, the bracket floor).
+		ok, err := FeasibleRMS(ts, p, rms*(1+1e-6), Options{})
+		if err != nil || !ok {
+			t.Fatalf("trial %d: infeasible at reported σ_partRMS: %v (%v)", trial, ok, err)
+		}
+		if rms > edf.Sigma*(1+1e-6) {
+			ok, err := FeasibleRMS(ts, p, rms*(1-1e-4), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("trial %d: feasible below reported σ_partRMS %v", trial, rms)
+			}
+		}
+	}
+}
+
+// The paper's FF-RMS test accepts at 2.414·σ_part (Theorem I.2); against
+// the weaker RMS-partitioned adversary the same acceptance certainly
+// holds at 2.414·σ_partRMS.
+func TestFFRMSAgainstRMSOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := int64(2 + rng.Intn(20))
+			c := int64(1 + rng.Intn(int(p)))
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		p := machine.New(func() []float64 {
+			ss := make([]float64, m)
+			for j := range ss {
+				ss[j] = 0.5 + rng.Float64()*2
+			}
+			return ss
+		}()...)
+		rms, err := MinScalingRMS(ts, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.TestTheorem(ts, p.Scaled(rms*(1+1e-9)), core.TheoremI2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			t.Fatalf("trial %d: FF-RMS rejected at 2.414·σ_partRMS (σ=%v)", trial, rms)
+		}
+	}
+}
+
+func BenchmarkMinScalingRMS(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ts := make(task.Set, 8)
+	for i := range ts {
+		p := int64(2 + rng.Intn(20))
+		c := int64(1 + rng.Intn(int(p)))
+		ts[i] = task.Task{WCET: c, Period: p}
+	}
+	p := machine.New(1, 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinScalingRMS(ts, p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package experiments implements the evaluation suite E1–E12 described in
+// DESIGN.md.
+//
+// The paper proves four approximation factors but reports no experiments;
+// this package is the reproduction's evaluation section. Every runner
+// returns a Table that prints like a paper table (fixed-width text) or
+// machine-readably (CSV). Experiments are deterministic from Config.Seed
+// and scale down under Config.Quick so the full suite can run in tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"partfeas/internal/workload"
+)
+
+// Config controls every experiment runner.
+type Config struct {
+	// Seed makes runs bit-reproducible. Each trial derives its own RNG
+	// from (Seed, experiment, trial), so worker scheduling cannot change
+	// results.
+	Seed uint64
+	// Trials is the number of random instances per table cell. Zero
+	// means the per-experiment default.
+	Trials int
+	// Workers bounds the number of concurrent trial goroutines. Zero
+	// means GOMAXPROCS.
+	Workers int
+	// Quick shrinks instance sizes and trial counts so the suite runs in
+	// seconds; used by tests and -short benchmarks.
+	Quick bool
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) trials(def, quickDef int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("E1", …).
+	ID string
+	// Title is the human-readable headline.
+	Title string
+	// Columns are header labels.
+	Columns []string
+	// Rows hold pre-formatted cells, row-major.
+	Rows [][]string
+	// Notes are free-form lines printed under the table (observations,
+	// violation counts, seeds).
+	Notes []string
+}
+
+// AddRow appends a row, formatting each value with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoted where needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trialRNG derives a deterministic RNG for one trial of one experiment.
+func trialRNG(seed uint64, experiment string, trial int) *workload.RNG {
+	h := seed
+	for _, b := range []byte(experiment) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h ^= uint64(trial) * 0x9e3779b97f4a7c15
+	return workload.NewRNG(h)
+}
+
+// forEachTrial runs fn for trials indices [0, trials) across a bounded
+// worker pool. The first error cancels nothing (remaining trials still
+// run) but is returned. fn must be safe for concurrent invocation on
+// distinct trial indices.
+func forEachTrial(workers, trials int, fn func(trial int) error) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range ch {
+				if err := fn(trial); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		ch <- trial
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}

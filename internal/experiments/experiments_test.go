@@ -1,0 +1,470 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow("x", 1.5)
+	tab.AddRow("needs,quote", 2)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T0 — demo") || !strings.Contains(out, "1.5000") || !strings.Contains(out, "note: hello") {
+		t.Errorf("render:\n%s", out)
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "a,b") || !strings.Contains(csv, "\"needs,quote\"") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestTrialRNGDeterministicAndDistinct(t *testing.T) {
+	a := trialRNG(1, "E1", 0)
+	b := trialRNG(1, "E1", 0)
+	if a.Uint64() != b.Uint64() {
+		t.Error("same trial diverged")
+	}
+	c := trialRNG(1, "E1", 1)
+	d := trialRNG(1, "E2", 0)
+	a = trialRNG(1, "E1", 0)
+	av := a.Uint64()
+	if av == c.Uint64() || av == d.Uint64() {
+		t.Error("trial streams collide")
+	}
+}
+
+func TestForEachTrialRunsAll(t *testing.T) {
+	seen := make([]bool, 100)
+	err := forEachTrial(8, 100, func(trial int) error {
+		seen[trial] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("trial %d not run", i)
+		}
+	}
+}
+
+func TestForEachTrialPropagatesError(t *testing.T) {
+	err := forEachTrial(4, 10, func(trial int) error {
+		if trial == 5 {
+			return strconv.ErrRange
+		}
+		return nil
+	})
+	if err != strconv.ErrRange {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() returned %d, registry has %d", len(ids), len(Registry))
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E"+strconv.Itoa(len(Registry)) {
+		t.Errorf("order: %v", ids)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", quickCfg(), nil); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+// violationCount extracts the "violations" column total from a theorem
+// validation table's notes.
+func violationNote(tab *Table) string {
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "violations") {
+			return n
+		}
+	}
+	return ""
+}
+
+func TestE1NoViolations(t *testing.T) {
+	tab, err := E1TheoremI1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(violationNote(tab), "total bound violations: 0") {
+		t.Errorf("E1: %v", tab.Notes)
+	}
+	// Ratios never exceed the bound.
+	assertRatioColumnBelow(t, tab, 7, 2.0)
+}
+
+func TestE2NoViolations(t *testing.T) {
+	tab, err := E2TheoremI2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(violationNote(tab), "total bound violations: 0") {
+		t.Errorf("E2: %v", tab.Notes)
+	}
+	assertRatioColumnBelow(t, tab, 7, 2.4143)
+}
+
+func TestE3NoViolations(t *testing.T) {
+	tab, err := E3TheoremI3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(violationNote(tab), "total bound violations: 0") {
+		t.Errorf("E3: %v", tab.Notes)
+	}
+	assertRatioColumnBelow(t, tab, 7, 2.98)
+}
+
+func TestE4NoViolations(t *testing.T) {
+	tab, err := E4TheoremI4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(violationNote(tab), "total bound violations: 0") {
+		t.Errorf("E4: %v", tab.Notes)
+	}
+	assertRatioColumnBelow(t, tab, 7, 3.34)
+}
+
+func assertRatioColumnBelow(t *testing.T, tab *Table, col int, bound float64) {
+	t.Helper()
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("ratio cell %q: %v", row[col], err)
+		}
+		if v > bound+1e-6 {
+			t.Errorf("ratio %v exceeds bound %v in row %v", v, bound, row)
+		}
+	}
+}
+
+func TestE5Runs(t *testing.T) {
+	tab, err := E5RatioDistribution(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E5 rows = %d, want 4", len(tab.Rows))
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "violations") && !strings.Contains(n, "0 bound") {
+			t.Errorf("E5 violations: %s", n)
+		}
+	}
+	// Headroom (last column) must be non-negative: max ratio under bound.
+	for _, row := range tab.Rows {
+		h, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < -1e-6 {
+			t.Errorf("negative headroom in %v", row)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tab, err := E6AcceptanceCurves(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominance: LP ≥ partitioned ≥ FF-EDF pointwise.
+	for _, row := range tab.Rows {
+		lp, _ := strconv.ParseFloat(row[1], 64)
+		part, _ := strconv.ParseFloat(row[2], 64)
+		ffE, _ := strconv.ParseFloat(row[3], 64)
+		if part > lp+1e-9 {
+			t.Errorf("partitioned acceptance %v above LP %v at load %s", part, lp, row[0])
+		}
+		if ffE > part+1e-9 {
+			t.Errorf("FF-EDF acceptance %v above partitioned %v at load %s", ffE, part, row[0])
+		}
+	}
+}
+
+func TestE7PaperWinsOverNextFit(t *testing.T) {
+	tab, err := E7HeuristicAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac[row[0]] = v
+	}
+	if frac["paper (FF, util desc, speed asc)"] < frac["next-fit"] {
+		t.Errorf("paper FF %v below next-fit %v", frac["paper (FF, util desc, speed asc)"], frac["next-fit"])
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	tab, err := E8Scaling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Error("E8 empty")
+	}
+}
+
+func TestE9SoundnessAndControls(t *testing.T) {
+	tab, err := E9Simulation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		misses, _ := strconv.Atoi(row[4])
+		if misses != 0 {
+			t.Errorf("%s accepted partitions missed %d deadlines", row[0], misses)
+		}
+		jitterMisses, _ := strconv.Atoi(row[5])
+		if jitterMisses != 0 {
+			t.Errorf("%s accepted partitions missed %d deadlines under jittered arrivals", row[0], jitterMisses)
+		}
+		controls, _ := strconv.Atoi(row[6])
+		controlMiss, _ := strconv.Atoi(row[7])
+		if controls > 0 && controlMiss != controls {
+			t.Errorf("%s: only %d/%d overloaded controls missed", row[0], controlMiss, controls)
+		}
+		accepted, _ := strconv.Atoi(row[2])
+		if accepted == 0 {
+			t.Errorf("%s: no accepted instances exercised", row[0])
+		}
+	}
+}
+
+func TestE10BelowBounds(t *testing.T) {
+	tab, err := E10Tightness(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		bound, _ := strconv.ParseFloat(row[1], 64)
+		best, _ := strconv.ParseFloat(row[2], 64)
+		if best > bound+1e-6 {
+			t.Errorf("theorem %s: found ratio %v above bound %v — falsifies the theorem", row[0], best, bound)
+		}
+		if best <= 0 {
+			t.Errorf("theorem %s: no ratio found", row[0])
+		}
+	}
+}
+
+func TestE11Dominance(t *testing.T) {
+	tab, err := E11AdmissionAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ll, _ := strconv.ParseFloat(row[1], 64)
+		hyp, _ := strconv.ParseFloat(row[2], 64)
+		exact, _ := strconv.ParseFloat(row[3], 64)
+		if hyp < ll-1e-9 || exact < hyp-1e-9 {
+			t.Errorf("admission dominance violated at load %s: ll=%v hyp=%v exact=%v", row[0], ll, hyp, exact)
+		}
+	}
+}
+
+func TestE12InequalitiesHold(t *testing.T) {
+	tab, err := E12Constants(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("E12 rows = %d", len(tab.Rows))
+	}
+	// Paper rows: all three inequality columns > 1 and min α present.
+	for _, row := range tab.Rows[:2] {
+		for col := 5; col <= 7; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= 1 {
+				t.Errorf("row %v: inequality column %d = %v not > 1", row[0], col, v)
+			}
+		}
+		if row[8] == "n/a" {
+			t.Errorf("row %v: no min α", row[0])
+		}
+	}
+}
+
+func TestE13AllVerified(t *testing.T) {
+	tab, err := E13MigratorySchedule(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGap := false
+	for _, row := range tab.Rows {
+		built, _ := strconv.Atoi(row[3])
+		verified, _ := strconv.Atoi(row[4])
+		if built == 0 {
+			t.Errorf("cell %sx%s: no schedules built", row[0], row[1])
+		}
+		if verified != built {
+			t.Errorf("cell %sx%s: %d/%d schedules verified", row[0], row[1], verified, built)
+		}
+		if rejects, _ := strconv.Atoi(row[5]); rejects > 0 {
+			sawGap = true
+		}
+	}
+	_ = sawGap // the gap is workload-dependent; its presence is informative, not required
+}
+
+func TestE14GlobalBaseline(t *testing.T) {
+	tab, err := E14GlobalBaseline(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		lp, _ := strconv.ParseFloat(row[1], 64)
+		ff, _ := strconv.ParseFloat(row[2], 64)
+		gl, _ := strconv.ParseFloat(row[3], 64)
+		// LP upper-bounds both realizable schedulers.
+		if ff > lp+1e-9 || gl > lp+1e-9 {
+			t.Errorf("load %s: a scheduler beats the fluid bound (lp=%v ff=%v gl=%v)", row[0], lp, ff, gl)
+		}
+	}
+}
+
+func TestE15Dominance(t *testing.T) {
+	tab, err := E15ConstrainedDeadlines(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		density, _ := strconv.ParseFloat(row[1], 64)
+		k1, _ := strconv.ParseFloat(row[2], 64)
+		k4, _ := strconv.ParseFloat(row[3], 64)
+		exact, _ := strconv.ParseFloat(row[4], 64)
+		if k1 < density-1e-9 || k4 < k1-1e-9 || exact < k4-1e-9 {
+			t.Errorf("dominance violated at D/P=%s: density=%v k1=%v k4=%v exact=%v",
+				row[0], density, k1, k4, exact)
+		}
+	}
+}
+
+func TestE16Decomposition(t *testing.T) {
+	tab, err := E16RMSLossDecomposition(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	total, _ := strconv.ParseFloat(tab.Rows[0][4], 64)
+	intrinsic, _ := strconv.ParseFloat(tab.Rows[2][4], 64)
+	if total > 2.415 {
+		t.Errorf("total max ratio %v exceeds Theorem I.2 bound", total)
+	}
+	if intrinsic > 1/0.6931471805599453+1e-6 {
+		t.Errorf("intrinsic RM loss %v exceeds 1/ln2", intrinsic)
+	}
+}
+
+func TestE17EDFBeatsDM(t *testing.T) {
+	tab, err := E17FixedPriorityConstrained(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		edf, _ := strconv.ParseFloat(row[1], 64)
+		dm, _ := strconv.ParseFloat(row[2], 64)
+		if dm > edf+0.05 {
+			t.Errorf("D/P=%s: DM acceptance %v well above EDF %v", row[0], dm, edf)
+		}
+	}
+}
+
+func TestE18Agreement(t *testing.T) {
+	tab, err := E18ParallelSolver(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Errorf("n=%s m=%s: parallel solver disagreed with sequential", row[0], row[1])
+		}
+	}
+}
+
+func TestE19HeadroomAboveOne(t *testing.T) {
+	tab, err := E19WCETHeadroom(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		minH, _ := strconv.ParseFloat(row[5], 64)
+		if minH < 1-1e-9 {
+			t.Errorf("load %s: bottleneck headroom %v below 1 on accepted instances", row[0], minH)
+		}
+	}
+}
+
+func TestE20PolicyDominance(t *testing.T) {
+	tab, err := E20ArbitraryDeadlinePolicies(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		dm, _ := strconv.ParseFloat(row[1], 64)
+		opa, _ := strconv.ParseFloat(row[2], 64)
+		edf, _ := strconv.ParseFloat(row[3], 64)
+		if opa < dm-1e-9 {
+			t.Errorf("D/P=%s: OPA %v below DM %v — contradicts optimality", row[0], opa, dm)
+		}
+		if edf < opa-1e-9 {
+			t.Errorf("D/P=%s: EDF %v below OPA %v — contradicts EDF optimality", row[0], edf, opa)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in quick mode still takes a few seconds")
+	}
+	var buf bytes.Buffer
+	tables, err := RunAll(quickCfg(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Registry) {
+		t.Errorf("ran %d tables, want %d", len(tables), len(Registry))
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, id+" — ") {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}

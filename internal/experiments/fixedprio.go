@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"partfeas/internal/dbf"
+	"partfeas/internal/workload"
+)
+
+// E17FixedPriorityConstrained compares dynamic against static priorities
+// in the constrained-deadline first-fit: exact-DBF admission (EDF on each
+// machine) versus exact response-time admission under deadline-monotonic
+// priorities (the optimal fixed-priority order for D ≤ P). The gap is the
+// constrained-deadline analogue of the paper's EDF-vs-RMS split, with
+// exact tests on both sides — no Liu–Layland pessimism involved.
+func E17FixedPriorityConstrained(cfg Config) (*Table, error) {
+	trials := cfg.trials(300, 30)
+	n, m := 10, 3
+	if cfg.Quick {
+		n = 8
+	}
+	t := &Table{
+		ID:      "E17",
+		Title:   fmt.Sprintf("Constrained deadlines: FF-EDF(DBF) vs FF-DM(RTA) acceptance (n=%d, m=%d, α=1)", n, m),
+		Columns: []string{"D/P", "FF-EDF(DBF)", "FF-DM(RTA)", "EDF-only", "DM-only"},
+	}
+	ratios := []float64{1.0, 0.8, 0.6, 0.5}
+	if cfg.Quick {
+		ratios = []float64{1.0, 0.6}
+	}
+	for _, ratio := range ratios {
+		var (
+			mu                           sync.Mutex
+			edfOK, dmOK, edfOnly, dmOnly int
+		)
+		expName := fmt.Sprintf("E17/%.2f", ratio)
+		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+			rng := trialRNG(cfg.Seed, expName, trial)
+			plat, err := workload.SpeedsUniform.Platform(rng, m)
+			if err != nil {
+				return err
+			}
+			us, err := workload.UUniFast(rng, n, 0.6*plat.TotalSpeed())
+			if err != nil {
+				return err
+			}
+			periods, err := workload.AutomotivePeriods(rng, n)
+			if err != nil {
+				return err
+			}
+			set := make(dbf.Set, n)
+			for i, u := range us {
+				p := periods[i]
+				c := int64(u * float64(p))
+				if c < 1 {
+					c = 1
+				}
+				d := int64(ratio * float64(p))
+				if d < c {
+					d = c
+				}
+				if d > p {
+					d = p
+				}
+				set[i] = dbf.Task{Name: fmt.Sprintf("t%d", i), WCET: c, Deadline: d, Period: p}
+			}
+			if set.Validate() != nil {
+				return nil
+			}
+			okEDF, _, err := dbf.FirstFit(set, plat, 1, 0)
+			if err != nil {
+				return err
+			}
+			okDM, _, err := dbf.FirstFitDM(set, plat, 1)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if okEDF {
+				edfOK++
+			}
+			if okDM {
+				dmOK++
+			}
+			if okEDF && !okDM {
+				edfOnly++
+			}
+			if okDM && !okEDF {
+				dmOnly++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		den := float64(trials)
+		t.AddRow(ratio, float64(edfOK)/den, float64(dmOK)/den, edfOnly, dmOnly)
+	}
+	t.Notes = append(t.Notes,
+		"automotive period grid (1–1000 ms, WATERS-style weights); load 0.6·Σs",
+		"DM-only counts should be near zero: per-machine EDF dominates DM, so any DM-only case is a first-fit trajectory artifact",
+		fmt.Sprintf("seed=%d trials/ratio=%d", cfg.Seed, trials),
+	)
+	return t, nil
+}

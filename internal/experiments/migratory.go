@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"partfeas/internal/core"
+	"partfeas/internal/fractional"
+	"partfeas/internal/openshop"
+	"partfeas/internal/workload"
+)
+
+// E13MigratorySchedule makes the LP adversary constructive: for every
+// HLS-feasible instance it solves the paper's LP, decomposes the witness
+// into a cyclic open-shop schedule (Gonzalez–Sahni / Birkhoff), and
+// verifies the schedule meets every deadline — including instances the
+// partitioned test rejects at α = 1, which demonstrates the genuine
+// partitioned/migratory gap the theorems quantify.
+func E13MigratorySchedule(cfg Config) (*Table, error) {
+	trials := cfg.trials(300, 30)
+	t := &Table{
+		ID:      "E13",
+		Title:   "Constructive migratory adversary: LP witness → open-shop schedule → deadlines",
+		Columns: []string{"n", "m", "feasible", "built", "verified", "FF-EDF rejects", "avg slices", "max slices"},
+	}
+	cells := []struct{ n, m int }{{6, 2}, {10, 3}, {16, 4}, {24, 8}}
+	if cfg.Quick {
+		cells = []struct{ n, m int }{{6, 2}, {10, 3}}
+	}
+	for _, cell := range cells {
+		var (
+			mu          sync.Mutex
+			feasible    int
+			built       int
+			verified    int
+			ffRejects   int
+			totalSlices int
+			maxSlices   int
+		)
+		expName := fmt.Sprintf("E13/%dx%d", cell.n, cell.m)
+		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+			rng := trialRNG(cfg.Seed, expName, trial)
+			plat, err := workload.SpeedsUniform.Platform(rng, cell.m)
+			if err != nil {
+				return err
+			}
+			us, err := workload.UUniFast(rng, cell.n, rng.Range(0.7, 0.98)*plat.TotalSpeed())
+			if err != nil {
+				return err
+			}
+			ts, err := workload.TasksFromUtilizations(us, nil, 1000)
+			if err != nil {
+				return err
+			}
+			if !fractional.FeasibleHLS(ts, plat) {
+				return nil
+			}
+			ok, u, err := fractional.SolveLP(ts, plat)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // boundary disagreement; skip
+			}
+			sched, err := openshop.FromLP(u, plat, 1e-9)
+			if err != nil {
+				return fmt.Errorf("%s trial %d: decompose: %w", expName, trial, err)
+			}
+			verr := openshop.VerifyDeadlines(sched, ts, plat, 1e-5)
+			rep, err := core.Test(ts, plat, core.EDF, 1)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			feasible++
+			built++
+			if verr == nil {
+				verified++
+			}
+			if !rep.Accepted {
+				ffRejects++
+			}
+			totalSlices += len(sched.Slices)
+			if len(sched.Slices) > maxSlices {
+				maxSlices = len(sched.Slices)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		avg := 0.0
+		if built > 0 {
+			avg = float64(totalSlices) / float64(built)
+		}
+		t.AddRow(cell.n, cell.m, feasible, built, verified, ffRejects, avg, maxSlices)
+	}
+	t.Notes = append(t.Notes,
+		"verified must equal built: every LP-feasible instance admits an explicit migrating schedule",
+		"'FF-EDF rejects' counts instances only the migratory scheduler handles at α=1 — the partitioning gap",
+		"slices per unit window bound the migration/preemption overhead of the constructed schedule",
+		fmt.Sprintf("seed=%d trials/cell=%d", cfg.Seed, trials),
+	)
+	return t, nil
+}

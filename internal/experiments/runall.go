@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Config) (*Table, error)
+
+// Registry maps experiment IDs to runners, in DESIGN.md order.
+var Registry = map[string]Runner{
+	"E1":  E1TheoremI1,
+	"E2":  E2TheoremI2,
+	"E3":  E3TheoremI3,
+	"E4":  E4TheoremI4,
+	"E5":  E5RatioDistribution,
+	"E6":  E6AcceptanceCurves,
+	"E7":  E7HeuristicAblation,
+	"E8":  E8Scaling,
+	"E9":  E9Simulation,
+	"E10": E10Tightness,
+	"E11": E11AdmissionAblation,
+	"E12": E12Constants,
+	"E13": E13MigratorySchedule,
+	"E14": E14GlobalBaseline,
+	"E15": E15ConstrainedDeadlines,
+	"E16": E16RMSLossDecomposition,
+	"E17": E17FixedPriorityConstrained,
+	"E18": E18ParallelSolver,
+	"E19": E19WCETHeadroom,
+	"E20": E20ArbitraryDeadlinePolicies,
+}
+
+// IDs returns the registered experiment IDs in run order (E1, E2, …).
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		// Numeric sort on the suffix after 'E'.
+		var x, y int
+		fmt.Sscanf(ids[a], "E%d", &x)
+		fmt.Sscanf(ids[b], "E%d", &y)
+		return x < y
+	})
+	return ids
+}
+
+// Run executes one experiment by ID and renders it to w.
+func Run(id string, cfg Config, w io.Writer) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	t, err := r(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RunAll executes the full suite in order, rendering each table to w,
+// and returns all tables.
+func RunAll(cfg Config, w io.Writer) ([]*Table, error) {
+	var tables []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, cfg, w)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"time"
+
+	"partfeas/internal/core"
+	"partfeas/internal/workload"
+)
+
+// E8Scaling measures the running time of the paper's test across an
+// (n, m) grid and reports time/(n·m), which should be near-constant if
+// the implementation matches the paper's O(nm) claim (§I; the sort adds
+// an O(n log n) term visible only at small m).
+func E8Scaling(cfg Config) (*Table, error) {
+	sizes := []struct{ n, m int }{
+		{64, 4}, {256, 4}, {1024, 4},
+		{256, 16}, {1024, 16}, {4096, 16},
+		{1024, 64}, {4096, 64}, {16384, 64},
+	}
+	reps := 50
+	if cfg.Quick {
+		sizes = []struct{ n, m int }{{64, 4}, {256, 8}, {1024, 16}}
+		reps = 5
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   "Running time of FF-EDF at α=2 (O(nm) claim)",
+		Columns: []string{"n", "m", "reps", "total", "per-call", "ns/(n·m)"},
+	}
+	rng := workload.NewRNG(cfg.Seed ^ 0xe8)
+	for _, sz := range sizes {
+		plat, err := workload.SpeedsUniform.Platform(rng, sz.m)
+		if err != nil {
+			return nil, err
+		}
+		us, err := workload.UUniFast(rng, sz.n, 0.8*plat.TotalSpeed())
+		if err != nil {
+			return nil, err
+		}
+		ts, err := workload.TasksFromUtilizations(us, nil, 1000)
+		if err != nil {
+			return nil, err
+		}
+		// Warm-up run, then timed reps.
+		if _, err := core.Test(ts, plat, core.EDF, 2); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := core.Test(ts, plat, core.EDF, 2); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		perCall := elapsed / time.Duration(reps)
+		nsPerNM := float64(perCall.Nanoseconds()) / float64(sz.n*sz.m)
+		t.AddRow(sz.n, sz.m, reps, elapsed.Round(time.Microsecond).String(),
+			perCall.Round(time.Microsecond).String(), nsPerNM)
+	}
+	t.Notes = append(t.Notes,
+		"ns/(n·m) should be roughly flat down the table if the engine is O(nm)",
+		"wall-clock measurement: expect noise; see bench_test.go for testing.B versions",
+	)
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"partfeas/internal/core"
+	"partfeas/internal/stats"
+	"partfeas/internal/workload"
+)
+
+// E19WCETHeadroom sweeps system load and reports how much any single
+// task's worst-case execution time can grow before the feasibility test
+// flips — the sensitivity question a WCET-budgeting engineer asks. The
+// bottleneck headroom (min over tasks of MaxWCET_i/C_i) quantifies how
+// brittle an accepted configuration is at each load level.
+func E19WCETHeadroom(cfg Config) (*Table, error) {
+	trials := cfg.trials(200, 20)
+	n, m := 10, 3
+	if cfg.Quick {
+		n = 8
+	}
+	t := &Table{
+		ID:      "E19",
+		Title:   fmt.Sprintf("WCET sensitivity: bottleneck headroom min_i MaxWCET_i/C_i (EDF, α=1, n=%d, m=%d)", n, m),
+		Columns: []string{"U/Σs", "accepted", "mean", "p50", "p05", "min"},
+	}
+	loads := []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if cfg.Quick {
+		loads = []float64{0.5, 0.8}
+	}
+	for _, load := range loads {
+		var (
+			mu       sync.Mutex
+			headroom []float64
+		)
+		expName := fmt.Sprintf("E19/%.2f", load)
+		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+			rng := trialRNG(cfg.Seed, expName, trial)
+			plat, err := workload.SpeedsUniform.Platform(rng, m)
+			if err != nil {
+				return err
+			}
+			us, err := workload.UUniFast(rng, n, load*plat.TotalSpeed())
+			if err != nil {
+				return err
+			}
+			ts, err := workload.TasksFromUtilizations(us, nil, 1000)
+			if err != nil {
+				return err
+			}
+			hs, err := core.WCETHeadroom(ts, plat, core.EDF, 1)
+			if err != nil {
+				return err
+			}
+			minH := math.Inf(1)
+			for _, h := range hs {
+				if math.IsNaN(h) {
+					return nil // instance rejected; no headroom defined
+				}
+				if h < minH {
+					minH = h
+				}
+			}
+			mu.Lock()
+			headroom = append(headroom, minH)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := stats.Summarize(headroom)
+		if err != nil {
+			return nil, err
+		}
+		p05 := 0.0
+		if sum.Count > 0 {
+			sorted := append([]float64(nil), headroom...)
+			sort.Float64s(sorted)
+			p05 = stats.Percentile(sorted, 0.05)
+		}
+		t.AddRow(load, sum.Count, sum.Mean, sum.P50, p05, sum.Min)
+	}
+	t.Notes = append(t.Notes,
+		"headroom 1.0 means some task's WCET budget is exhausted; larger is safer",
+		fmt.Sprintf("seed=%d trials/load=%d", cfg.Seed, trials),
+	)
+	return t, nil
+}

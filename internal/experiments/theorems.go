@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"partfeas/internal/core"
+	"partfeas/internal/exact"
+	"partfeas/internal/fractional"
+	"partfeas/internal/machine"
+	"partfeas/internal/stats"
+	"partfeas/internal/task"
+	"partfeas/internal/workload"
+)
+
+// instance is one random (task set, platform) pair.
+type instance struct {
+	ts   task.Set
+	plat machine.Platform
+}
+
+// genInstance draws an instance from the given families. The UUniFast
+// budget is tied to the platform's total speed so instances straddle the
+// feasibility boundary, where approximation ratios are interesting.
+func genInstance(rng *workload.RNG, uf workload.UtilizationFamily, sf workload.SpeedFamily, n, m int) (instance, error) {
+	plat, err := sf.Platform(rng, m)
+	if err != nil {
+		return instance{}, err
+	}
+	budget := rng.Range(0.3, 1.1) * plat.TotalSpeed()
+	us, err := uf.Utilizations(rng, n, budget)
+	if err != nil {
+		return instance{}, err
+	}
+	periods := make([]int64, n)
+	for i := range periods {
+		periods[i], err = workload.LogUniformPeriod(rng, 10, 10000)
+		if err != nil {
+			return instance{}, err
+		}
+	}
+	ts, err := workload.TasksFromUtilizations(us, periods, 0)
+	if err != nil {
+		return instance{}, err
+	}
+	return instance{ts: ts, plat: plat}, nil
+}
+
+// adversaryScaling returns σ_adv for the theorem's adversary, or
+// skip=true when the exact solver exceeded its budget.
+func adversaryScaling(thm core.Theorem, inst instance) (sigma float64, skip bool, err error) {
+	switch thm.Adversary() {
+	case core.PartitionedAdversary:
+		res, err := exact.MinScaling(inst.ts, inst.plat, exact.Options{})
+		if errors.Is(err, exact.ErrBudgetExceeded) {
+			return 0, true, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Sigma, false, nil
+	case core.MigratoryAdversary:
+		sigma, err := fractional.MinScaling(inst.ts, inst.plat)
+		return sigma, false, err
+	default:
+		return 0, false, fmt.Errorf("experiments: unknown adversary %v", thm.Adversary())
+	}
+}
+
+// theoremTrial measures one instance against one theorem: the direct
+// acceptance check at the proved bound, and the empirical ratio
+// α_FF / σ_adv from bisection.
+type theoremTrial struct {
+	ratio     float64
+	violation bool
+	skip      bool
+}
+
+func runTheoremTrial(rng *workload.RNG, thm core.Theorem, uf workload.UtilizationFamily, sf workload.SpeedFamily, n, m int) (theoremTrial, error) {
+	inst, err := genInstance(rng, uf, sf, n, m)
+	if err != nil {
+		return theoremTrial{}, err
+	}
+	sigma, skip, err := adversaryScaling(thm, inst)
+	if err != nil {
+		return theoremTrial{}, err
+	}
+	if skip {
+		return theoremTrial{skip: true}, nil
+	}
+
+	// Direct check of the theorem: adversary feasible at speeds σ·s ⇒
+	// the test accepts at the proved α on that platform.
+	rep, err := core.Test(inst.ts, inst.plat.Scaled(sigma*(1+1e-9)), thm.Scheduler(), thm.Alpha())
+	if err != nil {
+		return theoremTrial{}, err
+	}
+	violation := !rep.Accepted
+
+	// Empirical ratio via bisection. The bracket is proof-grade: the
+	// theorem guarantees acceptance at bound·σ_adv, and any acceptance at
+	// α implies a feasible partition at scaling α, so the test provably
+	// rejects at σ_adv/2 < σ_part.
+	hi := thm.Alpha() * sigma * (1 + 1e-6)
+	alphaFF, ok, err := core.MinAlpha(inst.ts, inst.plat, thm.Scheduler(), sigma/2, hi, sigma*1e-7)
+	if err != nil {
+		return theoremTrial{}, err
+	}
+	if !ok {
+		// Only possible when the direct check also failed.
+		return theoremTrial{violation: true}, nil
+	}
+	return theoremTrial{ratio: alphaFF / sigma, violation: violation}, nil
+}
+
+// theoremSizes returns the (n, m) instance sizes per adversary: the exact
+// partitioned solver caps n, the LP adversary scales further.
+func theoremSizes(thm core.Theorem, quick bool) (nLo, nHi, mLo, mHi int) {
+	if thm.Adversary() == core.PartitionedAdversary {
+		if quick {
+			return 4, 8, 2, 3
+		}
+		return 6, 16, 2, 5
+	}
+	if quick {
+		return 8, 24, 2, 6
+	}
+	return 16, 128, 2, 32
+}
+
+// theoremCell aggregates one table row.
+type theoremCell struct {
+	mu         sync.Mutex
+	ratios     []float64
+	violations int
+	skipped    int
+}
+
+// runTheoremValidation is the shared engine behind E1–E4: per
+// (utilization family × speed family) cell, generate instances, compute
+// the adversary scaling, check acceptance at the proved bound, and record
+// empirical ratios.
+func runTheoremValidation(cfg Config, id string, thm core.Theorem) (*Table, error) {
+	trials := cfg.trials(400, 40)
+	nLo, nHi, mLo, mHi := theoremSizes(thm, cfg.Quick)
+
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Theorem %v: FF-%v vs %v adversary — accept at α=%.3f·σ_adv",
+			thm, thm.Scheduler(), thm.Adversary(), thm.Alpha()),
+		Columns: []string{"utils", "speeds", "trials", "skipped", "violations", "ratio mean", "ratio p95", "ratio max", "bound"},
+	}
+
+	totalViolations := 0
+	for _, uf := range workload.UtilizationFamilies {
+		for _, sf := range workload.SpeedFamilies {
+			cell := &theoremCell{}
+			expName := fmt.Sprintf("%s/%v/%v", id, uf, sf)
+			err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+				rng := trialRNG(cfg.Seed, expName, trial)
+				n := nLo + rng.Intn(nHi-nLo+1)
+				m := mLo + rng.Intn(mHi-mLo+1)
+				res, err := runTheoremTrial(rng, thm, uf, sf, n, m)
+				if err != nil {
+					return fmt.Errorf("%s trial %d: %w", expName, trial, err)
+				}
+				cell.mu.Lock()
+				defer cell.mu.Unlock()
+				switch {
+				case res.skip:
+					cell.skipped++
+				case res.violation:
+					cell.violations++
+				default:
+					cell.ratios = append(cell.ratios, res.ratio)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum, err := stats.Summarize(cell.ratios)
+			if err != nil {
+				return nil, err
+			}
+			totalViolations += cell.violations
+			t.AddRow(uf.String(), sf.String(), trials, cell.skipped, cell.violations,
+				sum.Mean, sum.P95, sum.Max, thm.Alpha())
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total bound violations: %d (theorem predicts 0)", totalViolations),
+		fmt.Sprintf("seed=%d trials/cell=%d n∈[%d,%d] m∈[%d,%d]", cfg.Seed, trials, nLo, nHi, mLo, mHi),
+	)
+	return t, nil
+}
+
+// E1TheoremI1 validates Theorem I.1 (FF-EDF vs partitioned OPT, bound 2).
+func E1TheoremI1(cfg Config) (*Table, error) {
+	return runTheoremValidation(cfg, "E1", core.TheoremI1)
+}
+
+// E2TheoremI2 validates Theorem I.2 (FF-RMS vs partitioned OPT, bound
+// 1/(√2−1) ≈ 2.414).
+func E2TheoremI2(cfg Config) (*Table, error) {
+	return runTheoremValidation(cfg, "E2", core.TheoremI2)
+}
+
+// E3TheoremI3 validates Theorem I.3 (FF-EDF vs migratory LP, bound 2.98).
+func E3TheoremI3(cfg Config) (*Table, error) {
+	return runTheoremValidation(cfg, "E3", core.TheoremI3)
+}
+
+// E4TheoremI4 validates Theorem I.4 (FF-RMS vs migratory LP, bound 3.34).
+func E4TheoremI4(cfg Config) (*Table, error) {
+	return runTheoremValidation(cfg, "E4", core.TheoremI4)
+}
+
+// E5RatioDistribution reports the empirical approximation-ratio
+// distribution per theorem over a mixed-family workload, plus a histogram
+// of the I.1 ratios — "how much of the proved factor does a typical
+// instance actually need?".
+func E5RatioDistribution(cfg Config) (*Table, error) {
+	trials := cfg.trials(600, 60)
+	t := &Table{
+		ID:      "E5",
+		Title:   "Empirical approximation ratio α_FF/σ_adv per theorem (mixed families)",
+		Columns: []string{"theorem", "scheduler", "adversary", "bound", "trials", "mean", "p50", "p95", "p99", "max", "headroom"},
+	}
+	var histNote string
+	for _, thm := range core.Theorems {
+		nLo, nHi, mLo, mHi := theoremSizes(thm, cfg.Quick)
+		cell := &theoremCell{}
+		expName := "E5/" + thm.String()
+		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+			rng := trialRNG(cfg.Seed, expName, trial)
+			uf := workload.UtilizationFamilies[rng.Intn(len(workload.UtilizationFamilies))]
+			sf := workload.SpeedFamilies[rng.Intn(len(workload.SpeedFamilies))]
+			n := nLo + rng.Intn(nHi-nLo+1)
+			m := mLo + rng.Intn(mHi-mLo+1)
+			res, err := runTheoremTrial(rng, thm, uf, sf, n, m)
+			if err != nil {
+				return fmt.Errorf("%s trial %d: %w", expName, trial, err)
+			}
+			cell.mu.Lock()
+			defer cell.mu.Unlock()
+			switch {
+			case res.skip:
+				cell.skipped++
+			case res.violation:
+				cell.violations++
+			default:
+				cell.ratios = append(cell.ratios, res.ratio)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := stats.Summarize(cell.ratios)
+		if err != nil {
+			return nil, err
+		}
+		headroom := thm.Alpha() - sum.Max
+		t.AddRow(thm.String(), thm.Scheduler().String(), thm.Adversary().String(),
+			thm.Alpha(), sum.Count, sum.Mean, sum.P50, sum.P95, sum.P99, sum.Max, headroom)
+		if cell.violations > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("theorem %v: %d bound violations (should be 0)", thm, cell.violations))
+		}
+		if thm == core.TheoremI1 && len(cell.ratios) > 0 {
+			h, err := stats.NewHistogram(0.95, 2.05, 11)
+			if err != nil {
+				return nil, err
+			}
+			sorted := append([]float64(nil), cell.ratios...)
+			sort.Float64s(sorted)
+			for _, r := range sorted {
+				h.Add(r)
+			}
+			histNote = "I.1 ratio histogram:\n" + h.Render(40)
+		}
+	}
+	if histNote != "" {
+		t.Notes = append(t.Notes, histNote)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("seed=%d trials/theorem=%d", cfg.Seed, trials))
+	return t, nil
+}

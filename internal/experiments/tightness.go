@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"partfeas/internal/core"
+	"partfeas/internal/machine"
+	"partfeas/internal/workload"
+)
+
+// E10Tightness probes how close real instances can push the empirical
+// ratio α_FF/σ_adv toward each theorem's bound, via random-restart
+// hill-climbing over utilizations and speeds. The best instance found per
+// theorem is reported; a large gap between "best found" and the proved
+// bound is evidence the analysis may not be tight on these instance
+// shapes (the paper proves upper bounds only and gives no matching lower
+// bounds).
+func E10Tightness(cfg Config) (*Table, error) {
+	restarts := cfg.trials(24, 4)
+	steps := 120
+	if cfg.Quick {
+		steps = 25
+	}
+	t := &Table{
+		ID:      "E10",
+		Title:   "Tightness probes: worst empirical ratio found by hill-climbing",
+		Columns: []string{"theorem", "bound", "best ratio found", "gap", "n", "m"},
+	}
+	for _, thm := range core.Theorems {
+		var (
+			mu        sync.Mutex
+			bestRatio float64
+			bestN     int
+			bestM     int
+		)
+		// Small instances keep the exact adversary fast and are where
+		// first-fit pathologies live.
+		nLo, nHi := 3, 9
+		mLo, mHi := 2, 4
+		expName := "E10/" + thm.String()
+		err := forEachTrial(cfg.workers(), restarts, func(restart int) error {
+			rng := trialRNG(cfg.Seed, expName, restart)
+			n := nLo + rng.Intn(nHi-nLo+1)
+			m := mLo + rng.Intn(mHi-mLo+1)
+			us := make([]float64, n)
+			for i := range us {
+				us[i] = rng.Range(0.1, 1.2)
+			}
+			speeds := make([]float64, m)
+			for j := range speeds {
+				speeds[j] = rng.Range(0.3, 3)
+			}
+			cur, err := tightnessRatio(thm, us, speeds)
+			if err != nil {
+				return err
+			}
+			for step := 0; step < steps; step++ {
+				cand := climbNeighbor(rng, us, speeds)
+				r, err := tightnessRatio(thm, cand.us, cand.speeds)
+				if err != nil {
+					return err
+				}
+				if r > cur {
+					cur = r
+					us, speeds = cand.us, cand.speeds
+				}
+			}
+			mu.Lock()
+			if cur > bestRatio {
+				bestRatio, bestN, bestM = cur, n, m
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(thm.String(), thm.Alpha(), bestRatio, thm.Alpha()-bestRatio, bestN, bestM)
+	}
+	t.Notes = append(t.Notes,
+		"ratios can approach but must never exceed the bound; exceeding would falsify the theorem",
+		fmt.Sprintf("seed=%d restarts=%d steps=%d", cfg.Seed, restarts, steps),
+	)
+	return t, nil
+}
+
+type climbState struct {
+	us     []float64
+	speeds []float64
+}
+
+// climbNeighbor perturbs one random utilization or speed multiplicatively.
+func climbNeighbor(rng *workload.RNG, us, speeds []float64) climbState {
+	nu := append([]float64(nil), us...)
+	ns := append([]float64(nil), speeds...)
+	factor := 1 + rng.Range(-0.25, 0.25)
+	if rng.Intn(2) == 0 {
+		i := rng.Intn(len(nu))
+		nu[i] *= factor
+		if nu[i] < 0.01 {
+			nu[i] = 0.01
+		}
+		if nu[i] > 3 {
+			nu[i] = 3
+		}
+	} else {
+		j := rng.Intn(len(ns))
+		ns[j] *= factor
+		if ns[j] < 0.05 {
+			ns[j] = 0.05
+		}
+		if ns[j] > 10 {
+			ns[j] = 10
+		}
+	}
+	return climbState{us: nu, speeds: ns}
+}
+
+// tightnessRatio evaluates α_FF/σ_adv for raw utilizations and speeds.
+// Budget-exceeded exact solves score 0 so the climb routes around them.
+func tightnessRatio(thm core.Theorem, us, speeds []float64) (float64, error) {
+	ts, err := workload.TasksFromUtilizations(us, nil, 1_000_000)
+	if err != nil {
+		return 0, err
+	}
+	plat := machine.New(speeds...)
+	inst := instance{ts: ts, plat: plat}
+	sigma, skip, err := adversaryScaling(thm, inst)
+	if err != nil {
+		return 0, err
+	}
+	if skip || sigma <= 0 {
+		return 0, nil
+	}
+	hi := thm.Alpha() * sigma * (1 + 1e-6)
+	alphaFF, ok, err := core.MinAlpha(ts, plat, thm.Scheduler(), sigma/2, hi, sigma*1e-7)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	return alphaFF / sigma, nil
+}

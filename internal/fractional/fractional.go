@@ -1,0 +1,210 @@
+// Package fractional implements the paper's fractional (migratory)
+// adversary: the linear program (1)–(4) of §II and its combinatorial
+// equivalent.
+//
+// The LP has a variable u_{i,j} for the utilization of task i assigned to
+// machine j and requires
+//
+//	(1) ∀i: Σ_j u_{i,j}  = w_i          (all work placed)
+//	(2) ∀i: Σ_j u_{i,j}/s_j ≤ 1         (a task never runs in parallel
+//	                                     with itself)
+//	(3) ∀j: Σ_i u_{i,j}/s_j ≤ 1         (machine capacity)
+//	(4) u ≥ 0
+//
+// Feasibility of this LP is the classic necessary-and-sufficient condition
+// for preemptive migratory scheduling on uniform machines (Horvath, Lam &
+// Sethi 1977; Liu): with utilizations sorted non-increasingly and speeds
+// non-increasingly,
+//
+//	Σ_{i≤k} w_i ≤ Σ_{j≤k} s_j  for k = 1..m−1,  and  Σ_i w_i ≤ Σ_j s_j.
+//
+// The package provides both: the LP built verbatim on internal/lp (the
+// slow, independent oracle) and the O(n log n + m log m) combinatorial
+// test, plus the closed-form minimal speed scaling σ_LP — the adversary
+// strength used by experiments E3/E4/E5.
+package fractional
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/lp"
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// BuildLP constructs the paper's LP for the given task set and platform.
+// Variables are laid out row-major: u_{i,j} is variable i*m + j.
+func BuildLP(ts task.Set, p machine.Platform) (*lp.Problem, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("fractional: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fractional: %w", err)
+	}
+	n, m := len(ts), len(p)
+	prob := &lp.Problem{NumVars: n * m}
+
+	// (1) ∀i: Σ_j u_{i,j} = w_i
+	for i := 0; i < n; i++ {
+		coeffs := make([]float64, n*m)
+		for j := 0; j < m; j++ {
+			coeffs[i*m+j] = 1
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: coeffs, Op: lp.EQ, RHS: ts[i].Utilization(),
+		})
+	}
+	// (2) ∀i: Σ_j u_{i,j}/s_j <= 1
+	for i := 0; i < n; i++ {
+		coeffs := make([]float64, n*m)
+		for j := 0; j < m; j++ {
+			coeffs[i*m+j] = 1 / p[j].Speed
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: coeffs, Op: lp.LE, RHS: 1,
+		})
+	}
+	// (3) ∀j: Σ_i u_{i,j}/s_j <= 1
+	for j := 0; j < m; j++ {
+		coeffs := make([]float64, n*m)
+		for i := 0; i < n; i++ {
+			coeffs[i*m+j] = 1 / p[j].Speed
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: coeffs, Op: lp.LE, RHS: 1,
+		})
+	}
+	return prob, nil
+}
+
+// FeasibleLP checks the paper's LP by running the simplex solver. Exact up
+// to lp.Eps; O((nm)^2·(n+m)) in practice. Prefer FeasibleHLS except in
+// tests.
+func FeasibleLP(ts task.Set, p machine.Platform) (bool, error) {
+	prob, err := BuildLP(ts, p)
+	if err != nil {
+		return false, err
+	}
+	return lp.Feasible(prob)
+}
+
+// SolveLP solves the LP and, when feasible, returns the assignment matrix
+// u with u[i][j] the utilization of task i placed on machine j.
+func SolveLP(ts task.Set, p machine.Platform) (feasible bool, u [][]float64, err error) {
+	prob, err := BuildLP(ts, p)
+	if err != nil {
+		return false, nil, err
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return false, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return false, nil, nil
+	}
+	n, m := len(ts), len(p)
+	u = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		u[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			u[i][j] = sol.X[i*m+j]
+		}
+	}
+	return true, u, nil
+}
+
+// FeasibleHLS checks the Horvath–Lam–Sethi condition: with utilizations
+// and speeds both sorted non-increasingly, every prefix of the k largest
+// utilizations must fit in the k fastest machines (k < m), and the total
+// utilization must fit the total speed. Comparisons use a small relative
+// tolerance so that instances constructed to sit exactly on the boundary
+// count as feasible.
+func FeasibleHLS(ts task.Set, p machine.Platform) bool {
+	utils := ts.Utilizations()
+	speeds := p.Speeds()
+	return feasibleHLSRaw(utils, speeds)
+}
+
+func feasibleHLSRaw(utils, speeds []float64) bool {
+	us := append([]float64(nil), utils...)
+	ss := append([]float64(nil), speeds...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(us)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(ss)))
+
+	n, m := len(us), len(ss)
+	wPrefix := 0.0
+	sPrefix := 0.0
+	for k := 0; k < m-1; k++ {
+		if k < n {
+			wPrefix += us[k]
+		}
+		sPrefix += ss[k]
+		if wPrefix > sPrefix*(1+hlsTol)+hlsTol {
+			return false
+		}
+	}
+	wTotal := wPrefix
+	for k := m - 1; k < n; k++ {
+		wTotal += us[k]
+	}
+	sTotal := sPrefix
+	if m >= 1 {
+		sTotal += ss[m-1]
+	}
+	return wTotal <= sTotal*(1+hlsTol)+hlsTol
+}
+
+// hlsTol is the relative slack used by the combinatorial test so that
+// boundary instances (total utilization exactly equal to total speed)
+// evaluate feasible despite float rounding.
+const hlsTol = 1e-12
+
+// MinScaling returns σ_LP: the smallest factor σ such that the paper's LP
+// is feasible on the platform with every speed multiplied by σ. By the
+// HLS condition this has the closed form
+//
+//	σ_LP = max( W_total/S_total , max_{k<m} W_k/S_k )
+//
+// with W_k the sum of the k largest utilizations and S_k the sum of the k
+// fastest speeds. σ_LP > 1 means the task set needs faster machines even
+// for a migrating scheduler; σ_LP ≤ 1 means the LP adversary succeeds at
+// the original speeds.
+func MinScaling(ts task.Set, p machine.Platform) (float64, error) {
+	if err := ts.Validate(); err != nil {
+		return 0, fmt.Errorf("fractional: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("fractional: %w", err)
+	}
+	us := ts.Utilizations()
+	ss := p.Speeds()
+	sort.Sort(sort.Reverse(sort.Float64Slice(us)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(ss)))
+	n, m := len(us), len(ss)
+
+	sigma := 0.0
+	wPrefix, sPrefix := 0.0, 0.0
+	for k := 0; k < m-1; k++ {
+		if k < n {
+			wPrefix += us[k]
+		}
+		sPrefix += ss[k]
+		if r := wPrefix / sPrefix; r > sigma {
+			sigma = r
+		}
+	}
+	wTotal := wPrefix
+	for k := m - 1; k < n; k++ {
+		wTotal += us[k]
+	}
+	sTotal := sPrefix + ss[m-1]
+	if r := wTotal / sTotal; r > sigma {
+		sigma = r
+	}
+	if sigma == 0 || math.IsNaN(sigma) {
+		return 0, fmt.Errorf("fractional: degenerate scaling for %d tasks on %d machines", n, m)
+	}
+	return sigma, nil
+}

@@ -1,0 +1,319 @@
+package fractional
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func mustSet(t testing.TB, us []float64) task.Set {
+	t.Helper()
+	s, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildLPShape(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.25})
+	p := machine.New(1, 2, 4)
+	prob, err := BuildLP(ts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.NumVars != 6 {
+		t.Errorf("NumVars = %d, want 6", prob.NumVars)
+	}
+	// n equality + n task-parallelism + m machine-capacity constraints.
+	if got, want := len(prob.Constraints), 2+2+3; got != want {
+		t.Errorf("constraints = %d, want %d", got, want)
+	}
+}
+
+func TestBuildLPValidates(t *testing.T) {
+	if _, err := BuildLP(task.Set{}, machine.New(1)); err == nil {
+		t.Error("empty task set should fail")
+	}
+	ts := mustSet(t, []float64{0.5})
+	if _, err := BuildLP(ts, machine.Platform{}); err == nil {
+		t.Error("empty platform should fail")
+	}
+}
+
+func TestFeasibleLPSingleMachine(t *testing.T) {
+	p := machine.New(1)
+	ok, err := FeasibleLP(mustSet(t, []float64{0.5, 0.4}), p)
+	if err != nil || !ok {
+		t.Errorf("0.9 on speed 1: %v (%v), want feasible", ok, err)
+	}
+	ok, err = FeasibleLP(mustSet(t, []float64{0.6, 0.6}), p)
+	if err != nil || ok {
+		t.Errorf("1.2 on speed 1: %v (%v), want infeasible", ok, err)
+	}
+}
+
+func TestFeasibleLPTaskTooBig(t *testing.T) {
+	// A single task with utilization above the fastest machine is
+	// infeasible no matter the total capacity: constraint (2) bites.
+	p := machine.New(1, 1, 1, 1)
+	ok, err := FeasibleLP(mustSet(t, []float64{1.5}), p)
+	if err != nil || ok {
+		t.Errorf("w=1.5 on unit machines: %v (%v), want infeasible", ok, err)
+	}
+	if FeasibleHLS(mustSet(t, []float64{1.5}), p) {
+		t.Error("HLS should also reject w=1.5 on unit machines")
+	}
+}
+
+func TestFeasibleMigratoryButNotPartitioned(t *testing.T) {
+	// Three tasks of utilization 2/3 on two unit machines: total 2 = total
+	// speed; fractional/migratory schedulable (McNaughton), but no
+	// partition fits (two tasks on one machine = 4/3 > 1).
+	ts := task.Set{
+		{Name: "a", WCET: 2, Period: 3},
+		{Name: "b", WCET: 2, Period: 3},
+		{Name: "c", WCET: 2, Period: 3},
+	}
+	p := machine.New(1, 1)
+	ok, err := FeasibleLP(ts, p)
+	if err != nil || !ok {
+		t.Errorf("LP: %v (%v), want feasible", ok, err)
+	}
+	if !FeasibleHLS(ts, p) {
+		t.Error("HLS should accept three 2/3 tasks on two unit machines")
+	}
+}
+
+func TestSolveLPWitness(t *testing.T) {
+	ts := mustSet(t, []float64{0.8, 0.4})
+	p := machine.New(1, 1)
+	ok, u, err := SolveLP(ts, p)
+	if err != nil || !ok {
+		t.Fatalf("SolveLP: %v (%v)", ok, err)
+	}
+	// Witness must satisfy the constraints it encodes.
+	for i := range ts {
+		rowSum := 0.0
+		timeFrac := 0.0
+		for j := range p {
+			if u[i][j] < -1e-7 {
+				t.Errorf("u[%d][%d] = %v negative", i, j, u[i][j])
+			}
+			rowSum += u[i][j]
+			timeFrac += u[i][j] / p[j].Speed
+		}
+		if math.Abs(rowSum-ts[i].Utilization()) > 1e-6 {
+			t.Errorf("task %d placed %v, want %v", i, rowSum, ts[i].Utilization())
+		}
+		if timeFrac > 1+1e-6 {
+			t.Errorf("task %d time fraction %v > 1", i, timeFrac)
+		}
+	}
+	for j := range p {
+		load := 0.0
+		for i := range ts {
+			load += u[i][j] / p[j].Speed
+		}
+		if load > 1+1e-6 {
+			t.Errorf("machine %d overloaded: %v", j, load)
+		}
+	}
+	// Infeasible instance returns ok=false, nil witness.
+	ok, u, err = SolveLP(mustSet(t, []float64{0.9, 0.9, 0.9}), machine.New(1, 1))
+	if err != nil || ok || u != nil {
+		t.Errorf("infeasible SolveLP = %v, %v, %v", ok, u, err)
+	}
+}
+
+func TestHLSBoundaryFeasible(t *testing.T) {
+	// Exactly at capacity: total utilization == total speed.
+	ts := mustSet(t, []float64{1, 0.5, 0.5})
+	p := machine.New(1, 1)
+	if !FeasibleHLS(ts, p) {
+		t.Error("exact-capacity instance should be feasible")
+	}
+}
+
+func TestHLSPrefixViolation(t *testing.T) {
+	// Two big tasks vs one fast + one slow machine: w = {1.0, 1.0},
+	// s = {1.9, 0.1}: prefix k=1: 1.0 <= 1.9 ok; total 2.0 <= 2.0 ok — feasible.
+	ts := mustSet(t, []float64{1, 1})
+	p := machine.New(1.9, 0.1)
+	if !FeasibleHLS(ts, p) {
+		t.Error("should be feasible (fractional)")
+	}
+	// w = {1.95, 0.05}: k=1 prefix: 1.95 > 1.9 → infeasible.
+	ts2 := mustSet(t, []float64{1.95, 0.05})
+	if FeasibleHLS(ts2, p) {
+		t.Error("prefix violation should be infeasible")
+	}
+}
+
+func TestHLSMoreTasksThanMachines(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.5, 0.5, 0.5})
+	if !FeasibleHLS(ts, machine.New(1, 1)) {
+		t.Error("four 0.5s on two unit machines should be feasible")
+	}
+	ts2 := mustSet(t, []float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	if FeasibleHLS(ts2, machine.New(1, 1)) {
+		t.Error("total 2.5 on speed 2 should be infeasible")
+	}
+}
+
+func TestHLSFewerTasksThanMachines(t *testing.T) {
+	ts := mustSet(t, []float64{0.5})
+	if !FeasibleHLS(ts, machine.New(1, 1, 1)) {
+		t.Error("one small task on three machines should be feasible")
+	}
+}
+
+// The headline property: HLS agrees with the simplex on random instances.
+func TestHLSAgreesWithSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	agree := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()*1.5
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+
+		// Skip instances within tolerance of the feasibility boundary,
+		// where the two tests may legitimately disagree by float noise.
+		sigma, err := MinScaling(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sigma-1) < 1e-6 {
+			continue
+		}
+
+		hls := FeasibleHLS(ts, p)
+		lpFeas, err := FeasibleLP(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hls != lpFeas {
+			t.Fatalf("trial %d: HLS=%v simplex=%v for %v on %v (σ=%v)",
+				trial, hls, lpFeas, us, speeds, sigma)
+		}
+		agree++
+	}
+	if agree < 200 {
+		t.Errorf("too few decisive trials: %d", agree)
+	}
+}
+
+func TestMinScalingClosedForm(t *testing.T) {
+	// Single machine: σ = total utilization / speed.
+	ts := mustSet(t, []float64{0.5, 0.25})
+	sigma, err := MinScaling(ts, machine.New(0.5))
+	if err != nil || math.Abs(sigma-1.5) > 1e-9 {
+		t.Errorf("σ = %v (%v), want 1.5", sigma, err)
+	}
+	// Big task dominates: w=1.5 vs fastest speed 1 → σ = 1.5.
+	ts2 := mustSet(t, []float64{1.5, 0.1})
+	sigma, err = MinScaling(ts2, machine.New(1, 1))
+	if err != nil || math.Abs(sigma-1.5) > 1e-9 {
+		t.Errorf("σ = %v (%v), want 1.5", sigma, err)
+	}
+	// Total dominates: four 0.75 on two unit machines → σ = 3/2.
+	ts3 := mustSet(t, []float64{0.75, 0.75, 0.75, 0.75})
+	sigma, err = MinScaling(ts3, machine.New(1, 1))
+	if err != nil || math.Abs(sigma-1.5) > 1e-9 {
+		t.Errorf("σ = %v (%v), want 1.5", sigma, err)
+	}
+}
+
+func TestMinScalingValidates(t *testing.T) {
+	if _, err := MinScaling(task.Set{}, machine.New(1)); err == nil {
+		t.Error("empty set should fail")
+	}
+	ts := mustSet(t, []float64{0.5})
+	if _, err := MinScaling(ts, machine.Platform{}); err == nil {
+		t.Error("empty platform should fail")
+	}
+}
+
+// Property: scaling the platform by σ_LP makes HLS feasible, and scaling
+// by σ_LP/(1+ε) makes it infeasible — σ is genuinely minimal.
+func TestMinScalingIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(5)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()*1.5
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		sigma, err := MinScaling(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !FeasibleHLS(ts, p.Scaled(sigma*(1+1e-9))) {
+			t.Fatalf("trial %d: infeasible at σ·(1+1e-9)=%v", trial, sigma)
+		}
+		if FeasibleHLS(ts, p.Scaled(sigma*(1-1e-6))) {
+			t.Fatalf("trial %d: feasible below σ=%v", trial, sigma)
+		}
+	}
+}
+
+func BenchmarkFeasibleHLS(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	us := make([]float64, 200)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	ts, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speeds := make([]float64, 32)
+	for j := range speeds {
+		speeds[j] = 0.5 + rng.Float64()*4
+	}
+	p := machine.New(speeds...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FeasibleHLS(ts, p)
+	}
+}
+
+func BenchmarkFeasibleLPSimplex(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	us := make([]float64, 12)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	ts, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := machine.New(0.5, 1, 2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleLP(ts, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

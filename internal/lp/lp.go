@@ -1,0 +1,378 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs over non-negative variables.
+//
+// The solver exists to check feasibility of the paper's fractional
+// assignment LP (constraints (1)-(4) in §II) directly, as written. The
+// combinatorial Horvath–Lam–Sethi condition in internal/fractional is the
+// fast path; this solver is the independent oracle the property tests
+// cross-validate it against, and the component a user can point at any
+// other scheduling LP.
+//
+// Problems are stated as: maximize c·x subject to a list of <=, >= or ==
+// constraints, x >= 0. Phase 1 drives artificial variables out of the
+// basis (Bland's rule, so the method cannot cycle); phase 2 optimizes the
+// real objective.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint comparison operator.
+type Relation int
+
+const (
+	// LE is "<=".
+	LE Relation = iota
+	// GE is ">=".
+	GE
+	// EQ is "==".
+	EQ
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal (or, for pure feasibility problems, feasible)
+	// solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraint system has no solution with x >= 0.
+	Infeasible
+	// Unbounded: the objective can grow without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Constraint is one row: Coeffs·x Op RHS.
+type Constraint struct {
+	Coeffs []float64
+	Op     Relation
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+// A nil or all-zero Objective turns Solve into a pure feasibility check.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // maximized; may be nil
+	Constraints []Constraint
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values; nil unless Status == Optimal
+	Objective float64   // c·x at X; 0 unless Status == Optimal
+}
+
+// Eps is the numeric tolerance used for pivots and feasibility decisions.
+const Eps = 1e-9
+
+// maxPivots bounds total pivot count as a defence against numeric
+// stagnation; Bland's rule guarantees no cycling, so hitting the cap
+// indicates a bug or a pathological input, reported as an error.
+const maxPivots = 200_000
+
+// ErrPivotLimit is returned when the simplex exceeds its pivot budget.
+var ErrPivotLimit = errors.New("lp: pivot limit exceeded")
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars %d must be positive", p.NumVars)
+	}
+	if p.Objective != nil && len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Op != LE && c.Op != GE && c.Op != EQ {
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, int(c.Op))
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %v", i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d RHS is %v", i, c.RHS)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense simplex state.
+//
+// Columns: [0, n) structural variables, [n, n+nSlack) slack/surplus,
+// [n+nSlack, totalCols-1) artificial, last column RHS.
+type tableau struct {
+	rows  [][]float64
+	basis []int // basis[r] = column basic in row r
+	nCols int   // total columns including RHS
+}
+
+// Solve runs two-phase simplex.
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := p.NumVars
+	m := len(p.Constraints)
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		op := c.Op
+		// Normalize to non-negative RHS by flipping the row.
+		if rhs < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	nCols := n + nSlack + nArt + 1
+	t := &tableau{
+		rows:  make([][]float64, m),
+		basis: make([]int, m),
+		nCols: nCols,
+	}
+
+	slackCol := n
+	artCol := n + nSlack
+	artCols := make([]int, 0, nArt)
+
+	for i, c := range p.Constraints {
+		row := make([]float64, nCols)
+		sign := 1.0
+		op := c.Op
+		rhs := c.RHS
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			op = flip(op)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[nCols-1] = rhs
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		}
+		t.rows[i] = row
+	}
+
+	// Phase 1: minimize sum of artificials, i.e. maximize -sum.
+	if len(artCols) > 0 {
+		obj := make([]float64, nCols-1)
+		for _, a := range artCols {
+			obj[a] = -1
+		}
+		val, err := t.optimize(obj, nil)
+		if err != nil {
+			return Solution{}, fmt.Errorf("lp: phase 1: %w", err)
+		}
+		if val < -Eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any residual artificial out of the basis (degenerate rows).
+		t.evictArtificials(n + nSlack)
+	}
+
+	// Phase 2: maximize real objective, artificial columns forbidden.
+	obj := make([]float64, nCols-1)
+	if p.Objective != nil {
+		copy(obj, p.Objective)
+	}
+	forbidden := make(map[int]bool, nArt)
+	for _, a := range artCols {
+		forbidden[a] = true
+	}
+	val, err := t.optimize(obj, forbidden)
+	if err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, fmt.Errorf("lp: phase 2: %w", err)
+	}
+
+	x := make([]float64, n)
+	for r, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[r][nCols-1]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// optimize maximizes obj over the current tableau using Bland's rule,
+// returning the objective value. forbidden columns may not enter the
+// basis.
+func (t *tableau) optimize(obj []float64, forbidden map[int]bool) (float64, error) {
+	m := len(t.rows)
+	rhs := t.nCols - 1
+
+	// Reduced costs: z_j - c_j maintained implicitly; compute the price
+	// row from scratch each iteration (dense; fine at our sizes).
+	for pivots := 0; pivots < maxPivots; pivots++ {
+		// price[j] = c_B · B^{-1}A_j - c_j, but since rows already hold
+		// B^{-1}A we can compute reduced cost directly.
+		enter := -1
+		for j := 0; j < rhs; j++ {
+			if forbidden[j] {
+				continue
+			}
+			red := obj[j]
+			for r := 0; r < m; r++ {
+				red -= obj[t.basis[r]] * t.rows[r][j]
+			}
+			if red > Eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter == -1 {
+			// Optimal.
+			val := 0.0
+			for r := 0; r < m; r++ {
+				val += obj[t.basis[r]] * t.rows[r][rhs]
+			}
+			return val, nil
+		}
+		// Ratio test, Bland tie-break on smallest basis column.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < m; r++ {
+			a := t.rows[r][enter]
+			if a > Eps {
+				ratio := t.rows[r][rhs] / a
+				if ratio < best-Eps || (ratio < best+Eps && (leave == -1 || t.basis[r] < t.basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, ErrPivotLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pv := prow[enter]
+	for j := range prow {
+		prow[j] /= pv
+	}
+	for r, row := range t.rows {
+		if r == leave {
+			continue
+		}
+		f := row[enter]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots residual artificial basics (value ~0 after a
+// feasible phase 1) out in favour of any real column, or leaves degenerate
+// rows alone when the whole row is zero.
+func (t *tableau) evictArtificials(artStart int) {
+	for r, b := range t.basis {
+		if b < artStart {
+			continue
+		}
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.rows[r][j]) > Eps {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+}
+
+func flip(op Relation) Relation {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// Feasible is a convenience wrapper: it reports whether the constraint
+// system admits any x >= 0, ignoring the objective.
+func Feasible(p *Problem) (bool, error) {
+	q := &Problem{NumVars: p.NumVars, Constraints: p.Constraints}
+	sol, err := Solve(q)
+	if err != nil {
+		return false, err
+	}
+	return sol.Status == Optimal, nil
+}

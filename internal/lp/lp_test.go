@@ -1,0 +1,419 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+		ok   bool
+	}{
+		{"ok", Problem{NumVars: 2, Constraints: []Constraint{{Coeffs: []float64{1, 1}, Op: LE, RHS: 1}}}, true},
+		{"zero vars", Problem{NumVars: 0}, false},
+		{"objective mismatch", Problem{NumVars: 2, Objective: []float64{1}}, false},
+		{"coeff mismatch", Problem{NumVars: 2, Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: 1}}}, false},
+		{"bad relation", Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Op: Relation(9), RHS: 1}}}, false},
+		{"nan coeff", Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{math.NaN()}, Op: LE, RHS: 1}}}, false},
+		{"inf rhs", Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: math.Inf(1)}}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate err = %v, ok = %v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestRelationStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Relation strings broken")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings broken")
+	}
+	if Relation(42).String() == "" || Status(42).String() == "" {
+		t.Error("unknown enum strings broken")
+	}
+}
+
+// Classic small LP: max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj 12.
+func TestSolveBasicMax(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Op: LE, RHS: 6},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 12) || !approx(sol.X[0], 4) || !approx(sol.X[1], 0) {
+		t.Errorf("sol = %+v, want x=(4,0) obj=12", sol)
+	}
+}
+
+// Equality constraints: max x + y s.t. x + y == 2, x - y == 0 → x=y=1, obj 2.
+func TestSolveEqualities(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{1, -1}, Op: EQ, RHS: 0},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[0], 1) || !approx(sol.X[1], 1) {
+		t.Errorf("sol = %+v, want (1,1)", sol)
+	}
+}
+
+// GE constraints needing phase 1: min x (max -x) s.t. x >= 3 → x=3.
+func TestSolveGE(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[0], 3) || !approx(sol.Objective, -3) {
+		t.Errorf("sol = %+v, want x=3 obj=-3", sol)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: LE, RHS: 1},
+			{Coeffs: []float64{1}, Op: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+	ok, err := Feasible(p)
+	if err != nil || ok {
+		t.Errorf("Feasible = %v (%v), want false", ok, err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// Negative RHS rows get flipped correctly: x <= -1 is infeasible for x >= 0,
+// and -x <= -1 means x >= 1.
+func TestNegativeRHS(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: LE, RHS: -1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("x <= -1 with x >= 0: status = %v, want infeasible", sol.Status)
+	}
+
+	p2 := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -1},
+		},
+	}
+	sol2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Optimal || !approx(sol2.X[0], 1) {
+		t.Errorf("-x <= -1: sol = %+v, want x = 1", sol2)
+	}
+}
+
+// Degenerate LP that would cycle without Bland's rule (Beale's example).
+func TestBealeDegenerate(t *testing.T) {
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 0.05) {
+		t.Errorf("Beale: sol = %+v, want objective 1/20", sol)
+	}
+}
+
+// Zero objective = pure feasibility.
+func TestFeasibilityOnly(t *testing.T) {
+	p := &Problem{
+		NumVars: 2,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 1},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 0.5},
+		},
+	}
+	ok, err := Feasible(p)
+	if err != nil || !ok {
+		t.Errorf("Feasible = %v (%v), want true", ok, err)
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned point must satisfy all constraints.
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	checkSatisfies(t, p, sol.X)
+}
+
+func checkSatisfies(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	for _, v := range x {
+		if v < -1e-7 {
+			t.Errorf("negative variable %v", v)
+		}
+	}
+	for i, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * x[j]
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				t.Errorf("constraint %d violated: %v <= %v", i, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				t.Errorf("constraint %d violated: %v >= %v", i, lhs, c.RHS)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				t.Errorf("constraint %d violated: %v == %v", i, lhs, c.RHS)
+			}
+		}
+	}
+}
+
+// Transportation-style random LPs: compare against enumerated vertex optimum
+// on 2-variable problems (where brute force over constraint intersections
+// is easy and exact).
+func TestRandom2DAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 400; trial++ {
+		nc := 2 + rng.Intn(4)
+		p := &Problem{
+			NumVars:   2,
+			Objective: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2},
+		}
+		for i := 0; i < nc; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{rng.Float64()*4 - 1, rng.Float64()*4 - 1},
+				Op:     LE,
+				RHS:    rng.Float64() * 5,
+			})
+		}
+		// Bounding box keeps it bounded.
+		p.Constraints = append(p.Constraints,
+			Constraint{Coeffs: []float64{1, 0}, Op: LE, RHS: 10},
+			Constraint{Coeffs: []float64{0, 1}, Op: LE, RHS: 10},
+		)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, feasible := bruteForce2D(p)
+		if !feasible {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: simplex %v, brute force infeasible; p=%+v", trial, sol.Status, p)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: simplex %v, brute force feasible", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-best) > 1e-5 {
+			t.Fatalf("trial %d: simplex obj %v, brute force %v", trial, sol.Objective, best)
+		}
+		checkSatisfies(t, p, sol.X)
+	}
+}
+
+// bruteForce2D enumerates all pairwise constraint intersections (including
+// the axes x=0, y=0) and returns the best feasible objective.
+func bruteForce2D(p *Problem) (best float64, feasible bool) {
+	type line struct{ a, b, c float64 } // a x + b y = c
+	var lines []line
+	for _, con := range p.Constraints {
+		lines = append(lines, line{con.Coeffs[0], con.Coeffs[1], con.RHS})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+
+	sat := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, con := range p.Constraints {
+			if con.Coeffs[0]*x+con.Coeffs[1]*y > con.RHS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best = math.Inf(-1)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+			if sat(x, y) {
+				feasible = true
+				obj := p.Objective[0]*x + p.Objective[1]*y
+				if obj > best {
+					best = obj
+				}
+			}
+		}
+	}
+	return best, feasible
+}
+
+// Larger random feasibility systems: any point Solve returns must satisfy
+// the constraints; infeasibility must agree with an obviously-infeasible
+// construction.
+func TestRandomFeasibilityConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := &Problem{NumVars: n}
+		// Build a known-feasible system: pick x*, generate rows with
+		// RHS = row·x* + slack.
+		xstar := make([]float64, n)
+		for i := range xstar {
+			xstar[i] = rng.Float64() * 3
+		}
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			dot := 0.0
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()*2 - 0.5
+				dot += coeffs[j] * xstar[j]
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.Constraints = append(p.Constraints, Constraint{coeffs, LE, dot + rng.Float64()})
+			case 1:
+				p.Constraints = append(p.Constraints, Constraint{coeffs, GE, dot - rng.Float64()})
+			default:
+				p.Constraints = append(p.Constraints, Constraint{coeffs, EQ, dot})
+			}
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: known-feasible system reported %v", trial, sol.Status)
+		}
+		checkSatisfies(t, p, sol.X)
+	}
+}
+
+func TestRedundantAndDuplicateConstraints(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: LE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 5},
+			{Coeffs: []float64{2}, Op: LE, RHS: 10},
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[0], 5) {
+		t.Errorf("sol = %+v, want x=5", sol)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 40, 30
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		coeffs := make([]float64, n)
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()
+		}
+		p.Constraints = append(p.Constraints, Constraint{coeffs, LE, 5 + rng.Float64()*5})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package machine models uniform (related) multiprocessor platforms.
+//
+// A platform is a set of m machines with speeds s_1 <= s_2 <= ... <= s_m.
+// A task with worst-case execution time C runs for C/s time units on a
+// machine of speed s. The paper's algorithm additionally works with a
+// speed augmentation factor α >= 1: the algorithm's copy of machine j has
+// speed α·s_j while the adversary's copy keeps speed s_j.
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"partfeas/internal/rational"
+)
+
+// Machine is one processor of a uniform platform.
+type Machine struct {
+	// Name optionally identifies the machine in reports. May be empty.
+	Name string
+	// Speed is the processing rate relative to a unit-speed reference
+	// (> 0). A job of WCET C completes after C/Speed time units.
+	Speed float64
+}
+
+// Validate reports whether the machine is well-formed.
+func (m Machine) Validate() error {
+	if m.Speed <= 0 || math.IsNaN(m.Speed) || math.IsInf(m.Speed, 0) {
+		return fmt.Errorf("machine %q: speed %v must be positive and finite", m.Name, m.Speed)
+	}
+	return nil
+}
+
+// Platform is an ordered collection of machines. The paper's algorithm
+// requires non-decreasing speed order; use SortedBySpeed to obtain it.
+type Platform []Machine
+
+// New builds a platform from raw speeds, naming machines m0, m1, ….
+func New(speeds ...float64) Platform {
+	p := make(Platform, len(speeds))
+	for i, s := range speeds {
+		p[i] = Machine{Name: fmt.Sprintf("m%d", i), Speed: s}
+	}
+	return p
+}
+
+// Validate checks every machine.
+func (p Platform) Validate() error {
+	if len(p) == 0 {
+		return errors.New("platform: empty")
+	}
+	for i, m := range p {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("machine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Speeds returns the speed vector in platform order.
+func (p Platform) Speeds() []float64 {
+	ss := make([]float64, len(p))
+	for i, m := range p {
+		ss[i] = m.Speed
+	}
+	return ss
+}
+
+// TotalSpeed returns Σ s_j.
+func (p Platform) TotalSpeed() float64 {
+	var sum, comp float64
+	for _, m := range p {
+		y := m.Speed - comp
+		v := sum + y
+		comp = (v - sum) - y
+		sum = v
+	}
+	return sum
+}
+
+// MaxSpeed returns the fastest machine's speed, or 0 for an empty platform.
+func (p Platform) MaxSpeed() float64 {
+	maxS := 0.0
+	for _, m := range p {
+		if m.Speed > maxS {
+			maxS = m.Speed
+		}
+	}
+	return maxS
+}
+
+// Clone returns a deep copy.
+func (p Platform) Clone() Platform {
+	c := make(Platform, len(p))
+	copy(c, p)
+	return c
+}
+
+// SortedBySpeed returns a copy in non-decreasing speed order (s_j <=
+// s_{j+1}), the machine order the paper's algorithm requires. Ties break
+// by name for determinism.
+func (p Platform) SortedBySpeed() Platform {
+	c := p.Clone()
+	sort.SliceStable(c, func(i, j int) bool {
+		if c[i].Speed != c[j].Speed {
+			return c[i].Speed < c[j].Speed
+		}
+		return c[i].Name < c[j].Name
+	})
+	return c
+}
+
+// IsSortedBySpeed reports whether the platform is already in non-decreasing
+// speed order.
+func (p Platform) IsSortedBySpeed() bool {
+	for j := 1; j < len(p); j++ {
+		if p[j-1].Speed > p[j].Speed {
+			return false
+		}
+	}
+	return true
+}
+
+// Scaled returns a copy with every speed multiplied by alpha. This is the
+// speed-augmented platform the algorithm schedules on.
+func (p Platform) Scaled(alpha float64) Platform {
+	c := p.Clone()
+	for i := range c {
+		c[i].Speed *= alpha
+	}
+	return c
+}
+
+// KFastestSpeedSum returns the total speed of the k fastest machines.
+// It is used by the combinatorial LP feasibility condition. k is clamped
+// to [0, len(p)].
+func (p Platform) KFastestSpeedSum(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	sorted := p.SortedBySpeed()
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	sum := 0.0
+	for j := len(sorted) - k; j < len(sorted); j++ {
+		sum += sorted[j].Speed
+	}
+	return sum
+}
+
+// String renders the platform compactly.
+func (p Platform) String() string {
+	parts := make([]string, len(p))
+	for i, m := range p {
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("m%d", i)
+		}
+		parts[i] = fmt.Sprintf("%s(s=%g)", name, m.Speed)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// SpeedRat returns the machine's speed as an exact rational, used by the
+// simulator. The float speed is converted via a continued-fraction
+// approximation exact to within 1e-12 relative error; platforms intended
+// for exact simulation should use speeds that are themselves ratios of
+// small integers (e.g. 0.5, 1, 2.5).
+func (m Machine) SpeedRat() (rational.Rat, error) {
+	return rational.FromFloat(m.Speed)
+}
+
+// --- serialization ----------------------------------------------------------
+
+type fileFormat struct {
+	Machines []machineJSON `json:"machines"`
+}
+
+type machineJSON struct {
+	Name  string  `json:"name,omitempty"`
+	Speed float64 `json:"speed"`
+}
+
+// WriteJSON serializes the platform as indented JSON.
+func (p Platform) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Machines: make([]machineJSON, len(p))}
+	for i, m := range p {
+		ff.Machines[i] = machineJSON{Name: m.Name, Speed: m.Speed}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("machine: encoding platform: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a platform previously written by WriteJSON and validates
+// it.
+func ReadJSON(r io.Reader) (Platform, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("machine: decoding platform: %w", err)
+	}
+	p := make(Platform, len(ff.Machines))
+	for i, m := range ff.Machines {
+		p[i] = Machine{Name: m.Name, Speed: m.Speed}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,222 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Machine
+		wantErr bool
+	}{
+		{"ok", Machine{Name: "big", Speed: 2.0}, false},
+		{"zero", Machine{Speed: 0}, true},
+		{"negative", Machine{Speed: -1}, true},
+		{"nan", Machine{Speed: math.NaN()}, true},
+		{"inf", Machine{Speed: math.Inf(1)}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewAndSpeeds(t *testing.T) {
+	p := New(1, 2, 0.5)
+	if len(p) != 3 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if p[0].Name != "m0" || p[2].Name != "m2" {
+		t.Errorf("names = %v", p)
+	}
+	ss := p.Speeds()
+	if ss[0] != 1 || ss[1] != 2 || ss[2] != 0.5 {
+		t.Errorf("Speeds = %v", ss)
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	if err := (Platform{}).Validate(); err == nil {
+		t.Error("empty platform must fail")
+	}
+	p := Platform{{Speed: 1}, {Speed: 0}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "machine 1") {
+		t.Errorf("Validate err = %v", err)
+	}
+}
+
+func TestTotalAndMaxSpeed(t *testing.T) {
+	p := New(1, 2, 4)
+	if got := p.TotalSpeed(); got != 7 {
+		t.Errorf("TotalSpeed = %v", got)
+	}
+	if got := p.MaxSpeed(); got != 4 {
+		t.Errorf("MaxSpeed = %v", got)
+	}
+	if (Platform{}).MaxSpeed() != 0 {
+		t.Error("MaxSpeed of empty should be 0")
+	}
+}
+
+func TestSortedBySpeed(t *testing.T) {
+	p := New(4, 1, 2)
+	s := p.SortedBySpeed()
+	if !s.IsSortedBySpeed() {
+		t.Error("not sorted")
+	}
+	if s[0].Speed != 1 || s[2].Speed != 4 {
+		t.Errorf("sorted = %v", s)
+	}
+	if p[0].Speed != 4 {
+		t.Error("SortedBySpeed mutated receiver")
+	}
+	if p.IsSortedBySpeed() {
+		t.Error("IsSortedBySpeed true on unsorted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := New(1, 2)
+	s := p.Scaled(3)
+	if s[0].Speed != 3 || s[1].Speed != 6 {
+		t.Errorf("Scaled = %v", s)
+	}
+	if p[0].Speed != 1 {
+		t.Error("Scaled mutated receiver")
+	}
+}
+
+func TestKFastestSpeedSum(t *testing.T) {
+	p := New(3, 1, 2) // sorted: 1, 2, 3
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0}, {-1, 0}, {1, 3}, {2, 5}, {3, 6}, {10, 6},
+	}
+	for _, tc := range tests {
+		if got := p.KFastestSpeedSum(tc.k); got != tc.want {
+			t.Errorf("KFastestSpeedSum(%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	p := Platform{{Name: "little", Speed: 1}, {Speed: 2}}
+	s := p.String()
+	if !strings.Contains(s, "little(s=1)") || !strings.Contains(s, "m1(s=2)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSpeedRat(t *testing.T) {
+	m := Machine{Speed: 0.5}
+	r, err := m.SpeedRat()
+	if err != nil || r.Num() != 1 || r.Den() != 2 {
+		t.Errorf("SpeedRat(0.5) = %v (%v), want 1/2", r, err)
+	}
+	m = Machine{Speed: 2.25}
+	r, err = m.SpeedRat()
+	if err != nil || r.Num() != 9 || r.Den() != 4 {
+		t.Errorf("SpeedRat(2.25) = %v (%v), want 9/4", r, err)
+	}
+	m = Machine{Speed: 1.0 / 3.0}
+	r, err = m.SpeedRat()
+	if err != nil || r.Num() != 1 || r.Den() != 3 {
+		t.Errorf("SpeedRat(1/3) = %v (%v), want 1/3", r, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Platform{{Name: "big", Speed: 2}, {Name: "little", Speed: 0.5}}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != p[0] || got[1] != p[1] {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"machines":[{"speed":0}]}`,
+		`{"machines":[]}`,
+		`{"junk":true}`,
+		`nope`,
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted invalid input", in)
+		}
+	}
+}
+
+// Property: sorting is idempotent; scaling by alpha multiplies total speed
+// by alpha.
+func TestQuickPlatformProperties(t *testing.T) {
+	f := func(raw []uint16, alphaRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		speeds := make([]float64, len(raw))
+		for i, r := range raw {
+			speeds[i] = float64(r)/100 + 0.01
+		}
+		alpha := float64(alphaRaw)/16 + 1
+		p := New(speeds...)
+		s := p.SortedBySpeed()
+		if !s.IsSortedBySpeed() {
+			return false
+		}
+		again := s.SortedBySpeed()
+		for i := range s {
+			if s[i] != again[i] {
+				return false
+			}
+		}
+		scaled := p.Scaled(alpha)
+		return math.Abs(scaled.TotalSpeed()-alpha*p.TotalSpeed()) < 1e-9*(1+p.TotalSpeed())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KFastestSpeedSum is monotone in k and reaches TotalSpeed.
+func TestQuickKFastestMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 30 {
+			return true
+		}
+		speeds := make([]float64, len(raw))
+		for i, r := range raw {
+			speeds[i] = float64(r)/100 + 0.01
+		}
+		p := New(speeds...)
+		prev := 0.0
+		for k := 0; k <= len(p); k++ {
+			cur := p.KFastestSpeedSum(k)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return math.Abs(prev-p.TotalSpeed()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

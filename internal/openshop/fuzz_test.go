@@ -1,0 +1,82 @@
+package openshop
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompose feeds arbitrary substochastic matrices to the Birkhoff
+// peeling and checks the schedule reproduces the matrix exactly.
+func FuzzDecompose(f *testing.F) {
+	f.Add(uint8(2), uint8(2), int64(1))
+	f.Add(uint8(5), uint8(3), int64(42))
+	f.Add(uint8(1), uint8(4), int64(-9))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint8, seed int64) {
+		n := int(nRaw%7) + 1
+		m := int(mRaw%6) + 1
+		next := uint64(seed)
+		rnd := func() float64 {
+			next = next*6364136223846793005 + 1442695040888963407
+			return float64(next>>11) / (1 << 53)
+		}
+		mat := make([][]float64, n)
+		rowSum := make([]float64, n)
+		colSum := make([]float64, m)
+		for i := range mat {
+			mat[i] = make([]float64, m)
+			for j := range mat[i] {
+				mat[i][j] = rnd()
+				rowSum[i] += mat[i][j]
+				colSum[j] += mat[i][j]
+			}
+		}
+		scale := 1.0
+		for _, rs := range rowSum {
+			if rs > scale {
+				scale = rs
+			}
+		}
+		for _, cs := range colSum {
+			if cs > scale {
+				scale = cs
+			}
+		}
+		scale *= 1.0001 // stay strictly inside the polytope
+		for i := range mat {
+			for j := range mat[i] {
+				mat[i][j] /= scale
+			}
+		}
+		s, err := Decompose(mat, 1e-12)
+		if err != nil {
+			t.Fatalf("valid matrix rejected: %v", err)
+		}
+		got := make([][]float64, n)
+		for i := range got {
+			got[i] = make([]float64, m)
+		}
+		for _, sl := range s.Slices {
+			seen := map[int]bool{}
+			for j, i := range sl.Assign {
+				if i == -1 {
+					continue
+				}
+				if seen[i] {
+					t.Fatal("task on two machines in one slice")
+				}
+				seen[i] = true
+				got[i][j] += sl.Duration
+			}
+		}
+		for i := range mat {
+			for j := range mat[i] {
+				if math.Abs(got[i][j]-mat[i][j]) > 1e-6 {
+					t.Fatalf("t[%d][%d] scheduled %v, want %v", i, j, got[i][j], mat[i][j])
+				}
+			}
+		}
+		if s.TotalDuration() > 1+1e-6 {
+			t.Fatalf("duration %v > 1", s.TotalDuration())
+		}
+	})
+}

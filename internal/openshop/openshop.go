@@ -1,0 +1,354 @@
+// Package openshop turns a feasible solution of the paper's migratory LP
+// into an actual migrating schedule — the constructive half of the
+// adversary that Theorems I.3/I.4 compare against.
+//
+// A feasible LP solution u gives each task i a per-unit-time machine
+// profile: it should spend t[i][j] = u_{i,j}/s_j time on machine j in
+// every unit window. The LP constraints say exactly that every row sum
+// (a task's total busy fraction) and every column sum (a machine's busy
+// fraction) is at most 1. By the classic preemptive open-shop theorem
+// (Gonzalez & Sahni 1976; equivalently a Birkhoff–von Neumann
+// decomposition after padding), any such matrix decomposes into at most
+// n·m + n + m "slices": partial matchings with durations summing to at
+// most 1. Executing the slices back to back inside every unit window
+// yields a schedule where
+//
+//   - no task ever runs on two machines at once (a slice is a matching),
+//   - no machine ever runs two tasks at once,
+//   - task i accrues Σ_j t[i][j]·s_j = Σ_j u_{i,j} = w_i work per window.
+//
+// With integer periods, every job of task τ_i = (C_i, P_i) spans exactly
+// P_i whole windows and accrues w_i·P_i = C_i work by its deadline: the
+// schedule meets every deadline of the synchronous periodic pattern, and
+// therefore of any sporadic arrival sequence (each window is
+// arrival-oblivious). Experiment E13 verifies this end to end.
+package openshop
+
+import (
+	"fmt"
+	"math"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// Slice is one time slice of the cyclic schedule: for Duration time
+// units, task Assign[j] runs on machine j (-1 = machine idle).
+type Slice struct {
+	Duration float64
+	Assign   []int
+}
+
+// Schedule is a cyclic template executed inside every unit-length window.
+type Schedule struct {
+	// Slices in execution order; durations sum to at most 1 (+ε).
+	Slices []Slice
+	// NumTasks and NumMachines record the dimensions.
+	NumTasks    int
+	NumMachines int
+}
+
+// TotalDuration returns the sum of slice durations.
+func (s *Schedule) TotalDuration() float64 {
+	total := 0.0
+	for _, sl := range s.Slices {
+		total += sl.Duration
+	}
+	return total
+}
+
+// WorkPerWindow returns the work each task accrues per unit window under
+// the given machine speeds.
+func (s *Schedule) WorkPerWindow(speeds []float64) []float64 {
+	work := make([]float64, s.NumTasks)
+	for _, sl := range s.Slices {
+		for j, i := range sl.Assign {
+			if i >= 0 {
+				work[i] += sl.Duration * speeds[j]
+			}
+		}
+	}
+	return work
+}
+
+// Validate checks the structural invariants: matchings only, durations
+// positive, total at most 1 + tol.
+func (s *Schedule) Validate(tol float64) error {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	total := 0.0
+	for k, sl := range s.Slices {
+		if sl.Duration <= 0 {
+			return fmt.Errorf("openshop: slice %d has non-positive duration %v", k, sl.Duration)
+		}
+		if len(sl.Assign) != s.NumMachines {
+			return fmt.Errorf("openshop: slice %d has %d assignments, want %d", k, len(sl.Assign), s.NumMachines)
+		}
+		seen := make(map[int]bool, s.NumTasks)
+		for j, i := range sl.Assign {
+			if i == -1 {
+				continue
+			}
+			if i < 0 || i >= s.NumTasks {
+				return fmt.Errorf("openshop: slice %d machine %d has invalid task %d", k, j, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("openshop: slice %d runs task %d on two machines", k, i)
+			}
+			seen[i] = true
+		}
+		total += sl.Duration
+	}
+	if total > 1+tol {
+		return fmt.Errorf("openshop: slice durations sum to %v > 1", total)
+	}
+	return nil
+}
+
+// Decompose builds the cyclic schedule from a per-window time matrix
+// t[i][j] (time task i spends on machine j per unit window). Row sums
+// and column sums must not exceed 1 (+tol); entries below tol are
+// treated as zero.
+func Decompose(t [][]float64, tol float64) (*Schedule, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	n := len(t)
+	if n == 0 {
+		return nil, fmt.Errorf("openshop: empty matrix")
+	}
+	m := len(t[0])
+	// Working copy with cleanup, plus row/col sums.
+	w := make([][]float64, n)
+	rowSum := make([]float64, n)
+	colSum := make([]float64, m)
+	for i := range t {
+		if len(t[i]) != m {
+			return nil, fmt.Errorf("openshop: ragged matrix at row %d", i)
+		}
+		w[i] = make([]float64, m)
+		for j, v := range t[i] {
+			if v < -tol || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("openshop: invalid entry t[%d][%d] = %v", i, j, v)
+			}
+			if v > tol {
+				w[i][j] = v
+				rowSum[i] += v
+				colSum[j] += v
+			}
+		}
+	}
+	for i, rs := range rowSum {
+		if rs > 1+tol {
+			return nil, fmt.Errorf("openshop: task %d over-committed: row sum %v > 1", i, rs)
+		}
+	}
+	for j, cs := range colSum {
+		if cs > 1+tol {
+			return nil, fmt.Errorf("openshop: machine %d over-committed: column sum %v > 1", j, cs)
+		}
+	}
+
+	// Pad to a square doubly stochastic matrix (Birkhoff–von Neumann):
+	// rows beyond n and columns beyond m are dummies, and slack entries
+	// top every row and column sum up to exactly C ≤ 1. A doubly
+	// stochastic matrix always has a perfect matching on its positive
+	// entries (Hall's condition via König), so peeling perfect matchings
+	// at δ = the smallest matched entry terminates after at most q²
+	// iterations with total duration exactly C.
+	// Pad to size q = n + m so that all slack lives in dummy cells: rows
+	// n..q-1 and columns m..q-1 are dummies, and a real row's slack may
+	// only flow into dummy columns (never adding time to a real
+	// task/machine pair).
+	q := n + m
+	a := make([][]float64, q)
+	for i := range a {
+		a[i] = make([]float64, q)
+		if i < n {
+			copy(a[i], w[i])
+		}
+	}
+	// Target C: the largest row/column sum (≤ 1 after validation).
+	C := 0.0
+	for _, rs := range rowSum {
+		if rs > C {
+			C = rs
+		}
+	}
+	for _, cs := range colSum {
+		if cs > C {
+			C = cs
+		}
+	}
+	if C <= tol {
+		return &Schedule{NumTasks: n, NumMachines: m}, nil
+	}
+	rDef := make([]float64, q) // deficiency to reach row sum C
+	cDef := make([]float64, q)
+	for i := 0; i < q; i++ {
+		rDef[i] = C
+		if i < n {
+			rDef[i] = C - rowSum[i]
+		}
+	}
+	for j := 0; j < q; j++ {
+		cDef[j] = C
+		if j < m {
+			cDef[j] = C - colSum[j]
+		}
+	}
+	// Three two-pointer fills over the allowed (non real×real) regions:
+	// real rows × dummy cols, dummy rows × real cols, dummy × dummy.
+	// Capacity accounting: dummy columns hold n·C total, enough for all
+	// real-row slack; symmetrically for dummy rows; the residue of both
+	// is the original mass, which the dummy×dummy block absorbs.
+	fill := func(iLo, iHi, jLo, jHi int) {
+		for i, j := iLo, jLo; i < iHi && j < jHi; {
+			if rDef[i] <= tol {
+				i++
+				continue
+			}
+			if cDef[j] <= tol {
+				j++
+				continue
+			}
+			d := math.Min(rDef[i], cDef[j])
+			a[i][j] += d
+			rDef[i] -= d
+			cDef[j] -= d
+		}
+	}
+	fill(0, n, m, q) // real rows into dummy columns
+	fill(n, q, 0, m) // dummy rows into real columns
+	fill(n, q, m, q) // dummy rows into dummy columns
+
+	sched := &Schedule{NumTasks: n, NumMachines: m}
+	maxIter := q*q + q
+	remaining := C
+	for iter := 0; iter < maxIter && remaining > tol; iter++ {
+		match := perfectMatching(a, tol)
+		if match == nil {
+			break // only numerical dust left
+		}
+		delta := math.Inf(1)
+		for j, i := range match {
+			if a[i][j] < delta {
+				delta = a[i][j]
+			}
+		}
+		if delta <= tol {
+			break
+		}
+		if delta > remaining {
+			delta = remaining
+		}
+		// Record only the real (task, machine) pairs; dummy rows leave
+		// the machine idle and dummy columns leave the task idle.
+		assign := make([]int, m)
+		for j := range assign {
+			assign[j] = -1
+		}
+		for j, i := range match {
+			if j < m && i < n {
+				assign[j] = i
+			}
+		}
+		sched.Slices = append(sched.Slices, Slice{Duration: delta, Assign: assign})
+		for j, i := range match {
+			a[i][j] -= delta
+			if a[i][j] < tol {
+				a[i][j] = 0
+			}
+		}
+		remaining -= delta
+	}
+	if remaining > 64*tol {
+		return nil, fmt.Errorf("openshop: decomposition left %v of %v unscheduled", remaining, C)
+	}
+	if err := sched.Validate(64 * tol); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// perfectMatching finds a perfect matching of the square matrix's
+// bipartite support graph (entries > tol) via augmenting paths (Kuhn's
+// algorithm), returning column→row, or nil when none exists.
+func perfectMatching(a [][]float64, tol float64) []int {
+	q := len(a)
+	matchCol := make([]int, q) // column -> row
+	matchRow := make([]int, q) // row -> column
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+	for i := range matchRow {
+		matchRow[i] = -1
+	}
+	var tryKuhn func(i int, visited []bool) bool
+	tryKuhn = func(i int, visited []bool) bool {
+		for j := 0; j < q; j++ {
+			if a[i][j] > tol && !visited[j] {
+				visited[j] = true
+				if matchCol[j] == -1 || tryKuhn(matchCol[j], visited) {
+					matchCol[j] = i
+					matchRow[i] = j
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := 0; i < q; i++ {
+		visited := make([]bool, q)
+		if !tryKuhn(i, visited) {
+			return nil
+		}
+	}
+	return matchCol
+}
+
+// FromLP converts an LP witness u (utilization of task i on machine j)
+// into the per-window time matrix t[i][j] = u[i][j]/s_j and decomposes
+// it.
+func FromLP(u [][]float64, p machine.Platform, tol float64) (*Schedule, error) {
+	if len(u) == 0 {
+		return nil, fmt.Errorf("openshop: empty witness")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("openshop: %w", err)
+	}
+	t := make([][]float64, len(u))
+	for i := range u {
+		if len(u[i]) != len(p) {
+			return nil, fmt.Errorf("openshop: witness row %d has %d machines, want %d", i, len(u[i]), len(p))
+		}
+		t[i] = make([]float64, len(p))
+		for j := range u[i] {
+			t[i][j] = u[i][j] / p[j].Speed
+		}
+	}
+	return Decompose(t, tol)
+}
+
+// VerifyDeadlines checks that executing the cyclic schedule on the given
+// platform meets every deadline of the synchronous periodic pattern over
+// one hyperperiod: each task must accrue at least C_i − tol·C_i work in
+// every window of P_i consecutive unit windows. Since the schedule is
+// identical in every window, this reduces to work-per-window ≥ w_i − tol.
+func VerifyDeadlines(s *Schedule, ts task.Set, p machine.Platform, tol float64) error {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if len(ts) != s.NumTasks || len(p) != s.NumMachines {
+		return fmt.Errorf("openshop: dimensions %dx%d, want %dx%d", s.NumTasks, s.NumMachines, len(ts), len(p))
+	}
+	work := s.WorkPerWindow(p.Speeds())
+	for i, t := range ts {
+		need := t.Utilization()
+		if work[i] < need-tol {
+			return fmt.Errorf("openshop: task %d accrues %v per window, needs %v", i, work[i], need)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package openshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/fractional"
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+func TestDecomposeIdentityLike(t *testing.T) {
+	// Two tasks, two machines, diagonal half-loads.
+	mat := [][]float64{
+		{0.5, 0},
+		{0, 0.5},
+	}
+	s, err := Decompose(mat, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalDuration()-0.5) > 1e-9 {
+		t.Errorf("duration = %v, want 0.5", s.TotalDuration())
+	}
+	work := s.WorkPerWindow([]float64{1, 1})
+	if math.Abs(work[0]-0.5) > 1e-9 || math.Abs(work[1]-0.5) > 1e-9 {
+		t.Errorf("work = %v", work)
+	}
+}
+
+func TestDecomposeMigrationRequired(t *testing.T) {
+	// Three tasks of rate 2/3 on two unit machines: every task must
+	// migrate; the decomposition interleaves them within a unit window.
+	mat := [][]float64{
+		{2. / 3, 0},
+		{0, 2. / 3},
+		{1. / 3, 1. / 3},
+	}
+	s, err := Decompose(mat, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := s.WorkPerWindow([]float64{1, 1})
+	for i, wv := range work {
+		if math.Abs(wv-2./3) > 1e-9 {
+			t.Errorf("task %d work %v, want 2/3", i, wv)
+		}
+	}
+	if s.TotalDuration() > 1+1e-9 {
+		t.Errorf("duration %v > 1", s.TotalDuration())
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(nil, 0); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Decompose([][]float64{{0.5}, {0.5, 0.5}}, 0); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := Decompose([][]float64{{-0.5}}, 0); err == nil {
+		t.Error("negative entry should fail")
+	}
+	if _, err := Decompose([][]float64{{math.NaN()}}, 0); err == nil {
+		t.Error("NaN entry should fail")
+	}
+	if _, err := Decompose([][]float64{{0.7, 0.7}}, 0); err == nil {
+		t.Error("row sum > 1 should fail")
+	}
+	if _, err := Decompose([][]float64{{0.7}, {0.7}}, 0); err == nil {
+		t.Error("column sum > 1 should fail")
+	}
+}
+
+func TestDecomposeZeroMatrix(t *testing.T) {
+	s, err := Decompose([][]float64{{0, 0}, {0, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Slices) != 0 {
+		t.Errorf("zero matrix produced %d slices", len(s.Slices))
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	s := &Schedule{NumTasks: 2, NumMachines: 2, Slices: []Slice{
+		{Duration: 0.5, Assign: []int{0, 0}},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("task on two machines not caught")
+	}
+	s = &Schedule{NumTasks: 1, NumMachines: 1, Slices: []Slice{
+		{Duration: -1, Assign: []int{0}},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("negative duration not caught")
+	}
+	s = &Schedule{NumTasks: 1, NumMachines: 1, Slices: []Slice{
+		{Duration: 0.7, Assign: []int{0}},
+		{Duration: 0.7, Assign: []int{0}},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("duration > 1 not caught")
+	}
+	s = &Schedule{NumTasks: 1, NumMachines: 2, Slices: []Slice{
+		{Duration: 0.5, Assign: []int{0}},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("assignment length mismatch not caught")
+	}
+	s = &Schedule{NumTasks: 1, NumMachines: 1, Slices: []Slice{
+		{Duration: 0.5, Assign: []int{7}},
+	}}
+	if err := s.Validate(0); err == nil {
+		t.Error("out-of-range task not caught")
+	}
+}
+
+// Random doubly-substochastic matrices always decompose, with exact
+// per-task work and duration ≤ max(row sums, col sums).
+func TestDecomposeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		mat := make([][]float64, n)
+		rowSum := make([]float64, n)
+		colSum := make([]float64, m)
+		for i := range mat {
+			mat[i] = make([]float64, m)
+			for j := range mat[i] {
+				// Keep sums under 1: draw then rescale.
+				mat[i][j] = rng.Float64()
+				rowSum[i] += mat[i][j]
+				colSum[j] += mat[i][j]
+			}
+		}
+		scale := 1.0
+		for _, rs := range rowSum {
+			if rs > scale {
+				scale = rs
+			}
+		}
+		for _, cs := range colSum {
+			if cs > scale {
+				scale = cs
+			}
+		}
+		scale *= 1 + rng.Float64() // random extra slack
+		maxSum := 0.0
+		for i := range mat {
+			rs := 0.0
+			for j := range mat[i] {
+				mat[i][j] /= scale
+				rs += mat[i][j]
+			}
+			if rs > maxSum {
+				maxSum = rs
+			}
+		}
+		for j := 0; j < m; j++ {
+			cs := 0.0
+			for i := 0; i < n; i++ {
+				cs += mat[i][j]
+			}
+			if cs > maxSum {
+				maxSum = cs
+			}
+		}
+		s, err := Decompose(mat, 1e-12)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.TotalDuration() > maxSum+1e-7 {
+			t.Fatalf("trial %d: duration %v > max sum %v", trial, s.TotalDuration(), maxSum)
+		}
+		// Per-(task, machine) time must match the matrix exactly.
+		got := make([][]float64, n)
+		for i := range got {
+			got[i] = make([]float64, m)
+		}
+		for _, sl := range s.Slices {
+			for j, i := range sl.Assign {
+				if i >= 0 {
+					got[i][j] += sl.Duration
+				}
+			}
+		}
+		for i := range mat {
+			for j := range mat[i] {
+				if math.Abs(got[i][j]-mat[i][j]) > 1e-7 {
+					t.Fatalf("trial %d: t[%d][%d] scheduled %v, want %v", trial, i, j, got[i][j], mat[i][j])
+				}
+			}
+		}
+	}
+}
+
+// End to end: LP witness → schedule → deadlines verified, on the canonical
+// migration-required instance.
+func TestFromLPEndToEnd(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", WCET: 2, Period: 3},
+		{Name: "b", WCET: 2, Period: 3},
+		{Name: "c", WCET: 2, Period: 3},
+	}
+	p := machine.New(1, 1)
+	ok, u, err := fractional.SolveLP(ts, p)
+	if err != nil || !ok {
+		t.Fatalf("LP: %v (%v)", ok, err)
+	}
+	s, err := FromLP(u, p, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDeadlines(s, ts, p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Random feasible instances: the migratory adversary is constructive.
+func TestFromLPRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	built := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		ts, err := task.FromUtilizations(us, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		p := machine.New(speeds...)
+		if !fractional.FeasibleHLS(ts, p) {
+			continue
+		}
+		ok, u, err := fractional.SolveLP(ts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			// HLS says feasible but simplex disagrees: boundary noise.
+			continue
+		}
+		s, err := FromLP(u, p, 1e-9)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyDeadlines(s, ts, p, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		built++
+	}
+	if built < 50 {
+		t.Errorf("only %d feasible instances exercised", built)
+	}
+}
+
+func TestFromLPErrors(t *testing.T) {
+	p := machine.New(1)
+	if _, err := FromLP(nil, p, 0); err == nil {
+		t.Error("empty witness should fail")
+	}
+	if _, err := FromLP([][]float64{{0.5}}, machine.Platform{}, 0); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := FromLP([][]float64{{0.5, 0.5}}, p, 0); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestVerifyDeadlinesErrors(t *testing.T) {
+	s := &Schedule{NumTasks: 1, NumMachines: 1}
+	ts := task.Set{{WCET: 1, Period: 2}}
+	p := machine.New(1)
+	// Empty schedule accrues no work: must fail.
+	if err := VerifyDeadlines(s, ts, p, 1e-6); err == nil {
+		t.Error("under-provisioned schedule not caught")
+	}
+	if err := VerifyDeadlines(s, task.Set{{WCET: 1, Period: 2}, {WCET: 1, Period: 2}}, p, 0); err == nil {
+		t.Error("dimension mismatch not caught")
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 16, 8
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, m)
+		for j := range mat[i] {
+			mat[i][j] = rng.Float64() / float64(n)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(mat, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

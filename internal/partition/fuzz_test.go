@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// FuzzPartitionInvariants drives the engine with arbitrary encoded
+// instances and checks the structural invariants of every result: loads
+// match assignments, accepted runs place every task, failed runs name a
+// real τ_n, and EDF admission never overloads a machine.
+func FuzzPartitionInvariants(f *testing.F) {
+	f.Add(uint16(3), uint16(2), int64(100), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint16(8), uint16(4), int64(977), uint8(1), uint8(1), uint8(1), true)
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, seed int64, hRaw, toRaw, moRaw uint8, rms bool) {
+		n := int(nRaw%12) + 1
+		m := int(mRaw%5) + 1
+		if seed < 0 {
+			seed = -seed
+		}
+		// Deterministic instance from the seed.
+		next := uint64(seed)
+		rnd := func(mod int64) int64 {
+			next = next*6364136223846793005 + 1442695040888963407
+			v := int64(next >> 33)
+			return v % mod
+		}
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := 2 + rnd(100)
+			c := 1 + rnd(p)
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + float64(rnd(400))/100
+		}
+		p := machine.New(speeds...)
+
+		var adm AdmissionTest = EDFAdmission{}
+		if rms {
+			adm = RMSLLAdmission{}
+		}
+		cfg := Config{
+			Admission:    adm,
+			Alpha:        1 + float64(rnd(300))/100,
+			Heuristic:    Heuristic(int(hRaw) % 4),
+			TaskOrder:    TaskOrder(int(toRaw) % 3),
+			MachineOrder: MachineOrder(int(moRaw) % 3),
+		}
+		res, err := Partition(ts, p, cfg)
+		if err != nil {
+			t.Fatalf("valid instance errored: %v", err)
+		}
+		// Loads must equal the sum of assigned utilizations.
+		loads := make([]float64, m)
+		placed := 0
+		for i, j := range res.Assignment {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= m {
+				t.Fatalf("assignment out of range: %v", res.Assignment)
+			}
+			loads[j] += ts[i].Utilization()
+			placed++
+		}
+		for j := range loads {
+			diff := loads[j] - res.Loads[j]
+			if diff < -1e-9 || diff > 1e-9 {
+				t.Fatalf("loads inconsistent on machine %d: %v vs %v", j, loads[j], res.Loads[j])
+			}
+		}
+		if res.Feasible {
+			if placed != n || res.FailedTask != -1 {
+				t.Fatalf("feasible but placed %d/%d, failed=%d", placed, n, res.FailedTask)
+			}
+			if _, ok := adm.(EDFAdmission); ok {
+				for j := range loads {
+					if loads[j] > cfg.Alpha*p[j].Speed+1e-9 {
+						t.Fatalf("EDF overload on machine %d: %v > %v", j, loads[j], cfg.Alpha*p[j].Speed)
+					}
+				}
+			}
+		} else {
+			if res.FailedTask < 0 || res.FailedTask >= n {
+				t.Fatalf("failure without valid τ_n: %d", res.FailedTask)
+			}
+			if res.Assignment[res.FailedTask] != -1 {
+				t.Fatalf("failed task has an assignment")
+			}
+		}
+	})
+}

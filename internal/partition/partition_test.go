@@ -1,0 +1,447 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/sched"
+	"partfeas/internal/task"
+)
+
+func mustSet(t testing.TB, us []float64) task.Set {
+	t.Helper()
+	s, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAdmissionNames(t *testing.T) {
+	for _, tc := range []struct {
+		a    AdmissionTest
+		want string
+	}{
+		{EDFAdmission{}, "edf"},
+		{RMSLLAdmission{}, "rms-ll"},
+		{RMSHyperbolicAdmission{}, "rms-hyperbolic"},
+		{RMSExactAdmission{}, "rms-exact"},
+	} {
+		if tc.a.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.a.Name(), tc.want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, s := range []string{
+		FirstFit.String(), BestFit.String(), WorstFit.String(), NextFit.String(),
+		TasksByUtilizationDesc.String(), TasksAsGiven.String(), TasksByUtilizationAsc.String(),
+		MachinesBySpeedAsc.String(), MachinesBySpeedDesc.String(), MachinesAsGiven.String(),
+	} {
+		if s == "" || strings.Contains(s, "%") {
+			t.Errorf("bad enum string %q", s)
+		}
+	}
+	if Heuristic(99).String() != "Heuristic(99)" {
+		t.Error("unknown heuristic string")
+	}
+}
+
+func TestEDFAdmission(t *testing.T) {
+	a := EDFAdmission{}
+	tk := task.Task{WCET: 1, Period: 2} // w = 0.5
+	if !a.Fits(nil, 0.5, tk, 1.0) {
+		t.Error("0.5+0.5 <= 1 should fit")
+	}
+	if a.Fits(nil, 0.6, tk, 1.0) {
+		t.Error("0.6+0.5 > 1 should not fit")
+	}
+}
+
+func TestRMSLLAdmission(t *testing.T) {
+	a := RMSLLAdmission{}
+	tk := task.Task{WCET: 1, Period: 2} // w = 0.5
+	// Empty machine: bound LL(1) = 1.
+	if !a.Fits(nil, 0, tk, 0.5) {
+		t.Error("single 0.5 task on speed 0.5 passes LL(1)")
+	}
+	// One task already there: bound LL(2) ≈ 0.828, so 1/3 + 1/2 ≈ 0.833
+	// must be rejected while 1/4 + 1/2 = 0.75 passes.
+	existing := task.Set{{WCET: 1, Period: 3}} // w = 1/3
+	if a.Fits(existing, 1.0/3, tk, 1.0) {
+		t.Error("1/3 + 1/2 = 0.833 > LL(2) = 0.828 should be rejected")
+	}
+	existing2 := task.Set{{WCET: 1, Period: 4}} // w = 1/4
+	if !a.Fits(existing2, 0.25, tk, 1.0) {
+		t.Error("1/4 + 1/2 = 0.75 <= LL(2) should fit")
+	}
+}
+
+func TestRMSLLAdmissionBoundary(t *testing.T) {
+	a := RMSLLAdmission{}
+	// 0.4 + 0.4 = 0.8 <= 0.828: fits. 0.42+0.42 = 0.84 > 0.828: rejected.
+	tk := task.Task{WCET: 40, Period: 100}
+	if !a.Fits(task.Set{tk}, 0.4, tk, 1.0) {
+		t.Error("0.8 should pass LL(2)")
+	}
+	tk2 := task.Task{WCET: 42, Period: 100}
+	if a.Fits(task.Set{tk2}, 0.42, tk2, 1.0) {
+		t.Error("0.84 should fail LL(2)")
+	}
+}
+
+func TestPaperConfigDefaults(t *testing.T) {
+	cfg := Paper(EDFAdmission{}, 2)
+	if cfg.Heuristic != FirstFit || cfg.TaskOrder != TasksByUtilizationDesc ||
+		cfg.MachineOrder != MachinesBySpeedAsc || cfg.Alpha != 2 {
+		t.Errorf("Paper config = %+v", cfg)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	ts := mustSet(t, []float64{0.5})
+	p := machine.New(1)
+	if _, err := Partition(task.Set{}, p, Paper(EDFAdmission{}, 1)); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := Partition(ts, machine.Platform{}, Paper(EDFAdmission{}, 1)); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := Partition(ts, p, Config{}); err == nil {
+		t.Error("missing admission should fail")
+	}
+	if _, err := Partition(ts, p, Config{Admission: EDFAdmission{}, Alpha: -1}); err == nil {
+		t.Error("negative alpha should fail")
+	}
+	if _, err := Partition(ts, p, Config{Admission: EDFAdmission{}, Alpha: math.NaN()}); err == nil {
+		t.Error("NaN alpha should fail")
+	}
+	if _, err := Partition(ts, p, Config{Admission: EDFAdmission{}, Heuristic: Heuristic(9)}); err == nil {
+		t.Error("unknown heuristic should fail")
+	}
+	if _, err := Partition(ts, p, Config{Admission: EDFAdmission{}, TaskOrder: TaskOrder(9)}); err == nil {
+		t.Error("unknown task order should fail")
+	}
+	if _, err := Partition(ts, p, Config{Admission: EDFAdmission{}, MachineOrder: MachineOrder(9)}); err == nil {
+		t.Error("unknown machine order should fail")
+	}
+}
+
+func TestPartitionSimpleSuccess(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.5, 0.5, 0.5})
+	p := machine.New(1, 1)
+	res, err := Partition(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.FailedTask != -1 {
+		t.Fatalf("res = %+v, want feasible", res)
+	}
+	// Loads must be consistent with the assignment.
+	for j, l := range res.Loads {
+		if math.Abs(l-1.0) > 1e-9 {
+			t.Errorf("machine %d load %v, want 1", j, l)
+		}
+	}
+}
+
+func TestPartitionDeclareFailure(t *testing.T) {
+	// Three 2/3 tasks, two unit machines, no augmentation: no partition.
+	ts := task.Set{
+		{Name: "a", WCET: 2, Period: 3},
+		{Name: "b", WCET: 2, Period: 3},
+		{Name: "c", WCET: 2, Period: 3},
+	}
+	p := machine.New(1, 1)
+	res, err := Partition(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || res.FailedTask == -1 {
+		t.Fatalf("res = %+v, want failure", res)
+	}
+	// With α = 4/3 it fits (two tasks on one machine: 4/3 <= 4/3).
+	res, err = Partition(ts, p, Paper(EDFAdmission{}, 4.0/3+1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("α=4/3: res = %+v, want feasible", res)
+	}
+}
+
+func TestFirstFitPrefersSlowMachines(t *testing.T) {
+	// Paper's order scans slowest machine first: a small task lands on the
+	// slow machine even though the fast one also fits.
+	ts := mustSet(t, []float64{0.1})
+	p := machine.New(4, 0.5) // input order: fast, slow
+	res, err := Partition(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 1 {
+		t.Errorf("task went to machine %d, want slow machine 1", res.Assignment[0])
+	}
+}
+
+func TestMachineOrderAblation(t *testing.T) {
+	ts := mustSet(t, []float64{0.1})
+	p := machine.New(4, 0.5)
+	cfg := Paper(EDFAdmission{}, 1)
+	cfg.MachineOrder = MachinesBySpeedDesc
+	res, err := Partition(ts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 0 {
+		t.Errorf("speed-desc: task went to %d, want fast machine 0", res.Assignment[0])
+	}
+	cfg.MachineOrder = MachinesAsGiven
+	res, err = Partition(ts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 0 {
+		t.Errorf("as-given: task went to %d, want first machine 0", res.Assignment[0])
+	}
+}
+
+func TestTaskOrderAblation(t *testing.T) {
+	// Two tasks 0.9 and 0.2 on machines 1 and 0.25 (paper order: slow first).
+	// Desc: 0.9 → needs speed ≥ 0.9 → machine speed 1; 0.2 → fits slow 0.25.
+	// Asc: 0.2 → slow machine (0.2 <= 0.25); 0.9 → fast. Same partition here,
+	// but as-given with order [0.2 big-first…] exercise index mapping.
+	ts := mustSet(t, []float64{0.2, 0.9})
+	p := machine.New(0.25, 1)
+	cfg := Paper(EDFAdmission{}, 1)
+	res, err := Partition(ts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Assignment[0] != 0 || res.Assignment[1] != 1 {
+		t.Errorf("desc: %+v", res)
+	}
+	cfg.TaskOrder = TasksByUtilizationAsc
+	res, err = Partition(ts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Assignment[0] != 0 || res.Assignment[1] != 1 {
+		t.Errorf("asc: %+v", res)
+	}
+}
+
+func TestBestFitWorstFit(t *testing.T) {
+	// One task 0.5; machines (after augmentation 1) speeds 1 and 2.
+	// Best-fit: remaining 0.5 vs 1.5 → picks machine 0 (speed 1).
+	// Worst-fit: picks machine 1 (speed 2).
+	ts := mustSet(t, []float64{0.5})
+	p := machine.New(1, 2)
+	cfgB := Paper(EDFAdmission{}, 1)
+	cfgB.Heuristic = BestFit
+	resB, err := Partition(ts, p, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Assignment[0] != 0 {
+		t.Errorf("best-fit chose %d, want 0", resB.Assignment[0])
+	}
+	cfgW := Paper(EDFAdmission{}, 1)
+	cfgW.Heuristic = WorstFit
+	resW, err := Partition(ts, p, cfgW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW.Assignment[0] != 1 {
+		t.Errorf("worst-fit chose %d, want 1", resW.Assignment[0])
+	}
+}
+
+func TestNextFitNeverGoesBack(t *testing.T) {
+	// Tasks 0.6, 0.6, 0.3 on two unit machines, next-fit, EDF, α=1.
+	// t0 → m_slowest (both speed 1; first in order). t1: 1.2 > 1 → cursor
+	// advances → m2. t2 (0.3): only current machine m2 considered: 0.9 ≤ 1 fits.
+	ts := mustSet(t, []float64{0.6, 0.6, 0.3})
+	p := machine.New(1, 1)
+	cfg := Paper(EDFAdmission{}, 1)
+	cfg.Heuristic = NextFit
+	res, err := Partition(ts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("two 0.6 tasks on same machine")
+	}
+	if res.Assignment[2] != res.Assignment[1] {
+		t.Error("next-fit went backwards")
+	}
+	// And a case where first-fit succeeds but next-fit fails: tasks 0.9,
+	// 0.4, 0.1 on speeds {0.5, 1}. First-fit places 0.9 on the fast
+	// machine, 0.4 on the slow one, then goes *back* to the slow machine
+	// for 0.1 (0.5 exactly). Next-fit's cursor has moved to the fast
+	// machine after 0.9 and cannot return, and 0.4 overloads it.
+	ts2 := mustSet(t, []float64{0.9, 0.4, 0.1})
+	p2 := machine.New(0.5, 1)
+	resFF, err := Partition(ts2, p2, Paper(EDFAdmission{}, 1))
+	if err != nil || !resFF.Feasible {
+		t.Fatalf("first-fit should succeed: %+v (%v)", resFF, err)
+	}
+	cfg2 := Paper(EDFAdmission{}, 1)
+	cfg2.Heuristic = NextFit
+	resNF, err := Partition(ts2, p2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNF.Feasible {
+		t.Errorf("next-fit unexpectedly packed %+v", resNF)
+	}
+}
+
+func TestMachineSets(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.4, 0.3})
+	p := machine.New(1, 1)
+	res, err := Partition(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil || !res.Feasible {
+		t.Fatalf("%+v (%v)", res, err)
+	}
+	sets := res.MachineSets(ts, len(p))
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	if total != len(ts) {
+		t.Errorf("machine sets hold %d tasks, want %d", total, len(ts))
+	}
+}
+
+// Invariant: whatever the configuration, a reported-feasible partition
+// satisfies the admission test machine-wise when replayed.
+func TestPartitionRespectsAdmission(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	admissions := []AdmissionTest{EDFAdmission{}, RMSLLAdmission{}, RMSHyperbolicAdmission{}, RMSExactAdmission{}}
+	heuristics := []Heuristic{FirstFit, BestFit, WorstFit, NextFit}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		s := make(task.Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(100))
+			c := int64(1 + rng.Intn(int(p)))
+			s[i] = task.Task{WCET: c, Period: p}
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		p := machine.New(speeds...)
+		cfg := Config{
+			Admission: admissions[rng.Intn(len(admissions))],
+			Alpha:     1 + rng.Float64()*2,
+			Heuristic: heuristics[rng.Intn(len(heuristics))],
+		}
+		res, err := Partition(s, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		sets := res.MachineSets(s, m)
+		for j, assigned := range sets {
+			if len(assigned) == 0 {
+				continue
+			}
+			speed := cfg.Alpha * p[j].Speed
+			switch cfg.Admission.(type) {
+			case EDFAdmission:
+				if assigned.TotalUtilization() > speed+1e-9 {
+					t.Fatalf("trial %d: EDF overload on %d: %v > %v", trial, j, assigned.TotalUtilization(), speed)
+				}
+			case RMSLLAdmission:
+				if !sched.RMSFeasibleLLSet(assigned, speed+1e-12) {
+					t.Fatalf("trial %d: LL violated on machine %d", trial, j)
+				}
+			case RMSHyperbolicAdmission:
+				if !sched.RMSFeasibleHyperbolic(assigned, speed*(1+1e-12)) {
+					t.Fatalf("trial %d: hyperbolic violated on machine %d", trial, j)
+				}
+			case RMSExactAdmission:
+				ok, err := sched.RMSFeasibleExact(assigned, speed*(1+1e-12))
+				if err != nil || !ok {
+					t.Fatalf("trial %d: exact RTA violated on machine %d (%v)", trial, j, err)
+				}
+			}
+		}
+	}
+}
+
+// Invariant: increasing α never hurts first-fit EDF acceptance on the
+// instances we generate (monotonicity is not a theorem for arbitrary
+// instances, but for the paper's FF-EDF it holds: admission thresholds
+// scale uniformly and first-fit decisions coarsen consistently). We treat
+// violations as suspicious and verify a weaker, always-true property:
+// feasibility at α implies feasibility at α' ≥ α via re-running.
+func TestAlphaMonotoneEmpirically(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	violations := 0
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = 0.05 + rng.Float64()
+		}
+		speeds := make([]float64, m)
+		for j := range speeds {
+			speeds[j] = 0.25 + rng.Float64()*2
+		}
+		ts := mustSet(t, us)
+		p := machine.New(speeds...)
+		r1, err := Partition(ts, p, Paper(EDFAdmission{}, 1.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Partition(ts, p, Paper(EDFAdmission{}, 2.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Feasible && !r2.Feasible {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("found %d α-monotonicity violations for FF-EDF", violations)
+	}
+}
+
+func BenchmarkPartitionFFEDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	us := make([]float64, 256)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	ts, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speeds := make([]float64, 32)
+	for j := range speeds {
+		speeds[j] = 0.5 + rng.Float64()*4
+	}
+	p := machine.New(speeds...)
+	cfg := Paper(EDFAdmission{}, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(ts, p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

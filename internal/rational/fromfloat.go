@@ -1,0 +1,71 @@
+package rational
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxFromFloatDen bounds the denominator FromFloat will produce. Large
+// enough to represent any "nice" speed value (multiples of 1e-9) exactly,
+// small enough that downstream products stay far from int64 overflow.
+const maxFromFloatDen = 1_000_000_000
+
+// FromFloat converts a float64 to the rational with the smallest
+// denominator that matches it to within 1e-12 relative error, using
+// continued-fraction (Stern–Brocot) expansion. Values like 0.5, 2.25 or
+// 1/3 within float precision convert to the exact small fraction.
+//
+// It returns an error for NaN, infinities, and magnitudes too large for
+// int64.
+func FromFloat(f float64) (Rat, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return Rat{}, fmt.Errorf("rational: FromFloat(%v): not finite", f)
+	}
+	if f == 0 {
+		return Zero(), nil
+	}
+	neg := f < 0
+	x := math.Abs(f)
+	if x > float64(math.MaxInt64)/2 {
+		return Rat{}, fmt.Errorf("rational: FromFloat(%v): %w", f, ErrOverflow)
+	}
+
+	// Continued-fraction expansion with convergents h_k / k_k.
+	var (
+		h0, k0 = int64(0), int64(1) // h_{-1}/k_{-1}
+		h1, k1 = int64(1), int64(0) // h_0/k_0 seeded so first step yields floor(x)/1
+		rem    = x
+	)
+	for i := 0; i < 64; i++ {
+		a := math.Floor(rem)
+		if a > float64(math.MaxInt64)/4 {
+			break
+		}
+		ai := int64(a)
+		h2 := ai*h1 + h0
+		k2 := ai*k1 + k0
+		if k2 > maxFromFloatDen || h2 < 0 || k2 < 0 {
+			break
+		}
+		h0, k0, h1, k1 = h1, k1, h2, k2
+		approx := float64(h1) / float64(k1)
+		if math.Abs(approx-x) <= 1e-12*x {
+			break
+		}
+		frac := rem - a
+		if frac < 1e-15 {
+			break
+		}
+		rem = 1 / frac
+	}
+	if k1 == 0 {
+		return Rat{}, fmt.Errorf("rational: FromFloat(%v): no convergent", f)
+	}
+	if math.Abs(float64(h1)/float64(k1)-x) > 1e-9*math.Max(x, 1) {
+		return Rat{}, fmt.Errorf("rational: FromFloat(%v): best approximation %d/%d too coarse", f, h1, k1)
+	}
+	if neg {
+		h1 = -h1
+	}
+	return New(h1, k1)
+}

@@ -1,0 +1,91 @@
+package rational
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzArithmetic cross-checks every operation against math/big: results
+// are either exact or reported as overflow, never silently wrong.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4))
+	f.Add(int64(-7), int64(3), int64(22), int64(7))
+	f.Add(int64(1)<<40, int64(3), int64(-5), int64(1)<<35)
+	f.Add(int64(0), int64(1), int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		a, err := New(an, ad)
+		if err != nil {
+			return
+		}
+		b, err := New(bn, bd)
+		if err != nil {
+			return
+		}
+		ba := big.NewRat(a.Num(), a.Den())
+		bb := big.NewRat(b.Num(), b.Den())
+
+		if got, err := a.Add(b); err == nil {
+			want := new(big.Rat).Add(ba, bb)
+			if big.NewRat(got.Num(), got.Den()).Cmp(want) != 0 {
+				t.Fatalf("%v + %v = %v, want %v", a, b, got, want)
+			}
+			if !got.Valid() {
+				t.Fatalf("Add result not canonical: %v", got)
+			}
+		}
+		if got, err := a.Mul(b); err == nil {
+			want := new(big.Rat).Mul(ba, bb)
+			if big.NewRat(got.Num(), got.Den()).Cmp(want) != 0 {
+				t.Fatalf("%v * %v = %v, want %v", a, b, got, want)
+			}
+		}
+		if !b.IsZero() {
+			if got, err := a.Div(b); err == nil {
+				want := new(big.Rat).Quo(ba, bb)
+				if big.NewRat(got.Num(), got.Den()).Cmp(want) != 0 {
+					t.Fatalf("%v / %v = %v, want %v", a, b, got, want)
+				}
+			}
+		}
+		if got, want := a.Cmp(b), ba.Cmp(bb); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	})
+}
+
+// FuzzFromFloat checks the continued-fraction conversion stays within its
+// stated error and round-trips nice fractions exactly.
+func FuzzFromFloat(f *testing.F) {
+	f.Add(0.5)
+	f.Add(2.25)
+	f.Add(1.0 / 3)
+	f.Add(0.0)
+	f.Add(1e9)
+	f.Fuzz(func(t *testing.T, x float64) {
+		r, err := FromFloat(x)
+		if err != nil {
+			return
+		}
+		got := r.Float64()
+		diff := got - x
+		if diff < 0 {
+			diff = -diff
+		}
+		bound := 1e-9
+		if ax := x; ax < 0 {
+			ax = -ax
+		}
+		if x != 0 {
+			ax := x
+			if ax < 0 {
+				ax = -ax
+			}
+			if ax > 1 {
+				bound = 1e-9 * ax
+			}
+		}
+		if diff > bound {
+			t.Fatalf("FromFloat(%v) = %v (%v), error %v", x, r, got, diff)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package sched implements single-machine schedulability tests for
+// implicit-deadline sporadic task sets on a speed-s processor.
+//
+// These are the building blocks the paper's partitioned tests compose:
+//
+//   - EDF utilization test (Theorem II.2, Liu & Layland): a set S is
+//     EDF-schedulable on speed s iff Σ w_i <= s. Exact for implicit
+//     deadlines.
+//   - RMS Liu–Layland bound (Theorem II.3): S is RM-schedulable on speed s
+//     if Σ w_i <= |S|(2^{1/|S|} − 1)·s; the bound decreases to ln 2.
+//     Sufficient, not necessary.
+//   - Hyperbolic bound (Bini & Buttazzo): S is RM-schedulable if
+//     Π (w_i/s + 1) <= 2. Strictly dominates Liu–Layland. Used as an
+//     ablation admission test (experiment E11).
+//   - Exact response-time analysis (Joseph & Pandya / Audsley) for
+//     rate-monotonic fixed priorities: necessary and sufficient.
+//
+// All tests take the task utilizations as already divided by nothing —
+// speed is passed separately so callers can apply speed augmentation α by
+// scaling s.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/task"
+)
+
+// ErrNoConvergence is returned by response-time analysis when the fixed
+// point iteration exceeds its iteration budget (only possible for
+// pathological near-1 utilizations due to float rounding).
+var ErrNoConvergence = errors.New("sched: response-time iteration did not converge")
+
+// EDFFeasible reports whether the utilization total fits EDF on a machine
+// of the given speed: Σ w_i <= s. This is exact (necessary and
+// sufficient) for implicit-deadline sporadic sets.
+func EDFFeasible(totalUtil, speed float64) bool {
+	return totalUtil <= speed
+}
+
+// EDFFeasibleSet is EDFFeasible applied to a task set.
+func EDFFeasibleSet(s task.Set, speed float64) bool {
+	return EDFFeasible(s.TotalUtilization(), speed)
+}
+
+// LiuLaylandBound returns n(2^{1/n} − 1), the RM utilization bound for n
+// tasks. By convention the bound for n <= 0 is 0 (nothing fits on no
+// tasks' worth of budget) and the bound decreases monotonically toward
+// ln 2 ≈ 0.6931 as n grows.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// Ln2 is the limiting Liu–Layland bound.
+const Ln2 = math.Ln2
+
+// RMSFeasibleLL reports whether n tasks of total utilization totalUtil
+// pass the Liu–Layland sufficient test on a machine of the given speed:
+// Σ w_i <= n(2^{1/n} − 1)·s.
+func RMSFeasibleLL(totalUtil float64, n int, speed float64) bool {
+	return totalUtil <= LiuLaylandBound(n)*speed
+}
+
+// RMSFeasibleLLSet is RMSFeasibleLL applied to a task set.
+func RMSFeasibleLLSet(s task.Set, speed float64) bool {
+	return RMSFeasibleLL(s.TotalUtilization(), len(s), speed)
+}
+
+// RMSFeasibleHyperbolic reports whether the set passes the Bini–Buttazzo
+// hyperbolic sufficient test on the given speed: Π (w_i/s + 1) <= 2.
+func RMSFeasibleHyperbolic(s task.Set, speed float64) bool {
+	if speed <= 0 {
+		return len(s) == 0
+	}
+	prod := 1.0
+	for _, t := range s {
+		prod *= t.Utilization()/speed + 1
+		if prod > 2 {
+			return false
+		}
+	}
+	return prod <= 2
+}
+
+// ResponseTimes computes the exact worst-case response time of every task
+// in s under rate-monotonic preemptive fixed-priority scheduling on a
+// machine of the given speed. Priorities are assigned by period (smaller
+// period = higher priority), ties broken by WCET then name for
+// determinism. The returned slice is indexed like s.
+//
+// The response time of task i solves R = C_i/s + Σ_{j∈hp(i)} ⌈R/P_j⌉·C_j/s.
+// When the iteration exceeds the deadline P_i the task is unschedulable
+// and its entry is +Inf.
+func ResponseTimes(s task.Set, speed float64) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: ResponseTimes: %w", err)
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("sched: ResponseTimes: speed %v must be positive and finite", speed)
+	}
+	// Priority order: rate monotonic.
+	idx := rmOrder(s)
+	res := make([]float64, len(s))
+	for rank, i := range idx {
+		r, err := responseTime(s, idx[:rank], i, speed)
+		if err != nil {
+			return nil, err
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// RMSFeasibleExact reports whether the set is exactly RM-schedulable on
+// the given speed, via response-time analysis. This is necessary and
+// sufficient for the synchronous (critical-instant) release pattern,
+// which is the worst case for sporadic tasks.
+func RMSFeasibleExact(s task.Set, speed float64) (bool, error) {
+	if len(s) == 0 {
+		return true, nil
+	}
+	rts, err := ResponseTimes(s, speed)
+	if err != nil {
+		return false, err
+	}
+	for i, r := range rts {
+		if r > float64(s[i].Period) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// rmOrder returns task indices sorted by rate-monotonic priority (highest
+// first).
+func rmOrder(s task.Set) []int {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := s[idx[a]], s[idx[b]]
+		if ta.Period != tb.Period {
+			return ta.Period < tb.Period
+		}
+		if ta.WCET != tb.WCET {
+			return ta.WCET < tb.WCET
+		}
+		return ta.Name < tb.Name
+	})
+	return idx
+}
+
+// responseTime computes the fixed point for task i given the indices of
+// strictly-higher-priority tasks hp. Returns +Inf when the response
+// exceeds the deadline (no need to iterate past it).
+func responseTime(s task.Set, hp []int, i int, speed float64) (float64, error) {
+	ci := float64(s[i].WCET) / speed
+	deadline := float64(s[i].Period)
+	r := ci
+	const maxIter = 1 << 20
+	for iter := 0; iter < maxIter; iter++ {
+		next := ci
+		for _, j := range hp {
+			next += math.Ceil(r/float64(s[j].Period)) * float64(s[j].WCET) / speed
+		}
+		if next > deadline {
+			return math.Inf(1), nil
+		}
+		if next <= r {
+			// Fixed point reached (next can only grow with r; next == r
+			// terminates, next < r means rounding noise — accept r).
+			return next, nil
+		}
+		r = next
+	}
+	return 0, ErrNoConvergence
+}
+
+// MaxTasksAtBound returns the largest k such that adding a (k+1)-th task
+// could still pass the Liu–Layland test at the given utilization headroom,
+// i.e. the admission capacity hint used by first-fit diagnostics. It
+// returns 0 when even one task cannot fit.
+func MaxTasksAtBound(totalUtil, speed float64) int {
+	if speed <= 0 {
+		return 0
+	}
+	// LiuLaylandBound(n) decreases monotonically toward ln 2, so any
+	// utilization at or below ln2·speed fits arbitrarily many tasks.
+	if totalUtil <= Ln2*speed {
+		return math.MaxInt32
+	}
+	// Otherwise scan the decreasing bound; LL(n)·speed crosses below
+	// totalUtil at n ≈ ln²2 / (2(totalUtil/speed − ln2)), capped to keep
+	// the scan bounded for utilizations barely above the limit.
+	const cap = 1 << 20
+	for n := 1; n <= cap; n++ {
+		if totalUtil > LiuLaylandBound(n)*speed {
+			return n - 1
+		}
+	}
+	return cap
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partfeas/internal/task"
+)
+
+func TestEDFFeasible(t *testing.T) {
+	tests := []struct {
+		util, speed float64
+		want        bool
+	}{
+		{0.5, 1, true},
+		{1.0, 1, true},
+		{1.0 + 1e-9, 1, false},
+		{2.0, 2, true},
+		{2.1, 2, false},
+		{0, 0.1, true},
+	}
+	for _, tc := range tests {
+		if got := EDFFeasible(tc.util, tc.speed); got != tc.want {
+			t.Errorf("EDFFeasible(%v, %v) = %v, want %v", tc.util, tc.speed, got, tc.want)
+		}
+	}
+}
+
+func TestEDFFeasibleSet(t *testing.T) {
+	s := task.Set{{WCET: 1, Period: 2}, {WCET: 1, Period: 2}}
+	if !EDFFeasibleSet(s, 1) {
+		t.Error("total utilization exactly 1 should pass EDF on speed 1")
+	}
+	if EDFFeasibleSet(s, 0.99) {
+		t.Error("utilization 1 must fail on speed 0.99")
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("LL(1) = %v, want 1", got)
+	}
+	want2 := 2 * (math.Sqrt2 - 1) // ≈ 0.8284
+	if got := LiuLaylandBound(2); math.Abs(got-want2) > 1e-12 {
+		t.Errorf("LL(2) = %v, want %v", got, want2)
+	}
+	if got := LiuLaylandBound(0); got != 0 {
+		t.Errorf("LL(0) = %v, want 0", got)
+	}
+	if got := LiuLaylandBound(-3); got != 0 {
+		t.Errorf("LL(-3) = %v, want 0", got)
+	}
+	// Monotone decreasing toward ln 2.
+	prev := LiuLaylandBound(1)
+	for n := 2; n <= 1000; n++ {
+		cur := LiuLaylandBound(n)
+		if cur > prev {
+			t.Fatalf("LL not monotone at n=%d: %v > %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	if prev < Ln2 {
+		t.Errorf("LL(1000) = %v below ln2 %v", prev, Ln2)
+	}
+	if prev-Ln2 > 1e-3 {
+		t.Errorf("LL(1000) = %v far from ln2", prev)
+	}
+}
+
+func TestRMSFeasibleLL(t *testing.T) {
+	// Classic: one task up to 1.0; two tasks up to 0.828; many tasks ln 2.
+	if !RMSFeasibleLL(1.0, 1, 1) {
+		t.Error("single task u=1 passes LL")
+	}
+	if RMSFeasibleLL(0.84, 2, 1) {
+		t.Error("two tasks u=0.84 must fail LL (bound 0.828)")
+	}
+	if !RMSFeasibleLL(0.82, 2, 1) {
+		t.Error("two tasks u=0.82 passes LL")
+	}
+	// Speed scales the bound.
+	if !RMSFeasibleLL(1.6, 2, 2) {
+		t.Error("speed-2 machine doubles LL budget")
+	}
+}
+
+func TestRMSFeasibleHyperbolic(t *testing.T) {
+	// Two tasks u = 0.41 each: LL bound 0.828 fails at 0.84 total,
+	// hyperbolic (1.42)^2 = 2.0164 > 2 fails too; u = 0.41, 0.41 gives
+	// 1.41*1.41 = 1.9881 <= 2 passes.
+	s, err := task.FromUtilizations([]float64{0.41, 0.41}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !RMSFeasibleHyperbolic(s, 1) {
+		t.Error("hyperbolic should accept 0.41+0.41")
+	}
+	s2, err := task.FromUtilizations([]float64{0.45, 0.45}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RMSFeasibleHyperbolic(s2, 1) {
+		t.Error("hyperbolic should reject 0.45+0.45 (1.45^2 = 2.1025)")
+	}
+	if !RMSFeasibleHyperbolic(task.Set{}, 0) {
+		t.Error("empty set on zero speed is trivially schedulable")
+	}
+	if RMSFeasibleHyperbolic(s, 0) {
+		t.Error("nonempty set on zero speed is not schedulable")
+	}
+}
+
+func TestHyperbolicDominatesLL(t *testing.T) {
+	// Everything LL accepts, hyperbolic accepts too.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = rng.Float64() * 0.9
+		}
+		s, err := task.FromUtilizations(us, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if RMSFeasibleLLSet(s, 1) && !RMSFeasibleHyperbolic(s, 1) {
+			t.Fatalf("hyperbolic rejected an LL-accepted set: %v", s)
+		}
+	}
+}
+
+func TestResponseTimesClassic(t *testing.T) {
+	// Liu & Layland's style example: T1=(1,4), T2=(2,6), T3=(3,12) on speed 1.
+	// R1 = 1. R2 = 2 + ceil(R2/4)*1 → 3. R3: 3 + ceil(R/4)*1 + ceil(R/6)*2.
+	// R=3: 3+1+2=6; R=6: 3+2+2=7; R=7: 3+2+4=9; R=9: 3+3+4=10; R=10: 3+3+4=10 → 10.
+	s := task.Set{
+		{Name: "t1", WCET: 1, Period: 4},
+		{Name: "t2", WCET: 2, Period: 6},
+		{Name: "t3", WCET: 3, Period: 12},
+	}
+	rts, err := ResponseTimes(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 10}
+	for i := range want {
+		if math.Abs(rts[i]-want[i]) > 1e-9 {
+			t.Errorf("R[%d] = %v, want %v", i, rts[i], want[i])
+		}
+	}
+	ok, err := RMSFeasibleExact(s, 1)
+	if err != nil || !ok {
+		t.Errorf("classic set should be exactly schedulable: %v %v", ok, err)
+	}
+}
+
+func TestResponseTimesUnschedulable(t *testing.T) {
+	// Total utilization 1.1 > 1 cannot be RM schedulable.
+	s := task.Set{
+		{WCET: 6, Period: 10},
+		{WCET: 5, Period: 10},
+	}
+	rts, err := ResponseTimes(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods tie, so WCET 5 gets priority; the WCET-6 task (index 0)
+	// cannot finish by its deadline.
+	if !math.IsInf(rts[0], 1) {
+		t.Errorf("lower-priority response should be +Inf, got %v", rts[0])
+	}
+	if math.Abs(rts[1]-5) > 1e-9 {
+		t.Errorf("higher-priority response = %v, want 5", rts[1])
+	}
+	ok, err := RMSFeasibleExact(s, 1)
+	if err != nil || ok {
+		t.Errorf("overloaded set reported schedulable")
+	}
+}
+
+func TestResponseTimesSpeedScaling(t *testing.T) {
+	s := task.Set{
+		{WCET: 2, Period: 4},
+		{WCET: 4, Period: 8},
+	}
+	// On speed 1: R2 = 4 + ceil(R/4)*2; R=4→4+2*2=8; R=8→4+2*2=8 → exactly 8 = deadline.
+	ok, err := RMSFeasibleExact(s, 1)
+	if err != nil || !ok {
+		t.Errorf("harmonic full-utilization set should pass on speed 1: %v %v", ok, err)
+	}
+	// On speed 2: R1 = 1; R2 = 2 + ceil(R/4)*1 fixes at 3.
+	rts, err := ResponseTimes(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rts[0]-1) > 1e-9 || math.Abs(rts[1]-3) > 1e-9 {
+		t.Errorf("speed-2 response times = %v, want [1 3]", rts)
+	}
+}
+
+func TestResponseTimesErrors(t *testing.T) {
+	if _, err := ResponseTimes(task.Set{}, 1); err == nil {
+		t.Error("empty set should error (validation)")
+	}
+	s := task.Set{{WCET: 1, Period: 2}}
+	if _, err := ResponseTimes(s, 0); err == nil {
+		t.Error("zero speed should error")
+	}
+	if _, err := ResponseTimes(s, math.NaN()); err == nil {
+		t.Error("NaN speed should error")
+	}
+	if ok, err := RMSFeasibleExact(task.Set{}, 1); err != nil || !ok {
+		t.Error("empty set is trivially schedulable")
+	}
+}
+
+// Exact RTA accepts everything LL accepts (LL is sufficient).
+func TestExactDominatesLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		s := make(task.Set, n)
+		for i := range s {
+			p := int64(1 + rng.Intn(30))
+			c := int64(1 + rng.Intn(int(p)))
+			s[i] = task.Task{WCET: c, Period: p}
+		}
+		if RMSFeasibleLLSet(s, 1) {
+			ok, err := RMSFeasibleExact(s, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("exact RTA rejected an LL-accepted set: %v", s)
+			}
+		}
+	}
+}
+
+// Exact RTA accepts everything hyperbolic accepts.
+func TestExactDominatesHyperbolic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		s := make(task.Set, n)
+		for i := range s {
+			p := int64(1 + rng.Intn(30))
+			c := int64(1 + rng.Intn(int(p)))
+			s[i] = task.Task{WCET: c, Period: p}
+		}
+		if RMSFeasibleHyperbolic(s, 1) {
+			ok, err := RMSFeasibleExact(s, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("exact RTA rejected a hyperbolic-accepted set: %v", s)
+			}
+		}
+	}
+}
+
+// Property: response times are monotone in speed — faster machine, no
+// larger response time.
+func TestQuickResponseMonotoneInSpeed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		s := make(task.Set, n)
+		for i := range s {
+			p := int64(2 + rng.Intn(20))
+			c := int64(1 + rng.Intn(int(p)))
+			s[i] = task.Task{WCET: c, Period: p}
+		}
+		r1, err1 := ResponseTimes(s, 1)
+		r2, err2 := ResponseTimes(s, 1.5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range r1 {
+			if r2[i] > r1[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxTasksAtBound(t *testing.T) {
+	// totalUtil 0 always fits more tasks.
+	if got := MaxTasksAtBound(0, 1); got < 1000 {
+		t.Errorf("MaxTasksAtBound(0,1) = %d, want huge", got)
+	}
+	// Below ln2: unbounded.
+	if got := MaxTasksAtBound(0.69, 1); got < 1000 {
+		t.Errorf("MaxTasksAtBound(0.69,1) = %d, want huge", got)
+	}
+	// Exactly above single-task bound.
+	if got := MaxTasksAtBound(1.01, 1); got != 0 {
+		t.Errorf("MaxTasksAtBound(1.01,1) = %d, want 0", got)
+	}
+	// Between LL(2) = 0.828 and LL(1) = 1: exactly one task fits.
+	if got := MaxTasksAtBound(0.9, 1); got != 1 {
+		t.Errorf("MaxTasksAtBound(0.9,1) = %d, want 1", got)
+	}
+	if got := MaxTasksAtBound(0.5, 0); got != 0 {
+		t.Errorf("MaxTasksAtBound on zero speed = %d, want 0", got)
+	}
+}
+
+func BenchmarkResponseTimes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := make(task.Set, 50)
+	for i := range s {
+		p := int64(10 + rng.Intn(1000))
+		c := int64(1 + rng.Intn(int(p)/10))
+		s[i] = task.Task{WCET: c, Period: p}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ResponseTimes(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperbolic(b *testing.B) {
+	s, err := task.FromUtilizations([]float64{0.1, 0.2, 0.15, 0.05, 0.1}, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		RMSFeasibleHyperbolic(s, 1)
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+// GlobalResult summarizes a global (migrating) multiprocessor simulation.
+type GlobalResult struct {
+	// Misses lists deadline violations in completion order.
+	Misses []Miss
+	// JobsReleased and JobsCompleted count jobs within the horizon.
+	JobsReleased  int64
+	JobsCompleted int64
+	// Migrations counts events where a job resumes on a different
+	// machine than it last ran on.
+	Migrations int64
+	// Preemptions counts events where a running job loses its machine to
+	// a different job while still unfinished.
+	Preemptions int64
+}
+
+// SimulateGlobal runs global preemptive scheduling on a uniform
+// multiprocessor: at every scheduling event the k-th highest-priority
+// ready job runs on the k-th fastest machine (the standard greedy rule
+// for related machines). Jobs migrate freely between events. This is the
+// baseline the partitioned test gives up — global EDF is subject to the
+// Dhall effect and is NOT optimal, which experiment E14 quantifies
+// against the partitioned test and the fluid LP bound.
+//
+// Releases follow the synchronous periodic pattern over [0, horizon);
+// the simulation runs until every released job completes.
+func SimulateGlobal(ts task.Set, p machine.Platform, policy Policy, horizon int64) (GlobalResult, error) {
+	var res GlobalResult
+	if err := ts.Validate(); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
+	if horizon <= 0 {
+		return res, ErrHorizon
+	}
+	if policy != PolicyEDF && policy != PolicyRM {
+		return res, fmt.Errorf("sim: unknown policy %d", int(policy))
+	}
+
+	// Machines fastest-first, as exact rationals.
+	speeds := make([]rational.Rat, len(p))
+	order := make([]int, len(p))
+	for j := range p {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p[order[a]].Speed > p[order[b]].Speed })
+	for k, j := range order {
+		s, err := p[j].SpeedRat()
+		if err != nil {
+			return res, fmt.Errorf("sim: machine %d: %w", j, err)
+		}
+		if s.Sign() <= 0 {
+			return res, fmt.Errorf("sim: machine %d speed %v must be positive", j, s)
+		}
+		speeds[k] = s
+	}
+
+	horizonR := rational.FromInt(horizon)
+	rank := rmRanks(ts)
+	nextRelease := make([]rational.Rat, len(ts))
+	for i := range ts {
+		nextRelease[i] = rational.Zero()
+	}
+	lastMachine := make(map[*job]int)
+
+	var ready []*job
+	now := rational.Zero()
+	prevRunning := map[*job]bool{}
+
+	higherPriority := func(a, b *job) bool {
+		switch policy {
+		case PolicyEDF:
+			c := a.deadline.Cmp(b.deadline)
+			if c != 0 {
+				return c < 0
+			}
+			return a.taskIdx < b.taskIdx
+		default:
+			if rank[a.taskIdx] != rank[b.taskIdx] {
+				return rank[a.taskIdx] < rank[b.taskIdx]
+			}
+			return a.release.Less(b.release)
+		}
+	}
+
+	releaseDue := func() error {
+		for i, t := range ts {
+			for nextRelease[i].Less(horizonR) && nextRelease[i].LessEq(now) {
+				rel := nextRelease[i]
+				dl, err := rel.Add(rational.FromInt(t.Period))
+				if err != nil {
+					return fmt.Errorf("sim: %w", err)
+				}
+				ready = append(ready, &job{
+					taskIdx: i, release: rel, deadline: dl,
+					remaining: rational.FromInt(t.WCET),
+				})
+				res.JobsReleased++
+				nextRelease[i], err = rel.Add(rational.FromInt(t.Period))
+				if err != nil {
+					return fmt.Errorf("sim: %w", err)
+				}
+			}
+		}
+		return nil
+	}
+
+	earliestRelease := func() (rational.Rat, bool) {
+		var best rational.Rat
+		found := false
+		for i := range ts {
+			if nextRelease[i].Less(horizonR) {
+				if !found || nextRelease[i].Less(best) {
+					best = nextRelease[i]
+					found = true
+				}
+			}
+		}
+		return best, found
+	}
+
+	const maxEvents = 50_000_000
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return res, fmt.Errorf("sim: global event budget exceeded")
+		}
+		if err := releaseDue(); err != nil {
+			return res, err
+		}
+		if len(ready) == 0 {
+			nr, any := earliestRelease()
+			if !any {
+				return res, nil
+			}
+			now = nr
+			continue
+		}
+		// Rank ready jobs; top min(len, m) run.
+		sort.SliceStable(ready, func(a, b int) bool { return higherPriority(ready[a], ready[b]) })
+		running := len(ready)
+		if running > len(speeds) {
+			running = len(speeds)
+		}
+		// Count preemptions and migrations against the previous slice.
+		nowRunning := map[*job]bool{}
+		for k := 0; k < running; k++ {
+			j := ready[k]
+			nowRunning[j] = true
+			if last, seen := lastMachine[j]; seen && last != k {
+				res.Migrations++
+			}
+			lastMachine[j] = k
+		}
+		for j := range prevRunning {
+			if !nowRunning[j] && j.remaining.Sign() > 0 {
+				res.Preemptions++
+			}
+		}
+		prevRunning = nowRunning
+
+		// Next event: earliest completion among running, or next release.
+		var tNext rational.Rat
+		haveNext := false
+		for k := 0; k < running; k++ {
+			rt, err := ready[k].remaining.Div(speeds[k])
+			if err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			fin, err := now.Add(rt)
+			if err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			if !haveNext || fin.Less(tNext) {
+				tNext = fin
+				haveNext = true
+			}
+		}
+		if nr, any := earliestRelease(); any && (!haveNext || nr.Less(tNext)) {
+			tNext = nr
+			haveNext = true
+		}
+		if !haveNext {
+			return res, fmt.Errorf("sim: stalled with %d ready jobs", len(ready))
+		}
+		// Advance all running jobs to tNext.
+		delta, err := tNext.Sub(now)
+		if err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+		for k := 0; k < running; k++ {
+			work, err := delta.Mul(speeds[k])
+			if err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			if ready[k].remaining, err = ready[k].remaining.Sub(work); err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+		}
+		now = tNext
+		// Complete finished jobs (remaining can dip to exactly 0; the
+		// arithmetic is exact so no epsilon is needed).
+		kept := ready[:0]
+		for _, j := range ready {
+			if j.remaining.Sign() <= 0 {
+				res.JobsCompleted++
+				if j.deadline.Less(now) {
+					res.Misses = append(res.Misses, Miss{
+						TaskIdx: j.taskIdx, Release: j.release, Deadline: j.deadline, Completion: now,
+					})
+				}
+				delete(lastMachine, j)
+				delete(prevRunning, j)
+				continue
+			}
+			kept = append(kept, j)
+		}
+		ready = kept
+	}
+}

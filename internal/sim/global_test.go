@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+func TestGlobalValidation(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 2}}
+	p := machine.New(1)
+	if _, err := SimulateGlobal(task.Set{}, p, PolicyEDF, 10); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := SimulateGlobal(ts, machine.Platform{}, PolicyEDF, 10); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := SimulateGlobal(ts, p, PolicyEDF, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := SimulateGlobal(ts, p, Policy(9), 10); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestGlobalSingleMachineMatchesUniproc(t *testing.T) {
+	// On one machine, global EDF is just EDF: compare against
+	// SimulateMachine on random sets.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4)
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(int(p)))
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		hp, err := ts.Hyperperiod()
+		if err != nil {
+			continue
+		}
+		g, err := SimulateGlobal(ts, machine.New(1), PolicyEDF, hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := SimulateMachine(ts, rational.One(), PolicyEDF, nil, hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Misses) != len(u.Misses) || g.JobsReleased != u.JobsReleased {
+			t.Fatalf("trial %d: global %d misses/%d jobs, uniproc %d/%d for %v",
+				trial, len(g.Misses), g.JobsReleased, len(u.Misses), u.JobsReleased, ts)
+		}
+	}
+}
+
+func TestGlobalEDFNotOptimal(t *testing.T) {
+	// Three 2/3 tasks with identical periods on two unit machines: the
+	// fluid/open-shop schedule succeeds (see internal/openshop), but
+	// global EDF serializes the third job behind the first two and
+	// misses — global EDF is not optimal even where migration would
+	// suffice.
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 2, Period: 3}, {WCET: 2, Period: 3},
+	}
+	res, err := SimulateGlobal(ts, machine.New(1, 1), PolicyEDF, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) == 0 {
+		t.Error("global EDF should miss on three simultaneous 2/3 tasks")
+	}
+}
+
+func TestGlobalMigrationBeatsPartitioning(t *testing.T) {
+	// Staggered periods: utilizations {2/3, 2/3, 1/2} cannot be
+	// partitioned onto two unit machines (any pairing exceeds 1), but
+	// global EDF schedules them, migrating jobs between the machines.
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 2, Period: 3}, {WCET: 2, Period: 4},
+	}
+	res, err := SimulateGlobal(ts, machine.New(1, 1), PolicyEDF, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("global EDF missed on the migration instance: %v", res.Misses[0])
+	}
+	if res.Migrations == 0 {
+		t.Error("expected migrations on the unpartitionable instance")
+	}
+}
+
+func TestGlobalDhallEffect(t *testing.T) {
+	// The Dhall effect: m light short-period tasks + one heavy
+	// long-period task. Global EDF runs the light jobs first and the
+	// heavy job misses, although a partitioned scheduler (heavy task
+	// alone on one machine) succeeds easily.
+	//
+	// m = 2: tasks (1, 5), (1, 5) light; (9, 10) heavy. U ≈ 0.2+0.2+0.9.
+	ts := task.Set{
+		{Name: "light1", WCET: 1, Period: 5},
+		{Name: "light2", WCET: 1, Period: 5},
+		{Name: "heavy", WCET: 9, Period: 10},
+	}
+	p := machine.New(1, 1)
+	g, err := SimulateGlobal(ts, p, PolicyEDF, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Misses) == 0 {
+		t.Error("expected the Dhall-effect miss under global EDF")
+	}
+	// Partitioned: heavy alone on m0, lights on m1 — feasible
+	// (0.9 <= 1, 0.4 <= 1).
+	pr, err := SimulatePartition(ts, p, []int{1, 1, 0}, PolicyEDF, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.TotalMisses != 0 {
+		t.Errorf("partitioned schedule should succeed: %+v", pr)
+	}
+}
+
+func TestGlobalFasterMachinesPreferred(t *testing.T) {
+	// One heavy task on {fast, slow}: it must run on the fast machine and
+	// meet its deadline (w = 1.5 needs speed 2).
+	ts := task.Set{{WCET: 3, Period: 2}}
+	res, err := SimulateGlobal(ts, machine.New(0.5, 2), PolicyEDF, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("heavy task should fit the fast machine: %v", res.Misses)
+	}
+}
+
+func TestGlobalRMPolicy(t *testing.T) {
+	ts := task.Set{
+		{WCET: 1, Period: 2},
+		{WCET: 1, Period: 3},
+		{WCET: 2, Period: 6},
+	}
+	res, err := SimulateGlobal(ts, machine.New(1, 1), PolicyRM, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("comfortable RM set missed: %v", res.Misses)
+	}
+	if res.JobsCompleted != res.JobsReleased {
+		t.Errorf("completed %d of %d", res.JobsCompleted, res.JobsReleased)
+	}
+}
+
+func BenchmarkSimulateGlobal(b *testing.B) {
+	ts := task.Set{
+		{WCET: 1, Period: 4}, {WCET: 2, Period: 6}, {WCET: 3, Period: 12},
+		{WCET: 1, Period: 8}, {WCET: 2, Period: 24}, {WCET: 5, Period: 24},
+	}
+	p := machine.New(1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateGlobal(ts, p, PolicyEDF, 24*10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

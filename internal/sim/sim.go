@@ -1,0 +1,463 @@
+// Package sim is a discrete-event simulator for preemptive uniprocessor
+// and partitioned multiprocessor scheduling of sporadic task sets.
+//
+// It is the ground truth behind experiment E9: when the paper's test
+// accepts a task set, the witness partition is replayed here — synchronous
+// periodic releases (the worst case for implicit-deadline sporadic tasks
+// under both EDF and fixed priorities), one hyperperiod of releases, exact
+// rational event times — and must produce zero deadline misses.
+//
+// All timestamps, remaining-work amounts and speeds are exact rationals
+// (internal/rational), so a "miss by 10⁻¹⁵" float artifact cannot occur:
+// either the schedule fits or it does not.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+// Policy selects the uniprocessor scheduling discipline.
+type Policy int
+
+const (
+	// PolicyEDF schedules the ready job with the earliest absolute
+	// deadline (ties by lower task index).
+	PolicyEDF Policy = iota
+	// PolicyRM schedules by rate-monotonic static priority: smaller
+	// period first (ties by smaller WCET, then lower task index).
+	PolicyRM
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyEDF:
+		return "EDF"
+	case PolicyRM:
+		return "RM"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ArrivalModel produces each task's next release time. Implementations
+// must satisfy the sporadic constraint: next ≥ prev + period.
+type ArrivalModel interface {
+	// First returns the release time of the task's first job.
+	First(taskIdx int, t task.Task) rational.Rat
+	// Next returns the release following a release at prev.
+	Next(taskIdx int, t task.Task, prev rational.Rat) (rational.Rat, error)
+}
+
+// PeriodicArrivals releases every task at 0, P, 2P, … — the synchronous
+// periodic pattern, which is the densest legal sporadic arrival sequence
+// and the worst case for implicit-deadline schedulability.
+type PeriodicArrivals struct{}
+
+// First implements ArrivalModel.
+func (PeriodicArrivals) First(int, task.Task) rational.Rat { return rational.Zero() }
+
+// Next implements ArrivalModel.
+func (PeriodicArrivals) Next(_ int, t task.Task, prev rational.Rat) (rational.Rat, error) {
+	return prev.Add(rational.FromInt(t.Period))
+}
+
+// JitteredArrivals adds a deterministic pseudo-random integer gap in
+// [0, MaxJitter] after each period, exercising genuinely sporadic (less
+// dense) arrival sequences. The zero value (MaxJitter 0) degenerates to
+// periodic arrivals.
+type JitteredArrivals struct {
+	Seed      uint64
+	MaxJitter int64
+}
+
+// First implements ArrivalModel.
+func (JitteredArrivals) First(int, task.Task) rational.Rat { return rational.Zero() }
+
+// Next implements ArrivalModel.
+func (j JitteredArrivals) Next(taskIdx int, t task.Task, prev rational.Rat) (rational.Rat, error) {
+	gap := t.Period
+	if j.MaxJitter > 0 {
+		// splitmix64 keyed by seed, task and the previous release keeps
+		// the model pure (same inputs, same arrival sequence).
+		h := splitmix64(j.Seed ^ uint64(taskIdx)*0x9e3779b97f4a7c15 ^ uint64(prev.Num())<<1 ^ uint64(prev.Den()))
+		gap += int64(h % uint64(j.MaxJitter+1))
+	}
+	return prev.Add(rational.FromInt(gap))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Miss records one deadline violation.
+type Miss struct {
+	// TaskIdx indexes the simulated task set.
+	TaskIdx int
+	// Release and Deadline are the job's absolute release and deadline.
+	Release  rational.Rat
+	Deadline rational.Rat
+	// Completion is when the job actually finished; jobs still unfinished
+	// at simulation end report their (past-due) deadline with Completion
+	// unset and Unfinished true.
+	Completion rational.Rat
+	Unfinished bool
+}
+
+func (m Miss) String() string {
+	if m.Unfinished {
+		return fmt.Sprintf("task %d released %v missed deadline %v (unfinished)", m.TaskIdx, m.Release, m.Deadline)
+	}
+	return fmt.Sprintf("task %d released %v missed deadline %v (finished %v)", m.TaskIdx, m.Release, m.Deadline, m.Completion)
+}
+
+// MachineResult summarizes one uniprocessor simulation.
+type MachineResult struct {
+	// Misses lists deadline violations in completion order.
+	Misses []Miss
+	// JobsReleased and JobsCompleted count jobs within the horizon.
+	JobsReleased  int64
+	JobsCompleted int64
+	// BusyTime is total non-idle time.
+	BusyTime rational.Rat
+	// Makespan is the completion time of the last job.
+	Makespan rational.Rat
+	// Preemptions counts preemption events (a running job displaced by a
+	// newly released higher-priority job).
+	Preemptions int64
+}
+
+// ErrHorizon is returned for non-positive simulation horizons.
+var ErrHorizon = errors.New("sim: horizon must be positive")
+
+// job is one pending job instance.
+type job struct {
+	taskIdx   int
+	release   rational.Rat
+	deadline  rational.Rat
+	remaining rational.Rat // work units (WCET at unit speed)
+}
+
+// SimulateMachine runs one machine of the given speed over all jobs
+// released in [0, horizon) and until every released job completes.
+// The task set here is the set assigned to this machine.
+// An empty task set yields an empty result.
+func SimulateMachine(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
+	res, _, err := simulateMachine(ts, speed, policy, arrivals, horizon, nil)
+	return res, err
+}
+
+// SimulateMachineTraced is SimulateMachine plus an execution trace of
+// every (task, interval) segment, for Gantt rendering and audits.
+func SimulateMachineTraced(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
+	tr := &Trace{}
+	res, tr, err := simulateMachine(ts, speed, policy, arrivals, horizon, tr)
+	return res, tr, err
+}
+
+func simulateMachine(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64, trace *Trace) (MachineResult, *Trace, error) {
+	var res MachineResult
+	res.BusyTime = rational.Zero()
+	res.Makespan = rational.Zero()
+	if len(ts) == 0 {
+		return res, trace, nil
+	}
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if speed.Sign() <= 0 {
+		return res, trace, fmt.Errorf("sim: speed %v must be positive", speed)
+	}
+	if horizon <= 0 {
+		return res, trace, ErrHorizon
+	}
+	if arrivals == nil {
+		arrivals = PeriodicArrivals{}
+	}
+	if policy != PolicyEDF && policy != PolicyRM {
+		return res, trace, fmt.Errorf("sim: unknown policy %d", int(policy))
+	}
+
+	horizonR := rational.FromInt(horizon)
+
+	// Static RM priorities (lower rank = higher priority).
+	rank := rmRanks(ts)
+
+	// Per-task next release; exhausted tasks get release >= horizon.
+	nextRelease := make([]rational.Rat, len(ts))
+	for i, t := range ts {
+		nextRelease[i] = arrivals.First(i, t)
+	}
+
+	var ready []*job
+	now := rational.Zero()
+	var running *job // the job that ran in the previous slice, for preemption counting
+
+	higherPriority := func(a, b *job) bool {
+		switch policy {
+		case PolicyEDF:
+			c := a.deadline.Cmp(b.deadline)
+			if c != 0 {
+				return c < 0
+			}
+			return a.taskIdx < b.taskIdx
+		default: // PolicyRM
+			if rank[a.taskIdx] != rank[b.taskIdx] {
+				return rank[a.taskIdx] < rank[b.taskIdx]
+			}
+			return a.release.Less(b.release)
+		}
+	}
+
+	releaseDue := func() error {
+		for i, t := range ts {
+			for nextRelease[i].Less(horizonR) && nextRelease[i].LessEq(now) {
+				rel := nextRelease[i]
+				dl, err := rel.Add(rational.FromInt(t.Period))
+				if err != nil {
+					return fmt.Errorf("sim: deadline of task %d: %w", i, err)
+				}
+				ready = append(ready, &job{
+					taskIdx:   i,
+					release:   rel,
+					deadline:  dl,
+					remaining: rational.FromInt(t.WCET),
+				})
+				res.JobsReleased++
+				nr, err := arrivals.Next(i, t, rel)
+				if err != nil {
+					return err
+				}
+				if !rel.Less(nr) {
+					return fmt.Errorf("sim: arrival model violated sporadic constraint for task %d: %v -> %v", i, rel, nr)
+				}
+				nextRelease[i] = nr
+			}
+		}
+		return nil
+	}
+
+	earliestRelease := func() (rational.Rat, bool) {
+		var best rational.Rat
+		found := false
+		for i := range ts {
+			if nextRelease[i].Less(horizonR) {
+				if !found || nextRelease[i].Less(best) {
+					best = nextRelease[i]
+					found = true
+				}
+			}
+		}
+		return best, found
+	}
+
+	const maxEvents = 50_000_000
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return res, trace, fmt.Errorf("sim: event budget exceeded (horizon %d, %d tasks)", horizon, len(ts))
+		}
+		if err := releaseDue(); err != nil {
+			return res, trace, err
+		}
+		if len(ready) == 0 {
+			nr, any := earliestRelease()
+			if !any {
+				return res, trace, nil // all released jobs done, no more releases
+			}
+			now = nr
+			continue
+		}
+		// Pick the highest-priority ready job.
+		best := 0
+		for k := 1; k < len(ready); k++ {
+			if higherPriority(ready[k], ready[best]) {
+				best = k
+			}
+		}
+		j := ready[best]
+		if running != nil && running != j && running.remaining.Sign() > 0 {
+			res.Preemptions++
+		}
+		running = j
+
+		// It would finish at now + remaining/speed; a release before that
+		// preempts (or at least re-evaluates priority).
+		runTime, err := j.remaining.Div(speed)
+		if err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		finish, err := now.Add(runTime)
+		if err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		nr, any := earliestRelease()
+		if any && nr.Less(finish) {
+			// Run until the release, then loop to re-evaluate.
+			delta, err := nr.Sub(now)
+			if err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			work, err := delta.Mul(speed)
+			if err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			if j.remaining, err = j.remaining.Sub(work); err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			if res.BusyTime, err = res.BusyTime.Add(delta); err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			trace.add(j.taskIdx, now, nr)
+			now = nr
+			continue
+		}
+		// Job completes.
+		if res.BusyTime, err = res.BusyTime.Add(runTime); err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		trace.add(j.taskIdx, now, finish)
+		now = finish
+		res.JobsCompleted++
+		res.Makespan = rational.Max(res.Makespan, now)
+		if j.deadline.Less(now) {
+			res.Misses = append(res.Misses, Miss{
+				TaskIdx: j.taskIdx, Release: j.release, Deadline: j.deadline, Completion: now,
+			})
+		}
+		ready = append(ready[:best], ready[best+1:]...)
+		running = nil
+	}
+}
+
+// rmRanks assigns rate-monotonic priority ranks (0 = highest).
+func rmRanks(ts task.Set) []int {
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := ts[idx[a]], ts[idx[b]]
+		if ta.Period != tb.Period {
+			return ta.Period < tb.Period
+		}
+		if ta.WCET != tb.WCET {
+			return ta.WCET < tb.WCET
+		}
+		return idx[a] < idx[b]
+	})
+	rank := make([]int, len(ts))
+	for r, i := range idx {
+		rank[i] = r
+	}
+	return rank
+}
+
+// PlatformResult aggregates per-machine simulations of a partition.
+type PlatformResult struct {
+	// PerMachine is indexed like the platform.
+	PerMachine []MachineResult
+	// TotalMisses across all machines.
+	TotalMisses int
+	// TotalJobs released across all machines.
+	TotalJobs int64
+}
+
+// SimulatePartition replays a partitioned schedule: assignment[i] is the
+// machine index for task i (as produced by partition.Result.Assignment).
+// alpha scales machine speeds, matching the augmented platform the test
+// admitted the partition on. The horizon defaults to the task set's
+// hyperperiod when horizon <= 0.
+func SimulatePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64) (PlatformResult, error) {
+	pres, _, err := simulatePartition(ts, p, assignment, policy, alpha, horizon, false)
+	return pres, err
+}
+
+// SimulatePartitionTraced is SimulatePartition plus one execution trace
+// per machine. Trace TaskIdx values index the full input task set, so a
+// single label list feeds Gantt directly.
+func SimulatePartitionTraced(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64) (PlatformResult, []*Trace, error) {
+	return simulatePartition(ts, p, assignment, policy, alpha, horizon, true)
+}
+
+func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64, traced bool) (PlatformResult, []*Trace, error) {
+	var pres PlatformResult
+	if err := ts.Validate(); err != nil {
+		return pres, nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return pres, nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(assignment) != len(ts) {
+		return pres, nil, fmt.Errorf("sim: assignment length %d, want %d", len(assignment), len(ts))
+	}
+	if horizon <= 0 {
+		hp, err := ts.Hyperperiod()
+		if err != nil {
+			return pres, nil, fmt.Errorf("sim: %w", err)
+		}
+		horizon = hp
+	}
+	alphaR, err := rational.FromFloat(alpha)
+	if err != nil {
+		return pres, nil, fmt.Errorf("sim: alpha: %w", err)
+	}
+	if alphaR.Sign() <= 0 {
+		return pres, nil, fmt.Errorf("sim: alpha %v must be positive", alpha)
+	}
+
+	sets := make([]task.Set, len(p))
+	origIdx := make([][]int, len(p)) // per-machine subset index -> input index
+	for i, j := range assignment {
+		if j < 0 || j >= len(p) {
+			return pres, nil, fmt.Errorf("sim: task %d assigned to invalid machine %d", i, j)
+		}
+		sets[j] = append(sets[j], ts[i])
+		origIdx[j] = append(origIdx[j], i)
+	}
+	pres.PerMachine = make([]MachineResult, len(p))
+	var traces []*Trace
+	if traced {
+		traces = make([]*Trace, len(p))
+	}
+	for j := range p {
+		speed, err := p[j].SpeedRat()
+		if err != nil {
+			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
+		}
+		speed, err = speed.Mul(alphaR)
+		if err != nil {
+			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
+		}
+		var mr MachineResult
+		if traced {
+			var tr *Trace
+			mr, tr, err = SimulateMachineTraced(sets[j], speed, policy, PeriodicArrivals{}, horizon)
+			if err == nil {
+				// Remap subset task indices to input indices.
+				for k := range tr.Segments {
+					tr.Segments[k].TaskIdx = origIdx[j][tr.Segments[k].TaskIdx]
+				}
+				traces[j] = tr
+			}
+		} else {
+			mr, err = SimulateMachine(sets[j], speed, policy, PeriodicArrivals{}, horizon)
+		}
+		if err != nil {
+			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
+		}
+		pres.PerMachine[j] = mr
+		pres.TotalMisses += len(mr.Misses)
+		pres.TotalJobs += mr.JobsReleased
+	}
+	return pres, traces, nil
+}

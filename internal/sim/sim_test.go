@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/partition"
+	"partfeas/internal/rational"
+	"partfeas/internal/sched"
+	"partfeas/internal/task"
+)
+
+func one() rational.Rat { return rational.One() }
+
+func TestPolicyString(t *testing.T) {
+	if PolicyEDF.String() != "EDF" || PolicyRM.String() != "RM" {
+		t.Error("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestSimulateEmptySet(t *testing.T) {
+	res, err := SimulateMachine(task.Set{}, one(), PolicyEDF, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsReleased != 0 || len(res.Misses) != 0 {
+		t.Errorf("empty set result: %+v", res)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 2}}
+	if _, err := SimulateMachine(ts, rational.Zero(), PolicyEDF, nil, 10); err == nil {
+		t.Error("zero speed should fail")
+	}
+	if _, err := SimulateMachine(ts, one(), PolicyEDF, nil, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := SimulateMachine(ts, one(), Policy(9), nil, 10); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := SimulateMachine(task.Set{{WCET: 0, Period: 2}}, one(), PolicyEDF, nil, 10); err == nil {
+		t.Error("invalid task should fail")
+	}
+}
+
+func TestSingleTaskPeriodic(t *testing.T) {
+	ts := task.Set{{Name: "t", WCET: 1, Period: 2}}
+	res, err := SimulateMachine(ts, one(), PolicyEDF, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsReleased != 5 || res.JobsCompleted != 5 {
+		t.Errorf("jobs = %d/%d, want 5/5", res.JobsReleased, res.JobsCompleted)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("misses: %v", res.Misses)
+	}
+	if !res.BusyTime.Equal(rational.FromInt(5)) {
+		t.Errorf("busy = %v, want 5", res.BusyTime)
+	}
+	// Last job releases at 8, runs 1 → makespan 9.
+	if !res.Makespan.Equal(rational.FromInt(9)) {
+		t.Errorf("makespan = %v, want 9", res.Makespan)
+	}
+}
+
+func TestOverloadMisses(t *testing.T) {
+	ts := task.Set{{WCET: 3, Period: 2}}
+	res, err := SimulateMachine(ts, one(), PolicyEDF, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) == 0 {
+		t.Fatal("overloaded task produced no misses")
+	}
+	if res.Misses[0].TaskIdx != 0 || res.Misses[0].Unfinished {
+		t.Errorf("first miss: %+v", res.Misses[0])
+	}
+	if !strings.Contains(res.Misses[0].String(), "missed deadline") {
+		t.Errorf("miss string: %q", res.Misses[0])
+	}
+}
+
+func TestSpeedScaling(t *testing.T) {
+	// WCET 2 on a speed-2 machine takes 1 time unit.
+	ts := task.Set{{WCET: 2, Period: 2}}
+	res, err := SimulateMachine(ts, rational.FromInt(2), PolicyEDF, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("misses: %v", res.Misses)
+	}
+	if !res.BusyTime.Equal(rational.FromInt(2)) {
+		t.Errorf("busy = %v, want 2 (two jobs × 1)", res.BusyTime)
+	}
+	// Fractional speed: same task on speed 1/2 takes 4 > deadline 2.
+	res, err = SimulateMachine(ts, rational.MustNew(1, 2), PolicyEDF, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) == 0 {
+		t.Error("half-speed machine should miss")
+	}
+}
+
+func TestEDFFullUtilizationNoMiss(t *testing.T) {
+	// u = 1/2 + 1/3 + 1/6 = 1 exactly; EDF on speed 1 must be miss-free
+	// over the hyperperiod (and beyond: we simulate all released jobs).
+	ts := task.Set{
+		{WCET: 1, Period: 2},
+		{WCET: 1, Period: 3},
+		{WCET: 1, Period: 6},
+	}
+	hp, err := ts.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateMachine(ts, one(), PolicyEDF, nil, 10*hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("EDF at U=1 missed: %v", res.Misses[0])
+	}
+	// Fully busy: busy time equals total demand.
+	wantBusy := rational.FromInt(10*hp/2 + 10*hp/3 + 10*hp/6)
+	if !res.BusyTime.Equal(wantBusy) {
+		t.Errorf("busy = %v, want %v", res.BusyTime, wantBusy)
+	}
+}
+
+func TestRMClassicMiss(t *testing.T) {
+	// τ1=(2,5), τ2=(4,7): EDF schedulable (U≈0.971 ≤ 1) but RM misses —
+	// response time of τ2 is 4 + 2·⌈R/5⌉ which exceeds 7.
+	ts := task.Set{
+		{WCET: 2, Period: 5},
+		{WCET: 4, Period: 7},
+	}
+	edf, err := SimulateMachine(ts, one(), PolicyEDF, nil, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edf.Misses) != 0 {
+		t.Errorf("EDF missed: %v", edf.Misses)
+	}
+	rm, err := SimulateMachine(ts, one(), PolicyRM, nil, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm.Misses) == 0 {
+		t.Error("RM should miss on the classic (2,5),(4,7) pair")
+	}
+	// Consistency with analysis.
+	ok, err := sched.RMSFeasibleExact(ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("RTA disagrees with the known-miss example")
+	}
+}
+
+func TestPreemptionCounting(t *testing.T) {
+	// High-rate task preempts a long low-rate job under RM.
+	ts := task.Set{
+		{WCET: 1, Period: 4},
+		{WCET: 5, Period: 16},
+	}
+	res, err := SimulateMachine(ts, one(), PolicyRM, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Error("expected preemptions")
+	}
+	if len(res.Misses) != 0 {
+		t.Errorf("misses: %v", res.Misses)
+	}
+}
+
+// Simulation agrees with exact RM response-time analysis: zero misses iff
+// RTA says schedulable (synchronous periodic pattern is the critical
+// instant, which RTA models exactly).
+func TestRMSimAgreesWithRTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(int(p)))
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		hp, err := ts.Hyperperiod()
+		if err != nil {
+			continue
+		}
+		res, err := SimulateMachine(ts, one(), PolicyRM, nil, hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := sched.RMSFeasibleExact(ts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (len(res.Misses) == 0) {
+			t.Fatalf("trial %d: RTA=%v, sim misses=%d for %v", trial, ok, len(res.Misses), ts)
+		}
+	}
+}
+
+// Simulation agrees with the EDF utilization bound.
+func TestEDFSimAgreesWithUtilizationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		ts := make(task.Set, n)
+		for i := range ts {
+			p := int64(2 + rng.Intn(10))
+			c := int64(1 + rng.Intn(int(p)))
+			ts[i] = task.Task{WCET: c, Period: p}
+		}
+		hp, err := ts.Hyperperiod()
+		if err != nil {
+			continue
+		}
+		res, err := SimulateMachine(ts, one(), PolicyEDF, nil, hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ts.TotalUtilizationRat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := exact.LessEq(rational.One())
+		if feasible != (len(res.Misses) == 0) {
+			t.Fatalf("trial %d: U=%v, sim misses=%d for %v", trial, exact, len(res.Misses), ts)
+		}
+	}
+}
+
+func TestJitteredArrivalsSporadic(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 3}, {WCET: 2, Period: 5}}
+	arr := JitteredArrivals{Seed: 7, MaxJitter: 4}
+	res, err := SimulateMachine(ts, one(), PolicyEDF, arr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible set stays feasible under sparser (jittered) arrivals.
+	if len(res.Misses) != 0 {
+		t.Errorf("jittered misses: %v", res.Misses)
+	}
+	// Fewer or equal jobs than the periodic pattern releases.
+	periodic, err := SimulateMachine(ts, one(), PolicyEDF, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsReleased > periodic.JobsReleased {
+		t.Errorf("jittered released %d > periodic %d", res.JobsReleased, periodic.JobsReleased)
+	}
+}
+
+func TestJitteredDeterministic(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 3}}
+	arr := JitteredArrivals{Seed: 42, MaxJitter: 3}
+	a, err := SimulateMachine(ts, one(), PolicyEDF, arr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateMachine(ts, one(), PolicyEDF, arr, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JobsReleased != b.JobsReleased || !a.BusyTime.Equal(b.BusyTime) {
+		t.Error("jittered arrivals not deterministic")
+	}
+}
+
+type badArrivals struct{}
+
+func (badArrivals) First(int, task.Task) rational.Rat { return rational.Zero() }
+func (badArrivals) Next(_ int, _ task.Task, prev rational.Rat) (rational.Rat, error) {
+	return prev, nil // violates sporadic separation
+}
+
+func TestArrivalModelViolationDetected(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 2}}
+	if _, err := SimulateMachine(ts, one(), PolicyEDF, badArrivals{}, 10); err == nil {
+		t.Error("sporadic violation not detected")
+	}
+}
+
+func TestSimulatePartitionEndToEnd(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", WCET: 1, Period: 2},
+		{Name: "b", WCET: 1, Period: 2},
+		{Name: "c", WCET: 2, Period: 4},
+	}
+	p := machine.New(1, 1)
+	res, err := partition.Partition(ts, p, partition.Paper(partition.EDFAdmission{}, 1))
+	if err != nil || !res.Feasible {
+		t.Fatalf("partition failed: %+v (%v)", res, err)
+	}
+	pres, err := SimulatePartition(ts, p, res.Assignment, PolicyEDF, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TotalMisses != 0 {
+		t.Errorf("accepted partition missed deadlines: %+v", pres)
+	}
+	if pres.TotalJobs == 0 {
+		t.Error("no jobs simulated")
+	}
+}
+
+func TestSimulatePartitionValidation(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 2}}
+	p := machine.New(1)
+	if _, err := SimulatePartition(task.Set{}, p, nil, PolicyEDF, 1, 0); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := SimulatePartition(ts, machine.Platform{}, []int{0}, PolicyEDF, 1, 0); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := SimulatePartition(ts, p, []int{}, PolicyEDF, 1, 0); err == nil {
+		t.Error("assignment length mismatch should fail")
+	}
+	if _, err := SimulatePartition(ts, p, []int{5}, PolicyEDF, 1, 0); err == nil {
+		t.Error("out-of-range machine should fail")
+	}
+	if _, err := SimulatePartition(ts, p, []int{0}, PolicyEDF, -1, 0); err == nil {
+		t.Error("negative alpha should fail")
+	}
+}
+
+func TestSimulatePartitionWithAlpha(t *testing.T) {
+	// Three 2/3 tasks on two unit machines at α = 1.5: partition exists
+	// (two tasks = 4/3 ≤ 1.5) and the α-scaled simulation is miss-free.
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 2, Period: 3}, {WCET: 2, Period: 3},
+	}
+	p := machine.New(1, 1)
+	res, err := partition.Partition(ts, p, partition.Paper(partition.EDFAdmission{}, 1.5))
+	if err != nil || !res.Feasible {
+		t.Fatalf("partition at α=1.5: %+v (%v)", res, err)
+	}
+	pres, err := SimulatePartition(ts, p, res.Assignment, PolicyEDF, 1.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TotalMisses != 0 {
+		t.Errorf("α-scaled simulation missed: %+v", pres)
+	}
+	// Without augmentation the same assignment overloads one machine.
+	pres, err = SimulatePartition(ts, p, res.Assignment, PolicyEDF, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TotalMisses == 0 {
+		t.Error("unaugmented overloaded machine should miss")
+	}
+}
+
+func BenchmarkSimulateMachineEDF(b *testing.B) {
+	ts := task.Set{
+		{WCET: 1, Period: 4}, {WCET: 2, Period: 6}, {WCET: 3, Period: 12},
+		{WCET: 1, Period: 8}, {WCET: 2, Period: 24},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMachine(ts, one(), PolicyEDF, nil, 24*20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"partfeas/internal/rational"
+)
+
+// Segment is one contiguous stretch of a machine executing one task.
+type Segment struct {
+	TaskIdx    int
+	Start, End rational.Rat
+}
+
+// Trace records the execution segments of one machine in time order.
+type Trace struct {
+	Segments []Segment
+}
+
+// add appends a segment, merging with the previous one when the same
+// task continues without a gap.
+func (tr *Trace) add(taskIdx int, start, end rational.Rat) {
+	if tr == nil || start.Cmp(end) >= 0 {
+		return
+	}
+	if n := len(tr.Segments); n > 0 {
+		last := &tr.Segments[n-1]
+		if last.TaskIdx == taskIdx && last.End.Equal(start) {
+			last.End = end
+			return
+		}
+	}
+	tr.Segments = append(tr.Segments, Segment{TaskIdx: taskIdx, Start: start, End: end})
+}
+
+// BusyTime returns the summed segment lengths.
+func (tr *Trace) BusyTime() (rational.Rat, error) {
+	total := rational.Zero()
+	for _, s := range tr.Segments {
+		d, err := s.End.Sub(s.Start)
+		if err != nil {
+			return rational.Rat{}, err
+		}
+		total, err = total.Add(d)
+		if err != nil {
+			return rational.Rat{}, err
+		}
+	}
+	return total, nil
+}
+
+// Gantt renders traces as an ASCII chart: one row per machine, width
+// character cells covering [0, horizon). Each cell shows the task label
+// (first rune of its name, or a digit) that occupies the majority of the
+// cell, '.' for idle. Labels lists one string per task index.
+func Gantt(traces []*Trace, labels []string, horizon int64, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if horizon <= 0 || len(traces) == 0 {
+		return ""
+	}
+	cellGlyph := func(taskIdx int) byte {
+		if taskIdx >= 0 && taskIdx < len(labels) && len(labels[taskIdx]) > 0 {
+			return labels[taskIdx][0]
+		}
+		return byte('0' + taskIdx%10)
+	}
+	var b strings.Builder
+	scale := float64(horizon) / float64(width)
+	for mi, tr := range traces {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		occupancy := make([]float64, width) // best coverage seen per cell
+		if tr != nil {
+			for _, seg := range tr.Segments {
+				s := seg.Start.Float64()
+				e := seg.End.Float64()
+				first := int(s / scale)
+				last := int((e - 1e-12) / scale)
+				for c := first; c <= last && c < width; c++ {
+					if c < 0 {
+						continue
+					}
+					cellLo := float64(c) * scale
+					cellHi := cellLo + scale
+					lo, hi := s, e
+					if cellLo > lo {
+						lo = cellLo
+					}
+					if cellHi < hi {
+						hi = cellHi
+					}
+					if cover := hi - lo; cover > occupancy[c] {
+						occupancy[c] = cover
+						row[c] = cellGlyph(seg.TaskIdx)
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&b, "m%-2d |%s|\n", mi, row)
+	}
+	// Time axis.
+	fmt.Fprintf(&b, "     0%s%d\n", strings.Repeat(" ", width-1-len(fmt.Sprint(horizon))), horizon)
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+func TestTraceMergesAdjacent(t *testing.T) {
+	tr := &Trace{}
+	tr.add(0, rational.FromInt(0), rational.FromInt(1))
+	tr.add(0, rational.FromInt(1), rational.FromInt(2))
+	tr.add(1, rational.FromInt(2), rational.FromInt(3))
+	tr.add(0, rational.FromInt(4), rational.FromInt(5)) // gap: no merge
+	if len(tr.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (merged)", len(tr.Segments))
+	}
+	if !tr.Segments[0].End.Equal(rational.FromInt(2)) {
+		t.Errorf("merged end = %v", tr.Segments[0].End)
+	}
+	busy, err := tr.BusyTime()
+	if err != nil || !busy.Equal(rational.FromInt(4)) {
+		t.Errorf("busy = %v (%v), want 4", busy, err)
+	}
+	// Degenerate adds are ignored.
+	tr.add(0, rational.FromInt(5), rational.FromInt(5))
+	if len(tr.Segments) != 3 {
+		t.Error("zero-length segment recorded")
+	}
+	var nilTr *Trace
+	nilTr.add(0, rational.FromInt(0), rational.FromInt(1)) // must not panic
+}
+
+func TestSimulateMachineTracedConsistent(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", WCET: 1, Period: 4},
+		{Name: "b", WCET: 2, Period: 6},
+	}
+	res, tr, err := SimulateMachineTraced(ts, rational.One(), PolicyEDF, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := tr.BusyTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !busy.Equal(res.BusyTime) {
+		t.Errorf("trace busy %v != result busy %v", busy, res.BusyTime)
+	}
+	// Segments must be time-ordered and non-overlapping.
+	for k := 1; k < len(tr.Segments); k++ {
+		if tr.Segments[k].Start.Less(tr.Segments[k-1].End) {
+			t.Errorf("segments overlap at %d", k)
+		}
+	}
+}
+
+func TestSimulatePartitionTraced(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", WCET: 1, Period: 2},
+		{Name: "b", WCET: 1, Period: 2},
+		{Name: "c", WCET: 2, Period: 4},
+	}
+	p := machine.New(1, 1)
+	pres, traces, err := SimulatePartitionTraced(ts, p, []int{0, 1, 0}, PolicyEDF, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TotalMisses != 0 {
+		t.Errorf("misses: %d", pres.TotalMisses)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	// Remapped indices: machine 0 runs tasks {0, 2}, machine 1 runs {1}.
+	for _, seg := range traces[0].Segments {
+		if seg.TaskIdx != 0 && seg.TaskIdx != 2 {
+			t.Errorf("machine 0 ran task %d", seg.TaskIdx)
+		}
+	}
+	for _, seg := range traces[1].Segments {
+		if seg.TaskIdx != 1 {
+			t.Errorf("machine 1 ran task %d", seg.TaskIdx)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	ts := task.Set{
+		{Name: "audio", WCET: 1, Period: 2},
+		{Name: "video", WCET: 1, Period: 2},
+	}
+	p := machine.New(1, 1)
+	_, traces, err := SimulatePartitionTraced(ts, p, []int{0, 1}, PolicyEDF, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(traces, []string{"audio", "video"}, 8, 32)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "v") {
+		t.Errorf("gantt missing task glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "m0") || !strings.Contains(out, "m1") {
+		t.Errorf("gantt missing machine rows:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("gantt rows:\n%s", out)
+	}
+	// Degenerate inputs.
+	if Gantt(nil, nil, 8, 10) != "" {
+		t.Error("empty traces should render empty")
+	}
+	if Gantt(traces, nil, 0, 10) != "" {
+		t.Error("zero horizon should render empty")
+	}
+	if out := Gantt([]*Trace{nil}, nil, 4, 0); !strings.Contains(out, "m0") {
+		t.Error("nil trace row should still render")
+	}
+}

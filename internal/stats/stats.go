@@ -1,0 +1,151 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: five-number-style summaries with percentiles, and fixed-bin
+// histograms for ratio distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	Count              int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary
+// (Count 0); NaNs in the input are rejected with an error so silent
+// propagation cannot corrupt experiment tables.
+func Summarize(xs []float64) (Summary, error) {
+	var s Summary
+	if len(xs) == 0 {
+		return s, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	for _, x := range sorted {
+		if math.IsNaN(x) {
+			return s, fmt.Errorf("stats: NaN observation")
+		}
+	}
+	sort.Float64s(sorted)
+	s.Count = len(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.Count)
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.Count > 1 {
+		s.Std = math.Sqrt(ss / float64(s.Count-1))
+	}
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s, nil
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an already-sorted
+// sample using linear interpolation between closest ranks. It returns NaN
+// for an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f",
+		s.Count, s.Mean, s.Std, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); values outside
+// land in the clamping edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins %d must be positive", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) invalid", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Render draws the histogram as fixed-width text rows, one per bin, with
+// a proportional bar of at most barWidth characters.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*width
+		bar := 0
+		if maxC > 0 {
+			bar = c * barWidth / maxC
+		}
+		fmt.Fprintf(&b, "[%7.3f, %7.3f) %6d %s\n", lo, lo+width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON shape for a task set. Kept separate from
+// Task so the wire format can evolve without touching the model.
+type fileFormat struct {
+	Tasks []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	Name   string `json:"name,omitempty"`
+	WCET   int64  `json:"wcet"`
+	Period int64  `json:"period"`
+}
+
+// WriteJSON serializes the set as indented JSON.
+func (s Set) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Tasks: make([]taskJSON, len(s))}
+	for i, t := range s {
+		ff.Tasks[i] = taskJSON{Name: t.Name, WCET: t.WCET, Period: t.Period}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("task: encoding set: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a task set previously written by WriteJSON and validates
+// it.
+func ReadJSON(r io.Reader) (Set, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("task: decoding set: %w", err)
+	}
+	s := make(Set, len(ff.Tasks))
+	for i, t := range ff.Tasks {
+		s[i] = Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

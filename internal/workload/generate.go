@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// UUniFast draws n utilizations summing to totalU, uniformly over the
+// simplex (Bini & Buttazzo's UUniFast). totalU may exceed 1; per-task
+// values may exceed 1 when totalU > 1 — callers that need caps should use
+// UUniFastCapped.
+func UUniFast(rng *RNG, n int, totalU float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: UUniFast n %d must be positive", n)
+	}
+	if totalU <= 0 || math.IsNaN(totalU) || math.IsInf(totalU, 0) {
+		return nil, fmt.Errorf("workload: UUniFast totalU %v must be positive and finite", totalU)
+	}
+	us := make([]float64, n)
+	sum := totalU
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		us[i] = sum - next
+		sum = next
+	}
+	us[n-1] = sum
+	return us, nil
+}
+
+// UUniFastCapped retries UUniFast until every utilization is at most cap
+// (e.g. 1.0 so every task fits a unit-speed machine). It fails when
+// totalU > n*cap (impossible) or after too many rejections.
+func UUniFastCapped(rng *RNG, n int, totalU, cap float64) ([]float64, error) {
+	if cap <= 0 {
+		return nil, fmt.Errorf("workload: cap %v must be positive", cap)
+	}
+	if totalU > float64(n)*cap {
+		return nil, fmt.Errorf("workload: totalU %v > n·cap %v", totalU, float64(n)*cap)
+	}
+	const maxTries = 10_000
+	for try := 0; try < maxTries; try++ {
+		us, err := UUniFast(rng, n, totalU)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, u := range us {
+			if u > cap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return us, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: UUniFastCapped gave up after %d tries (totalU=%v n=%d cap=%v)", maxTries, totalU, n, cap)
+}
+
+// BimodalUtilizations draws n utilizations where each task is light with
+// probability pLight — light tasks uniform in [lightLo, lightHi), heavy
+// tasks uniform in [heavyLo, heavyHi). This is the classic "a few big
+// tasks among many small ones" shape that stresses first-fit.
+func BimodalUtilizations(rng *RNG, n int, pLight, lightLo, lightHi, heavyLo, heavyHi float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: bimodal n %d must be positive", n)
+	}
+	if pLight < 0 || pLight > 1 {
+		return nil, fmt.Errorf("workload: pLight %v must be in [0,1]", pLight)
+	}
+	if lightLo <= 0 || lightHi < lightLo || heavyLo <= 0 || heavyHi < heavyLo {
+		return nil, fmt.Errorf("workload: bimodal ranges invalid: [%v,%v) [%v,%v)", lightLo, lightHi, heavyLo, heavyHi)
+	}
+	us := make([]float64, n)
+	for i := range us {
+		if rng.Float64() < pLight {
+			us[i] = rng.Range(lightLo, lightHi)
+		} else {
+			us[i] = rng.Range(heavyLo, heavyHi)
+		}
+	}
+	return us, nil
+}
+
+// ExponentialUtilizations draws n utilizations from an exponential with
+// the given mean, clamped to [floor, cap].
+func ExponentialUtilizations(rng *RNG, n int, mean, floor, cap float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: exponential n %d must be positive", n)
+	}
+	if mean <= 0 || floor <= 0 || cap < floor {
+		return nil, fmt.Errorf("workload: exponential params invalid: mean=%v floor=%v cap=%v", mean, floor, cap)
+	}
+	us := make([]float64, n)
+	for i := range us {
+		u := rng.Exp(mean)
+		if u < floor {
+			u = floor
+		}
+		if u > cap {
+			u = cap
+		}
+		us[i] = u
+	}
+	return us, nil
+}
+
+// LogUniformPeriod draws an integer period log-uniformly from [lo, hi],
+// the standard way to get realistic period spreads over decades.
+func LogUniformPeriod(rng *RNG, lo, hi int64) (int64, error) {
+	if lo <= 0 || hi < lo {
+		return 0, fmt.Errorf("workload: log-uniform period range [%d, %d] invalid", lo, hi)
+	}
+	if lo == hi {
+		return lo, nil
+	}
+	v := math.Exp(rng.Range(math.Log(float64(lo)), math.Log(float64(hi)+1)))
+	p := int64(v)
+	if p < lo {
+		p = lo
+	}
+	if p > hi {
+		p = hi
+	}
+	return p, nil
+}
+
+// DivisorGridPeriods draws periods from the divisors of base (default
+// 2520 = 2³·3²·5·7 when base <= 0), keeping hyperperiods bounded by base —
+// essential for exact simulation over a hyperperiod.
+func DivisorGridPeriods(rng *RNG, n int, base int64) ([]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: divisor-grid n %d must be positive", n)
+	}
+	if base <= 0 {
+		base = 2520
+	}
+	var divs []int64
+	for d := int64(1); d*d <= base; d++ {
+		if base%d == 0 {
+			divs = append(divs, d)
+			if d != base/d {
+				divs = append(divs, base/d)
+			}
+		}
+	}
+	// Drop period 1: WCET must be >= 1 so u would be pinned to 1.
+	filtered := divs[:0]
+	for _, d := range divs {
+		if d > 1 {
+			filtered = append(filtered, d)
+		}
+	}
+	ps := make([]int64, n)
+	for i := range ps {
+		ps[i] = filtered[rng.Intn(len(filtered))]
+	}
+	return ps, nil
+}
+
+// TasksFromUtilizations pairs utilizations with periods, setting
+// WCET = max(1, round(u·P)). Periods may be nil, in which case every task
+// gets the given default period.
+func TasksFromUtilizations(us []float64, periods []int64, defaultPeriod int64) (task.Set, error) {
+	if len(us) == 0 {
+		return nil, fmt.Errorf("workload: no utilizations")
+	}
+	if periods != nil && len(periods) != len(us) {
+		return nil, fmt.Errorf("workload: %d periods for %d utilizations", len(periods), len(us))
+	}
+	ts := make(task.Set, len(us))
+	for i, u := range us {
+		if u <= 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+			return nil, fmt.Errorf("workload: utilization %v at %d invalid", u, i)
+		}
+		p := defaultPeriod
+		if periods != nil {
+			p = periods[i]
+		}
+		if p <= 0 {
+			return nil, fmt.Errorf("workload: period %d at %d invalid", p, i)
+		}
+		c := int64(math.Round(u * float64(p)))
+		if c < 1 {
+			c = 1
+		}
+		ts[i] = task.Task{Name: fmt.Sprintf("t%d", i), WCET: c, Period: p}
+	}
+	return ts, nil
+}
+
+// SpeedFamily names a platform speed distribution.
+type SpeedFamily int
+
+const (
+	// SpeedsUniform draws speeds uniformly from [0.5, 4).
+	SpeedsUniform SpeedFamily = iota
+	// SpeedsGeometric spaces speeds geometrically: 1, r, r², … with
+	// r = 1.8 — a wide heterogeneity spread.
+	SpeedsGeometric
+	// SpeedsBigLittle builds two clusters: ~25% big cores at speed 4,
+	// the rest little cores at speed 1 — the architecture the paper's
+	// introduction motivates.
+	SpeedsBigLittle
+	// SpeedsIdentical is the homogeneous baseline: all speed 1.
+	SpeedsIdentical
+)
+
+// SpeedFamilies lists all families for sweeps.
+var SpeedFamilies = []SpeedFamily{SpeedsUniform, SpeedsGeometric, SpeedsBigLittle, SpeedsIdentical}
+
+func (f SpeedFamily) String() string {
+	switch f {
+	case SpeedsUniform:
+		return "uniform"
+	case SpeedsGeometric:
+		return "geometric"
+	case SpeedsBigLittle:
+		return "big.LITTLE"
+	case SpeedsIdentical:
+		return "identical"
+	default:
+		return fmt.Sprintf("SpeedFamily(%d)", int(f))
+	}
+}
+
+// Platform draws an m-machine platform from the family.
+func (f SpeedFamily) Platform(rng *RNG, m int) (machine.Platform, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("workload: platform size %d must be positive", m)
+	}
+	speeds := make([]float64, m)
+	switch f {
+	case SpeedsUniform:
+		for j := range speeds {
+			speeds[j] = rng.Range(0.5, 4)
+		}
+	case SpeedsGeometric:
+		s := 1.0
+		for j := range speeds {
+			speeds[j] = s
+			s *= 1.8
+		}
+	case SpeedsBigLittle:
+		nBig := (m + 3) / 4
+		for j := range speeds {
+			if j < nBig {
+				speeds[j] = 4
+			} else {
+				speeds[j] = 1
+			}
+		}
+	case SpeedsIdentical:
+		for j := range speeds {
+			speeds[j] = 1
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown speed family %d", int(f))
+	}
+	return machine.New(speeds...), nil
+}
+
+// UtilizationFamily names a task utilization distribution.
+type UtilizationFamily int
+
+const (
+	// UtilUUniFast spreads a total utilization budget uniformly over the
+	// simplex.
+	UtilUUniFast UtilizationFamily = iota
+	// UtilBimodal mixes 80% light tasks in [0.05, 0.3) with 20% heavy in
+	// [0.5, 1.2).
+	UtilBimodal
+	// UtilExponential draws exponential(0.35) clamped to [0.02, 1.5].
+	UtilExponential
+)
+
+// UtilizationFamilies lists all families for sweeps.
+var UtilizationFamilies = []UtilizationFamily{UtilUUniFast, UtilBimodal, UtilExponential}
+
+func (f UtilizationFamily) String() string {
+	switch f {
+	case UtilUUniFast:
+		return "uunifast"
+	case UtilBimodal:
+		return "bimodal"
+	case UtilExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("UtilizationFamily(%d)", int(f))
+	}
+}
+
+// Utilizations draws n utilizations. For UtilUUniFast the budget parameter
+// is the simplex total; the other families ignore it.
+func (f UtilizationFamily) Utilizations(rng *RNG, n int, budget float64) ([]float64, error) {
+	switch f {
+	case UtilUUniFast:
+		return UUniFast(rng, n, budget)
+	case UtilBimodal:
+		return BimodalUtilizations(rng, n, 0.8, 0.05, 0.3, 0.5, 1.2)
+	case UtilExponential:
+		return ExponentialUtilizations(rng, n, 0.35, 0.02, 1.5)
+	default:
+		return nil, fmt.Errorf("workload: unknown utilization family %d", int(f))
+	}
+}
+
+// AutomotivePeriods draws periods from the distribution reported for
+// real automotive engine-management workloads (Kramer, Ziegenbein &
+// Hamann, WATERS 2015): values in milliseconds with strongly non-uniform
+// weights — most runnables live at 10/20/100 ms. Using 1 time unit = 1 ms
+// keeps WCETs integral.
+func AutomotivePeriods(rng *RNG, n int) ([]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: automotive n %d must be positive", n)
+	}
+	type bucket struct {
+		period int64
+		weight int // per-mille
+	}
+	buckets := []bucket{
+		{1, 30}, {2, 20}, {5, 20}, {10, 250}, {20, 250},
+		{50, 30}, {100, 200}, {200, 150}, {1000, 50},
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.weight
+	}
+	ps := make([]int64, n)
+	for i := range ps {
+		r := rng.Intn(total)
+		for _, b := range buckets {
+			if r < b.weight {
+				ps[i] = b.period
+				break
+			}
+			r -= b.weight
+		}
+	}
+	return ps, nil
+}

@@ -1,0 +1,397 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGInt63nAndRangeAndExp(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63n(100); v < 0 || v >= 100 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if v := r.Range(2, 3); v < 2 || v >= 3 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+		if v := r.Exp(1.0); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp invalid: %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(17)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Error("split stream mirrors parent")
+	}
+}
+
+func TestUUniFastSumsAndUniform(t *testing.T) {
+	r := NewRNG(19)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(20)
+		total := 0.1 + r.Float64()*4
+		us, err := UUniFast(r, n, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(us) != n {
+			t.Fatalf("len = %d", len(us))
+		}
+		sum := 0.0
+		for _, u := range us {
+			if u < 0 {
+				t.Fatalf("negative utilization %v", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-total) > 1e-9*(1+total) {
+			t.Fatalf("sum = %v, want %v", sum, total)
+		}
+	}
+}
+
+func TestUUniFastErrors(t *testing.T) {
+	r := NewRNG(23)
+	if _, err := UUniFast(r, 0, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := UUniFast(r, 3, -1); err == nil {
+		t.Error("negative total should fail")
+	}
+	if _, err := UUniFast(r, 3, math.NaN()); err == nil {
+		t.Error("NaN total should fail")
+	}
+}
+
+func TestUUniFastCapped(t *testing.T) {
+	r := NewRNG(29)
+	us, err := UUniFastCapped(r, 8, 3.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range us {
+		if u > 1.0 {
+			t.Fatalf("utilization %v exceeds cap", u)
+		}
+	}
+	if _, err := UUniFastCapped(r, 2, 3.0, 1.0); err == nil {
+		t.Error("impossible cap should fail")
+	}
+	if _, err := UUniFastCapped(r, 2, 3.0, -1); err == nil {
+		t.Error("negative cap should fail")
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	r := NewRNG(31)
+	us, err := BimodalUtilizations(r, 1000, 0.8, 0.05, 0.3, 0.5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, heavy := 0, 0
+	for _, u := range us {
+		switch {
+		case u >= 0.05 && u < 0.3:
+			light++
+		case u >= 0.5 && u < 1.2:
+			heavy++
+		default:
+			t.Fatalf("utilization %v outside both modes", u)
+		}
+	}
+	if light < 700 || light > 900 {
+		t.Errorf("light fraction %d/1000, want ≈800", light)
+	}
+	if _, err := BimodalUtilizations(r, 0, 0.5, 0.1, 0.2, 0.5, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := BimodalUtilizations(r, 5, 1.5, 0.1, 0.2, 0.5, 1); err == nil {
+		t.Error("pLight>1 should fail")
+	}
+	if _, err := BimodalUtilizations(r, 5, 0.5, 0.3, 0.2, 0.5, 1); err == nil {
+		t.Error("inverted light range should fail")
+	}
+}
+
+func TestExponentialUtilizations(t *testing.T) {
+	r := NewRNG(37)
+	us, err := ExponentialUtilizations(r, 1000, 0.35, 0.02, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range us {
+		if u < 0.02 || u > 1.5 {
+			t.Fatalf("utilization %v outside clamp", u)
+		}
+	}
+	if _, err := ExponentialUtilizations(r, 0, 0.35, 0.02, 1.5); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ExponentialUtilizations(r, 5, -1, 0.02, 1.5); err == nil {
+		t.Error("negative mean should fail")
+	}
+}
+
+func TestLogUniformPeriod(t *testing.T) {
+	r := NewRNG(41)
+	seenLow, seenHigh := false, false
+	for i := 0; i < 5000; i++ {
+		p, err := LogUniformPeriod(r, 10, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 10 || p > 1000 {
+			t.Fatalf("period %d out of range", p)
+		}
+		if p < 32 {
+			seenLow = true
+		}
+		if p > 316 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Error("log-uniform periods did not span decades")
+	}
+	if p, err := LogUniformPeriod(r, 5, 5); err != nil || p != 5 {
+		t.Errorf("degenerate range: %d (%v)", p, err)
+	}
+	if _, err := LogUniformPeriod(r, 0, 10); err == nil {
+		t.Error("lo=0 should fail")
+	}
+	if _, err := LogUniformPeriod(r, 10, 5); err == nil {
+		t.Error("hi<lo should fail")
+	}
+}
+
+func TestDivisorGridPeriods(t *testing.T) {
+	r := NewRNG(43)
+	ps, err := DivisorGridPeriods(r, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p <= 1 || 2520%p != 0 {
+			t.Fatalf("period %d not a proper divisor of 2520", p)
+		}
+	}
+	if _, err := DivisorGridPeriods(r, 0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	ps, err = DivisorGridPeriods(r, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p <= 1 || 60%p != 0 {
+			t.Fatalf("period %d not a proper divisor of 60", p)
+		}
+	}
+}
+
+func TestTasksFromUtilizations(t *testing.T) {
+	ts, err := TasksFromUtilizations([]float64{0.5, 0.25}, []int64{100, 200}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].WCET != 50 || ts[1].WCET != 50 {
+		t.Errorf("WCETs = %d, %d", ts[0].WCET, ts[1].WCET)
+	}
+	ts, err = TasksFromUtilizations([]float64{0.5}, nil, 10)
+	if err != nil || ts[0].Period != 10 {
+		t.Errorf("default period: %+v (%v)", ts, err)
+	}
+	if _, err := TasksFromUtilizations(nil, nil, 10); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := TasksFromUtilizations([]float64{0.5}, []int64{1, 2}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := TasksFromUtilizations([]float64{-1}, nil, 10); err == nil {
+		t.Error("negative utilization should fail")
+	}
+	if _, err := TasksFromUtilizations([]float64{0.5}, []int64{0}, 0); err == nil {
+		t.Error("zero period should fail")
+	}
+}
+
+func TestSpeedFamilies(t *testing.T) {
+	r := NewRNG(47)
+	for _, f := range SpeedFamilies {
+		if f.String() == "" {
+			t.Error("empty family name")
+		}
+		p, err := f.Platform(r, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != 8 {
+			t.Errorf("%v: %d machines", f, len(p))
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+	if _, err := SpeedsUniform.Platform(r, 0); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := SpeedFamily(99).Platform(r, 3); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if SpeedFamily(99).String() == "" {
+		t.Error("unknown family string")
+	}
+	// big.LITTLE has exactly two speed levels with big minority.
+	p, err := SpeedsBigLittle.Platform(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, little := 0, 0
+	for _, m := range p {
+		switch m.Speed {
+		case 4:
+			big++
+		case 1:
+			little++
+		default:
+			t.Fatalf("unexpected speed %v", m.Speed)
+		}
+	}
+	if big != 2 || little != 6 {
+		t.Errorf("big.LITTLE split %d/%d, want 2/6", big, little)
+	}
+}
+
+func TestUtilizationFamilies(t *testing.T) {
+	r := NewRNG(53)
+	for _, f := range UtilizationFamilies {
+		if f.String() == "" {
+			t.Error("empty family name")
+		}
+		us, err := f.Utilizations(r, 16, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(us) != 16 {
+			t.Errorf("%v: %d utils", f, len(us))
+		}
+		for _, u := range us {
+			if u <= 0 {
+				t.Errorf("%v: non-positive utilization %v", f, u)
+			}
+		}
+	}
+	if _, err := UtilizationFamily(99).Utilizations(r, 4, 1); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if UtilizationFamily(99).String() == "" {
+		t.Error("unknown family string")
+	}
+}
+
+// Property: UUniFast output is deterministic given the RNG state.
+func TestQuickUUniFastDeterministic(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a, err1 := UUniFast(NewRNG(seed), n, 2.0)
+		b, err2 := UUniFast(NewRNG(seed), n, 2.0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutomotivePeriods(t *testing.T) {
+	r := NewRNG(59)
+	ps, err := AutomotivePeriods(r, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[int64]int{1: 0, 2: 0, 5: 0, 10: 0, 20: 0, 50: 0, 100: 0, 200: 0, 1000: 0}
+	for _, p := range ps {
+		if _, ok := valid[p]; !ok {
+			t.Fatalf("period %d not in the automotive grid", p)
+		}
+		valid[p]++
+	}
+	// 10 ms and 20 ms should dominate (≈25% each).
+	if valid[10] < 1000 || valid[20] < 1000 {
+		t.Errorf("10/20ms counts %d/%d, want ≈1250 each", valid[10], valid[20])
+	}
+	if valid[1] > 300 {
+		t.Errorf("1ms count %d, want ≈150", valid[1])
+	}
+	if _, err := AutomotivePeriods(r, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
