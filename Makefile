@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench benchjson
+
+## ci: the full verification gate — vet, build, unit tests, race detector,
+## and a short fuzz smoke of the partition invariants.
+ci: vet build test race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz: 10-second smoke of the partition-engine invariant fuzzer.
+fuzz:
+	$(GO) test ./internal/partition -run Fuzz -fuzz=FuzzPartitionInvariants -fuzztime=10s
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## benchjson: record the benchmark suite to results/BENCH_1.json for
+## cross-PR perf tracking.
+benchjson:
+	$(GO) run ./cmd/benchjson -benchtime 0.3s -o results/BENCH_1.json

@@ -1,0 +1,128 @@
+// Command benchjson runs the repository's benchmark suite (the E1–E20
+// kernels plus the solver/bisection benchmarks in bench_test.go) via
+// `go test -bench` and records the results as a machine-readable JSON
+// file, so successive PRs can track the performance trajectory.
+//
+// Usage:
+//
+//	benchjson                              # full suite -> BENCH_1.json
+//	benchjson -bench 'MinAlpha|Solver'     # subset
+//	benchjson -benchtime 0.2s -o results/BENCH_2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Suite is the file-level document.
+type Suite struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches `go test -bench` output such as
+//
+//	BenchmarkMinAlpha-8   6266   58375 ns/op   3840 B/op   15 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so records compare across hosts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parseBenchLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+	if m[4] != "" {
+		r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+	}
+	if m[5] != "" {
+		r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+	}
+	return r, true
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "0.3s", "per-benchmark budget (go test -benchtime)")
+		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
+		out       = flag.String("o", "BENCH_1.json", "output JSON path")
+		short     = flag.Bool("short", false, "pass -short to go test")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *pkg, *out, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, pkg, out string, short bool) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	suite := Suite{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		Benchtime: benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if r, ok := parseBenchLine(strings.TrimSpace(line)); ok {
+			suite.Results = append(suite.Results, r)
+		}
+	}
+	if len(suite.Results) == 0 {
+		return fmt.Errorf("no benchmark lines matched %q in output:\n%s", bench, raw)
+	}
+	doc, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(suite.Results), out)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkMinAlpha-8   \t6266\t     58375 ns/op\t    3840 B/op\t      15 allocs/op",
+			want: Result{Name: "BenchmarkMinAlpha", Iterations: 6266, NsPerOp: 58375, BytesPerOp: 3840, AllocsPerOp: 15},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkSolverReuse/solver-4 \t304632\t       986.6 ns/op\t       0 B/op\t       0 allocs/op",
+			want: Result{Name: "BenchmarkSolverReuse/solver", Iterations: 304632, NsPerOp: 986.6},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkNoMem \t100\t 12 ns/op",
+			want: Result{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 12},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \tpartfeas\t1.718s", ok: false},
+		{line: "goos: linux", ok: false},
+	} {
+		got, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parse(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("parse(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}

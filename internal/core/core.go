@@ -179,23 +179,110 @@ type Report struct {
 	Partition partition.Result
 }
 
-// Test runs the paper's algorithm for the given scheduler at augmentation
-// alpha (≥ 1).
-func Test(ts task.Set, p machine.Platform, sch Scheduler, alpha float64) (Report, error) {
+// Tester answers the paper's feasibility test for one (task set,
+// platform, scheduler) triple at many augmentations. Construction builds
+// a partition.Solver once — sort orders, per-task utilizations and
+// scratch buffers are then shared by every query, so a repeat Test call
+// allocates nothing. This is the engine behind MinAlpha bisections,
+// MaxWCET sweeps and the Monte-Carlo experiment loops.
+//
+// A Tester is not safe for concurrent use; construct one per goroutine.
+type Tester struct {
+	sch    Scheduler
+	solver *partition.Solver
+}
+
+// NewTester validates the instance and precomputes the α-independent
+// state for the scheduler's admission test.
+func NewTester(ts task.Set, p machine.Platform, sch Scheduler) (*Tester, error) {
 	adm, err := sch.Admission()
 	if err != nil {
-		return Report{}, err
+		return nil, err
 	}
-	res, err := partition.Partition(ts, p, partition.Paper(adm, alpha))
+	s, err := partition.NewSolver(ts, p, partition.Paper(adm, 1))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Tester{sch: sch, solver: s}, nil
+}
+
+// Test runs the paper's algorithm at augmentation alpha. The decisions
+// are identical to the package-level Test. The Report's Partition field
+// aliases the Tester's scratch buffers and is only valid until the next
+// query; use Partition.Clone to retain it.
+func (t *Tester) Test(alpha float64) (Report, error) {
+	res, err := t.solver.Solve(alpha)
 	if err != nil {
 		return Report{}, fmt.Errorf("core: %w", err)
 	}
 	return Report{
 		Accepted:  res.Feasible,
-		Scheduler: sch,
+		Scheduler: t.sch,
 		Alpha:     res.Alpha,
 		Partition: res,
 	}, nil
+}
+
+// UpdateWCET changes task i's WCET for subsequent queries (invalidating
+// previously returned Reports' Partition fields).
+func (t *Tester) UpdateWCET(i int, wcet int64) error {
+	if err := t.solver.UpdateWCET(i, wcet); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// MinAlpha bisects for the smallest accepted augmentation in [lo, hi],
+// reusing the Tester's solver for every probe. See the package-level
+// MinAlpha for the contract.
+func (t *Tester) MinAlpha(lo, hi, tol float64) (alpha float64, ok bool, err error) {
+	if !(lo > 0) || hi < lo {
+		return 0, false, fmt.Errorf("core: MinAlpha bracket [%v, %v] invalid", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	rep, err := t.Test(hi)
+	if err != nil {
+		return 0, false, err
+	}
+	if !rep.Accepted {
+		return 0, false, nil
+	}
+	rep, err = t.Test(lo)
+	if err != nil {
+		return 0, false, err
+	}
+	if rep.Accepted {
+		return lo, true, nil
+	}
+	// Invariant: test rejects at lo, accepts at hi.
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		rep, err = t.Test(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if rep.Accepted {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// Test runs the paper's algorithm for the given scheduler at augmentation
+// alpha (≥ 1). One-shot: repeated queries on the same instance should use
+// a Tester.
+func Test(ts task.Set, p machine.Platform, sch Scheduler, alpha float64) (Report, error) {
+	t, err := NewTester(ts, p, sch)
+	if err != nil {
+		return Report{}, err
+	}
+	// The Tester is discarded, so the Report's aliasing of its scratch is
+	// harmless: the caller becomes the sole owner.
+	return t.Test(alpha)
 }
 
 // TestTheorem runs the test at the theorem's proved α. A false Accepted
@@ -224,38 +311,14 @@ func TestTheorem(ts task.Set, p machine.Platform, thm Theorem) (Report, error) {
 // feasible partition at scaling α, so the test provably rejects below
 // σ_part.
 func MinAlpha(ts task.Set, p machine.Platform, sch Scheduler, lo, hi, tol float64) (alpha float64, ok bool, err error) {
-	if !(lo > 0) || hi < lo {
-		return 0, false, fmt.Errorf("core: MinAlpha bracket [%v, %v] invalid", lo, hi)
-	}
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	rep, err := Test(ts, p, sch, hi)
+	t, err := NewTester(ts, p, sch)
 	if err != nil {
+		// Preserve the bracket check's precedence over instance errors for
+		// callers that probe with invalid brackets on invalid instances.
+		if !(lo > 0) || hi < lo {
+			return 0, false, fmt.Errorf("core: MinAlpha bracket [%v, %v] invalid", lo, hi)
+		}
 		return 0, false, err
 	}
-	if !rep.Accepted {
-		return 0, false, nil
-	}
-	rep, err = Test(ts, p, sch, lo)
-	if err != nil {
-		return 0, false, err
-	}
-	if rep.Accepted {
-		return lo, true, nil
-	}
-	// Invariant: test rejects at lo, accepts at hi.
-	for hi-lo > tol {
-		mid := (lo + hi) / 2
-		rep, err = Test(ts, p, sch, mid)
-		if err != nil {
-			return 0, false, err
-		}
-		if rep.Accepted {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, true, nil
+	return t.MinAlpha(lo, hi, tol)
 }

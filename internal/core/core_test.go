@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"partfeas/internal/exact"
@@ -456,6 +457,93 @@ func TestQuickScaleInvariance(t *testing.T) {
 		}
 		if a.Accepted != b.Accepted {
 			t.Fatalf("trial %d: Test(p, %v)=%v but Test(p·%v, 1)=%v", trial, alpha, a.Accepted, alpha, b.Accepted)
+		}
+	}
+}
+
+// TestTesterMatchesOneShot holds the reusable Tester to bit-identical
+// Reports against the one-shot Test across schedulers and augmentations,
+// interleaved so scratch reuse cannot leak state between queries.
+func TestTesterMatchesOneShot(t *testing.T) {
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 3, Period: 7}, {WCET: 1, Period: 2},
+		{WCET: 5, Period: 11}, {WCET: 2, Period: 5},
+	}
+	p := machine.New(0.5, 1, 2)
+	for _, sch := range []Scheduler{EDF, RMS} {
+		tester, err := NewTester(ts, p, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []float64{2, 0.8, 1, 3.34, 1.1, 2} {
+			got, err := tester.Test(alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Partition = got.Partition.Clone()
+			want, err := Test(ts, p, sch, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v α=%v: tester %+v != one-shot %+v", sch, alpha, got, want)
+			}
+		}
+	}
+}
+
+// TestTesterMinAlphaMatchesPackageLevel pins the Tester bisection to the
+// package-level MinAlpha on the same bracket.
+func TestTesterMinAlphaMatchesPackageLevel(t *testing.T) {
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 2, Period: 3}, {WCET: 2, Period: 3},
+	}
+	p := machine.New(1, 1)
+	tester, err := NewTester(ts, p, EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotOK, err := tester.MinAlpha(1, 4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantOK, err := MinAlpha(ts, p, EDF, 1, 4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || gotOK != wantOK {
+		t.Errorf("tester MinAlpha = (%v, %v), package = (%v, %v)", got, gotOK, want, wantOK)
+	}
+	if _, _, err := tester.MinAlpha(2, 0.5, 1e-9); err == nil {
+		t.Error("hi < lo should error")
+	}
+}
+
+// TestTesterRepeatQueryAllocationFree asserts the bisection contract:
+// repeat Test queries on one Tester do not allocate.
+func TestTesterRepeatQueryAllocationFree(t *testing.T) {
+	ts := task.Set{
+		{WCET: 2, Period: 3}, {WCET: 3, Period: 7}, {WCET: 1, Period: 2},
+		{WCET: 5, Period: 11}, {WCET: 2, Period: 5},
+	}
+	p := machine.New(0.5, 1, 2)
+	for _, sch := range []Scheduler{EDF, RMS} {
+		tester, err := NewTester(ts, p, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tester.Test(1); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(50, func() {
+			for _, alpha := range []float64{0.9, 1.4, 2.2, 3.1} {
+				if _, err := tester.Test(alpha); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%v: %v allocs per 4 queries, want 0", sch, avg)
 		}
 	}
 }

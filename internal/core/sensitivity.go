@@ -32,10 +32,18 @@ func MaxWCET(ts task.Set, p machine.Platform, sch Scheduler, alpha float64, i in
 		return 0, false, fmt.Errorf("core: MaxWCET alpha %v must be positive", alpha)
 	}
 
+	// One Tester serves every probe: the solver clones the task set, and
+	// UpdateWCET re-establishes the task order in place, so each probe is
+	// an allocation-free re-solve instead of a clone + full re-sort.
+	tester, err := NewTester(ts, p, sch)
+	if err != nil {
+		return 0, false, err
+	}
 	probe := func(c int64) (bool, error) {
-		mod := ts.Clone()
-		mod[i].WCET = c
-		rep, err := Test(mod, p, sch, alpha)
+		if err := tester.UpdateWCET(i, c); err != nil {
+			return false, err
+		}
+		rep, err := tester.Test(alpha)
 		if err != nil {
 			return false, err
 		}

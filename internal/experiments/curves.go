@@ -3,7 +3,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"partfeas/internal/core"
 	"partfeas/internal/exact"
@@ -32,64 +31,67 @@ func E6AcceptanceCurves(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		loads = []float64{0.5, 0.7, 0.9, 1.0, 1.1}
 	}
+	// acceptance is one trial's verdicts, reduced in trial order after the
+	// worker pool drains.
+	type acceptance struct {
+		lp, part, edf, rms bool
+		skip               bool
+	}
 	for _, load := range loads {
-		var (
-			mu                         sync.Mutex
-			accLP, accPart, accE, accR int
-			skipped                    int
-		)
 		expName := fmt.Sprintf("E6/%.3f", load)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
-			rng := trialRNG(cfg.Seed, expName, trial)
+		results, err := runTrials(cfg, expName, trials, func(trial int, rng *workload.RNG) (acceptance, error) {
 			plat, err := workload.SpeedsUniform.Platform(rng, m)
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
 			us, err := workload.UUniFast(rng, n, load*plat.TotalSpeed())
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
 			ts, err := workload.TasksFromUtilizations(us, nil, 1000)
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
 			lpOK := fractional.FeasibleHLS(ts, plat)
 			partOK, err := exact.Feasible(ts, plat, exact.Options{})
 			if errors.Is(err, exact.ErrBudgetExceeded) {
-				mu.Lock()
-				skipped++
-				mu.Unlock()
-				return nil
+				return acceptance{skip: true}, nil
 			}
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
 			repE, err := core.Test(ts, plat, core.EDF, 1)
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
 			repR, err := core.Test(ts, plat, core.RMS, 1)
 			if err != nil {
-				return err
+				return acceptance{}, err
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if lpOK {
-				accLP++
-			}
-			if partOK {
-				accPart++
-			}
-			if repE.Accepted {
-				accE++
-			}
-			if repR.Accepted {
-				accR++
-			}
-			return nil
+			return acceptance{lp: lpOK, part: partOK, edf: repE.Accepted, rms: repR.Accepted}, nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		var accLP, accPart, accE, accR, skipped int
+		for _, res := range results {
+			switch {
+			case res.skip:
+				skipped++
+			default:
+				if res.lp {
+					accLP++
+				}
+				if res.part {
+					accPart++
+				}
+				if res.edf {
+					accE++
+				}
+				if res.rms {
+					accR++
+				}
+			}
 		}
 		den := float64(trials - skipped)
 		if den <= 0 {
@@ -166,23 +168,22 @@ func E7HeuristicAblation(cfg Config) (*Table, error) {
 		instances[trial] = inst{instance{ts: ts, plat: plat}}
 	}
 	for _, v := range variants {
-		var mu sync.Mutex
-		accepted := 0
 		v := v
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		verdicts, err := runTrials(cfg, "E7/"+v.name, trials, func(trial int, _ *workload.RNG) (bool, error) {
 			res, err := partition.Partition(instances[trial].i.ts, instances[trial].i.plat, v.cfg)
 			if err != nil {
-				return err
+				return false, err
 			}
-			if res.Feasible {
-				mu.Lock()
-				accepted++
-				mu.Unlock()
-			}
-			return nil
+			return res.Feasible, nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		accepted := 0
+		for _, ok := range verdicts {
+			if ok {
+				accepted++
+			}
 		}
 		t.AddRow(v.name, accepted, trials, float64(accepted)/float64(trials))
 	}

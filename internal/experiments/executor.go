@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"partfeas/internal/workload"
+)
+
+// This file is the experiment suite's parallel trial executor. Every
+// Monte-Carlo runner fans its trials out over Config.Workers goroutines
+// (default GOMAXPROCS) while staying bit-identical to a sequential run at
+// any worker count, because:
+//
+//   - each trial derives its RNG purely from (Config.Seed, experiment
+//     name, trial index) — worker scheduling never touches a shared
+//     stream;
+//   - results land in a slice indexed by trial, and all aggregation
+//     (counting, ratio collection, histograms) happens sequentially over
+//     that slice after the pool drains — no order-dependent reductions on
+//     worker goroutines.
+//
+// runTrials is the high-level entry; forEachTrial is the underlying pool
+// for callers that manage their own result storage.
+
+// runTrials runs fn for every trial index in [0, trials) across the
+// worker pool, handing each invocation its deterministic per-trial RNG,
+// and returns the results in trial order. fn must be safe for concurrent
+// invocation on distinct trial indices; errors are wrapped with the
+// experiment name and trial index, and the first one wins.
+func runTrials[T any](cfg Config, expName string, trials int, fn func(trial int, rng *workload.RNG) (T, error)) ([]T, error) {
+	out := make([]T, trials)
+	err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		v, err := fn(trial, trialRNG(cfg.Seed, expName, trial))
+		if err != nil {
+			return fmt.Errorf("%s trial %d: %w", expName, trial, err)
+		}
+		out[trial] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachTrial runs fn for trial indices [0, trials) across a bounded
+// worker pool. The first error cancels nothing (remaining trials still
+// run) but is returned. fn must be safe for concurrent invocation on
+// distinct trial indices.
+func forEachTrial(workers, trials int, fn func(trial int) error) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range ch {
+				if err := fn(trial); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		ch <- trial
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}

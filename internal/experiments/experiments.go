@@ -13,7 +13,6 @@ import (
 	"io"
 	"runtime"
 	"strings"
-	"sync"
 
 	"partfeas/internal/workload"
 )
@@ -156,44 +155,4 @@ func trialRNG(seed uint64, experiment string, trial int) *workload.RNG {
 	}
 	h ^= uint64(trial) * 0x9e3779b97f4a7c15
 	return workload.NewRNG(h)
-}
-
-// forEachTrial runs fn for trials indices [0, trials) across a bounded
-// worker pool. The first error cancels nothing (remaining trials still
-// run) but is returned. fn must be safe for concurrent invocation on
-// distinct trial indices.
-func forEachTrial(workers, trials int, fn func(trial int) error) error {
-	if workers <= 0 {
-		workers = 1
-	}
-	if workers > trials {
-		workers = trials
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for trial := range ch {
-				if err := fn(trial); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for trial := 0; trial < trials; trial++ {
-		ch <- trial
-	}
-	close(ch)
-	wg.Wait()
-	return firstErr
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"partfeas/internal/workload"
 )
 
 func quickCfg() Config { return Config{Seed: 12345, Quick: true} }
@@ -465,6 +467,95 @@ func TestRunAllQuick(t *testing.T) {
 	for _, id := range IDs() {
 		if !strings.Contains(out, id+" — ") {
 			t.Errorf("output missing %s", id)
+		}
+	}
+}
+
+// tablesEqual compares two rendered tables cell-for-cell.
+func tablesEqual(a, b *Table) bool {
+	if a.ID != b.ID || a.Title != b.Title || len(a.Rows) != len(b.Rows) || len(a.Notes) != len(b.Notes) {
+		return false
+	}
+	for i := range a.Rows {
+		if strings.Join(a.Rows[i], "|") != strings.Join(b.Rows[i], "|") {
+			return false
+		}
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelExecutorDeterministic asserts the worker pool is invisible
+// in the results: E1 and E6 produce bit-identical tables at 1, 2 and 8
+// workers (1 worker being the sequential runner).
+func TestParallelExecutorDeterministic(t *testing.T) {
+	for _, run := range []struct {
+		id string
+		fn Runner
+	}{{"E1", E1TheoremI1}, {"E6", E6AcceptanceCurves}} {
+		cfg := quickCfg()
+		cfg.Workers = 1
+		seq, err := run.fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			par, err := run.fn(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tablesEqual(seq, par) {
+				t.Errorf("%s: table at %d workers differs from sequential run\nseq:  %v\npar:  %v",
+					run.id, workers, seq.Rows, par.Rows)
+			}
+		}
+	}
+}
+
+// TestRunTrialsOrderedAndWrapsErrors pins the executor contract: results
+// land at their trial index, and errors carry experiment and trial.
+func TestRunTrialsOrderedAndWrapsErrors(t *testing.T) {
+	cfg := Config{Seed: 9, Workers: 4}
+	out, err := runTrials(cfg, "X", 50, func(trial int, rng *workload.RNG) (int, error) {
+		return trial * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	_, err = runTrials(cfg, "X", 10, func(trial int, rng *workload.RNG) (int, error) {
+		if trial == 7 {
+			return 0, strconv.ErrRange
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "X trial 7") {
+		t.Errorf("err = %v, want wrapped trial error", err)
+	}
+}
+
+// TestRunTrialsRNGMatchesSequentialDerivation asserts the executor hands
+// each trial exactly the RNG stream the sequential runner would use.
+func TestRunTrialsRNGMatchesSequentialDerivation(t *testing.T) {
+	cfg := Config{Seed: 123, Workers: 8}
+	out, err := runTrials(cfg, "E9/rng", 20, func(trial int, rng *workload.RNG) (uint64, error) {
+		return rng.Uint64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, got := range out {
+		if want := trialRNG(cfg.Seed, "E9/rng", trial).Uint64(); got != want {
+			t.Fatalf("trial %d: rng stream diverged", trial)
 		}
 	}
 }

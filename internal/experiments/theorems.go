@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"partfeas/internal/core"
 	"partfeas/internal/exact"
@@ -130,18 +129,30 @@ func theoremSizes(thm core.Theorem, quick bool) (nLo, nHi, mLo, mHi int) {
 	return 16, 128, 2, 32
 }
 
-// theoremCell aggregates one table row.
+// theoremCell aggregates one table row, reduced sequentially over the
+// executor's trial-ordered results.
 type theoremCell struct {
-	mu         sync.Mutex
 	ratios     []float64
 	violations int
 	skipped    int
 }
 
+func (c *theoremCell) add(res theoremTrial) {
+	switch {
+	case res.skip:
+		c.skipped++
+	case res.violation:
+		c.violations++
+	default:
+		c.ratios = append(c.ratios, res.ratio)
+	}
+}
+
 // runTheoremValidation is the shared engine behind E1–E4: per
 // (utilization family × speed family) cell, generate instances, compute
 // the adversary scaling, check acceptance at the proved bound, and record
-// empirical ratios.
+// empirical ratios. Trials fan out over the worker pool; aggregation
+// happens after the pool drains, in trial order.
 func runTheoremValidation(cfg Config, id string, thm core.Theorem) (*Table, error) {
 	trials := cfg.trials(400, 40)
 	nLo, nHi, mLo, mHi := theoremSizes(thm, cfg.Quick)
@@ -156,30 +167,18 @@ func runTheoremValidation(cfg Config, id string, thm core.Theorem) (*Table, erro
 	totalViolations := 0
 	for _, uf := range workload.UtilizationFamilies {
 		for _, sf := range workload.SpeedFamilies {
-			cell := &theoremCell{}
 			expName := fmt.Sprintf("%s/%v/%v", id, uf, sf)
-			err := forEachTrial(cfg.workers(), trials, func(trial int) error {
-				rng := trialRNG(cfg.Seed, expName, trial)
+			results, err := runTrials(cfg, expName, trials, func(trial int, rng *workload.RNG) (theoremTrial, error) {
 				n := nLo + rng.Intn(nHi-nLo+1)
 				m := mLo + rng.Intn(mHi-mLo+1)
-				res, err := runTheoremTrial(rng, thm, uf, sf, n, m)
-				if err != nil {
-					return fmt.Errorf("%s trial %d: %w", expName, trial, err)
-				}
-				cell.mu.Lock()
-				defer cell.mu.Unlock()
-				switch {
-				case res.skip:
-					cell.skipped++
-				case res.violation:
-					cell.violations++
-				default:
-					cell.ratios = append(cell.ratios, res.ratio)
-				}
-				return nil
+				return runTheoremTrial(rng, thm, uf, sf, n, m)
 			})
 			if err != nil {
 				return nil, err
+			}
+			cell := &theoremCell{}
+			for _, res := range results {
+				cell.add(res)
 			}
 			sum, err := stats.Summarize(cell.ratios)
 			if err != nil {
@@ -232,32 +231,20 @@ func E5RatioDistribution(cfg Config) (*Table, error) {
 	var histNote string
 	for _, thm := range core.Theorems {
 		nLo, nHi, mLo, mHi := theoremSizes(thm, cfg.Quick)
-		cell := &theoremCell{}
 		expName := "E5/" + thm.String()
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
-			rng := trialRNG(cfg.Seed, expName, trial)
+		results, err := runTrials(cfg, expName, trials, func(trial int, rng *workload.RNG) (theoremTrial, error) {
 			uf := workload.UtilizationFamilies[rng.Intn(len(workload.UtilizationFamilies))]
 			sf := workload.SpeedFamilies[rng.Intn(len(workload.SpeedFamilies))]
 			n := nLo + rng.Intn(nHi-nLo+1)
 			m := mLo + rng.Intn(mHi-mLo+1)
-			res, err := runTheoremTrial(rng, thm, uf, sf, n, m)
-			if err != nil {
-				return fmt.Errorf("%s trial %d: %w", expName, trial, err)
-			}
-			cell.mu.Lock()
-			defer cell.mu.Unlock()
-			switch {
-			case res.skip:
-				cell.skipped++
-			case res.violation:
-				cell.violations++
-			default:
-				cell.ratios = append(cell.ratios, res.ratio)
-			}
-			return nil
+			return runTheoremTrial(rng, thm, uf, sf, n, m)
 		})
 		if err != nil {
 			return nil, err
+		}
+		cell := &theoremCell{}
+		for _, res := range results {
+			cell.add(res)
 		}
 		sum, err := stats.Summarize(cell.ratios)
 		if err != nil {

@@ -12,7 +12,6 @@ package partition
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"partfeas/internal/machine"
@@ -64,19 +63,23 @@ type RMSHyperbolicAdmission struct{}
 // Name implements AdmissionTest.
 func (RMSHyperbolicAdmission) Name() string { return "rms-hyperbolic" }
 
-// Fits implements AdmissionTest.
+// Fits implements AdmissionTest. The product is accumulated over the
+// assigned tasks in placement order with the candidate's term applied
+// last — the same left-fold the Solver maintains incrementally, so both
+// paths round identically.
 func (RMSHyperbolicAdmission) Fits(assigned task.Set, _ float64, tk task.Task, speed float64) bool {
 	if speed <= 0 {
 		return false
 	}
-	prod := tk.Utilization()/speed + 1
+	prod := 1.0
 	for _, a := range assigned {
 		prod *= a.Utilization()/speed + 1
 		if prod > 2 {
+			// Every factor is ≥ 1, so the full product can only be larger.
 			return false
 		}
 	}
-	return prod <= 2
+	return prod*(tk.Utilization()/speed+1) <= 2
 }
 
 // RMSExactAdmission runs exact response-time analysis — the strongest
@@ -232,97 +235,19 @@ func (r Result) MachineSets(ts task.Set, m int) []task.Set {
 	return sets
 }
 
-// Partition runs the configured algorithm.
+// Partition runs the configured algorithm once. It is a thin wrapper
+// over Solver for one-shot callers; repeated queries on the same instance
+// (bisection, sensitivity sweeps, trial loops) should construct a Solver
+// and call Solve directly so the sort orders and scratch buffers are
+// reused. The returned Result is owned by the caller.
 func Partition(ts task.Set, p machine.Platform, cfg Config) (Result, error) {
-	if err := ts.Validate(); err != nil {
-		return Result{}, fmt.Errorf("partition: %w", err)
-	}
-	if err := p.Validate(); err != nil {
-		return Result{}, fmt.Errorf("partition: %w", err)
-	}
-	if cfg.Admission == nil {
-		return Result{}, fmt.Errorf("partition: admission test required")
-	}
-	alpha := cfg.Alpha
-	if alpha == 0 {
-		alpha = 1
-	}
-	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return Result{}, fmt.Errorf("partition: alpha %v must be positive", alpha)
-	}
-
-	taskIdx, err := orderTasks(ts, cfg.TaskOrder)
+	s, err := NewSolver(ts, p, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	machIdx, err := orderMachines(p, cfg.MachineOrder)
-	if err != nil {
-		return Result{}, err
-	}
-
-	n, m := len(ts), len(p)
-	res := Result{
-		Assignment: make([]int, n),
-		FailedTask: -1,
-		Loads:      make([]float64, m),
-		Alpha:      alpha,
-	}
-	for i := range res.Assignment {
-		res.Assignment[i] = -1
-	}
-	assigned := make([]task.Set, m) // indexed by input machine index
-	cursor := 0                     // for NextFit, position within machIdx
-
-	for _, ti := range taskIdx {
-		tk := ts[ti]
-		chosen := -1
-		switch cfg.Heuristic {
-		case FirstFit:
-			for _, mj := range machIdx {
-				if cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
-					chosen = mj
-					break
-				}
-			}
-		case BestFit, WorstFit:
-			bestVal := math.Inf(1)
-			if cfg.Heuristic == WorstFit {
-				bestVal = math.Inf(-1)
-			}
-			for _, mj := range machIdx {
-				if !cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
-					continue
-				}
-				remaining := alpha*p[mj].Speed - res.Loads[mj] - tk.Utilization()
-				if cfg.Heuristic == BestFit && remaining < bestVal {
-					bestVal, chosen = remaining, mj
-				}
-				if cfg.Heuristic == WorstFit && remaining > bestVal {
-					bestVal, chosen = remaining, mj
-				}
-			}
-		case NextFit:
-			for cursor < len(machIdx) {
-				mj := machIdx[cursor]
-				if cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
-					chosen = mj
-					break
-				}
-				cursor++
-			}
-		default:
-			return Result{}, fmt.Errorf("partition: unknown heuristic %v", cfg.Heuristic)
-		}
-		if chosen == -1 {
-			res.FailedTask = ti
-			return res, nil
-		}
-		res.Assignment[ti] = chosen
-		res.Loads[chosen] += tk.Utilization()
-		assigned[chosen] = append(assigned[chosen], tk)
-	}
-	res.Feasible = true
-	return res, nil
+	// The solver is discarded, so the Result's aliasing of its scratch is
+	// harmless: the caller becomes the sole owner.
+	return s.Solve(cfg.Alpha)
 }
 
 func orderTasks(ts task.Set, o TaskOrder) ([]int, error) {

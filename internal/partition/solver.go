@@ -1,0 +1,326 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/sched"
+	"partfeas/internal/task"
+)
+
+// admissionKind selects the solver's fast path for the built-in admission
+// tests; generic falls back to the AdmissionTest interface.
+type admissionKind int
+
+const (
+	admGeneric admissionKind = iota
+	admEDF
+	admLL
+	admHyperbolic
+)
+
+// Solver answers repeated partitioning queries for one (task set,
+// platform, config) triple. Construction pays for everything that does not
+// depend on α — input validation, the utilization-descending task order,
+// the speed-ascending machine order, per-task utilizations — and Solve
+// reuses scratch buffers across calls, so a repeat query allocates
+// nothing. This is the engine behind bisection searches (core.MinAlpha),
+// sensitivity sweeps (core.MaxWCET) and the Monte-Carlo experiment loops,
+// all of which re-partition the same instance hundreds of times.
+//
+// For the built-in admission tests the solver also maintains per-machine
+// aggregates incrementally: running utilization (EDF, Liu–Layland), task
+// counts (Liu–Layland) and the Bini–Buttazzo product Π(w_i/s + 1)
+// (hyperbolic), making every admission query O(1) instead of a rescan of
+// the machine's assigned set. Custom AdmissionTest implementations still
+// receive the full assigned set.
+//
+// A Solver is not safe for concurrent use; concurrent callers should each
+// construct their own (construction is cheap — two sorts).
+type Solver struct {
+	ts   task.Set         // private copy; UpdateWCET mutates it
+	p    machine.Platform // private copy
+	cfg  Config
+	kind admissionKind
+
+	taskIdx []int     // task visit order (input indices)
+	machIdx []int     // machine scan order (input indices)
+	utils   []float64 // per-task utilization, input order
+
+	// Scratch reused by every Solve; the returned Result aliases
+	// assignment and loads.
+	assignment []int
+	loads      []float64
+	speeds     []float64  // α-scaled speeds, input order
+	counts     []int      // tasks per machine
+	prods      []float64  // hyperbolic running product per machine
+	assigned   []task.Set // per-machine sets, maintained only for admGeneric
+}
+
+// NewSolver validates the instance and configuration and precomputes the
+// α-independent state. The task set and platform are copied, so later
+// mutation by the caller does not affect the solver.
+func NewSolver(ts task.Set, p machine.Platform, cfg Config) (*Solver, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	if cfg.Admission == nil {
+		return nil, fmt.Errorf("partition: admission test required")
+	}
+	switch cfg.Heuristic {
+	case FirstFit, BestFit, WorstFit, NextFit:
+	default:
+		return nil, fmt.Errorf("partition: unknown heuristic %v", cfg.Heuristic)
+	}
+
+	s := &Solver{
+		ts:  ts.Clone(),
+		p:   append(machine.Platform(nil), p...),
+		cfg: cfg,
+	}
+	switch cfg.Admission.(type) {
+	case EDFAdmission:
+		s.kind = admEDF
+	case RMSLLAdmission:
+		s.kind = admLL
+	case RMSHyperbolicAdmission:
+		s.kind = admHyperbolic
+	default:
+		s.kind = admGeneric
+	}
+
+	var err error
+	if s.taskIdx, err = orderTasks(s.ts, cfg.TaskOrder); err != nil {
+		return nil, err
+	}
+	if s.machIdx, err = orderMachines(s.p, cfg.MachineOrder); err != nil {
+		return nil, err
+	}
+
+	n, m := len(s.ts), len(s.p)
+	s.utils = make([]float64, n)
+	for i, t := range s.ts {
+		s.utils[i] = t.Utilization()
+	}
+	s.assignment = make([]int, n)
+	s.loads = make([]float64, m)
+	s.speeds = make([]float64, m)
+	s.counts = make([]int, m)
+	if s.kind == admHyperbolic {
+		s.prods = make([]float64, m)
+	}
+	if s.kind == admGeneric {
+		s.assigned = make([]task.Set, m)
+		for j := range s.assigned {
+			s.assigned[j] = make(task.Set, 0, n)
+		}
+	}
+	return s, nil
+}
+
+// Solve runs the configured algorithm at augmentation alpha (zero means
+// 1, matching Config.Alpha). The decisions — and the returned Result —
+// are bit-identical to Partition with the same Config and Alpha = alpha.
+//
+// The returned Result's Assignment and Loads slices alias the solver's
+// scratch buffers and are only valid until the next Solve or UpdateWCET
+// call; use Result.Clone to retain one across queries.
+func (s *Solver) Solve(alpha float64) (Result, error) {
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return Result{}, fmt.Errorf("partition: alpha %v must be positive", alpha)
+	}
+
+	for i := range s.assignment {
+		s.assignment[i] = -1
+	}
+	for j := range s.loads {
+		s.loads[j] = 0
+		s.speeds[j] = alpha * s.p[j].Speed
+		s.counts[j] = 0
+	}
+	if s.kind == admHyperbolic {
+		for j := range s.prods {
+			s.prods[j] = 1
+		}
+	}
+	if s.kind == admGeneric {
+		for j := range s.assigned {
+			s.assigned[j] = s.assigned[j][:0]
+		}
+	}
+
+	res := Result{
+		Assignment: s.assignment,
+		FailedTask: -1,
+		Loads:      s.loads,
+		Alpha:      alpha,
+	}
+	cursor := 0 // for NextFit, position within machIdx
+
+	for _, ti := range s.taskIdx {
+		chosen := -1
+		switch s.cfg.Heuristic {
+		case FirstFit:
+			for _, mj := range s.machIdx {
+				if s.fits(mj, ti) {
+					chosen = mj
+					break
+				}
+			}
+		case BestFit, WorstFit:
+			bestVal := math.Inf(1)
+			if s.cfg.Heuristic == WorstFit {
+				bestVal = math.Inf(-1)
+			}
+			for _, mj := range s.machIdx {
+				if !s.fits(mj, ti) {
+					continue
+				}
+				remaining := s.speeds[mj] - s.loads[mj] - s.utils[ti]
+				if s.cfg.Heuristic == BestFit && remaining < bestVal {
+					bestVal, chosen = remaining, mj
+				}
+				if s.cfg.Heuristic == WorstFit && remaining > bestVal {
+					bestVal, chosen = remaining, mj
+				}
+			}
+		case NextFit:
+			for cursor < len(s.machIdx) {
+				mj := s.machIdx[cursor]
+				if s.fits(mj, ti) {
+					chosen = mj
+					break
+				}
+				cursor++
+			}
+		}
+		if chosen == -1 {
+			res.FailedTask = ti
+			return res, nil
+		}
+		s.place(chosen, ti)
+	}
+	res.Feasible = true
+	return res, nil
+}
+
+// fits answers the admission query for task ti on machine mj from the
+// incrementally maintained aggregates, falling back to the configured
+// AdmissionTest for non-built-in tests. Each fast path evaluates exactly
+// the expression of the corresponding AdmissionTest.Fits, in the same
+// order, so the answers round identically.
+func (s *Solver) fits(mj, ti int) bool {
+	u := s.utils[ti]
+	speed := s.speeds[mj]
+	switch s.kind {
+	case admEDF:
+		return s.loads[mj]+u <= speed
+	case admLL:
+		return s.loads[mj]+u <= sched.LiuLaylandBound(s.counts[mj]+1)*speed
+	case admHyperbolic:
+		// prods[mj] is the left-fold of the assigned tasks' factors in
+		// placement order — the same fold RMSHyperbolicAdmission.Fits
+		// recomputes from scratch (its early exit never changes the
+		// answer: every factor is ≥ 1).
+		if speed <= 0 {
+			return false
+		}
+		return s.prods[mj]*(u/speed+1) <= 2
+	default:
+		return s.cfg.Admission.Fits(s.assigned[mj], s.loads[mj], s.ts[ti], speed)
+	}
+}
+
+// place records the assignment of task ti to machine mj and updates the
+// per-machine aggregates.
+func (s *Solver) place(mj, ti int) {
+	s.assignment[ti] = mj
+	s.loads[mj] += s.utils[ti]
+	s.counts[mj]++
+	switch s.kind {
+	case admHyperbolic:
+		s.prods[mj] *= s.utils[ti]/s.speeds[mj] + 1
+	case admGeneric:
+		s.assigned[mj] = append(s.assigned[mj], s.ts[ti])
+	}
+}
+
+// UpdateWCET changes task i's worst-case execution time and re-establishes
+// the task order, so subsequent Solve calls answer for the modified set —
+// the repeated-query primitive behind WCET sensitivity analysis
+// (core.MaxWCET). It invalidates Results returned by earlier Solve calls.
+func (s *Solver) UpdateWCET(i int, wcet int64) error {
+	if i < 0 || i >= len(s.ts) {
+		return fmt.Errorf("partition: UpdateWCET task index %d out of range [0, %d)", i, len(s.ts))
+	}
+	if wcet <= 0 {
+		return fmt.Errorf("partition: UpdateWCET wcet %d must be positive", wcet)
+	}
+	s.ts[i].WCET = wcet
+	s.utils[i] = s.ts[i].Utilization()
+	if s.cfg.TaskOrder != TasksAsGiven {
+		s.reorderTasks()
+	}
+	return nil
+}
+
+// taskLessDesc is the utilization-descending comparison on input indices —
+// the same total order orderTasks sorts by, so the insertion re-sort in
+// reorderTasks reproduces exactly what a fresh sort would.
+func (s *Solver) taskLessDesc(a, b int) bool {
+	c := s.ts[a].UtilizationRat().Cmp(s.ts[b].UtilizationRat())
+	if c != 0 {
+		return c > 0
+	}
+	if s.ts[a].Period != s.ts[b].Period {
+		return s.ts[a].Period < s.ts[b].Period
+	}
+	if s.ts[a].Name != s.ts[b].Name {
+		return s.ts[a].Name < s.ts[b].Name
+	}
+	return a < b
+}
+
+// reorderTasks restores taskIdx to the configured order after a single
+// utilization changed. Insertion sort is allocation-free and O(n) on the
+// nearly-sorted permutations UpdateWCET produces; the comparison is a
+// total order, so the result is the unique sorted permutation regardless
+// of algorithm.
+func (s *Solver) reorderTasks() {
+	idx := s.taskIdx
+	if s.cfg.TaskOrder == TasksByUtilizationAsc {
+		// Sort descending (below), then reverse — matching orderTasks.
+		for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		j := i - 1
+		for j >= 0 && s.taskLessDesc(v, idx[j]) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = v
+	}
+	if s.cfg.TaskOrder == TasksByUtilizationAsc {
+		for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+}
+
+// Clone returns a Result whose slices are owned by the caller, detached
+// from any Solver scratch.
+func (r Result) Clone() Result {
+	r.Assignment = append([]int(nil), r.Assignment...)
+	r.Loads = append([]float64(nil), r.Loads...)
+	return r
+}

@@ -1,0 +1,337 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+)
+
+// referencePartition is the naive engine the Solver replaced: it consults
+// the stateless AdmissionTest.Fits on every probe and allocates all state
+// per call. The differential tests below hold the Solver to byte-identical
+// results against it across every admission test, heuristic and order.
+func referencePartition(ts task.Set, p machine.Platform, cfg Config) (Result, error) {
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	taskIdx, err := orderTasks(ts, cfg.TaskOrder)
+	if err != nil {
+		return Result{}, err
+	}
+	machIdx, err := orderMachines(p, cfg.MachineOrder)
+	if err != nil {
+		return Result{}, err
+	}
+	n, m := len(ts), len(p)
+	res := Result{
+		Assignment: make([]int, n),
+		FailedTask: -1,
+		Loads:      make([]float64, m),
+		Alpha:      alpha,
+	}
+	for i := range res.Assignment {
+		res.Assignment[i] = -1
+	}
+	assigned := make([]task.Set, m)
+	cursor := 0
+	for _, ti := range taskIdx {
+		tk := ts[ti]
+		chosen := -1
+		switch cfg.Heuristic {
+		case FirstFit:
+			for _, mj := range machIdx {
+				if cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
+					chosen = mj
+					break
+				}
+			}
+		case BestFit, WorstFit:
+			bestVal := math.Inf(1)
+			if cfg.Heuristic == WorstFit {
+				bestVal = math.Inf(-1)
+			}
+			for _, mj := range machIdx {
+				if !cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
+					continue
+				}
+				remaining := alpha*p[mj].Speed - res.Loads[mj] - tk.Utilization()
+				if cfg.Heuristic == BestFit && remaining < bestVal {
+					bestVal, chosen = remaining, mj
+				}
+				if cfg.Heuristic == WorstFit && remaining > bestVal {
+					bestVal, chosen = remaining, mj
+				}
+			}
+		case NextFit:
+			for cursor < len(machIdx) {
+				mj := machIdx[cursor]
+				if cfg.Admission.Fits(assigned[mj], res.Loads[mj], tk, alpha*p[mj].Speed) {
+					chosen = mj
+					break
+				}
+				cursor++
+			}
+		}
+		if chosen == -1 {
+			res.FailedTask = ti
+			return res, nil
+		}
+		res.Assignment[ti] = chosen
+		res.Loads[chosen] += tk.Utilization()
+		assigned[chosen] = append(assigned[chosen], tk)
+	}
+	res.Feasible = true
+	return res, nil
+}
+
+// randInstance draws a random task set and platform straddling the
+// feasibility boundary.
+func randInstance(rng *rand.Rand) (task.Set, machine.Platform) {
+	n := 1 + rng.Intn(14)
+	m := 1 + rng.Intn(5)
+	ts := make(task.Set, n)
+	for i := range ts {
+		p := int64(2 + rng.Intn(1000))
+		c := 1 + rng.Int63n(p)
+		ts[i] = task.Task{WCET: c, Period: p}
+	}
+	speeds := make([]float64, m)
+	for j := range speeds {
+		speeds[j] = 0.25 + 4*rng.Float64()
+	}
+	return ts, machine.New(speeds...)
+}
+
+func allConfigs(adm AdmissionTest) []Config {
+	var cfgs []Config
+	for _, h := range []Heuristic{FirstFit, BestFit, WorstFit, NextFit} {
+		for _, to := range []TaskOrder{TasksByUtilizationDesc, TasksAsGiven, TasksByUtilizationAsc} {
+			for _, mo := range []MachineOrder{MachinesBySpeedAsc, MachinesBySpeedDesc, MachinesAsGiven} {
+				cfgs = append(cfgs, Config{Admission: adm, Heuristic: h, TaskOrder: to, MachineOrder: mo})
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestSolverMatchesReferenceDifferential holds one reused Solver, queried
+// at many augmentations in arbitrary order, to byte-identical Results
+// against both the naive stateless engine and fresh Partition calls —
+// across all four admission tests, every heuristic and both order
+// ablations.
+func TestSolverMatchesReferenceDifferential(t *testing.T) {
+	admissions := []AdmissionTest{
+		EDFAdmission{}, RMSLLAdmission{}, RMSHyperbolicAdmission{}, RMSExactAdmission{},
+	}
+	for _, adm := range admissions {
+		adm := adm
+		t.Run(adm.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(adm.Name())) * 7919))
+			instances := 8
+			if (adm == RMSExactAdmission{}) {
+				instances = 3 // RTA per probe is slow; the fast paths get more coverage
+			}
+			for inst := 0; inst < instances; inst++ {
+				ts, plat := randInstance(rng)
+				for _, cfg := range allConfigs(adm) {
+					s, err := NewSolver(ts, plat, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Deliberately non-monotone alpha sequence: scratch
+					// reuse must not leak state between queries.
+					for _, alpha := range []float64{1, 2.5, 0.6, 1.3, 1, 3.1} {
+						got, err := s.Solve(alpha)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg.Alpha = alpha
+						want, err := referencePartition(ts, plat, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Clone(), want) {
+							t.Fatalf("solver diverged from reference\ncfg=%+v alpha=%v\nts=%v plat=%v\ngot  %+v\nwant %+v",
+								cfg, alpha, ts, plat, got, want)
+						}
+						fresh, err := Partition(ts, plat, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Clone(), fresh) {
+							t.Fatalf("solver diverged from fresh Partition\ncfg=%+v alpha=%v", cfg, alpha)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSolverUpdateWCET holds UpdateWCET + Solve to byte-identical Results
+// against fresh Partition calls on the modified set, including the
+// re-established task orders.
+func TestSolverUpdateWCET(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, to := range []TaskOrder{TasksByUtilizationDesc, TasksAsGiven, TasksByUtilizationAsc} {
+		for inst := 0; inst < 6; inst++ {
+			ts, plat := randInstance(rng)
+			cfg := Config{Admission: RMSLLAdmission{}, TaskOrder: to}
+			s, err := NewSolver(ts, plat, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod := ts.Clone()
+			for step := 0; step < 12; step++ {
+				i := rng.Intn(len(mod))
+				c := 1 + rng.Int63n(mod[i].Period)
+				if err := s.UpdateWCET(i, c); err != nil {
+					t.Fatal(err)
+				}
+				mod[i].WCET = c
+				got, err := s.Solve(1.7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Alpha = 1.7
+				want, err := Partition(mod, plat, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Clone(), want) {
+					t.Fatalf("UpdateWCET diverged (order %v, step %d)\nmod=%v\ngot  %+v\nwant %+v",
+						to, step, mod, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverCopiesInputs verifies the solver is insulated from caller
+// mutation of the task set and platform after construction.
+func TestSolverCopiesInputs(t *testing.T) {
+	ts := mustSet(t, []float64{0.5, 0.4})
+	p := machine.New(1, 1)
+	s, err := NewSolver(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeOwned := before.Clone()
+	ts[0].WCET = ts[0].Period // caller corrupts inputs
+	p[0].Speed = 1e-9
+	after, err := s.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(beforeOwned, after.Clone()) {
+		t.Fatal("solver state affected by caller mutation")
+	}
+}
+
+// TestSolverValidation mirrors TestPartitionValidation for the reusable
+// entry points.
+func TestSolverValidation(t *testing.T) {
+	ts := mustSet(t, []float64{0.5})
+	p := machine.New(1)
+	if _, err := NewSolver(task.Set{}, p, Paper(EDFAdmission{}, 1)); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := NewSolver(ts, machine.Platform{}, Paper(EDFAdmission{}, 1)); err == nil {
+		t.Error("empty platform should fail")
+	}
+	if _, err := NewSolver(ts, p, Config{}); err == nil {
+		t.Error("missing admission should fail")
+	}
+	if _, err := NewSolver(ts, p, Config{Admission: EDFAdmission{}, Heuristic: Heuristic(9)}); err == nil {
+		t.Error("unknown heuristic should fail")
+	}
+	if _, err := NewSolver(ts, p, Config{Admission: EDFAdmission{}, TaskOrder: TaskOrder(9)}); err == nil {
+		t.Error("unknown task order should fail")
+	}
+	if _, err := NewSolver(ts, p, Config{Admission: EDFAdmission{}, MachineOrder: MachineOrder(9)}); err == nil {
+		t.Error("unknown machine order should fail")
+	}
+	s, err := NewSolver(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := s.Solve(alpha); err == nil {
+			t.Errorf("alpha %v should fail", alpha)
+		}
+	}
+	if _, err := s.Solve(0); err != nil {
+		t.Errorf("alpha 0 means 1: %v", err)
+	}
+	if err := s.UpdateWCET(-1, 1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if err := s.UpdateWCET(0, 0); err == nil {
+		t.Error("zero wcet should fail")
+	}
+}
+
+// TestResultClone verifies Clone detaches from solver scratch.
+func TestResultClone(t *testing.T) {
+	ts := mustSet(t, []float64{0.9, 0.8})
+	p := machine.New(1, 1)
+	s, err := NewSolver(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := r1.Clone()
+	if _, err := s.Solve(0.25); err != nil { // overwrites scratch
+		t.Fatal(err)
+	}
+	if owned.Loads[0] == 0 && owned.Loads[1] == 0 {
+		t.Fatal("clone lost data")
+	}
+	want, err := Partition(ts, p, Paper(EDFAdmission{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(owned, want) {
+		t.Fatalf("clone %+v != fresh %+v", owned, want)
+	}
+}
+
+// TestSolverReuseAllocationFree asserts the repeat-query contract: after
+// the first call, Solve performs zero heap allocations for the built-in
+// admission tests.
+func TestSolverReuseAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts, plat := randInstance(rng)
+	for _, adm := range []AdmissionTest{EDFAdmission{}, RMSLLAdmission{}, RMSHyperbolicAdmission{}} {
+		s, err := NewSolver(ts, plat, Paper(adm, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(1.5); err != nil {
+			t.Fatal(err)
+		}
+		alphas := []float64{0.7, 1, 1.5, 2, 3}
+		avg := testing.AllocsPerRun(50, func() {
+			for _, a := range alphas {
+				if _, err := s.Solve(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: %v allocs per 5 Solve calls, want 0", adm.Name(), avg)
+		}
+	}
+}

@@ -46,15 +46,38 @@ func EDFFeasibleSet(s task.Set, speed float64) bool {
 	return EDFFeasible(s.TotalUtilization(), speed)
 }
 
+// llTableSize bounds the memoized Liu–Layland values. The bound sits in
+// the innermost admission loop of the partitioner, where recomputing
+// 2^{1/(n+1)} per query dominates; per-machine task counts beyond this
+// size are far outside every workload family, and the closed form remains
+// as fallback.
+const llTableSize = 256
+
+var llTable = func() [llTableSize + 1]float64 {
+	var t [llTableSize + 1]float64
+	for n := 1; n <= llTableSize; n++ {
+		t[n] = liuLaylandClosed(n)
+	}
+	return t
+}()
+
+func liuLaylandClosed(n int) float64 {
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
 // LiuLaylandBound returns n(2^{1/n} − 1), the RM utilization bound for n
 // tasks. By convention the bound for n <= 0 is 0 (nothing fits on no
 // tasks' worth of budget) and the bound decreases monotonically toward
-// ln 2 ≈ 0.6931 as n grows.
+// ln 2 ≈ 0.6931 as n grows. Values for n ≤ 256 are served from a
+// precomputed table (identical to the closed form).
 func LiuLaylandBound(n int) float64 {
 	if n <= 0 {
 		return 0
 	}
-	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+	if n <= llTableSize {
+		return llTable[n]
+	}
+	return liuLaylandClosed(n)
 }
 
 // Ln2 is the limiting Liu–Layland bound.

@@ -339,3 +339,21 @@ func BenchmarkHyperbolic(b *testing.B) {
 		RMSFeasibleHyperbolic(s, 1)
 	}
 }
+
+// TestLiuLaylandBoundMemoMatchesClosedForm asserts the precomputed table
+// is indistinguishable from the closed form on both sides of the table
+// boundary, and that lookups do not allocate.
+func TestLiuLaylandBoundMemoMatchesClosedForm(t *testing.T) {
+	for n := 1; n <= llTableSize+8; n++ {
+		if got, want := LiuLaylandBound(n), liuLaylandClosed(n); got != want {
+			t.Fatalf("LiuLaylandBound(%d) = %v, closed form %v", n, got, want)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		for n := 1; n < 64; n++ {
+			_ = LiuLaylandBound(n)
+		}
+	}); avg != 0 {
+		t.Errorf("LiuLaylandBound allocates: %v", avg)
+	}
+}

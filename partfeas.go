@@ -79,6 +79,19 @@ func MinAlpha(ts TaskSet, p Platform, sch Scheduler, lo, hi, tol float64) (alpha
 	return core.MinAlpha(ts, p, sch, lo, hi, tol)
 }
 
+// Tester answers the feasibility test for one (task set, platform,
+// scheduler) triple at many augmentations, reusing precomputed sort
+// orders and scratch buffers so a repeat query allocates nothing. Use it
+// instead of Test when probing the same instance repeatedly (bisections,
+// sensitivity sweeps, admission-control loops). Not safe for concurrent
+// use; construct one per goroutine.
+type Tester = core.Tester
+
+// NewTester builds a reusable Tester for the instance.
+func NewTester(ts TaskSet, p Platform, sch Scheduler) (*Tester, error) {
+	return core.NewTester(ts, p, sch)
+}
+
 // PartitionedMinScaling returns σ_part: the minimal uniform platform
 // scaling under which some partition fits (exact branch-and-bound,
 // parallelized across GOMAXPROCS; exponential worst case — intended for
@@ -210,20 +223,39 @@ func Analyze(ts TaskSet, p Platform) (*Analysis, error) {
 		a.SigmaPartitioned = res.Sigma
 		a.SigmaPartitionedExact = true
 	}
+	// One solver per scheduler serves the four theorem tests and both
+	// bisections: the sort orders are computed twice instead of the ~60
+	// times the naive per-query path pays.
+	testerEDF, err := core.NewTester(ts, p, core.EDF)
+	if err != nil {
+		return nil, err
+	}
+	testerRMS, err := core.NewTester(ts, p, core.RMS)
+	if err != nil {
+		return nil, err
+	}
 	for i, thm := range Theorems {
-		a.Reports[i], err = core.TestTheorem(ts, p, thm)
+		tester := testerEDF
+		if thm.Scheduler() == core.RMS {
+			tester = testerRMS
+		}
+		rep, err := tester.Test(thm.Alpha())
 		if err != nil {
 			return nil, err
 		}
+		// Reports outlive the next query, so detach the witness from the
+		// tester's scratch.
+		rep.Partition = rep.Partition.Clone()
+		a.Reports[i] = rep
 	}
 	// Search ceilings follow from the theorems: the EDF test accepts by
 	// α = 2.98·σ_LP, the RMS test by 3.34·σ_LP.
 	lo := a.SigmaMigratory / 2
-	a.MinAlphaEDF, _, err = core.MinAlpha(ts, p, core.EDF, lo, 2.98*a.SigmaMigratory*(1+1e-6), 1e-6)
+	a.MinAlphaEDF, _, err = testerEDF.MinAlpha(lo, 2.98*a.SigmaMigratory*(1+1e-6), 1e-6)
 	if err != nil {
 		return nil, err
 	}
-	a.MinAlphaRMS, _, err = core.MinAlpha(ts, p, core.RMS, lo, 3.34*a.SigmaMigratory*(1+1e-6), 1e-6)
+	a.MinAlphaRMS, _, err = testerRMS.MinAlpha(lo, 3.34*a.SigmaMigratory*(1+1e-6), 1e-6)
 	if err != nil {
 		return nil, err
 	}
