@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench benchjson
+.PHONY: ci vet build test race fuzz bench benchsmoke benchjson
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
-## and a short fuzz smoke of the partition invariants.
-ci: vet build test race fuzz
+## a short fuzz smoke of the partition invariants, and a one-iteration
+## benchmark smoke (catches benchmarks whose setup asserts fail).
+ci: vet build test race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -18,12 +19,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-## fuzz: 10-second smoke of the partition-engine invariant fuzzer.
+## fuzz: short smokes of the partition-engine invariant fuzzer and the
+## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).
 fuzz:
 	$(GO) test ./internal/partition -run Fuzz -fuzz=FuzzPartitionInvariants -fuzztime=10s
+	$(GO) test ./internal/rational -run Fuzz -fuzz=FuzzArithmetic -fuzztime=5s
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+## benchsmoke: run every benchmark exactly once — cheap assurance that
+## benchmark setup assertions (acceptance, miss-free instances) hold.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 ## benchjson: record the benchmark suite to results/BENCH_1.json for
 ## cross-PR perf tracking.

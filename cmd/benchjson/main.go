@@ -40,6 +40,7 @@ type Suite struct {
 	GOARCH    string   `json:"goarch"`
 	Bench     string   `json:"bench"`
 	Benchtime string   `json:"benchtime"`
+	Note      string   `json:"note,omitempty"`
 	Results   []Result `json:"results"`
 }
 
@@ -80,15 +81,16 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
 		out       = flag.String("o", "BENCH_1.json", "output JSON path")
 		short     = flag.Bool("short", false, "pass -short to go test")
+		note      = flag.String("note", "", "free-form label recorded in the suite document")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *pkg, *out, *short); err != nil {
+	if err := run(*bench, *benchtime, *pkg, *out, *short, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg, out string, short bool) error {
+func run(bench, benchtime, pkg, out string, short bool, note string) error {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime}
 	if short {
 		args = append(args, "-short")
@@ -107,6 +109,7 @@ func run(bench, benchtime, pkg, out string, short bool) error {
 		GOARCH:    runtime.GOARCH,
 		Bench:     bench,
 		Benchtime: benchtime,
+		Note:      note,
 	}
 	for _, line := range strings.Split(string(raw), "\n") {
 		if r, ok := parseBenchLine(strings.TrimSpace(line)); ok {

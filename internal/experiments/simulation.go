@@ -136,30 +136,19 @@ func E9Simulation(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// simulateJittered replays each machine's assigned subset under sparser,
-// jitter-separated sporadic arrivals over a fixed horizon and returns the
-// total miss count (expected: zero for accepted partitions — reducing
-// arrival density never hurts EDF or fixed priorities).
+// simulateJittered replays the partition under sparser, jitter-separated
+// sporadic arrivals over a fixed horizon and returns the total miss count
+// (expected: zero for accepted partitions — reducing arrival density
+// never hurts EDF or fixed priorities). The jitter model is threaded
+// through SimulatePartitionOpts, which hands it input-set task indices,
+// so each task's arrival sequence is a property of the task alone and the
+// same seed replays identically under any partition.
 func simulateJittered(ts task.Set, plat machine.Platform, assignment []int, policy sim.Policy, seed uint64) (int, error) {
-	sets := make([]task.Set, len(plat))
-	for i, j := range assignment {
-		sets[j] = append(sets[j], ts[i])
+	pres, err := sim.SimulatePartitionOpts(ts, plat, assignment, policy, 1, 2520, sim.PartitionOptions{
+		Arrivals: sim.JitteredArrivals{Seed: seed, MaxJitter: 7},
+	})
+	if err != nil {
+		return 0, err
 	}
-	misses := 0
-	for j := range plat {
-		if len(sets[j]) == 0 {
-			continue
-		}
-		speed, err := plat[j].SpeedRat()
-		if err != nil {
-			return 0, err
-		}
-		arr := sim.JitteredArrivals{Seed: seed ^ uint64(j)<<32, MaxJitter: 7}
-		mr, err := sim.SimulateMachine(sets[j], speed, policy, arr, 2520)
-		if err != nil {
-			return 0, err
-		}
-		misses += len(mr.Misses)
-	}
-	return misses, nil
+	return pres.TotalMisses, nil
 }

@@ -136,6 +136,20 @@ func (r Rat) String() string {
 
 // Cmp compares r and s exactly, returning -1, 0 or +1.
 func (r Rat) Cmp(s Rat) int {
+	// Fast path: equal denominators (covering the dominant case of two
+	// integers, den == 1) compare by numerator alone. Event timestamps in
+	// the simulator are integers whenever speeds are, so this skips the
+	// 128-bit cross-multiplication on the hot comparison path.
+	if r.den == s.den {
+		switch {
+		case r.num < s.num:
+			return -1
+		case r.num > s.num:
+			return 1
+		default:
+			return 0
+		}
+	}
 	// Compare r.num*s.den with s.num*r.den in 128 bits.
 	lhHi, lhLo := mul64(r.num, s.den)
 	rhHi, rhLo := mul64(s.num, r.den)
@@ -152,7 +166,38 @@ func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
 func (r Rat) Equal(s Rat) bool { return r.num == s.num && r.den == s.den }
 
 // Add returns r + s exactly.
+//
+// Two fast paths cover the simulator's dominant operand shapes without
+// changing overflow behavior — any intermediate that does not fit int64
+// falls through to the general 128-bit path, which reduces before
+// deciding overflow exactly as before:
+//
+//   - equal denominators (including integer + integer): one checked add
+//     and one 64-bit gcd, no 128-bit arithmetic;
+//   - one integer operand: the result (r.num*s.den + s.num)/s.den is
+//     already canonical because gcd(s.num, s.den) == 1, so no gcd at all.
 func (r Rat) Add(s Rat) (Rat, error) {
+	if r.den == s.den {
+		if sum, ok := add64(r.num, s.num); ok {
+			if r.den == 1 {
+				return Rat{sum, 1}, nil
+			}
+			g := int64(gcd64(absU(sum), uint64(r.den)))
+			return Rat{sum / g, r.den / g}, nil
+		}
+	} else if r.den == 1 {
+		if p, ok := mul64Fits(r.num, s.den); ok {
+			if sum, ok := add64(p, s.num); ok {
+				return Rat{sum, s.den}, nil
+			}
+		}
+	} else if s.den == 1 {
+		if p, ok := mul64Fits(s.num, r.den); ok {
+			if sum, ok := add64(p, r.num); ok {
+				return Rat{sum, r.den}, nil
+			}
+		}
+	}
 	// r.num/r.den + s.num/s.den = (r.num*(L/r.den) + s.num*(L/s.den)) / L
 	// with L = lcm(r.den, s.den).
 	g := int64(gcd64(uint64(r.den), uint64(s.den)))
@@ -275,6 +320,33 @@ func mul64(a, b int64) (hi int64, lo uint64) {
 		shi -= a
 	}
 	return shi, ulo
+}
+
+// add64 returns a + b and whether the sum is usable as a canonical
+// numerator. A sum of exactly MinInt64 is reported as not fitting even
+// though int64 holds it: the general path's canon128 rejects |num| = 2^63
+// (it cannot be negated), so fast paths must defer those sums to it to
+// keep overflow behavior identical.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	if s == math.MinInt64 {
+		return 0, false
+	}
+	return s, true
+}
+
+// mul64Fits returns a * b and whether the product fits in int64.
+func mul64Fits(a, b int64) (int64, bool) {
+	hi, lo := mul64(a, b)
+	// The 128-bit product fits iff the high word is the sign extension of
+	// the low word.
+	if hi != int64(lo)>>63 {
+		return 0, false
+	}
+	return int64(lo), true
 }
 
 // add128 adds two signed 128-bit values, reporting signed overflow.

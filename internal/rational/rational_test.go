@@ -435,3 +435,96 @@ func BenchmarkCmp(b *testing.B) {
 		x.Cmp(y)
 	}
 }
+
+// TestAddFastPaths pins the equal-denominator and integer-operand fast
+// paths, including the overflow boundaries where they must fall through
+// to the general 128-bit path with unchanged behavior.
+func TestAddFastPaths(t *testing.T) {
+	cases := []struct {
+		a, b    Rat
+		want    Rat
+		wantErr bool
+	}{
+		// Integer + integer.
+		{FromInt(3), FromInt(4), FromInt(7), false},
+		{FromInt(math.MaxInt64), FromInt(-1), FromInt(math.MaxInt64 - 1), false},
+		// Integer + integer overflowing int64: still ErrOverflow.
+		{FromInt(math.MaxInt64), FromInt(1), Rat{}, true},
+		// Sum of exactly MinInt64: canon128 has always rejected
+		// |num| = 2^63, and the fast path must preserve that.
+		{FromInt(math.MinInt64 + 1), FromInt(-1), Rat{}, true},
+		// Equal denominators, reducing and non-reducing.
+		{MustNew(1, 4), MustNew(1, 4), MustNew(1, 2), false},
+		{MustNew(1, 4), MustNew(2, 4), MustNew(3, 4), false},
+		{MustNew(3, 7), MustNew(-3, 7), Zero(), false},
+		// Equal denominators whose numerator sum overflows int64 but
+		// reduces back into range: general path must still succeed.
+		{MustNew(math.MaxInt64, 2), MustNew(math.MaxInt64, 2), FromInt(math.MaxInt64), false},
+		// Integer + fraction: canonical without reduction.
+		{FromInt(2), MustNew(1, 3), MustNew(7, 3), false},
+		{MustNew(1, 3), FromInt(-2), MustNew(-5, 3), false},
+		// Integer + fraction overflowing: ErrOverflow preserved.
+		{FromInt(math.MaxInt64), MustNew(1, 2), Rat{}, true},
+	}
+	for _, c := range cases {
+		got, err := c.a.Add(c.b)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%v + %v = %v, want overflow", c.a, c.b, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v + %v: %v", c.a, c.b, err)
+			continue
+		}
+		if !got.Equal(c.want) || !got.Valid() {
+			t.Errorf("%v + %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCmpFastPath pins the equal-denominator comparison shortcut.
+func TestCmpFastPath(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{FromInt(2), FromInt(3), -1},
+		{FromInt(3), FromInt(3), 0},
+		{FromInt(-3), FromInt(-4), 1},
+		{MustNew(1, 5), MustNew(3, 5), -1},
+		{MustNew(math.MaxInt64, 7), MustNew(math.MaxInt64-7, 7), 1},
+		{MustNew(1, 2), MustNew(1, 3), 1}, // different dens: general path
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Cmp(c.a); got != -c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+// BenchmarkAddInt measures the integer fast path the simulator's event
+// arithmetic rides on.
+func BenchmarkAddInt(b *testing.B) {
+	x := FromInt(123456)
+	y := FromInt(789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Add(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCmpInt measures the equal-denominator comparison fast path.
+func BenchmarkCmpInt(b *testing.B) {
+	x := FromInt(123456)
+	y := FromInt(123457)
+	for i := 0; i < b.N; i++ {
+		x.Cmp(y)
+	}
+}

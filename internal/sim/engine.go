@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+// Engine is the reusable event-queue simulator core behind
+// SimulateMachine. Per scheduling event it does O(log n) work — a release
+// min-heap keyed on each task's next release replaces the naive engine's
+// O(n) due/earliest scans, and a policy-keyed ready heap replaces the
+// O(|ready|) priority scan and splice — while producing byte-identical
+// MachineResult and Trace output (the differential tests in
+// engine_test.go hold it to the preserved naive engine).
+//
+// All working storage (job arena, both heaps, RM rank buffers, trace
+// scratch) is owned by the Engine and reused across calls, so repeat
+// Simulate calls on same-shaped inputs allocate nothing in steady state.
+// An Engine is not safe for concurrent use; the package-level entry
+// points draw Engines from an internal pool, and SimulatePartition gives
+// each worker its own.
+type Engine struct {
+	policy Policy
+	traced bool
+
+	jobs  []job      // arena; the ready heap refers to jobs by index
+	free  []int32    // arena slots of completed jobs, ready for reuse
+	ready []int32    // binary heap of released unfinished jobs
+	rel   []relEntry // binary heap of per-task next releases
+	segs  []Segment  // trace scratch for the traced path
+
+	rank   []int // RM static priorities (rank[i] of task i; 0 = highest)
+	rmIdx  []int // scratch permutation for rank computation
+	sorter rmSorter
+}
+
+// NewEngine returns an empty Engine; buffers grow on first use.
+func NewEngine() *Engine { return &Engine{} }
+
+// Simulate runs one machine of the given speed over all jobs released in
+// [0, horizon) and until every released job completes, exactly like
+// SimulateMachine (which delegates here).
+func (e *Engine) Simulate(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
+	return e.run(ts, speed, policy, arrivals, horizon, false)
+}
+
+// SimulateTraced is Simulate plus the execution trace. The returned Trace
+// is freshly sized to its exact segment count and owned by the caller;
+// the engine's working segment buffer is retained for reuse.
+func (e *Engine) SimulateTraced(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
+	res, err := e.run(ts, speed, policy, arrivals, horizon, true)
+	tr := &Trace{}
+	if len(e.segs) > 0 {
+		tr.Segments = make([]Segment, len(e.segs))
+		copy(tr.Segments, e.segs)
+	}
+	return res, tr, err
+}
+
+func (e *Engine) run(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64, traced bool) (MachineResult, error) {
+	var res MachineResult
+	res.BusyTime = rational.Zero()
+	res.Makespan = rational.Zero()
+	e.segs = e.segs[:0]
+	if len(ts) == 0 {
+		return res, nil
+	}
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if speed.Sign() <= 0 {
+		return res, fmt.Errorf("sim: speed %v must be positive", speed)
+	}
+	if horizon <= 0 {
+		return res, ErrHorizon
+	}
+	if arrivals == nil {
+		arrivals = PeriodicArrivals{}
+	}
+	if policy != PolicyEDF && policy != PolicyRM {
+		return res, fmt.Errorf("sim: unknown policy %d", int(policy))
+	}
+
+	e.policy = policy
+	e.traced = traced
+	horizonR := rational.FromInt(horizon)
+	if policy == PolicyRM {
+		e.computeRanks(ts)
+	}
+
+	e.jobs = e.jobs[:0]
+	e.free = e.free[:0]
+	e.ready = e.ready[:0]
+	e.rel = e.rel[:0]
+	for i, t := range ts {
+		if first := arrivals.First(i, t); first.Less(horizonR) {
+			e.relPush(relEntry{at: first, taskIdx: i})
+		}
+	}
+
+	now := rational.Zero()
+	running := int32(-1) // arena index of the job that ran last slice
+
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return res, fmt.Errorf("sim: event budget exceeded (horizon %d, %d tasks)", horizon, len(ts))
+		}
+		// Release everything due by now. Popping the release heap yields
+		// due jobs in (time, task index) order; each released task's next
+		// release re-enters the heap unless it falls past the horizon.
+		for len(e.rel) > 0 && e.rel[0].at.LessEq(now) {
+			ent := e.relPop()
+			i := ent.taskIdx
+			t := ts[i]
+			dl, err := ent.at.Add(rational.FromInt(t.Period))
+			if err != nil {
+				return res, fmt.Errorf("sim: deadline of task %d: %w", i, err)
+			}
+			idx := e.jobAlloc()
+			e.jobs[idx] = job{taskIdx: i, release: ent.at, deadline: dl, remaining: rational.FromInt(t.WCET)}
+			e.readyPush(idx)
+			res.JobsReleased++
+			nr, err := arrivals.Next(i, t, ent.at)
+			if err != nil {
+				return res, err
+			}
+			if !ent.at.Less(nr) {
+				return res, fmt.Errorf("sim: arrival model violated sporadic constraint for task %d: %v -> %v", i, ent.at, nr)
+			}
+			if nr.Less(horizonR) {
+				e.relPush(relEntry{at: nr, taskIdx: i})
+			}
+		}
+		if len(e.ready) == 0 {
+			if len(e.rel) == 0 {
+				return res, nil // all released jobs done, no more releases
+			}
+			now = e.rel[0].at
+			continue
+		}
+		// The highest-priority ready job is the heap root; job priorities
+		// are fixed at release, so running a slice never reorders the heap.
+		jIdx := e.ready[0]
+		j := &e.jobs[jIdx]
+		if running >= 0 && running != jIdx && e.jobs[running].remaining.Sign() > 0 {
+			res.Preemptions++
+		}
+		running = jIdx
+
+		// It would finish at now + remaining/speed; a release before that
+		// preempts (or at least re-evaluates priority).
+		runTime, err := j.remaining.Div(speed)
+		if err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+		finish, err := now.Add(runTime)
+		if err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+		if len(e.rel) > 0 && e.rel[0].at.Less(finish) {
+			// Run until the release, then loop to re-evaluate.
+			nr := e.rel[0].at
+			delta, err := nr.Sub(now)
+			if err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			work, err := delta.Mul(speed)
+			if err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			if j.remaining, err = j.remaining.Sub(work); err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			if res.BusyTime, err = res.BusyTime.Add(delta); err != nil {
+				return res, fmt.Errorf("sim: %w", err)
+			}
+			e.addSeg(j.taskIdx, now, nr)
+			now = nr
+			continue
+		}
+		// Job completes.
+		if res.BusyTime, err = res.BusyTime.Add(runTime); err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+		e.addSeg(j.taskIdx, now, finish)
+		now = finish
+		res.JobsCompleted++
+		res.Makespan = rational.Max(res.Makespan, now)
+		if j.deadline.Less(now) {
+			res.Misses = append(res.Misses, Miss{
+				TaskIdx: j.taskIdx, Release: j.release, Deadline: j.deadline, Completion: now,
+			})
+		}
+		e.readyPop()
+		e.jobFree(jIdx)
+		running = -1
+	}
+}
+
+// addSeg appends a trace segment to the engine scratch, merging with the
+// previous one when the same task continues without a gap — the same
+// rule as Trace.add, so traced output stays byte-identical.
+func (e *Engine) addSeg(taskIdx int, start, end rational.Rat) {
+	if !e.traced || start.Cmp(end) >= 0 {
+		return
+	}
+	if n := len(e.segs); n > 0 {
+		last := &e.segs[n-1]
+		if last.TaskIdx == taskIdx && last.End.Equal(start) {
+			last.End = end
+			return
+		}
+	}
+	e.segs = append(e.segs, Segment{TaskIdx: taskIdx, Start: start, End: end})
+}
+
+// computeRanks fills e.rank with rate-monotonic priorities, reusing the
+// engine's buffers. The comparator (period, WCET, input index) is a total
+// order, so plain sort.Sort reproduces rmRanks' sort.SliceStable result
+// without the reflection-based swapper's allocations.
+func (e *Engine) computeRanks(ts task.Set) {
+	n := len(ts)
+	e.rank = growInts(e.rank, n)
+	e.rmIdx = growInts(e.rmIdx, n)
+	for i := 0; i < n; i++ {
+		e.rmIdx[i] = i
+	}
+	e.sorter.ts = ts
+	e.sorter.idx = e.rmIdx
+	sort.Sort(&e.sorter)
+	e.sorter.ts = nil // don't retain the caller's set between runs
+	for r, i := range e.rmIdx {
+		e.rank[i] = r
+	}
+}
+
+// growInts resizes s to length n, reusing capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// rmSorter sorts a task-index permutation by rate-monotonic priority.
+type rmSorter struct {
+	ts  task.Set
+	idx []int
+}
+
+func (s *rmSorter) Len() int      { return len(s.idx) }
+func (s *rmSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *rmSorter) Less(a, b int) bool {
+	ta, tb := s.ts[s.idx[a]], s.ts[s.idx[b]]
+	if ta.Period != tb.Period {
+		return ta.Period < tb.Period
+	}
+	if ta.WCET != tb.WCET {
+		return ta.WCET < tb.WCET
+	}
+	return s.idx[a] < s.idx[b]
+}

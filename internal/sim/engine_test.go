@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+// Differential harness: the event-queue engine must be byte-identical to
+// the preserved naive engine — results AND traces — across policies,
+// arrival models, speeds (including fractional), and fuzzed task sets
+// that mix feasible, exactly-critical and overloaded instances.
+
+func randTaskSetSim(rng *rand.Rand, n int) task.Set {
+	ts := make(task.Set, n)
+	for i := range ts {
+		p := int64(2 + rng.Intn(14))
+		c := int64(1 + rng.Intn(int(p)))
+		ts[i] = task.Task{WCET: c, Period: p}
+	}
+	return ts
+}
+
+func randSpeedSim(rng *rand.Rand) rational.Rat {
+	speeds := []rational.Rat{
+		rational.One(),
+		rational.FromInt(2),
+		rational.FromInt(3),
+		rational.MustNew(1, 2),
+		rational.MustNew(3, 4),
+		rational.MustNew(5, 3),
+	}
+	return speeds[rng.Intn(len(speeds))]
+}
+
+func TestEngineDifferentialMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1729))
+	policies := []Policy{PolicyEDF, PolicyRM}
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		ts := randTaskSetSim(rng, n)
+		speed := randSpeedSim(rng)
+		horizon := int64(20 + rng.Intn(100))
+		var arrivals ArrivalModel
+		if trial%2 == 1 {
+			arrivals = JitteredArrivals{Seed: uint64(trial), MaxJitter: int64(1 + rng.Intn(5))}
+		}
+		for _, pol := range policies {
+			want, wantTr, errN := SimulateMachineNaiveTraced(ts, speed, pol, arrivals, horizon)
+			got, gotTr, errE := SimulateMachineTraced(ts, speed, pol, arrivals, horizon)
+			if (errN == nil) != (errE == nil) {
+				t.Fatalf("trial %d %v: error mismatch: naive=%v engine=%v", trial, pol, errN, errE)
+			}
+			if errN != nil {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d %v speed=%v horizon=%d: result mismatch\nnaive:  %+v\nengine: %+v\ntasks: %v",
+					trial, pol, speed, horizon, want, got, ts)
+			}
+			if !reflect.DeepEqual(wantTr, gotTr) {
+				t.Fatalf("trial %d %v: trace mismatch\nnaive:  %+v\nengine: %+v\ntasks: %v",
+					trial, pol, wantTr, gotTr, ts)
+			}
+			// Untraced path agrees with itself too.
+			gotU, err := SimulateMachine(ts, speed, pol, arrivals, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, gotU) {
+				t.Fatalf("trial %d %v: untraced result mismatch", trial, pol)
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialReuse drives one Engine through many dissimilar
+// back-to-back simulations: buffer reuse must never leak state from one
+// run into the next.
+func TestEngineDifferentialReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	e := NewEngine()
+	for trial := 0; trial < 200; trial++ {
+		ts := randTaskSetSim(rng, 1+rng.Intn(10))
+		speed := randSpeedSim(rng)
+		horizon := int64(10 + rng.Intn(150))
+		pol := Policy(rng.Intn(2))
+		want, err := SimulateMachineNaive(ts, speed, pol, nil, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Simulate(ts, speed, pol, nil, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: reused engine diverged\nnaive:  %+v\nengine: %+v", trial, want, got)
+		}
+	}
+}
+
+// naivePartition replicates the pre-queue sequential partition replay on
+// top of the preserved naive machine engine, as the differential
+// reference for SimulatePartition.
+func naivePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64) (PlatformResult, error) {
+	var pres PlatformResult
+	alphaR, err := rational.FromFloat(alpha)
+	if err != nil {
+		return pres, err
+	}
+	sets := make([]task.Set, len(p))
+	for i, j := range assignment {
+		sets[j] = append(sets[j], ts[i])
+	}
+	pres.PerMachine = make([]MachineResult, len(p))
+	for j := range p {
+		speed, err := p[j].SpeedRat()
+		if err != nil {
+			return pres, err
+		}
+		if speed, err = speed.Mul(alphaR); err != nil {
+			return pres, err
+		}
+		mr, err := SimulateMachineNaive(sets[j], speed, policy, PeriodicArrivals{}, horizon)
+		if err != nil {
+			return pres, err
+		}
+		pres.PerMachine[j] = mr
+		pres.TotalMisses += len(mr.Misses)
+		pres.TotalJobs += mr.JobsReleased
+	}
+	return pres, nil
+}
+
+func TestPartitionDifferentialAndWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		ts := randTaskSetSim(rng, n)
+		plat := make(machine.Platform, m)
+		for j := range plat {
+			plat[j] = machine.Machine{Speed: []float64{1, 2, 0.5}[rng.Intn(3)]}
+		}
+		assignment := make([]int, n)
+		for i := range assignment {
+			assignment[i] = rng.Intn(m)
+		}
+		pol := Policy(rng.Intn(2))
+		horizon := int64(20 + rng.Intn(80))
+
+		want, err := naivePartition(ts, plat, assignment, pol, 1, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := SimulatePartitionOpts(ts, plat, assignment, pol, 1, horizon, PartitionOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d workers=%d: partition mismatch\nnaive: %+v\nqueue: %+v", trial, workers, want, got)
+			}
+		}
+		// Traced output and jittered arrivals: bit-identical at every
+		// worker count (reference = 1 worker).
+		jitter := PartitionOptions{Arrivals: JitteredArrivals{Seed: uint64(trial), MaxJitter: 3}, Workers: 1}
+		refJ, err := SimulatePartitionOpts(ts, plat, assignment, pol, 1, horizon, jitter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, refTr, err := SimulatePartitionTracedOpts(ts, plat, assignment, pol, 1, horizon, PartitionOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			jitter.Workers = workers
+			gotJ, err := SimulatePartitionOpts(ts, plat, assignment, pol, 1, horizon, jitter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refJ, gotJ) {
+				t.Fatalf("trial %d workers=%d: jittered partition not deterministic", trial, workers)
+			}
+			gotRes, gotTr, err := SimulatePartitionTracedOpts(ts, plat, assignment, pol, 1, horizon, PartitionOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refRes, gotRes) || !reflect.DeepEqual(refTr, gotTr) {
+				t.Fatalf("trial %d workers=%d: traced partition not deterministic", trial, workers)
+			}
+		}
+	}
+}
+
+// TestPartitionArrivalIndexRemap pins the input-index contract of
+// PartitionOptions.Arrivals: a model keyed on task index must see the
+// same indices whether a task shares its machine or not.
+func TestPartitionArrivalIndexRemap(t *testing.T) {
+	ts := task.Set{
+		{WCET: 1, Period: 4},
+		{WCET: 1, Period: 4},
+		{WCET: 1, Period: 4},
+	}
+	plat := machine.New(1, 1, 1)
+	arr := JitteredArrivals{Seed: 99, MaxJitter: 3}
+	spread, err := SimulatePartitionOpts(ts, plat, []int{0, 1, 2}, PolicyEDF, 1, 40, PartitionOptions{Arrivals: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three tasks on one machine: per-task job counts must match the
+	// spread run, because each task's arrival sequence depends only on its
+	// input index, not on its machine or subset position.
+	packed, err := SimulatePartitionOpts(ts, plat, []int{0, 0, 0}, PolicyEDF, 1, 40, PartitionOptions{Arrivals: arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.TotalJobs != packed.TotalJobs {
+		t.Fatalf("arrival sequences depend on partition: spread released %d jobs, packed %d",
+			spread.TotalJobs, packed.TotalJobs)
+	}
+}
+
+// TestEngineZeroAllocSteadyState asserts the headline property: a reused
+// Engine performs zero allocations per simulation once its buffers are
+// warm (miss-free instance, untraced path).
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	ts := task.Set{
+		{WCET: 1, Period: 2},
+		{WCET: 1, Period: 3},
+		{WCET: 1, Period: 6},
+	}
+	for _, pol := range []Policy{PolicyEDF, PolicyRM} {
+		e := NewEngine()
+		run := func() {
+			res, err := e.Simulate(ts, rational.FromInt(2), pol, nil, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Misses) != 0 {
+				t.Fatal("instance must be miss-free for the zero-alloc check")
+			}
+		}
+		run() // warm the arena and heaps
+		if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+			t.Errorf("%v: %v allocs per steady-state Simulate, want 0", pol, allocs)
+		}
+	}
+}

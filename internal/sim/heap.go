@@ -1,0 +1,135 @@
+package sim
+
+import "partfeas/internal/rational"
+
+// The event-queue engine keeps two binary heaps, both hand-rolled over
+// engine-owned slices so sift operations are direct array moves with no
+// container/heap interface dispatch and no per-operation allocation.
+//
+//   - The release heap holds at most one entry per task — that task's next
+//     pending release — ordered by (time, task index). Popping it yields
+//     due releases in exactly the order the naive engine's index-ordered
+//     releaseDue scan produced them, and peeking it answers
+//     "earliest future release" in O(1) instead of O(n).
+//
+//   - The ready heap holds arena indices of released, unfinished jobs,
+//     ordered by the scheduling policy (EDF: absolute deadline, then task
+//     index; RM: precomputed static rank, then release time). Job
+//     priorities never change after release — executing a slice only
+//     shrinks `remaining`, which no comparator reads — so the heap needs
+//     push/pop only, never a decrease-key.
+//
+// Both orders are total (same-task jobs have strictly increasing releases
+// and hence distinct deadlines; RM ranks are a permutation), so the heap
+// maximum is unique and heap order cannot diverge from the naive linear
+// scan's choice.
+
+// relEntry is one release-heap slot: task taskIdx next releases at `at`.
+type relEntry struct {
+	at      rational.Rat
+	taskIdx int
+}
+
+func relLess(a, b relEntry) bool {
+	c := a.at.Cmp(b.at)
+	if c != 0 {
+		return c < 0
+	}
+	return a.taskIdx < b.taskIdx
+}
+
+// relPush inserts an entry into the release heap.
+func (e *Engine) relPush(ent relEntry) {
+	e.rel = append(e.rel, ent)
+	i := len(e.rel) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !relLess(e.rel[i], e.rel[parent]) {
+			break
+		}
+		e.rel[i], e.rel[parent] = e.rel[parent], e.rel[i]
+		i = parent
+	}
+}
+
+// relPop removes and returns the earliest entry.
+func (e *Engine) relPop() relEntry {
+	top := e.rel[0]
+	n := len(e.rel) - 1
+	e.rel[0] = e.rel[n]
+	e.rel = e.rel[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && relLess(e.rel[r], e.rel[l]) {
+			min = r
+		}
+		if !relLess(e.rel[min], e.rel[i]) {
+			break
+		}
+		e.rel[i], e.rel[min] = e.rel[min], e.rel[i]
+		i = min
+	}
+	return top
+}
+
+// readyLess orders arena indices by scheduling priority (true = a runs
+// before b). It mirrors the naive engine's higherPriority exactly.
+func (e *Engine) readyLess(a, b int32) bool {
+	ja, jb := &e.jobs[a], &e.jobs[b]
+	if e.policy == PolicyEDF {
+		c := ja.deadline.Cmp(jb.deadline)
+		if c != 0 {
+			return c < 0
+		}
+		return ja.taskIdx < jb.taskIdx
+	}
+	ra, rb := e.rank[ja.taskIdx], e.rank[jb.taskIdx]
+	if ra != rb {
+		return ra < rb
+	}
+	return ja.release.Less(jb.release)
+}
+
+// readyPush inserts a job (by arena index) into the ready heap.
+func (e *Engine) readyPush(idx int32) {
+	e.ready = append(e.ready, idx)
+	i := len(e.ready) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.readyLess(e.ready[i], e.ready[parent]) {
+			break
+		}
+		e.ready[i], e.ready[parent] = e.ready[parent], e.ready[i]
+		i = parent
+	}
+}
+
+// readyPop removes and returns the highest-priority job's arena index.
+func (e *Engine) readyPop() int32 {
+	top := e.ready[0]
+	n := len(e.ready) - 1
+	e.ready[0] = e.ready[n]
+	e.ready = e.ready[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && e.readyLess(e.ready[r], e.ready[l]) {
+			min = r
+		}
+		if !e.readyLess(e.ready[min], e.ready[i]) {
+			break
+		}
+		e.ready[i], e.ready[min] = e.ready[min], e.ready[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/rational"
+)
+
+// Metamorphic invariants of the simulator, checked over fuzzed instances
+// for both policies and both arrival models. These hold for ANY correct
+// engine — they don't encode a specific schedule, only conservation laws:
+//
+//   - the trace accounts for exactly the busy time the result reports;
+//   - trace segments are time-ordered, non-overlapping and non-empty;
+//   - every released job completes by simulation end (the loop runs past
+//     the horizon until the backlog drains), so the release/completion
+//     counters balance;
+//   - under periodic arrivals the release count is exactly
+//     Σ_i ⌈horizon / P_i⌉.
+
+func checkMachineInvariants(t *testing.T, label string, res MachineResult, tr *Trace) {
+	t.Helper()
+	busy, err := tr.BusyTime()
+	if err != nil {
+		t.Fatalf("%s: trace busy time: %v", label, err)
+	}
+	if !busy.Equal(res.BusyTime) {
+		t.Fatalf("%s: trace busy %v != result busy %v", label, busy, res.BusyTime)
+	}
+	for k, s := range tr.Segments {
+		if s.Start.Cmp(s.End) >= 0 {
+			t.Fatalf("%s: segment %d empty or reversed: [%v, %v)", label, k, s.Start, s.End)
+		}
+		if k > 0 && tr.Segments[k-1].End.Cmp(s.Start) > 0 {
+			t.Fatalf("%s: segments %d and %d overlap: [..., %v) then [%v, ...)",
+				label, k-1, k, tr.Segments[k-1].End, s.Start)
+		}
+	}
+	if res.JobsReleased != res.JobsCompleted {
+		t.Fatalf("%s: %d jobs released but %d completed", label, res.JobsReleased, res.JobsCompleted)
+	}
+	if res.BusyTime.Cmp(res.Makespan) > 0 {
+		t.Fatalf("%s: busy time %v exceeds makespan %v", label, res.BusyTime, res.Makespan)
+	}
+}
+
+func TestMachineMetamorphicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6174))
+	for trial := 0; trial < 250; trial++ {
+		ts := randTaskSetSim(rng, 1+rng.Intn(8))
+		speed := randSpeedSim(rng)
+		horizon := int64(10 + rng.Intn(120))
+		var arrivals ArrivalModel
+		if trial%2 == 1 {
+			arrivals = JitteredArrivals{Seed: uint64(trial) * 77, MaxJitter: int64(1 + rng.Intn(4))}
+		}
+		for _, pol := range []Policy{PolicyEDF, PolicyRM} {
+			res, tr, err := SimulateMachineTraced(ts, speed, pol, arrivals, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMachineInvariants(t, pol.String(), res, tr)
+			if arrivals == nil {
+				var want int64
+				for _, tk := range ts {
+					want += (horizon + tk.Period - 1) / tk.Period // ⌈horizon/P⌉
+				}
+				if res.JobsReleased != want {
+					t.Fatalf("trial %d %v: released %d jobs, periodic pattern predicts %d",
+						trial, pol, res.JobsReleased, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionMetamorphicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4104))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		ts := randTaskSetSim(rng, n)
+		plat := make(machine.Platform, m)
+		for j := range plat {
+			plat[j] = machine.Machine{Speed: []float64{1, 2, 0.5}[rng.Intn(3)]}
+		}
+		assignment := make([]int, n)
+		for i := range assignment {
+			assignment[i] = rng.Intn(m)
+		}
+		pol := Policy(rng.Intn(2))
+		horizon := int64(20 + rng.Intn(60))
+		pres, traces, err := SimulatePartitionTraced(ts, plat, assignment, pol, 1, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs int64
+		misses := 0
+		for j := range plat {
+			checkMachineInvariants(t, pol.String(), pres.PerMachine[j], traces[j])
+			jobs += pres.PerMachine[j].JobsReleased
+			misses += len(pres.PerMachine[j].Misses)
+			// Trace task indices refer to the full input set and must be
+			// tasks actually assigned to this machine.
+			for _, s := range traces[j].Segments {
+				if s.TaskIdx < 0 || s.TaskIdx >= n {
+					t.Fatalf("machine %d trace references task %d outside the input set", j, s.TaskIdx)
+				}
+				if assignment[s.TaskIdx] != j {
+					t.Fatalf("machine %d trace references task %d assigned to machine %d",
+						j, s.TaskIdx, assignment[s.TaskIdx])
+				}
+			}
+		}
+		if jobs != pres.TotalJobs {
+			t.Fatalf("TotalJobs %d != per-machine sum %d", pres.TotalJobs, jobs)
+		}
+		if misses != pres.TotalMisses {
+			t.Fatalf("TotalMisses %d != per-machine sum %d", pres.TotalMisses, misses)
+		}
+	}
+}
+
+// TestReducedDensityNeverHurts is the metamorphic relation behind the E9
+// jitter check: thinning the arrival sequence of a miss-free instance
+// (jitter only delays releases) must keep it miss-free under both
+// policies — sporadic sets are hardest at the synchronous periodic
+// pattern.
+func TestReducedDensityNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 150; trial++ {
+		ts := randTaskSetSim(rng, 1+rng.Intn(5))
+		speed := rational.FromInt(1 + int64(rng.Intn(3)))
+		horizon := int64(30 + rng.Intn(90))
+		for _, pol := range []Policy{PolicyEDF, PolicyRM} {
+			dense, err := SimulateMachine(ts, speed, pol, nil, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dense.Misses) != 0 {
+				continue // only the miss-free premise is covered by the relation
+			}
+			sparse, err := SimulateMachine(ts, speed, pol,
+				JitteredArrivals{Seed: uint64(trial), MaxJitter: int64(1 + rng.Intn(6))}, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sparse.Misses) != 0 {
+				t.Fatalf("trial %d %v: periodic run was miss-free but jittered run missed: %v",
+					trial, pol, sparse.Misses[0])
+			}
+			if sparse.JobsReleased > dense.JobsReleased {
+				t.Fatalf("trial %d %v: jitter released more jobs (%d) than periodic (%d)",
+					trial, pol, sparse.JobsReleased, dense.JobsReleased)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+
+	"partfeas/internal/rational"
+	"partfeas/internal/task"
+)
+
+// This file preserves the original linear-scan simulator verbatim. It is
+// the reference implementation the event-queue engine (engine.go) is held
+// to: differential tests require byte-identical MachineResult and Trace
+// output from both engines over fuzzed task sets, both policies and both
+// arrival models. Per scheduling event it scans all n tasks for due and
+// earliest releases and all ready jobs for the priority maximum — O(n)
+// work the production engine replaces with O(log n) heap operations.
+
+// SimulateMachineNaive is the preserved reference engine behind
+// SimulateMachine. It produces identical results by construction slower:
+// every scheduling event costs O(n + |ready|) scans and every released
+// job a fresh heap allocation. It exists for differential testing and as
+// the baseline of BenchmarkSimulateMachine; production callers should use
+// SimulateMachine.
+func SimulateMachineNaive(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
+	res, _, err := simulateMachineNaive(ts, speed, policy, arrivals, horizon, nil)
+	return res, err
+}
+
+// SimulateMachineNaiveTraced is SimulateMachineNaive plus the execution
+// trace, for differential tests of the traced path.
+func SimulateMachineNaiveTraced(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
+	tr := &Trace{}
+	res, tr, err := simulateMachineNaive(ts, speed, policy, arrivals, horizon, tr)
+	return res, tr, err
+}
+
+func simulateMachineNaive(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64, trace *Trace) (MachineResult, *Trace, error) {
+	var res MachineResult
+	res.BusyTime = rational.Zero()
+	res.Makespan = rational.Zero()
+	if len(ts) == 0 {
+		return res, trace, nil
+	}
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if speed.Sign() <= 0 {
+		return res, trace, fmt.Errorf("sim: speed %v must be positive", speed)
+	}
+	if horizon <= 0 {
+		return res, trace, ErrHorizon
+	}
+	if arrivals == nil {
+		arrivals = PeriodicArrivals{}
+	}
+	if policy != PolicyEDF && policy != PolicyRM {
+		return res, trace, fmt.Errorf("sim: unknown policy %d", int(policy))
+	}
+
+	horizonR := rational.FromInt(horizon)
+
+	// Static RM priorities (lower rank = higher priority).
+	rank := rmRanks(ts)
+
+	// Per-task next release; exhausted tasks get release >= horizon.
+	nextRelease := make([]rational.Rat, len(ts))
+	for i, t := range ts {
+		nextRelease[i] = arrivals.First(i, t)
+	}
+
+	var ready []*job
+	now := rational.Zero()
+	var running *job // the job that ran in the previous slice, for preemption counting
+
+	higherPriority := func(a, b *job) bool {
+		switch policy {
+		case PolicyEDF:
+			c := a.deadline.Cmp(b.deadline)
+			if c != 0 {
+				return c < 0
+			}
+			return a.taskIdx < b.taskIdx
+		default: // PolicyRM
+			if rank[a.taskIdx] != rank[b.taskIdx] {
+				return rank[a.taskIdx] < rank[b.taskIdx]
+			}
+			return a.release.Less(b.release)
+		}
+	}
+
+	releaseDue := func() error {
+		for i, t := range ts {
+			for nextRelease[i].Less(horizonR) && nextRelease[i].LessEq(now) {
+				rel := nextRelease[i]
+				dl, err := rel.Add(rational.FromInt(t.Period))
+				if err != nil {
+					return fmt.Errorf("sim: deadline of task %d: %w", i, err)
+				}
+				ready = append(ready, &job{
+					taskIdx:   i,
+					release:   rel,
+					deadline:  dl,
+					remaining: rational.FromInt(t.WCET),
+				})
+				res.JobsReleased++
+				nr, err := arrivals.Next(i, t, rel)
+				if err != nil {
+					return err
+				}
+				if !rel.Less(nr) {
+					return fmt.Errorf("sim: arrival model violated sporadic constraint for task %d: %v -> %v", i, rel, nr)
+				}
+				nextRelease[i] = nr
+			}
+		}
+		return nil
+	}
+
+	earliestRelease := func() (rational.Rat, bool) {
+		var best rational.Rat
+		found := false
+		for i := range ts {
+			if nextRelease[i].Less(horizonR) {
+				if !found || nextRelease[i].Less(best) {
+					best = nextRelease[i]
+					found = true
+				}
+			}
+		}
+		return best, found
+	}
+
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return res, trace, fmt.Errorf("sim: event budget exceeded (horizon %d, %d tasks)", horizon, len(ts))
+		}
+		if err := releaseDue(); err != nil {
+			return res, trace, err
+		}
+		if len(ready) == 0 {
+			nr, any := earliestRelease()
+			if !any {
+				return res, trace, nil // all released jobs done, no more releases
+			}
+			now = nr
+			continue
+		}
+		// Pick the highest-priority ready job.
+		best := 0
+		for k := 1; k < len(ready); k++ {
+			if higherPriority(ready[k], ready[best]) {
+				best = k
+			}
+		}
+		j := ready[best]
+		if running != nil && running != j && running.remaining.Sign() > 0 {
+			res.Preemptions++
+		}
+		running = j
+
+		// It would finish at now + remaining/speed; a release before that
+		// preempts (or at least re-evaluates priority).
+		runTime, err := j.remaining.Div(speed)
+		if err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		finish, err := now.Add(runTime)
+		if err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		nr, any := earliestRelease()
+		if any && nr.Less(finish) {
+			// Run until the release, then loop to re-evaluate.
+			delta, err := nr.Sub(now)
+			if err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			work, err := delta.Mul(speed)
+			if err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			if j.remaining, err = j.remaining.Sub(work); err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			if res.BusyTime, err = res.BusyTime.Add(delta); err != nil {
+				return res, trace, fmt.Errorf("sim: %w", err)
+			}
+			trace.add(j.taskIdx, now, nr)
+			now = nr
+			continue
+		}
+		// Job completes.
+		if res.BusyTime, err = res.BusyTime.Add(runTime); err != nil {
+			return res, trace, fmt.Errorf("sim: %w", err)
+		}
+		trace.add(j.taskIdx, now, finish)
+		now = finish
+		res.JobsCompleted++
+		res.Makespan = rational.Max(res.Makespan, now)
+		if j.deadline.Less(now) {
+			res.Misses = append(res.Misses, Miss{
+				TaskIdx: j.taskIdx, Release: j.release, Deadline: j.deadline, Completion: now,
+			})
+		}
+		ready = append(ready[:best], ready[best+1:]...)
+		running = nil
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "sync"
+
+// The job arena gives the engine zero steady-state allocations per job.
+// Jobs live in one flat slice and are referred to by index, never by
+// pointer — the backing array may move when the arena grows, so indices
+// are the only stable handles. Completed jobs push their index onto a
+// free list; the next release pops it and overwrites in place. Once the
+// arena has grown to the maximum concurrent backlog of a run, no further
+// job storage is ever allocated, and an Engine reused across runs keeps
+// that capacity (benchmarks assert 0 allocs/op on repeat Simulate calls).
+
+// jobAlloc returns an arena slot for a new job, reusing a freed slot when
+// one exists.
+func (e *Engine) jobAlloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.jobs = append(e.jobs, job{})
+	return int32(len(e.jobs) - 1)
+}
+
+// jobFree returns a completed job's slot to the free list.
+func (e *Engine) jobFree(idx int32) {
+	e.free = append(e.free, idx)
+}
+
+// enginePool recycles Engines — and with them their arenas, heaps, rank
+// buffers and trace scratch — across the one-shot package entry points
+// (SimulateMachine, SimulatePartition workers), so even callers that
+// never hold an Engine amortize setup allocations across calls.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+func getEngine() *Engine  { return enginePool.Get().(*Engine) }
+func putEngine(e *Engine) { enginePool.Put(e) }

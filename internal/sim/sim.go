@@ -10,12 +10,21 @@
 // All timestamps, remaining-work amounts and speeds are exact rationals
 // (internal/rational), so a "miss by 10⁻¹⁵" float artifact cannot occur:
 // either the schedule fits or it does not.
+//
+// The production engine (Engine, engine.go) is event-queue driven: a
+// release min-heap and a policy-keyed ready heap make every scheduling
+// event O(log n), and a free-list job arena makes steady-state simulation
+// allocation-free. The original linear-scan implementation is preserved
+// as SimulateMachineNaive (naive.go) and the two are held byte-identical
+// by differential tests.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"partfeas/internal/machine"
 	"partfeas/internal/rational"
@@ -46,7 +55,10 @@ func (p Policy) String() string {
 }
 
 // ArrivalModel produces each task's next release time. Implementations
-// must satisfy the sporadic constraint: next ≥ prev + period.
+// must satisfy the sporadic constraint — next ≥ prev + period — and must
+// be pure functions of their arguments: the engine may interleave Next
+// calls across tasks in any time order, so stateful models would not be
+// reproducible.
 type ArrivalModel interface {
 	// First returns the release time of the task's first job.
 	First(taskIdx int, t task.Task) rational.Rat
@@ -138,6 +150,10 @@ type MachineResult struct {
 // ErrHorizon is returned for non-positive simulation horizons.
 var ErrHorizon = errors.New("sim: horizon must be positive")
 
+// maxEvents bounds the scheduling-event count of one machine simulation,
+// guarding against runaway horizons; both engines share the budget.
+const maxEvents = 50_000_000
+
 // job is one pending job instance.
 type job struct {
 	taskIdx   int
@@ -151,192 +167,19 @@ type job struct {
 // The task set here is the set assigned to this machine.
 // An empty task set yields an empty result.
 func SimulateMachine(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
-	res, _, err := simulateMachine(ts, speed, policy, arrivals, horizon, nil)
+	e := getEngine()
+	res, err := e.Simulate(ts, speed, policy, arrivals, horizon)
+	putEngine(e)
 	return res, err
 }
 
 // SimulateMachineTraced is SimulateMachine plus an execution trace of
 // every (task, interval) segment, for Gantt rendering and audits.
 func SimulateMachineTraced(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
-	tr := &Trace{}
-	res, tr, err := simulateMachine(ts, speed, policy, arrivals, horizon, tr)
+	e := getEngine()
+	res, tr, err := e.SimulateTraced(ts, speed, policy, arrivals, horizon)
+	putEngine(e)
 	return res, tr, err
-}
-
-func simulateMachine(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64, trace *Trace) (MachineResult, *Trace, error) {
-	var res MachineResult
-	res.BusyTime = rational.Zero()
-	res.Makespan = rational.Zero()
-	if len(ts) == 0 {
-		return res, trace, nil
-	}
-	for _, t := range ts {
-		if err := t.Validate(); err != nil {
-			return res, trace, fmt.Errorf("sim: %w", err)
-		}
-	}
-	if speed.Sign() <= 0 {
-		return res, trace, fmt.Errorf("sim: speed %v must be positive", speed)
-	}
-	if horizon <= 0 {
-		return res, trace, ErrHorizon
-	}
-	if arrivals == nil {
-		arrivals = PeriodicArrivals{}
-	}
-	if policy != PolicyEDF && policy != PolicyRM {
-		return res, trace, fmt.Errorf("sim: unknown policy %d", int(policy))
-	}
-
-	horizonR := rational.FromInt(horizon)
-
-	// Static RM priorities (lower rank = higher priority).
-	rank := rmRanks(ts)
-
-	// Per-task next release; exhausted tasks get release >= horizon.
-	nextRelease := make([]rational.Rat, len(ts))
-	for i, t := range ts {
-		nextRelease[i] = arrivals.First(i, t)
-	}
-
-	var ready []*job
-	now := rational.Zero()
-	var running *job // the job that ran in the previous slice, for preemption counting
-
-	higherPriority := func(a, b *job) bool {
-		switch policy {
-		case PolicyEDF:
-			c := a.deadline.Cmp(b.deadline)
-			if c != 0 {
-				return c < 0
-			}
-			return a.taskIdx < b.taskIdx
-		default: // PolicyRM
-			if rank[a.taskIdx] != rank[b.taskIdx] {
-				return rank[a.taskIdx] < rank[b.taskIdx]
-			}
-			return a.release.Less(b.release)
-		}
-	}
-
-	releaseDue := func() error {
-		for i, t := range ts {
-			for nextRelease[i].Less(horizonR) && nextRelease[i].LessEq(now) {
-				rel := nextRelease[i]
-				dl, err := rel.Add(rational.FromInt(t.Period))
-				if err != nil {
-					return fmt.Errorf("sim: deadline of task %d: %w", i, err)
-				}
-				ready = append(ready, &job{
-					taskIdx:   i,
-					release:   rel,
-					deadline:  dl,
-					remaining: rational.FromInt(t.WCET),
-				})
-				res.JobsReleased++
-				nr, err := arrivals.Next(i, t, rel)
-				if err != nil {
-					return err
-				}
-				if !rel.Less(nr) {
-					return fmt.Errorf("sim: arrival model violated sporadic constraint for task %d: %v -> %v", i, rel, nr)
-				}
-				nextRelease[i] = nr
-			}
-		}
-		return nil
-	}
-
-	earliestRelease := func() (rational.Rat, bool) {
-		var best rational.Rat
-		found := false
-		for i := range ts {
-			if nextRelease[i].Less(horizonR) {
-				if !found || nextRelease[i].Less(best) {
-					best = nextRelease[i]
-					found = true
-				}
-			}
-		}
-		return best, found
-	}
-
-	const maxEvents = 50_000_000
-	for events := 0; ; events++ {
-		if events > maxEvents {
-			return res, trace, fmt.Errorf("sim: event budget exceeded (horizon %d, %d tasks)", horizon, len(ts))
-		}
-		if err := releaseDue(); err != nil {
-			return res, trace, err
-		}
-		if len(ready) == 0 {
-			nr, any := earliestRelease()
-			if !any {
-				return res, trace, nil // all released jobs done, no more releases
-			}
-			now = nr
-			continue
-		}
-		// Pick the highest-priority ready job.
-		best := 0
-		for k := 1; k < len(ready); k++ {
-			if higherPriority(ready[k], ready[best]) {
-				best = k
-			}
-		}
-		j := ready[best]
-		if running != nil && running != j && running.remaining.Sign() > 0 {
-			res.Preemptions++
-		}
-		running = j
-
-		// It would finish at now + remaining/speed; a release before that
-		// preempts (or at least re-evaluates priority).
-		runTime, err := j.remaining.Div(speed)
-		if err != nil {
-			return res, trace, fmt.Errorf("sim: %w", err)
-		}
-		finish, err := now.Add(runTime)
-		if err != nil {
-			return res, trace, fmt.Errorf("sim: %w", err)
-		}
-		nr, any := earliestRelease()
-		if any && nr.Less(finish) {
-			// Run until the release, then loop to re-evaluate.
-			delta, err := nr.Sub(now)
-			if err != nil {
-				return res, trace, fmt.Errorf("sim: %w", err)
-			}
-			work, err := delta.Mul(speed)
-			if err != nil {
-				return res, trace, fmt.Errorf("sim: %w", err)
-			}
-			if j.remaining, err = j.remaining.Sub(work); err != nil {
-				return res, trace, fmt.Errorf("sim: %w", err)
-			}
-			if res.BusyTime, err = res.BusyTime.Add(delta); err != nil {
-				return res, trace, fmt.Errorf("sim: %w", err)
-			}
-			trace.add(j.taskIdx, now, nr)
-			now = nr
-			continue
-		}
-		// Job completes.
-		if res.BusyTime, err = res.BusyTime.Add(runTime); err != nil {
-			return res, trace, fmt.Errorf("sim: %w", err)
-		}
-		trace.add(j.taskIdx, now, finish)
-		now = finish
-		res.JobsCompleted++
-		res.Makespan = rational.Max(res.Makespan, now)
-		if j.deadline.Less(now) {
-			res.Misses = append(res.Misses, Miss{
-				TaskIdx: j.taskIdx, Release: j.release, Deadline: j.deadline, Completion: now,
-			})
-		}
-		ready = append(ready[:best], ready[best+1:]...)
-		running = nil
-	}
 }
 
 // rmRanks assigns rate-monotonic priority ranks (0 = highest).
@@ -372,13 +215,37 @@ type PlatformResult struct {
 	TotalJobs int64
 }
 
+// PartitionOptions tunes SimulatePartitionOpts. The zero value reproduces
+// SimulatePartition: synchronous periodic releases, one worker per
+// available CPU.
+type PartitionOptions struct {
+	// Arrivals generates release times for every task. Task indices
+	// passed to the model are indices into the full input task set — not
+	// machine-local subset positions — so a task's arrival sequence does
+	// not depend on which machine it is assigned to. nil means
+	// PeriodicArrivals{}.
+	Arrivals ArrivalModel
+	// Workers bounds how many machines are replayed concurrently; each
+	// machine's simulation is fully independent, results are aggregated
+	// in machine order after all workers drain, and every worker draws
+	// its own Engine — so output is bit-identical at any worker count.
+	// <= 0 means GOMAXPROCS.
+	Workers int
+}
+
 // SimulatePartition replays a partitioned schedule: assignment[i] is the
 // machine index for task i (as produced by partition.Result.Assignment).
 // alpha scales machine speeds, matching the augmented platform the test
 // admitted the partition on. The horizon defaults to the task set's
 // hyperperiod when horizon <= 0.
 func SimulatePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64) (PlatformResult, error) {
-	pres, _, err := simulatePartition(ts, p, assignment, policy, alpha, horizon, false)
+	return SimulatePartitionOpts(ts, p, assignment, policy, alpha, horizon, PartitionOptions{})
+}
+
+// SimulatePartitionOpts is SimulatePartition with an explicit arrival
+// model and worker count.
+func SimulatePartitionOpts(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts PartitionOptions) (PlatformResult, error) {
+	pres, _, err := simulatePartition(ts, p, assignment, policy, alpha, horizon, opts, false)
 	return pres, err
 }
 
@@ -386,10 +253,32 @@ func SimulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 // per machine. Trace TaskIdx values index the full input task set, so a
 // single label list feeds Gantt directly.
 func SimulatePartitionTraced(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64) (PlatformResult, []*Trace, error) {
-	return simulatePartition(ts, p, assignment, policy, alpha, horizon, true)
+	return SimulatePartitionTracedOpts(ts, p, assignment, policy, alpha, horizon, PartitionOptions{})
 }
 
-func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64, traced bool) (PlatformResult, []*Trace, error) {
+// SimulatePartitionTracedOpts is SimulatePartitionTraced with an explicit
+// arrival model and worker count.
+func SimulatePartitionTracedOpts(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts PartitionOptions) (PlatformResult, []*Trace, error) {
+	return simulatePartition(ts, p, assignment, policy, alpha, horizon, opts, true)
+}
+
+// remapArrivals presents a machine-local task subset to an ArrivalModel
+// using each task's index in the full input set, so arrival sequences are
+// a property of the task, not of the partition.
+type remapArrivals struct {
+	model ArrivalModel
+	orig  []int // subset position -> input index
+}
+
+func (ra remapArrivals) First(i int, t task.Task) rational.Rat {
+	return ra.model.First(ra.orig[i], t)
+}
+
+func (ra remapArrivals) Next(i int, t task.Task, prev rational.Rat) (rational.Rat, error) {
+	return ra.model.Next(ra.orig[i], t, prev)
+}
+
+func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts PartitionOptions, traced bool) (PlatformResult, []*Trace, error) {
 	var pres PlatformResult
 	if err := ts.Validate(); err != nil {
 		return pres, nil, fmt.Errorf("sim: %w", err)
@@ -424,40 +313,107 @@ func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 		sets[j] = append(sets[j], ts[i])
 		origIdx[j] = append(origIdx[j], i)
 	}
-	pres.PerMachine = make([]MachineResult, len(p))
-	var traces []*Trace
-	if traced {
-		traces = make([]*Trace, len(p))
-	}
+	// α-scaled speeds up front, sequentially, so speed errors surface in
+	// machine order before any worker starts.
+	speeds := make([]rational.Rat, len(p))
 	for j := range p {
 		speed, err := p[j].SpeedRat()
 		if err != nil {
 			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
 		}
-		speed, err = speed.Mul(alphaR)
-		if err != nil {
+		if speeds[j], err = speed.Mul(alphaR); err != nil {
 			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
 		}
-		var mr MachineResult
+	}
+
+	arrivals := opts.Arrivals
+	if arrivals == nil {
+		arrivals = PeriodicArrivals{}
+	}
+	_, periodic := arrivals.(PeriodicArrivals)
+
+	pres.PerMachine = make([]MachineResult, len(p))
+	var traces []*Trace
+	if traced {
+		traces = make([]*Trace, len(p))
+	}
+	// Per-machine replays are fully independent; fan them out over a
+	// bounded worker pool (the deterministic pattern from
+	// internal/experiments: results land in machine-indexed slots, all
+	// aggregation happens sequentially after the pool drains, so output
+	// is bit-identical at any worker count).
+	errs := make([]error, len(p))
+	forEachMachine(opts.Workers, len(p), func(j int) {
+		model := arrivals
+		if !periodic {
+			// Index-sensitive models see input-set task indices.
+			model = remapArrivals{model: arrivals, orig: origIdx[j]}
+		}
+		eng := getEngine()
+		defer putEngine(eng)
 		if traced {
-			var tr *Trace
-			mr, tr, err = SimulateMachineTraced(sets[j], speed, policy, PeriodicArrivals{}, horizon)
-			if err == nil {
-				// Remap subset task indices to input indices.
-				for k := range tr.Segments {
-					tr.Segments[k].TaskIdx = origIdx[j][tr.Segments[k].TaskIdx]
-				}
-				traces[j] = tr
+			mr, tr, err := eng.SimulateTraced(sets[j], speeds[j], policy, model, horizon)
+			if err != nil {
+				errs[j] = err
+				return
 			}
-		} else {
-			mr, err = SimulateMachine(sets[j], speed, policy, PeriodicArrivals{}, horizon)
+			// Remap subset task indices to input indices.
+			for k := range tr.Segments {
+				tr.Segments[k].TaskIdx = origIdx[j][tr.Segments[k].TaskIdx]
+			}
+			traces[j] = tr
+			pres.PerMachine[j] = mr
+			return
 		}
+		mr, err := eng.Simulate(sets[j], speeds[j], policy, model, horizon)
 		if err != nil {
-			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
+			errs[j] = err
+			return
 		}
 		pres.PerMachine[j] = mr
-		pres.TotalMisses += len(mr.Misses)
-		pres.TotalJobs += mr.JobsReleased
+	})
+	for j, err := range errs {
+		if err != nil {
+			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
+		}
+	}
+	for j := range pres.PerMachine {
+		pres.TotalMisses += len(pres.PerMachine[j].Misses)
+		pres.TotalJobs += pres.PerMachine[j].JobsReleased
 	}
 	return pres, traces, nil
+}
+
+// forEachMachine runs fn for machine indices [0, m) across a bounded
+// worker pool. fn must be safe for concurrent invocation on distinct
+// machine indices; workers <= 0 means GOMAXPROCS.
+func forEachMachine(workers, m int, fn func(j int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		for j := 0; j < m; j++ {
+			fn(j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				fn(j)
+			}
+		}()
+	}
+	for j := 0; j < m; j++ {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
 }

@@ -125,12 +125,32 @@ const (
 // SimulationResult aggregates per-machine deadline-miss reports.
 type SimulationResult = sim.PlatformResult
 
+// ArrivalModel generates release times for simulated sporadic tasks; see
+// sim.PeriodicArrivals and sim.JitteredArrivals.
+type ArrivalModel = sim.ArrivalModel
+
+// JitteredArrivals is a deterministic sparser-than-periodic sporadic
+// arrival model for SimulateOpts.
+type JitteredArrivals = sim.JitteredArrivals
+
+// SimulateOptions selects the arrival model (nil = synchronous periodic)
+// and the per-machine replay worker count (<= 0 = GOMAXPROCS; results
+// are bit-identical at any setting).
+type SimulateOptions = sim.PartitionOptions
+
 // Simulate replays a partition (assignment[i] = machine of task i) under
 // synchronous periodic releases with exact rational timestamps. alpha
 // scales machine speeds, matching a Report produced at that augmentation.
 // horizon <= 0 selects one hyperperiod.
 func Simulate(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64) (SimulationResult, error) {
 	return sim.SimulatePartition(ts, p, assignment, policy, alpha, horizon)
+}
+
+// SimulateOpts is Simulate with an explicit arrival model and worker
+// count, so sporadic (e.g. jittered) replays no longer require splitting
+// the task set per machine by hand.
+func SimulateOpts(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts SimulateOptions) (SimulationResult, error) {
+	return sim.SimulatePartitionOpts(ts, p, assignment, policy, alpha, horizon, opts)
 }
 
 // Trace records the execution segments of one simulated machine.
