@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench benchsmoke benchjson
+.PHONY: ci vet build test race faultsmoke fuzz bench benchsmoke benchjson
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
-## a short fuzz smoke of the partition invariants, and a one-iteration
-## benchmark smoke (catches benchmarks whose setup asserts fail).
-ci: vet build test race fuzz benchsmoke
+## the fault-injection matrix, a short fuzz smoke of the partition
+## invariants, and a one-iteration benchmark smoke (catches benchmarks
+## whose setup asserts fail).
+ci: vet build test race faultsmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -14,10 +15,18 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 300s ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 600s ./...
+
+## faultsmoke: the robustness matrix under the race detector —
+## deterministic fault injection (cancel-mid-search, panic-in-pool,
+## interrupt-then-resume), degradation paths and checkpoint round-trips.
+faultsmoke:
+	$(GO) test -race -timeout 120s -count=1 \
+		-run 'Cancel|Panic|Degrade|Checkpoint|FaultInjection|Budget|Leak|RunTrials|ForEachTrial|RunAllCtx|RunCtx|AnalyzeCtx' \
+		./internal/exact ./internal/sim ./internal/experiments ./internal/faultinject ./internal/pipeline .
 
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).

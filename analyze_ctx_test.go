@@ -1,0 +1,151 @@
+package partfeas
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"partfeas/internal/pipeline"
+	"partfeas/internal/task"
+)
+
+// hardAnalysisInstance is large enough that the exact partitioned
+// adversary cannot finish within a short deadline or a small node
+// budget, forcing the degradation paths.
+func hardAnalysisInstance(t testing.TB) (TaskSet, Platform) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	us := make([]float64, 24)
+	for i := range us {
+		us[i] = 0.28 + rng.Float64()*0.24
+	}
+	ts, err := task.FromUtilizations(us, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, NewPlatform(1, 1.07, 1.13, 1.19, 1.23, 1.31)
+}
+
+func TestAnalyzeCtxDeadlineDegradesButCompletes(t *testing.T) {
+	ts, p := hardAnalysisInstance(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	a, err := AnalyzeCtx(ctx, ts, p, AnalyzeOptions{})
+	if err != nil {
+		t.Fatalf("deadline should degrade the analysis, not fail it: %v", err)
+	}
+	if !a.Degraded || a.SigmaPartitionedExact {
+		t.Errorf("Degraded=%v Exact=%v, want degraded inexact", a.Degraded, a.SigmaPartitionedExact)
+	}
+	// The degraded analysis must still be complete and internally
+	// consistent: a certified (if loose) partitioned bound, the migratory
+	// LP bound, all four theorem reports and both α bisections.
+	if a.SigmaPartitioned < a.SigmaMigratory-1e-9 {
+		t.Errorf("certified σ_part bound %v below σ_LP %v", a.SigmaPartitioned, a.SigmaMigratory)
+	}
+	if a.SigmaMigratory <= 0 {
+		t.Errorf("σ_LP = %v", a.SigmaMigratory)
+	}
+	for i, rep := range a.Reports {
+		if rep.Alpha != Theorems[i].Alpha() {
+			t.Errorf("report %d ran at α=%v, want %v", i, rep.Alpha, Theorems[i].Alpha())
+		}
+	}
+	if a.MinAlphaEDF <= 0 || a.MinAlphaRMS <= 0 {
+		t.Errorf("bisections skipped: MinAlphaEDF=%v MinAlphaRMS=%v", a.MinAlphaEDF, a.MinAlphaRMS)
+	}
+}
+
+func TestAnalyzeCtxBudgetDegrades(t *testing.T) {
+	ts, p := hardAnalysisInstance(t)
+	a, err := AnalyzeCtx(context.Background(), ts, p, AnalyzeOptions{ExactBudget: 2000})
+	if err != nil {
+		t.Fatalf("budget exhaustion should degrade, got %v", err)
+	}
+	if !a.Degraded {
+		t.Error("budget-exhausted analysis not marked Degraded")
+	}
+	if a.SigmaPartitioned <= 0 {
+		t.Errorf("degraded σ_part = %v, want positive certified bound", a.SigmaPartitioned)
+	}
+}
+
+func TestAnalyzeCtxCancelAborts(t *testing.T) {
+	ts, p := hardAnalysisInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := AnalyzeCtx(ctx, ts, p, AnalyzeOptions{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled analysis returned nil error")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancel latency %v exceeds 500ms", elapsed)
+	}
+	if !IsCanceled(err) {
+		t.Errorf("IsCanceled(%v) = false", err)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Errorf("err = %T, want *PipelineError", err)
+	}
+}
+
+func TestAnalyzeCtxPreCancelled(t *testing.T) {
+	ts, p := demoInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeCtx(ctx, ts, p, AnalyzeOptions{}); !IsCanceled(err) {
+		t.Errorf("err = %v, want cancellation", err)
+	}
+}
+
+func TestAnalyzeSmallInstanceUnaffected(t *testing.T) {
+	// The zero options on a tiny instance must still solve exactly —
+	// degradation machinery must not kick in when nothing is exhausted.
+	ts, p := demoInstance()
+	a, err := Analyze(ts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Degraded || !a.SigmaPartitionedExact {
+		t.Errorf("tiny instance degraded: %+v", a)
+	}
+}
+
+func TestPipelineErrorExports(t *testing.T) {
+	// The re-exports must interoperate with the internal package so
+	// callers can use errors.Is/As without importing internals.
+	pe := pipeline.New(pipeline.StageAnalyze, "op", context.Canceled)
+	var got *PipelineError
+	if !errors.As(pe, &got) {
+		t.Error("PipelineError alias does not match pipeline.Error")
+	}
+	if !IsCanceled(pe) {
+		t.Error("IsCanceled false on wrapped context.Canceled")
+	}
+	if IsCanceled(errors.New("other")) {
+		t.Error("IsCanceled true on unrelated error")
+	}
+	if !errors.Is(pipeline.FromPanic(pipeline.StageSimulate, "op", "boom", nil), ErrPanic) {
+		t.Error("ErrPanic re-export does not match panics")
+	}
+}
+
+func TestPartitionedMinScalingSurfacesBudget(t *testing.T) {
+	// The exact adversary's budget exhaustion must be detectable through
+	// the public API with errors.Is, no internal imports required. The
+	// hard instance exceeds the default node budget, so the strict entry
+	// point errors while AnalyzeCtx degrades on the same instance.
+	ts, p := hardAnalysisInstance(t)
+	_, err := PartitionedMinScaling(ts, p)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want wrapped ErrBudgetExceeded", err)
+	}
+}

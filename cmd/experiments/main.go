@@ -7,37 +7,78 @@
 //	experiments -run E1,E5 -quick    # selected experiments, reduced sizes
 //	experiments -csv out/            # additionally write one CSV per table
 //	experiments -seed 7 -trials 1000 # reproducible heavier run
+//	experiments -checkpoint run.ckpt # resumable: Ctrl-C, rerun, continue
+//	experiments -timeout 10m         # bound the whole run's wall time
+//
+// Long runs are interruptible: SIGINT/SIGTERM cancels the trial pools,
+// flushes the checkpoint (when -checkpoint is set) and exits nonzero.
+// Rerunning with the same -checkpoint, -seed and -trials skips the
+// completed trials and produces tables bit-identical to an uninterrupted
+// run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"partfeas"
 	"partfeas/internal/experiments"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E5) or 'all'")
-		seed    = flag.Uint64("seed", 20160523, "RNG seed (default: IPDPS 2016 conference date)")
-		trials  = flag.Int("trials", 0, "trials per cell (0 = per-experiment default)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		quick   = flag.Bool("quick", false, "reduced sizes/trials for a fast pass")
-		csvDir  = flag.String("csv", "", "directory to also write per-table CSVs into")
+		runList  = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E5) or 'all'")
+		seed     = flag.Uint64("seed", 20160523, "RNG seed (default: IPDPS 2016 conference date)")
+		trials   = flag.Int("trials", 0, "trials per cell (0 = per-experiment default)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "reduced sizes/trials for a fast pass")
+		csvDir   = flag.String("csv", "", "directory to also write per-table CSVs into")
+		ckptPath = flag.String("checkpoint", "", "checkpoint file for resumable runs (\"\" = off)")
+		timeout  = flag.Duration("timeout", 0, "overall wall-time limit (0 = none)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Workers: *workers, Quick: *quick}
-	if err := run(cfg, *runList, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+
+	err := run(ctx, cfg, *runList, *csvDir, *ckptPath)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if partfeas.IsCanceled(err) && *ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "experiments: progress saved; rerun with -checkpoint %s to resume\n", *ckptPath)
+	}
+	os.Exit(1)
 }
 
-func run(cfg experiments.Config, runList, csvDir string) error {
+func run(ctx context.Context, cfg experiments.Config, runList, csvDir, ckptPath string) error {
+	if ckptPath != "" {
+		ck, err := experiments.OpenCheckpoint(ckptPath, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		if n := ck.Completed(); n > 0 {
+			fmt.Printf("resuming from %s: %d completed trials\n", ckptPath, n)
+		}
+		cfg.Checkpoint = ck
+		// The executor flushes on every section exit, but flush once more
+		// on the way out so an error path never loses recorded trials.
+		defer ck.Flush()
+	}
 	ids := experiments.IDs()
 	if runList != "all" && runList != "" {
 		ids = nil
@@ -53,7 +94,7 @@ func run(cfg experiments.Config, runList, csvDir string) error {
 	start := time.Now()
 	for _, id := range ids {
 		t0 := time.Now()
-		tab, err := experiments.Run(id, cfg, os.Stdout)
+		tab, err := experiments.RunCtx(ctx, id, cfg, os.Stdout)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 func TestRunSelectedWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	cfg := experiments.Config{Seed: 1, Quick: true}
-	if err := run(cfg, "E12", dir); err != nil {
+	if err := run(context.Background(), cfg, "E12", dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(filepath.Join(dir, "e12.csv"))
@@ -26,14 +27,14 @@ func TestRunSelectedWithCSV(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	cfg := experiments.Config{Seed: 1, Quick: true}
-	if err := run(cfg, "E99", ""); err == nil {
+	if err := run(context.Background(), cfg, "E99", "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadCSVDir(t *testing.T) {
 	cfg := experiments.Config{Seed: 1, Quick: true}
-	if err := run(cfg, "E12", "/dev/null/not-a-dir"); err == nil {
+	if err := run(context.Background(), cfg, "E12", "/dev/null/not-a-dir", ""); err == nil {
 		t.Error("unusable csv dir accepted")
 	}
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -46,6 +47,9 @@ var errRejected = fmt.Errorf("task set rejected")
 func run(tasksPath, machinesPath, scheduler string, alpha float64, theorem string, analyze bool) error {
 	if tasksPath == "" || machinesPath == "" {
 		return fmt.Errorf("-tasks and -machines are required")
+	}
+	if theorem == "" && (math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0) {
+		return fmt.Errorf("-alpha %v must be a positive finite number", alpha)
 	}
 	ts, err := readTasks(tasksPath)
 	if err != nil {
@@ -127,7 +131,7 @@ func printAnalysis(ts partfeas.TaskSet, plat partfeas.Platform) error {
 	if a.SigmaPartitionedExact {
 		fmt.Printf("  σ_part (exact partitioned adversary) = %.4f\n", a.SigmaPartitioned)
 	} else {
-		fmt.Println("  σ_part: instance too large for the exact solver")
+		fmt.Printf("  σ_part ≤ %.4f (exact search degraded to its incumbent bound; not proved optimal)\n", a.SigmaPartitioned)
 	}
 	fmt.Printf("  σ_LP   (migratory LP adversary)       = %.4f\n", a.SigmaMigratory)
 	fmt.Printf("  minimal accepting α: EDF = %.4f, RMS = %.4f\n", a.MinAlphaEDF, a.MinAlphaRMS)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"partfeas"
@@ -92,5 +94,55 @@ func TestRunErrors(t *testing.T) {
 	bad, mp2 := writeInstance(t, `{"tasks":[]}`, goodMachines)
 	if err := run(bad, mp2, "edf", 1, "", false); err == nil {
 		t.Error("empty task set accepted")
+	}
+}
+
+func TestRunRejectsInvalidAlpha(t *testing.T) {
+	tp, mp := writeInstance(t, goodTasks, goodMachines)
+	for _, alpha := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := run(tp, mp, "edf", alpha, "", false)
+		if err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-alpha") {
+			t.Errorf("alpha=%v: error %q does not name the flag", alpha, err)
+		}
+	}
+	// -theorem overrides -alpha, so a theorem run must not trip the check.
+	if err := run(tp, mp, "", 0, "I.1", false); err != nil {
+		t.Errorf("theorem run with zero alpha failed: %v", err)
+	}
+}
+
+func TestRunRejectsMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		tasks    string
+		machines string
+		wantSub  string // expected substring naming the offending field
+	}{
+		{"zero wcet", `{"tasks":[{"name":"a","wcet":0,"period":4}]}`, goodMachines, "WCET"},
+		{"negative wcet", `{"tasks":[{"name":"a","wcet":-3,"period":4}]}`, goodMachines, "WCET"},
+		{"zero period", `{"tasks":[{"name":"a","wcet":1,"period":0}]}`, goodMachines, "period"},
+		{"negative period", `{"tasks":[{"name":"a","wcet":1,"period":-4}]}`, goodMachines, "period"},
+		{"zero speed", goodTasks, `{"machines":[{"name":"m0","speed":0}]}`, "speed"},
+		{"negative speed", goodTasks, `{"machines":[{"name":"m0","speed":-1}]}`, "speed"},
+		{"empty machines", goodTasks, `{"machines":[]}`, "empty"},
+		{"unknown task field", `{"tasks":[{"name":"a","wcet":1,"period":4,"bogus":1}]}`, goodMachines, "bogus"},
+		{"truncated JSON", `{"tasks":[{"name":"a"`, goodMachines, "decoding"},
+		{"not JSON", `hello`, goodMachines, "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp, mp := writeInstance(t, tc.tasks, tc.machines)
+			err := run(tp, mp, "edf", 1, "", false)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

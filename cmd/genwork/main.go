@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"partfeas/internal/machine"
@@ -38,6 +39,18 @@ func main() {
 }
 
 func run(n, m int, load float64, utils, speeds, periods string, seed uint64, tasksPath, machinesPath string) error {
+	if n <= 0 {
+		return fmt.Errorf("-n %d must be positive", n)
+	}
+	if m <= 0 {
+		return fmt.Errorf("-m %d must be positive", m)
+	}
+	if math.IsNaN(load) || math.IsInf(load, 0) || load <= 0 {
+		return fmt.Errorf("-load %v must be a positive finite number", load)
+	}
+	if tasksPath == "" || machinesPath == "" {
+		return fmt.Errorf("-tasks and -machines output paths must be non-empty")
+	}
 	rng := workload.NewRNG(seed)
 
 	var sf workload.SpeedFamily

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"partfeas/internal/machine"
@@ -81,5 +83,39 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run(5, 2, 0.6, "uunifast", "uniform", "divisors", 1, "/nonexistent/dir/t.json", mp); err == nil {
 		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunRejectsInvalidNumericFlags(t *testing.T) {
+	dir := t.TempDir()
+	tp := filepath.Join(dir, "t.json")
+	mp := filepath.Join(dir, "m.json")
+	cases := []struct {
+		name    string
+		n, m    int
+		load    float64
+		tasks   string
+		wantSub string // expected substring naming the offending flag
+	}{
+		{"zero tasks", 0, 2, 0.6, tp, "-n"},
+		{"negative tasks", -4, 2, 0.6, tp, "-n"},
+		{"zero machines", 5, 0, 0.6, tp, "-m"},
+		{"negative machines", 5, -1, 0.6, tp, "-m"},
+		{"zero load", 5, 2, 0, tp, "-load"},
+		{"negative load", 5, 2, -0.5, tp, "-load"},
+		{"NaN load", 5, 2, math.NaN(), tp, "-load"},
+		{"Inf load", 5, 2, math.Inf(1), tp, "-load"},
+		{"empty tasks path", 5, 2, 0.6, "", "-tasks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.n, tc.m, tc.load, "uunifast", "uniform", "divisors", 1, tc.tasks, mp)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

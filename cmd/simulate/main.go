@@ -6,13 +6,21 @@
 //
 //	simulate -tasks tasks.json -machines machines.json -scheduler edf -alpha 1.5
 //	simulate -tasks tasks.json -machines machines.json -horizon 5040
+//	simulate -tasks tasks.json -machines machines.json -timeout 30s
+//
+// SIGINT/SIGTERM (or -timeout expiry) cancels the replay cooperatively;
+// the command exits nonzero naming the interrupted machine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"partfeas"
 	"partfeas/internal/machine"
@@ -27,17 +35,31 @@ func main() {
 		alpha        = flag.Float64("alpha", 1, "speed augmentation α > 0")
 		horizon      = flag.Int64("horizon", 0, "release horizon (0 = one hyperperiod)")
 		gantt        = flag.Int("gantt", 0, "render an ASCII Gantt chart this many characters wide (0 = off)")
+		timeout      = flag.Duration("timeout", 0, "wall-time limit for the replay (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*tasksPath, *machinesPath, *scheduler, *alpha, *horizon, *gantt); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *tasksPath, *machinesPath, *scheduler, *alpha, *horizon, *gantt); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tasksPath, machinesPath, scheduler string, alpha float64, horizon int64, gantt int) error {
+func run(ctx context.Context, tasksPath, machinesPath, scheduler string, alpha float64, horizon int64, gantt int) error {
 	if tasksPath == "" || machinesPath == "" {
 		return fmt.Errorf("-tasks and -machines are required")
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0 {
+		return fmt.Errorf("-alpha %v must be a positive finite number", alpha)
+	}
+	if gantt < 0 {
+		return fmt.Errorf("-gantt %d must be non-negative", gantt)
 	}
 	tf, err := os.Open(tasksPath)
 	if err != nil {
@@ -97,7 +119,8 @@ func run(tasksPath, machinesPath, scheduler string, alpha float64, horizon int64
 			fmt.Printf("horizon: hyperperiod too large; using 20×max period = %d (override with -horizon)\n", horizon)
 		}
 	}
-	res, traces, err := partfeas.SimulateTraced(ts, plat, rep.Partition.Assignment, policy, alpha, horizon)
+	res, traces, err := partfeas.SimulateTracedOpts(ts, plat, rep.Partition.Assignment, policy, alpha, horizon,
+		partfeas.SimulateOptions{Ctx: ctx})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,10 +25,10 @@ func TestRunEndToEnd(t *testing.T) {
 	tp, mp := writeFiles(t,
 		`{"tasks":[{"name":"a","wcet":1,"period":2},{"name":"b","wcet":1,"period":4}]}`,
 		`{"machines":[{"speed":1},{"speed":1}]}`)
-	if err := run(tp, mp, "edf", 1, 0, 40); err != nil {
+	if err := run(context.Background(), tp, mp, "edf", 1, 0, 40); err != nil {
 		t.Errorf("EDF run: %v", err)
 	}
-	if err := run(tp, mp, "rms", 1.5, 8, 0); err != nil {
+	if err := run(context.Background(), tp, mp, "rms", 1.5, 8, 0); err != nil {
 		t.Errorf("RMS run: %v", err)
 	}
 }
@@ -36,7 +37,7 @@ func TestRunRejectedSet(t *testing.T) {
 	tp, mp := writeFiles(t,
 		`{"tasks":[{"wcet":3,"period":4},{"wcet":3,"period":4}]}`,
 		`{"machines":[{"speed":1}]}`)
-	if err := run(tp, mp, "edf", 1, 0, 0); err == nil {
+	if err := run(context.Background(), tp, mp, "edf", 1, 0, 0); err == nil {
 		t.Error("rejected set should error")
 	}
 }
@@ -45,13 +46,13 @@ func TestRunBadInputs(t *testing.T) {
 	tp, mp := writeFiles(t,
 		`{"tasks":[{"wcet":1,"period":2}]}`,
 		`{"machines":[{"speed":1}]}`)
-	if err := run("", mp, "edf", 1, 0, 0); err == nil {
+	if err := run(context.Background(), "", mp, "edf", 1, 0, 0); err == nil {
 		t.Error("missing path accepted")
 	}
-	if err := run(tp, mp, "bogus", 1, 0, 0); err == nil {
+	if err := run(context.Background(), tp, mp, "bogus", 1, 0, 0); err == nil {
 		t.Error("bad scheduler accepted")
 	}
-	if err := run(tp, filepath.Join(t.TempDir(), "no.json"), "edf", 1, 0, 0); err == nil {
+	if err := run(context.Background(), tp, filepath.Join(t.TempDir(), "no.json"), "edf", 1, 0, 0); err == nil {
 		t.Error("missing machines file accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestRunHyperperiodOverflowFallback(t *testing.T) {
 	tp, mp := writeFiles(t,
 		`{"tasks":[{"wcet":1,"period":99991},{"wcet":1,"period":99989},{"wcet":1,"period":99961},{"wcet":1,"period":99971}]}`,
 		`{"machines":[{"speed":1}]}`)
-	if err := run(tp, mp, "edf", 1, 0, 0); err != nil {
+	if err := run(context.Background(), tp, mp, "edf", 1, 0, 0); err != nil {
 		t.Errorf("overflow fallback failed: %v", err)
 	}
 }

@@ -19,11 +19,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"partfeas/internal/machine"
 	"partfeas/internal/partition"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/task"
 )
 
@@ -236,6 +238,14 @@ func (t *Tester) UpdateWCET(i int, wcet int64) error {
 // reusing the Tester's solver for every probe. See the package-level
 // MinAlpha for the contract.
 func (t *Tester) MinAlpha(lo, hi, tol float64) (alpha float64, ok bool, err error) {
+	return t.MinAlphaCtx(context.Background(), lo, hi, tol)
+}
+
+// MinAlphaCtx is MinAlpha observing ctx between bisection probes (each
+// probe is one polynomial first-fit pass, so cancellation latency is one
+// probe). An interrupted bisection returns a *pipeline.Error wrapping
+// the ctx cause.
+func (t *Tester) MinAlphaCtx(ctx context.Context, lo, hi, tol float64) (alpha float64, ok bool, err error) {
 	if !(lo > 0) || hi < lo {
 		return 0, false, fmt.Errorf("core: MinAlpha bracket [%v, %v] invalid", lo, hi)
 	}
@@ -258,6 +268,9 @@ func (t *Tester) MinAlpha(lo, hi, tol float64) (alpha float64, ok bool, err erro
 	}
 	// Invariant: test rejects at lo, accepts at hi.
 	for hi-lo > tol {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, false, pipeline.New(pipeline.StageAnalyze, "MinAlpha", cerr)
+		}
 		mid := (lo + hi) / 2
 		rep, err = t.Test(mid)
 		if err != nil {

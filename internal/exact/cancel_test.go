@@ -1,0 +1,219 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"partfeas/internal/faultinject"
+	"partfeas/internal/machine"
+	"partfeas/internal/pipeline"
+	"partfeas/internal/task"
+)
+
+// hardInstance builds an instance whose branch-and-bound tree is far too
+// large to finish within any test's patience: many near-equal mid-size
+// utilizations defeat both the symmetry and the bound pruning.
+func hardInstance(t testing.TB, n int) (task.Set, machine.Platform) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	us := make([]float64, n)
+	for i := range us {
+		us[i] = 0.28 + rng.Float64()*0.24
+	}
+	return mustSet(t, us), machine.New(1, 1.07, 1.13, 1.19)
+}
+
+func TestSearchCancelReturnsPartialResult(t *testing.T) {
+	ts, p := hardInstance(t, 26)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Search(ctx, ts, p, Options{NodeBudget: 1 << 60})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled search returned nil error (instance finished too fast to test cancellation)")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancel latency %v exceeds 500ms", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) || pe.Stage != pipeline.StageExact {
+		t.Errorf("err = %#v, want *pipeline.Error at stage exact", err)
+	}
+	if !res.Degraded {
+		t.Error("interrupted result not marked Degraded")
+	}
+	// The partial result must still be a valid certified bound: a full
+	// assignment whose worst normalized load equals Sigma (within float
+	// tolerance) — the greedy incumbent guarantees one exists.
+	if len(res.Assignment) != len(ts) {
+		t.Fatalf("partial assignment has %d entries, want %d", len(res.Assignment), len(ts))
+	}
+	loads := make([]float64, len(p))
+	for i, j := range res.Assignment {
+		if j < 0 || j >= len(p) {
+			t.Fatalf("assignment[%d] = %d out of range", i, j)
+		}
+		loads[j] += ts[i].Utilization()
+	}
+	worst := 0.0
+	for j := range p {
+		if v := loads[j] / p[j].Speed; v > worst {
+			worst = v
+		}
+	}
+	if worst > res.Sigma*(1+1e-9) {
+		t.Errorf("incumbent assignment achieves %v, worse than reported Sigma %v", worst, res.Sigma)
+	}
+}
+
+func TestSearchBudgetReturnsDegradedIncumbent(t *testing.T) {
+	// Small enough to solve exactly with the default budget, hard enough
+	// that 500 nodes cannot finish it.
+	ts, p := hardInstance(t, 14)
+	res, err := Search(context.Background(), ts, p, Options{NodeBudget: 500})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if !res.Degraded {
+		t.Error("budget-exhausted result not marked Degraded")
+	}
+	if res.Sigma <= 0 || len(res.Assignment) != len(ts) {
+		t.Errorf("degraded result unusable: sigma=%v assignment=%d", res.Sigma, len(res.Assignment))
+	}
+	// The degraded bound must never be below the true optimum.
+	full, err := Search(context.Background(), ts, p, Options{})
+	if err != nil {
+		t.Fatalf("full search: %v", err)
+	}
+	if res.Sigma < full.Sigma*(1-1e-9) {
+		t.Errorf("degraded bound %v below the optimum %v", res.Sigma, full.Sigma)
+	}
+}
+
+func TestMinScalingBoundedDegradesOnBudgetAndDeadline(t *testing.T) {
+	ts, p := hardInstance(t, 24)
+	// Budget exhaustion: nil error, degraded bound.
+	res, err := MinScalingBounded(context.Background(), ts, p, Options{NodeBudget: 5000})
+	if err != nil {
+		t.Fatalf("budget exhaustion should degrade, got %v", err)
+	}
+	if !res.Degraded || res.Sigma <= 0 {
+		t.Errorf("res = %+v, want Degraded with positive Sigma", res)
+	}
+	// Deadline expiry: nil error, degraded bound.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err = MinScalingBounded(ctx, ts, p, Options{NodeBudget: 1 << 60})
+	if err != nil {
+		t.Fatalf("deadline expiry should degrade, got %v", err)
+	}
+	if !res.Degraded || res.Sigma <= 0 {
+		t.Errorf("res = %+v, want Degraded with positive Sigma", res)
+	}
+	// Explicit cancellation is not degradation: the caller asked the
+	// pipeline to stop, so the error propagates.
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	_, err = MinScalingBounded(canceled, ts, p, Options{NodeBudget: 1 << 60})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchParallelCancelReturnsPartialResult(t *testing.T) {
+	ts, p := hardInstance(t, 26)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := SearchParallel(ctx, ts, p, Options{NodeBudget: 1 << 60, Workers: 4})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled parallel search returned nil error")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancel latency %v exceeds 500ms", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+	if !res.Degraded || res.Sigma <= 0 || len(res.Assignment) != len(ts) {
+		t.Errorf("partial result unusable: %+v", res)
+	}
+}
+
+func TestSearchParallelBoundedDegradesOnBudget(t *testing.T) {
+	ts, p := hardInstance(t, 22)
+	res, err := SearchParallelBounded(context.Background(), ts, p, Options{NodeBudget: 20000, Workers: 4})
+	if err != nil {
+		t.Fatalf("budget exhaustion should degrade, got %v", err)
+	}
+	if !res.Degraded || res.Sigma <= 0 {
+		t.Errorf("res = %+v, want Degraded with positive Sigma", res)
+	}
+}
+
+// TestSearchCancelViaFaultInjection drives the cancellation through the
+// deterministic fault hook: the plan fires at a fixed node count, so the
+// search is interrupted at the same point in the tree on every run.
+func TestSearchCancelViaFaultInjection(t *testing.T) {
+	ts, p := hardInstance(t, 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:   faultinject.SiteExactNode,
+		N:      3 * cancelCheckInterval,
+		OnFire: cancel,
+	})
+	defer deactivate()
+	res, err := Search(ctx, ts, p, Options{NodeBudget: 1 << 60})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Degraded {
+		t.Error("result not marked Degraded")
+	}
+	// The cooperative check runs every cancelCheckInterval nodes, so the
+	// search must stop within one interval of the injection point.
+	if res.Nodes < 3*cancelCheckInterval || res.Nodes > 4*cancelCheckInterval {
+		t.Errorf("search stopped after %d nodes, want within one check interval of %d", res.Nodes, 3*cancelCheckInterval)
+	}
+}
+
+// TestErrBudgetExceededPropagation pins the wrapping contract: callers
+// several layers up must be able to detect budget exhaustion with
+// errors.Is, through both the sequential and parallel entry points.
+func TestErrBudgetExceededPropagation(t *testing.T) {
+	ts, p := hardInstance(t, 20)
+	for name, call := range map[string]func() error{
+		"MinScaling": func() error {
+			_, err := MinScaling(ts, p, Options{NodeBudget: 1000})
+			return err
+		},
+		"MinScalingParallel": func() error {
+			_, err := MinScalingParallel(ts, p, Options{NodeBudget: 1000, Workers: 2})
+			return err
+		},
+		"Feasible": func() error {
+			_, err := Feasible(ts, p, Options{NodeBudget: 1000})
+			return err
+		},
+	} {
+		err := call()
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("%s: err = %v, want ErrBudgetExceeded", name, err)
+		}
+	}
+}

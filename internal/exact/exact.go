@@ -18,12 +18,15 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"partfeas/internal/faultinject"
 	"partfeas/internal/machine"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/task"
 )
 
@@ -37,6 +40,12 @@ var ErrBudgetExceeded = errors.New("exact: node budget exceeded")
 // case.
 const DefaultNodeBudget = 20_000_000
 
+// cancelCheckInterval is how many search nodes pass between cooperative
+// context checks: frequent enough that cancellation latency stays in the
+// microseconds, sparse enough that the atomic/ctx overhead vanishes
+// against the per-node arithmetic.
+const cancelCheckInterval = 4096
+
 // Options tunes the solver.
 type Options struct {
 	// NodeBudget overrides DefaultNodeBudget when positive.
@@ -49,7 +58,9 @@ type Options struct {
 // Result is the outcome of an exact solve.
 type Result struct {
 	// Sigma is σ_part: the minimal uniform speed scaling admitting a
-	// partition.
+	// partition. When Degraded is true it is instead the best upper
+	// bound the interrupted search certified (at worst the polynomial
+	// LPT-greedy bound the search was seeded with).
 	Sigma float64
 	// Assignment maps each task index (in the order of the input set) to
 	// a machine index (in the order of the input platform) achieving
@@ -57,10 +68,49 @@ type Result struct {
 	Assignment []int
 	// Nodes is the number of search nodes visited.
 	Nodes int64
+	// Degraded is true when the search stopped early (node budget,
+	// deadline or cancellation) and Sigma is the incumbent upper bound
+	// rather than the proved optimum.
+	Degraded bool
 }
 
-// MinScaling computes σ_part exactly.
+// orders computes the task and machine permutations the solver explores:
+// tasks in non-increasing utilization order (big rocks first shrink the
+// tree), machines in non-increasing speed order, both remembering
+// original indices for the assignment translation.
+func orders(ts task.Set, p machine.Platform) (order, mOrder []int, utils, speeds []float64) {
+	n, m := len(ts), len(p)
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	utils = ts.Utilizations()
+	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
+	mOrder = make([]int, m)
+	for j := range mOrder {
+		mOrder[j] = j
+	}
+	speeds = p.Speeds()
+	sort.SliceStable(mOrder, func(a, b int) bool { return speeds[mOrder[a]] > speeds[mOrder[b]] })
+	return order, mOrder, utils, speeds
+}
+
+// MinScaling computes σ_part exactly. It is Search without cancellation.
 func MinScaling(ts task.Set, p machine.Platform, opts Options) (Result, error) {
+	return Search(context.Background(), ts, p, opts)
+}
+
+// Search computes σ_part exactly, observing ctx cooperatively (checked
+// every cancelCheckInterval nodes alongside the node budget, so
+// cancellation latency is bounded by a few thousand node expansions).
+//
+// On budget exhaustion, deadline expiry or cancellation, Search returns
+// the partial Result — the incumbent upper bound and its assignment,
+// marked Degraded — together with the error (ErrBudgetExceeded, or a
+// *pipeline.Error wrapping the ctx cause). The incumbent is never worse
+// than the polynomial LPT-greedy bound the search is seeded with, so a
+// degraded result is always usable as a graceful fallback.
+func Search(ctx context.Context, ts task.Set, p machine.Platform, opts Options) (Result, error) {
 	if err := ts.Validate(); err != nil {
 		return Result{}, fmt.Errorf("exact: %w", err)
 	}
@@ -73,22 +123,7 @@ func MinScaling(ts task.Set, p machine.Platform, opts Options) (Result, error) {
 	}
 
 	n, m := len(ts), len(p)
-	// Tasks in non-increasing utilization order (big rocks first shrink
-	// the tree); remember original indices for the assignment.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	utils := ts.Utilizations()
-	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
-
-	// Machines in non-increasing speed order; remember original indices.
-	mOrder := make([]int, m)
-	for j := range mOrder {
-		mOrder[j] = j
-	}
-	speeds := p.Speeds()
-	sort.SliceStable(mOrder, func(a, b int) bool { return speeds[mOrder[a]] > speeds[mOrder[b]] })
+	order, mOrder, utils, speeds := orders(ts, p)
 
 	s := &solver{
 		n: n, m: m,
@@ -97,6 +132,7 @@ func MinScaling(ts task.Set, p machine.Platform, opts Options) (Result, error) {
 		load:  make([]float64, m),
 		asg:   make([]int, n),
 		best:  make([]int, n),
+		ctx:   ctx,
 	}
 	for k, i := range order {
 		s.util[k] = utils[i]
@@ -121,16 +157,37 @@ func MinScaling(ts task.Set, p machine.Platform, opts Options) (Result, error) {
 	copy(s.best, s.asgGreedy)
 
 	s.dfs(0, 0)
-	if s.exceeded {
-		return Result{}, fmt.Errorf("exact: n=%d m=%d: %w", n, m, ErrBudgetExceeded)
-	}
 
-	// Translate the permuted assignment back to input indexing.
+	// Translate the permuted assignment back to input indexing. On an
+	// interrupted search this is the incumbent's assignment — the best
+	// partition certified so far.
 	assignment := make([]int, n)
 	for k, i := range order {
 		assignment[i] = mOrder[s.best[k]]
 	}
-	return Result{Sigma: s.incumbent, Assignment: assignment, Nodes: s.nodes}, nil
+	res := Result{Sigma: s.incumbent, Assignment: assignment, Nodes: s.nodes}
+	switch {
+	case s.cancelErr != nil:
+		res.Degraded = true
+		return res, pipeline.New(pipeline.StageExact, fmt.Sprintf("n=%d m=%d", n, m), s.cancelErr)
+	case s.exceeded:
+		res.Degraded = true
+		return res, fmt.Errorf("exact: n=%d m=%d: %w", n, m, ErrBudgetExceeded)
+	}
+	return res, nil
+}
+
+// MinScalingBounded is Search with graceful degradation: when the search
+// runs out of node budget or ctx deadline, it returns the Degraded
+// incumbent bound with a nil error instead of failing. Explicit
+// cancellation (context.Canceled) still propagates as an error — the
+// caller asked the whole pipeline to stop, not to degrade.
+func MinScalingBounded(ctx context.Context, ts task.Set, p machine.Platform, opts Options) (Result, error) {
+	res, err := Search(ctx, ts, p, opts)
+	if err == nil || errors.Is(err, ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		return res, nil
+	}
+	return res, err
 }
 
 // Feasible reports whether some partition fits the platform at its
@@ -158,6 +215,30 @@ type solver struct {
 	nodes      int64
 	budget     int64
 	exceeded   bool
+	ctx        context.Context // nil = never cancelled
+	cancelErr  error           // ctx cause once observed
+}
+
+// stopped reports whether the search must unwind (budget or ctx), and
+// performs the periodic cooperative checks.
+func (s *solver) stopped() bool {
+	if s.exceeded || s.cancelErr != nil {
+		return true
+	}
+	if s.nodes > s.budget {
+		s.exceeded = true
+		return true
+	}
+	if s.nodes%cancelCheckInterval == 0 {
+		faultinject.Hit(faultinject.SiteExactNode, s.nodes)
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				s.cancelErr = err
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // greedy computes the LPT incumbent and records its assignment.
@@ -184,12 +265,8 @@ func (s *solver) greedy() float64 {
 
 // dfs assigns task k given the maximum normalized load so far.
 func (s *solver) dfs(k int, maxNorm float64) {
-	if s.exceeded {
-		return
-	}
 	s.nodes++
-	if s.nodes > s.budget {
-		s.exceeded = true
+	if s.stopped() {
 		return
 	}
 	if maxNorm >= s.incumbent-1e-15 {
@@ -223,7 +300,7 @@ func (s *solver) dfs(k int, maxNorm float64) {
 		s.asg[k] = j
 		s.dfs(k+1, cand)
 		s.load[j] -= s.util[k]
-		if s.exceeded {
+		if s.exceeded || s.cancelErr != nil {
 			return
 		}
 	}

@@ -1,23 +1,37 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"partfeas/internal/machine"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/task"
 )
 
 // MinScalingParallel computes σ_part exactly like MinScaling but explores
 // the branch-and-bound tree with a pool of worker goroutines sharing one
-// incumbent. The tree is split at the root: every assignment of the first
-// splitDepth tasks becomes an independent subtree; workers drain the
-// subtree queue and publish incumbent improvements through a mutex-guarded
-// bound that all subtrees prune against. Results are identical to the
-// sequential solver (the optimum is unique even if visit order is not).
+// incumbent. It is SearchParallel without cancellation.
 func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, error) {
+	return SearchParallel(context.Background(), ts, p, opts)
+}
+
+// SearchParallel is the parallel counterpart of Search. The tree is split
+// at the root: every assignment of the first splitDepth tasks becomes an
+// independent subtree; workers drain the subtree queue and publish
+// incumbent improvements through a mutex-guarded bound that all subtrees
+// prune against. Results are identical to the sequential solver (the
+// optimum is unique even if visit order is not).
+//
+// Each worker checks ctx cooperatively inside its subtree search, and the
+// queue feeder stops handing out subtrees once ctx is done, so the pool
+// drains with bounded latency. Like Search, an interrupted run returns
+// the partial Degraded result (best incumbent across all workers) plus
+// the error.
+func SearchParallel(ctx context.Context, ts task.Set, p machine.Platform, opts Options) (Result, error) {
 	if err := ts.Validate(); err != nil {
 		return Result{}, fmt.Errorf("exact: %w", err)
 	}
@@ -34,23 +48,11 @@ func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, 
 	}
 	n, m := len(ts), len(p)
 	if n <= 2 || workers == 1 {
-		return MinScaling(ts, p, opts)
+		return Search(ctx, ts, p, opts)
 	}
 
 	// Order tasks and machines as the sequential solver does.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	utils := ts.Utilizations()
-	sort.SliceStable(order, func(a, b int) bool { return utils[order[a]] > utils[order[b]] })
-	mOrder := make([]int, m)
-	for j := range mOrder {
-		mOrder[j] = j
-	}
-	speeds := p.Speeds()
-	sort.SliceStable(mOrder, func(a, b int) bool { return speeds[mOrder[a]] > speeds[mOrder[b]] })
-
+	order, mOrder, utils, speeds := orders(ts, p)
 	sortedUtil := make([]float64, n)
 	for k, i := range order {
 		sortedUtil[k] = utils[i]
@@ -83,6 +85,7 @@ func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, 
 		best      []int
 		nodes     int64
 		exceeded  bool
+		cancelErr error
 	}
 	sh := &shared{incumbent: greedyVal, best: append([]int(nil), seed.asgGreedy...)}
 
@@ -140,6 +143,7 @@ func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, 
 					load: make([]float64, m), asg: make([]int, n), best: make([]int, n),
 					suffix: suffix, totalSpeed: totalSpeed,
 					budget: perBudget,
+					ctx:    ctx,
 				}
 				sh.mu.Lock()
 				s.incumbent = sh.incumbent
@@ -165,6 +169,9 @@ func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, 
 				if s.exceeded {
 					sh.exceeded = true
 				}
+				if s.cancelErr != nil && sh.cancelErr == nil {
+					sh.cancelErr = s.cancelErr
+				}
 				if s.incumbent < sh.incumbent {
 					sh.incumbent = s.incumbent
 					copy(sh.best, s.best)
@@ -173,24 +180,53 @@ func MinScalingParallel(ts task.Set, p machine.Platform, opts Options) (Result, 
 			}
 		}()
 	}
+	// The feeder stops handing out subtrees once ctx is done; in-flight
+	// subtrees notice the cancellation through their own cooperative
+	// checks, so the pool drains with bounded latency.
+feed:
 	for _, prefix := range prefixes {
-		queue <- prefix
+		select {
+		case queue <- prefix:
+		case <-ctx.Done():
+			sh.mu.Lock()
+			if sh.cancelErr == nil {
+				sh.cancelErr = ctx.Err()
+			}
+			sh.mu.Unlock()
+			break feed
+		}
 	}
 	close(queue)
 	wg.Wait()
 
-	if sh.exceeded {
-		return Result{}, fmt.Errorf("exact: parallel n=%d m=%d: %w", n, m, ErrBudgetExceeded)
-	}
 	// Guard against numeric edge: the greedy seed may remain the best.
 	if sh.incumbent > greedyVal {
 		sh.incumbent = greedyVal
 		copy(sh.best, seed.asgGreedy)
 	}
-
 	assignment := make([]int, n)
 	for k, i := range order {
 		assignment[i] = mOrder[sh.best[k]]
 	}
-	return Result{Sigma: sh.incumbent, Assignment: assignment, Nodes: sh.nodes}, nil
+	res := Result{Sigma: sh.incumbent, Assignment: assignment, Nodes: sh.nodes}
+	switch {
+	case sh.cancelErr != nil:
+		res.Degraded = true
+		return res, pipeline.New(pipeline.StageExact, fmt.Sprintf("parallel n=%d m=%d", n, m), sh.cancelErr)
+	case sh.exceeded:
+		res.Degraded = true
+		return res, fmt.Errorf("exact: parallel n=%d m=%d: %w", n, m, ErrBudgetExceeded)
+	}
+	return res, nil
+}
+
+// SearchParallelBounded is SearchParallel with the MinScalingBounded
+// degradation rule: budget or deadline exhaustion yields the Degraded
+// incumbent with nil error; explicit cancellation propagates.
+func SearchParallelBounded(ctx context.Context, ts task.Set, p machine.Platform, opts Options) (Result, error) {
+	res, err := SearchParallel(ctx, ts, p, opts)
+	if err == nil || errors.Is(err, ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		return res, nil
+	}
+	return res, err
 }

@@ -39,7 +39,7 @@ func E11AdmissionAblation(cfg Config) (*Table, error) {
 		counts := make([]int, len(admissions))
 		var mu sync.Mutex
 		expName := fmt.Sprintf("E11/%.2f", load)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E11", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsUniform.Platform(rng, m)
 			if err != nil {

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// checkpointVersion is the on-disk format version. A file with a
+// different version is discarded and rebuilt, never misread.
+const checkpointVersion = 1
+
+// defaultFlushEvery is how many recorded trials pass between automatic
+// checkpoint flushes when Checkpoint.Every is zero.
+const defaultFlushEvery = 64
+
+// Checkpoint persists completed trial results of an experiment run so an
+// interrupted sweep can resume without redoing work. The file maps
+// (experiment name, trial index) to the trial's JSON-encoded result;
+// because every trial's RNG stream is a pure function of (seed,
+// experiment, trial) and aggregation runs sequentially over the
+// trial-indexed result slice, a resumed run's tables are bit-identical
+// to an uninterrupted run at any worker count.
+//
+// Writes are atomic (temp file + rename in the destination directory),
+// so a crash mid-flush leaves the previous checkpoint intact. A
+// Checkpoint is safe for concurrent use by the trial workers.
+type Checkpoint struct {
+	// Every is how many recorded trials trigger an automatic flush;
+	// zero means defaultFlushEvery.
+	Every int
+
+	mu    sync.Mutex
+	path  string
+	dirty int
+	data  checkpointFile
+}
+
+type checkpointFile struct {
+	Version  int                           `json:"version"`
+	Seed     uint64                        `json:"seed"`
+	Sections map[string]*checkpointSection `json:"sections"`
+}
+
+// checkpointSection holds one experiment's completed trials. Done is
+// keyed by the decimal trial index (JSON object keys must be strings).
+type checkpointSection struct {
+	Trials int                        `json:"trials"`
+	Done   map[string]json.RawMessage `json:"done"`
+}
+
+// OpenCheckpoint loads the checkpoint at path, or starts a fresh one
+// when the file does not exist. A file whose seed or version does not
+// match is discarded (resuming someone else's run would silently corrupt
+// determinism), not errored on: the next flush overwrites it.
+func OpenCheckpoint(path string, seed uint64) (*Checkpoint, error) {
+	c := &Checkpoint{
+		path: path,
+		data: checkpointFile{
+			Version:  checkpointVersion,
+			Seed:     seed,
+			Sections: map[string]*checkpointSection{},
+		},
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return c, nil
+	case err != nil:
+		return nil, fmt.Errorf("experiments: checkpoint %s: %w", path, err)
+	}
+	var loaded checkpointFile
+	if jerr := json.Unmarshal(raw, &loaded); jerr != nil || loaded.Version != checkpointVersion || loaded.Seed != seed {
+		// Stale or foreign checkpoint: start fresh.
+		return c, nil
+	}
+	if loaded.Sections != nil {
+		c.data.Sections = loaded.Sections
+	}
+	return c, nil
+}
+
+// Path returns the checkpoint's file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Completed returns how many trials the checkpoint currently holds
+// across all sections.
+func (c *Checkpoint) Completed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sec := range c.data.Sections {
+		n += len(sec.Done)
+	}
+	return n
+}
+
+// restore hands every stored result of the (exp, trials) section to
+// apply, in no particular order, and returns how many were accepted.
+// A section recorded with a different trial count is skipped entirely —
+// its indices would not mean the same instances.
+func (c *Checkpoint) restore(exp string, trials int, apply func(trial int, raw json.RawMessage) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sec := c.data.Sections[exp]
+	if sec == nil || sec.Trials != trials {
+		return 0
+	}
+	n := 0
+	for key, raw := range sec.Done {
+		trial, err := strconv.Atoi(key)
+		if err != nil || trial < 0 || trial >= trials {
+			continue
+		}
+		if apply(trial, raw) {
+			n++
+		}
+	}
+	return n
+}
+
+// record stores one completed trial's result and flushes when Every
+// records have accumulated since the last flush.
+func (c *Checkpoint) record(exp string, trials, trial int, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint %s trial %d: %w", exp, trial, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sec := c.data.Sections[exp]
+	if sec == nil || sec.Trials != trials {
+		sec = &checkpointSection{Trials: trials, Done: map[string]json.RawMessage{}}
+		c.data.Sections[exp] = sec
+	}
+	sec.Done[strconv.Itoa(trial)] = raw
+	c.dirty++
+	every := c.Every
+	if every <= 0 {
+		every = defaultFlushEvery
+	}
+	if c.dirty >= every {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the checkpoint atomically. Call it after an interrupted
+// run so the final partial state is durable.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Checkpoint) flushLocked() error {
+	raw, err := json.Marshal(&c.data)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint encode: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint rename: %w", err)
+	}
+	c.dirty = 0
+	return nil
+}

@@ -36,7 +36,7 @@ func E15ConstrainedDeadlines(cfg Config) (*Table, error) {
 		counts := make([]int, 4) // density, k=1, k=4, exact
 		var mu sync.Mutex
 		expName := fmt.Sprintf("E15/%.2f", ratio)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E15", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsUniform.Platform(rng, m)
 			if err != nil {

@@ -32,10 +32,11 @@ func E6AcceptanceCurves(cfg Config) (*Table, error) {
 		loads = []float64{0.5, 0.7, 0.9, 1.0, 1.1}
 	}
 	// acceptance is one trial's verdicts, reduced in trial order after the
-	// worker pool drains.
+	// worker pool drains. Exported fields so trials JSON round-trip
+	// through a Checkpoint.
 	type acceptance struct {
-		lp, part, edf, rms bool
-		skip               bool
+		LP, Part, EDF, RMS bool
+		Skip               bool
 	}
 	for _, load := range loads {
 		expName := fmt.Sprintf("E6/%.3f", load)
@@ -55,7 +56,7 @@ func E6AcceptanceCurves(cfg Config) (*Table, error) {
 			lpOK := fractional.FeasibleHLS(ts, plat)
 			partOK, err := exact.Feasible(ts, plat, exact.Options{})
 			if errors.Is(err, exact.ErrBudgetExceeded) {
-				return acceptance{skip: true}, nil
+				return acceptance{Skip: true}, nil
 			}
 			if err != nil {
 				return acceptance{}, err
@@ -68,7 +69,7 @@ func E6AcceptanceCurves(cfg Config) (*Table, error) {
 			if err != nil {
 				return acceptance{}, err
 			}
-			return acceptance{lp: lpOK, part: partOK, edf: repE.Accepted, rms: repR.Accepted}, nil
+			return acceptance{LP: lpOK, Part: partOK, EDF: repE.Accepted, RMS: repR.Accepted}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -76,19 +77,19 @@ func E6AcceptanceCurves(cfg Config) (*Table, error) {
 		var accLP, accPart, accE, accR, skipped int
 		for _, res := range results {
 			switch {
-			case res.skip:
+			case res.Skip:
 				skipped++
 			default:
-				if res.lp {
+				if res.LP {
 					accLP++
 				}
-				if res.part {
+				if res.Part {
 					accPart++
 				}
-				if res.edf {
+				if res.EDF {
 					accE++
 				}
-				if res.rms {
+				if res.RMS {
 					accR++
 				}
 			}

@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"partfeas/internal/faultinject"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/workload"
 )
 
@@ -20,66 +25,145 @@ import (
 //     that slice after the pool drains — no order-dependent reductions on
 //     worker goroutines.
 //
-// runTrials is the high-level entry; forEachTrial is the underlying pool
-// for callers that manage their own result storage.
+// The pool is also the pipeline's robustness boundary: a panicking trial
+// is recovered into a *pipeline.Error naming the trial (other trials run
+// to completion), and a cancelled Config context stops the feeder so the
+// pool drains within the in-flight trials. runTrials is the high-level
+// entry; Config.forEachTrial is the underlying pool for callers that
+// manage their own result storage.
 
 // runTrials runs fn for every trial index in [0, trials) across the
 // worker pool, handing each invocation its deterministic per-trial RNG,
 // and returns the results in trial order. fn must be safe for concurrent
 // invocation on distinct trial indices; errors are wrapped with the
-// experiment name and trial index, and the first one wins.
+// experiment name and trial index, and the first one wins. On error the
+// completed trials' results are still returned alongside it.
+//
+// When cfg.Checkpoint is set, every completed trial is recorded there
+// (JSON-encoded, flushed atomically every Checkpoint.Every records) and
+// trials already present in the checkpoint are restored instead of
+// re-run. Restored results decode to the exact float64 bits that were
+// recorded, and aggregation is sequential over the trial-indexed slice,
+// so a resumed run's output is bit-identical to an uninterrupted one.
 func runTrials[T any](cfg Config, expName string, trials int, fn func(trial int, rng *workload.RNG) (T, error)) ([]T, error) {
 	out := make([]T, trials)
-	err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+	ck := cfg.Checkpoint
+	pending := make([]int, 0, trials)
+	if ck != nil {
+		done := make([]bool, trials)
+		ck.restore(expName, trials, func(trial int, raw json.RawMessage) bool {
+			if json.Unmarshal(raw, &out[trial]) != nil {
+				return false
+			}
+			done[trial] = true
+			return true
+		})
+		for trial := 0; trial < trials; trial++ {
+			if !done[trial] {
+				pending = append(pending, trial)
+			}
+		}
+	} else {
+		for trial := 0; trial < trials; trial++ {
+			pending = append(pending, trial)
+		}
+	}
+	err := forEachIndex(cfg.context(), cfg.workers(), expName, pending, func(trial int) error {
 		v, err := fn(trial, trialRNG(cfg.Seed, expName, trial))
 		if err != nil {
 			return fmt.Errorf("%s trial %d: %w", expName, trial, err)
 		}
 		out[trial] = v
+		if ck != nil {
+			if cerr := ck.record(expName, trials, trial, v); cerr != nil {
+				return cerr
+			}
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if ck != nil {
+		if ferr := ck.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
 	}
-	return out, nil
+	return out, err
 }
 
-// forEachTrial runs fn for trial indices [0, trials) across a bounded
-// worker pool. The first error cancels nothing (remaining trials still
-// run) but is returned. fn must be safe for concurrent invocation on
-// distinct trial indices.
-func forEachTrial(workers, trials int, fn func(trial int) error) error {
+// forEachTrial runs fn for trial indices [0, trials) across the config's
+// worker pool with the same cancellation and panic-isolation guarantees
+// as runTrials, for runners that manage their own result storage. op
+// labels panic/cancellation errors (usually the experiment ID).
+func (c Config) forEachTrial(op string, trials int, fn func(trial int) error) error {
+	idxs := make([]int, trials)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return forEachIndex(c.context(), c.workers(), op, idxs, fn)
+}
+
+// forEachIndex runs fn over the given indices across a bounded worker
+// pool. A fn error does not cancel the remaining indices (they still
+// run), but the first error is returned. Once ctx is done the feeder
+// stops handing out work, so only the ≤workers in-flight invocations
+// finish before the pool drains; the cancellation surfaces as a
+// *pipeline.Error unless a fn error beat it. A panicking fn is recovered
+// into a *pipeline.Error carrying the index and stack. fn must be safe
+// for concurrent invocation on distinct indices.
+func forEachIndex(ctx context.Context, workers int, op string, idxs []int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = 1
 	}
-	if workers > trials {
-		workers = trials
+	if workers > len(idxs) {
+		workers = len(idxs)
 	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for trial := range ch {
-				if err := fn(trial); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+			for i := range ch {
+				if err := runSafely(op, i, fn); err != nil {
+					record(err)
 				}
 			}
 		}()
 	}
-	for trial := 0; trial < trials; trial++ {
-		ch <- trial
+feed:
+	for _, i := range idxs {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			record(pipeline.New(pipeline.StageExperiment, op, ctx.Err()))
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
 	return firstErr
+}
+
+// runSafely invokes fn(i) with panic isolation: a panic becomes a
+// *pipeline.Error naming the trial and carrying the stack, so one bad
+// trial cannot take down the sweep. The fault-injection hook fires here
+// so injected panics and delays exercise exactly this recovery path.
+func runSafely(op string, i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = pipeline.FromPanic(pipeline.StageExperiment, op, r, debug.Stack()).AtTrial(i)
+		}
+	}()
+	faultinject.Hit(faultinject.SiteTrial, int64(i))
+	return fn(i)
 }

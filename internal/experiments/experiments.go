@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -32,6 +33,29 @@ type Config struct {
 	// Quick shrinks instance sizes and trial counts so the suite runs in
 	// seconds; used by tests and -short benchmarks.
 	Quick bool
+	// Checkpoint, when non-nil, records every completed trial so an
+	// interrupted sweep can resume without redoing work. See Checkpoint
+	// for the determinism guarantees.
+	Checkpoint *Checkpoint
+
+	// ctx carries cancellation into the trial executor; set via
+	// WithContext. nil means context.Background().
+	ctx context.Context
+}
+
+// WithContext returns a copy of the config whose runners observe ctx:
+// the trial pool stops feeding work once ctx is done and the run returns
+// the partial results together with a *pipeline.Error.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+func (c Config) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 func (c Config) workers() int {

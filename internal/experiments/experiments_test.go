@@ -55,7 +55,7 @@ func TestTrialRNGDeterministicAndDistinct(t *testing.T) {
 
 func TestForEachTrialRunsAll(t *testing.T) {
 	seen := make([]bool, 100)
-	err := forEachTrial(8, 100, func(trial int) error {
+	err := Config{Workers: 8}.forEachTrial("test", 100, func(trial int) error {
 		seen[trial] = true
 		return nil
 	})
@@ -70,7 +70,7 @@ func TestForEachTrialRunsAll(t *testing.T) {
 }
 
 func TestForEachTrialPropagatesError(t *testing.T) {
-	err := forEachTrial(4, 10, func(trial int) error {
+	err := Config{Workers: 4}.forEachTrial("test", 10, func(trial int) error {
 		if trial == 5 {
 			return strconv.ErrRange
 		}

@@ -35,7 +35,7 @@ func E17FixedPriorityConstrained(cfg Config) (*Table, error) {
 			edfOK, dmOK, edfOnly, dmOnly int
 		)
 		expName := fmt.Sprintf("E17/%.2f", ratio)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E17", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsUniform.Platform(rng, m)
 			if err != nil {

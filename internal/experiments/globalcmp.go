@@ -34,7 +34,7 @@ func E14GlobalBaseline(cfg Config) (*Table, error) {
 			lpOK, ffOK, glOK, pOnly, gOnly int
 		)
 		expName := fmt.Sprintf("E14/%.2f", load)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E14", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsIdentical.Platform(rng, m)
 			if err != nil {

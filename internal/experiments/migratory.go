@@ -38,7 +38,7 @@ func E13MigratorySchedule(cfg Config) (*Table, error) {
 			maxSlices   int
 		)
 		expName := fmt.Sprintf("E13/%dx%d", cell.n, cell.m)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E13", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsUniform.Platform(rng, cell.m)
 			if err != nil {

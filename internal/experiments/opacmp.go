@@ -32,7 +32,7 @@ func E20ArbitraryDeadlinePolicies(cfg Config) (*Table, error) {
 			dmOK, opaOK, edfOK, opaOnly, edfOnly int
 		)
 		expName := fmt.Sprintf("E20/%.2f", ratio)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E20", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			us, err := workload.UUniFast(rng, n, 0.85)
 			if err != nil {

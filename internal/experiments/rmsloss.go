@@ -34,7 +34,7 @@ func E16RMSLossDecomposition(cfg Config) (*Table, error) {
 		samples []sample
 		skipped int
 	)
-	err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+	err := cfg.forEachTrial("E16", trials, func(trial int) error {
 		rng := trialRNG(cfg.Seed, "E16", trial)
 		n := 4 + rng.Intn(6)
 		m := 2 + rng.Intn(2)

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partfeas/internal/faultinject"
+	"partfeas/internal/leakcheck"
+	"partfeas/internal/pipeline"
+	"partfeas/internal/workload"
+)
+
+// slowTrial is a trial function slow enough that a sweep can reliably be
+// interrupted partway through.
+func slowTrial(trial int, rng *workload.RNG) (float64, error) {
+	time.Sleep(time.Millisecond)
+	return rng.Float64() + float64(trial), nil
+}
+
+func TestRunTrialsCancelReturnsPartialResults(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	cfg := Config{Seed: 1, Workers: 2}.WithContext(ctx)
+	start := time.Now()
+	out, err := runTrials(cfg, "cancel-test", 10_000, func(trial int, rng *workload.RNG) (float64, error) {
+		executed.Add(1)
+		return slowTrial(trial, rng)
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancel latency %v exceeds 500ms", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) || pe.Stage != pipeline.StageExperiment {
+		t.Errorf("err = %v, want *pipeline.Error at experiment stage", err)
+	}
+	n := executed.Load()
+	if n == 0 || n >= 10_000 {
+		t.Errorf("executed %d trials, want partial progress", n)
+	}
+	// Completed trials' results are in the slice even though the run
+	// errored.
+	if len(out) != 10_000 {
+		t.Fatalf("partial result slice has %d slots", len(out))
+	}
+}
+
+func TestRunTrialsPanicIsolatedToOneTrial(t *testing.T) {
+	leakcheck.Check(t)
+	const victim = 7
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:  faultinject.SiteTrial,
+		N:     victim,
+		Panic: true,
+	})
+	defer deactivate()
+	cfg := Config{Seed: 1, Workers: 4}
+	out, err := runTrials(cfg, "panic-test", 32, func(trial int, rng *workload.RNG) (float64, error) {
+		return float64(trial) + 1, nil
+	})
+	if err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	if !errors.Is(err, pipeline.ErrPanic) {
+		t.Fatalf("err = %v, want wrapped pipeline.ErrPanic", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *pipeline.Error", err)
+	}
+	if pe.Trial != victim {
+		t.Errorf("panic attributed to trial %d, want %d", pe.Trial, victim)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	// Every other trial still ran to completion.
+	for i, v := range out {
+		if i == victim {
+			continue
+		}
+		if v != float64(i)+1 {
+			t.Fatalf("trial %d result %v lost to the panic", i, v)
+		}
+	}
+}
+
+func TestForEachTrialPanicIsolated(t *testing.T) {
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:  faultinject.SiteTrial,
+		N:     2,
+		Panic: true,
+	})
+	defer deactivate()
+	var ran atomic.Int64
+	err := Config{Workers: 3}.forEachTrial("E99", 16, func(trial int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, pipeline.ErrPanic) {
+		t.Fatalf("err = %v, want wrapped pipeline.ErrPanic", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) || pe.Op != "E99" {
+		t.Errorf("err = %v, want op E99", err)
+	}
+	if got := ran.Load(); got != 15 {
+		t.Errorf("%d trials ran, want 15 (all but the panicking one)", got)
+	}
+}
+
+func TestRunAllCtxCancelledStopsBetweenExperiments(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tables, err := RunAllCtx(ctx, quickCfg(), nil)
+	if err == nil {
+		t.Fatal("cancelled suite returned nil error")
+	}
+	if !pipeline.Canceled(err) {
+		t.Errorf("err = %v, want cancellation", err)
+	}
+	if len(tables) != 0 {
+		t.Errorf("pre-cancelled suite still produced %d tables", len(tables))
+	}
+}
+
+func TestRunCtxDeliversContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, "E1", quickCfg(), nil)
+	if err == nil {
+		t.Fatal("cancelled E1 returned nil error")
+	}
+	if !pipeline.Canceled(err) {
+		t.Errorf("err = %v, want cancellation", err)
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole acceptance test: a
+// sweep interrupted partway and resumed at a different worker count must
+// produce results bit-identical to an uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const trials = 200
+	fn := func(trial int, rng *workload.RNG) (float64, error) {
+		// A value with plenty of low-order float bits, so any drift in
+		// restore (e.g. lossy JSON round-trip) is caught.
+		return rng.Float64() / 3.0 * rng.Float64(), nil
+	}
+	baseline, err := runTrials(Config{Seed: 9, Workers: 1}, "ckpt-exp", trials, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Every = 16
+	// Interrupt the first attempt partway via the deterministic fault
+	// hook: cancel when trial 60 starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:   faultinject.SiteTrial,
+		N:      60,
+		OnFire: cancel,
+	})
+	cfg := Config{Seed: 9, Workers: 4, Checkpoint: ck}.WithContext(ctx)
+	_, err = runTrials(cfg, "ckpt-exp", trials, fn)
+	deactivate()
+	if err == nil {
+		t.Fatal("interrupted sweep returned nil error")
+	}
+	done := ck.Completed()
+	if done == 0 || done >= trials {
+		t.Fatalf("checkpoint holds %d trials, want partial progress", done)
+	}
+
+	// Resume from disk with a different worker count; restored trials
+	// must be skipped and the final slice bit-identical to the baseline.
+	ck2, err := OpenCheckpoint(path, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := ck2.Completed()
+	if restored == 0 {
+		t.Fatal("nothing restored from checkpoint file")
+	}
+	var executed atomic.Int64
+	resumed, err := runTrials(Config{Seed: 9, Workers: 7, Checkpoint: ck2}, "ckpt-exp", trials, func(trial int, rng *workload.RNG) (float64, error) {
+		executed.Add(1)
+		return fn(trial, rng)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(executed.Load()); got != trials-restored {
+		t.Errorf("resume executed %d trials, want %d (restored %d)", got, trials-restored, restored)
+	}
+	for i := range baseline {
+		if resumed[i] != baseline[i] {
+			t.Fatalf("trial %d: resumed %x differs from baseline %x", i, resumed[i], baseline[i])
+		}
+	}
+}
+
+// TestCheckpointResumeFullExperiment runs a real experiment (E1) with an
+// injected mid-sweep cancellation, resumes it from the checkpoint file
+// and asserts the resumed table is byte-identical to an uninterrupted
+// run.
+func TestCheckpointResumeFullExperiment(t *testing.T) {
+	want, err := E1TheoremI1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "e1.ckpt")
+	ck, err := OpenCheckpoint(path, quickCfg().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Every = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:   faultinject.SiteTrial,
+		N:      20,
+		OnFire: cancel,
+	})
+	cfg := quickCfg()
+	cfg.Workers = 3
+	cfg.Checkpoint = ck
+	_, err = E1TheoremI1(cfg.WithContext(ctx))
+	deactivate()
+	if err == nil {
+		t.Fatal("interrupted E1 returned nil error")
+	}
+
+	ck2, err := OpenCheckpoint(path, quickCfg().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Completed() == 0 {
+		t.Fatal("nothing restored from checkpoint")
+	}
+	cfg2 := quickCfg()
+	cfg2.Workers = 6
+	cfg2.Checkpoint = ck2
+	got, err := E1TheoremI1(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tablesEqual(want, got) {
+		t.Error("resumed E1 table differs from uninterrupted run")
+	}
+}
+
+func TestCheckpointStaleSeedDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.record("exp", 10, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenCheckpoint(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reopened.Completed(); n != 0 {
+		t.Errorf("checkpoint with mismatched seed restored %d trials, want 0", n)
+	}
+	// Matching seed restores.
+	same, err := OpenCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := same.Completed(); n != 1 {
+		t.Errorf("checkpoint with matching seed restored %d trials, want 1", n)
+	}
+}
+
+func TestCheckpointTrialsMismatchIgnored(t *testing.T) {
+	ck, err := OpenCheckpoint(filepath.Join(t.TempDir(), "c"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.record("exp", 10, 3, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	n := ck.restore("exp", 20, func(int, json.RawMessage) bool {
+		t.Error("restore applied a section with a different trial count")
+		return true
+	})
+	if n != 0 {
+		t.Errorf("restore returned %d", n)
+	}
+}
+
+func TestCheckpointCorruptFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path, 1)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint should start fresh, got %v", err)
+	}
+	if ck.Completed() != 0 {
+		t.Error("corrupt checkpoint restored trials")
+	}
+	// And the next flush atomically replaces the corrupt file.
+	if err := ck.record("exp", 4, 0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Completed() != 1 {
+		t.Error("flushed checkpoint did not replace the corrupt file")
+	}
+}
+
+func TestCheckpointFlushLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(filepath.Join(dir, "run.ckpt"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ck.record("exp", 5, i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("checkpoint dir contents = %v, want only run.ckpt", names)
+	}
+}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"partfeas/internal/pipeline"
 )
 
 // Runner is one experiment entry point.
@@ -67,11 +70,29 @@ func Run(id string, cfg Config, w io.Writer) (*Table, error) {
 	return t, nil
 }
 
+// RunCtx is Run with cancellation: the experiment's trial pool observes
+// ctx and an interrupted run fails with a *pipeline.Error wrapping the
+// ctx cause (completed trials are still in cfg.Checkpoint, if set).
+func RunCtx(ctx context.Context, id string, cfg Config, w io.Writer) (*Table, error) {
+	return Run(id, cfg.WithContext(ctx), w)
+}
+
 // RunAll executes the full suite in order, rendering each table to w,
 // and returns all tables.
 func RunAll(cfg Config, w io.Writer) ([]*Table, error) {
+	return RunAllCtx(context.Background(), cfg, w)
+}
+
+// RunAllCtx executes the full suite in order, observing ctx between and
+// within experiments. On cancellation it returns the tables completed so
+// far together with a *pipeline.Error.
+func RunAllCtx(ctx context.Context, cfg Config, w io.Writer) ([]*Table, error) {
+	cfg = cfg.WithContext(ctx)
 	var tables []*Table
 	for _, id := range IDs() {
+		if err := ctx.Err(); err != nil {
+			return tables, pipeline.New(pipeline.StageExperiment, id, err)
+		}
 		t, err := Run(id, cfg, w)
 		if err != nil {
 			return tables, err

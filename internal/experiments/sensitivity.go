@@ -37,7 +37,7 @@ func E19WCETHeadroom(cfg Config) (*Table, error) {
 			headroom []float64
 		)
 		expName := fmt.Sprintf("E19/%.2f", load)
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E19", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			plat, err := workload.SpeedsUniform.Platform(rng, m)
 			if err != nil {

@@ -44,7 +44,7 @@ func E9Simulation(cfg Config) (*Table, error) {
 	for _, sc := range schedulers {
 		cell := &cellT{}
 		expName := "E9/" + sc.sch.String()
-		err := forEachTrial(cfg.workers(), trials, func(trial int) error {
+		err := cfg.forEachTrial("E9", trials, func(trial int) error {
 			rng := trialRNG(cfg.Seed, expName, trial)
 			n := 4 + rng.Intn(8)
 			m := 2 + rng.Intn(3)

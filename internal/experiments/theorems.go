@@ -70,11 +70,12 @@ func adversaryScaling(thm core.Theorem, inst instance) (sigma float64, skip bool
 
 // theoremTrial measures one instance against one theorem: the direct
 // acceptance check at the proved bound, and the empirical ratio
-// α_FF / σ_adv from bisection.
+// α_FF / σ_adv from bisection. Fields are exported so trials JSON
+// round-trip through a Checkpoint (float64 survives exactly).
 type theoremTrial struct {
-	ratio     float64
-	violation bool
-	skip      bool
+	Ratio     float64 `json:"ratio"`
+	Violation bool    `json:"violation,omitempty"`
+	Skip      bool    `json:"skip,omitempty"`
 }
 
 func runTheoremTrial(rng *workload.RNG, thm core.Theorem, uf workload.UtilizationFamily, sf workload.SpeedFamily, n, m int) (theoremTrial, error) {
@@ -87,7 +88,7 @@ func runTheoremTrial(rng *workload.RNG, thm core.Theorem, uf workload.Utilizatio
 		return theoremTrial{}, err
 	}
 	if skip {
-		return theoremTrial{skip: true}, nil
+		return theoremTrial{Skip: true}, nil
 	}
 
 	// Direct check of the theorem: adversary feasible at speeds σ·s ⇒
@@ -109,9 +110,9 @@ func runTheoremTrial(rng *workload.RNG, thm core.Theorem, uf workload.Utilizatio
 	}
 	if !ok {
 		// Only possible when the direct check also failed.
-		return theoremTrial{violation: true}, nil
+		return theoremTrial{Violation: true}, nil
 	}
-	return theoremTrial{ratio: alphaFF / sigma, violation: violation}, nil
+	return theoremTrial{Ratio: alphaFF / sigma, Violation: violation}, nil
 }
 
 // theoremSizes returns the (n, m) instance sizes per adversary: the exact
@@ -139,12 +140,12 @@ type theoremCell struct {
 
 func (c *theoremCell) add(res theoremTrial) {
 	switch {
-	case res.skip:
+	case res.Skip:
 		c.skipped++
-	case res.violation:
+	case res.Violation:
 		c.violations++
 	default:
-		c.ratios = append(c.ratios, res.ratio)
+		c.ratios = append(c.ratios, res.Ratio)
 	}
 }
 

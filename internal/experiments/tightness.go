@@ -39,7 +39,7 @@ func E10Tightness(cfg Config) (*Table, error) {
 		nLo, nHi := 3, 9
 		mLo, mHi := 2, 4
 		expName := "E10/" + thm.String()
-		err := forEachTrial(cfg.workers(), restarts, func(restart int) error {
+		err := cfg.forEachTrial("E10", restarts, func(restart int) error {
 			rng := trialRNG(cfg.Seed, expName, restart)
 			n := nLo + rng.Intn(nHi-nLo+1)
 			m := mLo + rng.Intn(mHi-mLo+1)

@@ -1,0 +1,99 @@
+// Package faultinject provides deterministic, test-only fault hooks for
+// the long-running pipeline stages: the experiment trial executor, the
+// partition-simulation worker pool, the simulator event loop and the
+// exact branch-and-bound search.
+//
+// Instrumented code calls Hit(site, idx) at each unit of work, passing a
+// deterministic index (trial number, machine number, event count, node
+// count). When a Plan is active for that site and its N matches idx, the
+// configured fault fires: an optional callback (typically a context
+// cancel), an optional delay, and optionally a panic. Because firing is
+// keyed on the index the instrumented code supplies — not on global call
+// order — the same fault hits the same unit of work at any worker count,
+// which is what lets the robustness tests run the full matrix under
+// -race.
+//
+// When no plan is active, Hit is a single atomic pointer load, so the
+// hooks are safe to leave in production paths. Activation is process
+// global and not meant for concurrent tests; tests that inject faults
+// must not run in t.Parallel.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies one instrumented point.
+type Site string
+
+// The instrumented sites.
+const (
+	// SiteTrial fires per experiment trial; idx is the trial index.
+	SiteTrial Site = "experiments/trial"
+	// SiteSimMachine fires per machine replay; idx is the machine index.
+	SiteSimMachine Site = "sim/machine"
+	// SiteSimEvent fires per simulator scheduling event; idx is the
+	// machine-local event count.
+	SiteSimEvent Site = "sim/event"
+	// SiteExactNode fires periodically inside the exact search; idx is
+	// the visited-node count at the check.
+	SiteExactNode Site = "exact/node"
+)
+
+// Plan describes one deterministic fault.
+type Plan struct {
+	// Site selects the instrumented point.
+	Site Site
+	// N is the index at which the fault fires (matched against the idx
+	// the instrumented code passes to Hit).
+	N int64
+	// OnFire, when non-nil, runs first — typically a context cancel.
+	OnFire func()
+	// Delay, when positive, sleeps before returning or panicking.
+	Delay time.Duration
+	// Panic, when true, panics with a recognizable payload after OnFire
+	// and Delay.
+	Panic bool
+}
+
+type state struct {
+	plan  Plan
+	fired atomic.Bool
+}
+
+var active atomic.Pointer[state]
+
+// Activate installs the plan and returns a deactivate function. Only one
+// plan can be active at a time; Activate panics if one already is, which
+// surfaces tests that forgot to deactivate.
+func Activate(p Plan) (deactivate func()) {
+	st := &state{plan: p}
+	if !active.CompareAndSwap(nil, st) {
+		panic("faultinject: a plan is already active")
+	}
+	return func() { active.CompareAndSwap(st, nil) }
+}
+
+// Hit is called by instrumented code with its deterministic work index.
+// It fires the active plan at most once, when site and index match.
+func Hit(site Site, idx int64) {
+	st := active.Load()
+	if st == nil || st.plan.Site != site || idx != st.plan.N {
+		return
+	}
+	if !st.fired.CompareAndSwap(false, true) {
+		return
+	}
+	p := st.plan
+	if p.OnFire != nil {
+		p.OnFire()
+	}
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	if p.Panic {
+		panic(fmt.Sprintf("faultinject: injected panic at %s idx %d", site, idx))
+	}
+}

@@ -1,0 +1,80 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInactiveIsNoop(t *testing.T) {
+	Hit(SiteTrial, 0) // must not panic
+}
+
+func TestFiresOnceAtMatchingIndex(t *testing.T) {
+	fired := 0
+	off := Activate(Plan{Site: SiteTrial, N: 5, OnFire: func() { fired++ }})
+	defer off()
+	for i := int64(0); i < 10; i++ {
+		Hit(SiteTrial, i)
+	}
+	Hit(SiteTrial, 5) // repeated index must not re-fire
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+}
+
+func TestSiteMismatchDoesNotFire(t *testing.T) {
+	off := Activate(Plan{Site: SiteSimEvent, N: 1, Panic: true})
+	defer off()
+	Hit(SiteTrial, 1) // different site: no panic
+}
+
+func TestPanicPayloadNamesSiteAndIndex(t *testing.T) {
+	off := Activate(Plan{Site: SiteSimMachine, N: 2, Panic: true})
+	defer off()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, string(SiteSimMachine)) || !strings.Contains(msg, "2") {
+			t.Errorf("payload %q missing site/index", msg)
+		}
+	}()
+	Hit(SiteSimMachine, 2)
+}
+
+func TestConcurrentHitsFireOnce(t *testing.T) {
+	var mu sync.Mutex
+	fired := 0
+	off := Activate(Plan{Site: SiteExactNode, N: 7, OnFire: func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	}})
+	defer off()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Hit(SiteExactNode, 7)
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Errorf("fired %d times under concurrency, want 1", fired)
+	}
+}
+
+func TestDoubleActivatePanics(t *testing.T) {
+	off := Activate(Plan{Site: SiteTrial, N: 0})
+	defer off()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Activate did not panic")
+		}
+	}()
+	Activate(Plan{Site: SiteTrial, N: 1})
+}

@@ -1,0 +1,41 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. It
+// is a hand-rolled runtime.NumGoroutine before/after comparison (no
+// external dependencies): worker pools that drain cleanly return to the
+// baseline within the grace window; a leaked worker keeps the count high
+// and fails the test.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// t if, after a grace period for in-flight goroutines to exit, the count
+// still exceeds the snapshot. Call it at the top of any test that spins
+// up worker pools (including cancel-mid-flight and panic-injection
+// cases).
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Poll: pool goroutines observe the closed channel / cancelled
+		// context asynchronously, so give them up to ~2s to unwind before
+		// declaring a leak.
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("leakcheck: %d goroutines before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}

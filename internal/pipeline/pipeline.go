@@ -1,0 +1,102 @@
+// Package pipeline defines the structured error type the long-running
+// analysis layers (experiment sweeps, partition simulation, exact search,
+// Analyze bisections) return when a stage is cancelled, times out, or a
+// worker panics.
+//
+// The type answers the three questions an operator of an interrupted run
+// asks — which stage failed, which unit of work (trial or machine) it was
+// processing, and why — while still composing with errors.Is/As: the
+// cause is reachable through Unwrap, so errors.Is(err, context.Canceled)
+// and friends keep working through any number of wrapping layers.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Well-known stage names. Stages are plain strings so higher layers can
+// introduce their own without a registry; these constants cover the
+// stages instrumented by this module.
+const (
+	// StageExperiment is the Monte-Carlo trial executor
+	// (internal/experiments runTrials).
+	StageExperiment = "experiment"
+	// StageSimulate is the partition replay fan-out (internal/sim).
+	StageSimulate = "simulate"
+	// StageExact is the branch-and-bound adversary search
+	// (internal/exact).
+	StageExact = "exact"
+	// StageAnalyze is the top-level Analyze pipeline (partfeas).
+	StageAnalyze = "analyze"
+)
+
+// Error locates a failure within the analysis pipeline.
+type Error struct {
+	// Stage names the pipeline stage (StageExperiment, …).
+	Stage string
+	// Op optionally narrows the stage: the experiment name, the analysis
+	// sub-step, etc. May be empty.
+	Op string
+	// Trial is the trial index being processed, or -1 when the failure is
+	// not tied to one trial.
+	Trial int
+	// Machine is the machine index being replayed, or -1 when the failure
+	// is not tied to one machine.
+	Machine int
+	// Stack holds the goroutine stack captured at a recovered panic; nil
+	// for ordinary errors.
+	Stack []byte
+	// Err is the cause (context.Canceled, context.DeadlineExceeded, a
+	// recovered panic wrapped by FromPanic, …).
+	Err error
+}
+
+// New builds a pipeline error with no trial/machine attribution.
+func New(stage, op string, err error) *Error {
+	return &Error{Stage: stage, Op: op, Trial: -1, Machine: -1, Err: err}
+}
+
+// AtTrial attributes the error to one trial index.
+func (e *Error) AtTrial(trial int) *Error { e.Trial = trial; return e }
+
+// AtMachine attributes the error to one machine index.
+func (e *Error) AtMachine(machine int) *Error { e.Machine = machine; return e }
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := "pipeline: " + e.Stage
+	if e.Op != "" {
+		s += " (" + e.Op + ")"
+	}
+	if e.Trial >= 0 {
+		s += fmt.Sprintf(" trial %d", e.Trial)
+	}
+	if e.Machine >= 0 {
+		s += fmt.Sprintf(" machine %d", e.Machine)
+	}
+	return s + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrPanic marks causes that originate from a recovered worker panic.
+// Test for it with errors.Is(err, pipeline.ErrPanic).
+var ErrPanic = errors.New("worker panic")
+
+// FromPanic converts a recovered panic value and its captured stack into
+// a structured pipeline error. The cause chain carries ErrPanic so
+// callers can distinguish poisoned work items from ordinary failures.
+func FromPanic(stage, op string, v any, stack []byte) *Error {
+	e := New(stage, op, fmt.Errorf("%w: %v", ErrPanic, v))
+	e.Stack = stack
+	return e
+}
+
+// Canceled reports whether err is (or wraps) a context cancellation or
+// deadline expiry.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

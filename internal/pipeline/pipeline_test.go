@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestErrorFormattingAndUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	e := New(StageExperiment, "E1/uunifast", cause).AtTrial(17)
+	msg := e.Error()
+	for _, want := range []string{"experiment", "E1/uunifast", "trial 17", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "machine") {
+		t.Errorf("message %q mentions machine for a trial-only error", msg)
+	}
+	if !errors.Is(e, cause) {
+		t.Error("cause not reachable through Unwrap")
+	}
+	var pe *Error
+	if !errors.As(fmt.Errorf("wrapped: %w", e), &pe) || pe.Trial != 17 {
+		t.Error("errors.As failed to recover the pipeline error")
+	}
+}
+
+func TestMachineAttribution(t *testing.T) {
+	e := New(StageSimulate, "", context.Canceled).AtMachine(3)
+	if !strings.Contains(e.Error(), "machine 3") {
+		t.Errorf("message %q missing machine", e.Error())
+	}
+	if strings.Contains(e.Error(), "trial") {
+		t.Errorf("message %q mentions trial", e.Error())
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	e := FromPanic(StageExperiment, "E9", "kaboom", []byte("stack trace here"))
+	if !errors.Is(e, ErrPanic) {
+		t.Error("panic cause not marked with ErrPanic")
+	}
+	if !strings.Contains(e.Error(), "kaboom") {
+		t.Errorf("message %q missing payload", e.Error())
+	}
+	if len(e.Stack) == 0 {
+		t.Error("stack not captured")
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if !Canceled(New(StageExact, "", context.Canceled)) {
+		t.Error("wrapped context.Canceled not detected")
+	}
+	if !Canceled(fmt.Errorf("outer: %w", context.DeadlineExceeded)) {
+		t.Error("wrapped deadline not detected")
+	}
+	if Canceled(errors.New("other")) {
+		t.Error("unrelated error reported as cancelled")
+	}
+}

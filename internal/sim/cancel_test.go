@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"partfeas/internal/faultinject"
+	"partfeas/internal/leakcheck"
+	"partfeas/internal/machine"
+	"partfeas/internal/pipeline"
+	"partfeas/internal/task"
+)
+
+// longReplay is an instance whose replay takes long enough (millions of
+// events across machines) that a test can reliably cancel it mid-flight:
+// coprime periods defeat trace merging and keep releases dense.
+func longReplay() (task.Set, machine.Platform, []int, int64) {
+	ts := task.Set{
+		{Name: "a", WCET: 1, Period: 2},
+		{Name: "b", WCET: 1, Period: 3},
+		{Name: "c", WCET: 2, Period: 5},
+		{Name: "d", WCET: 1, Period: 7},
+		{Name: "e", WCET: 3, Period: 11},
+		{Name: "f", WCET: 1, Period: 13},
+	}
+	plat := machine.New(2, 2, 2)
+	assignment := []int{0, 0, 1, 1, 2, 2}
+	return ts, plat, assignment, 40_000_000
+}
+
+func TestSimulatePartitionCancelMidFlight(t *testing.T) {
+	leakcheck.Check(t)
+	ts, plat, assignment, horizon := longReplay()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := SimulatePartitionOpts(ts, plat, assignment, PolicyEDF, 1, horizon,
+		PartitionOptions{Ctx: ctx, Workers: 2})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled replay returned nil error (horizon too short to test cancellation)")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancel latency %v exceeds 500ms", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *pipeline.Error", err)
+	}
+	if pe.Stage != pipeline.StageSimulate || pe.Machine < 0 || pe.Machine >= len(plat) {
+		t.Errorf("pipeline error = %+v, want simulate stage naming a machine", pe)
+	}
+}
+
+func TestSimulatePartitionPreCancelledSkipsWork(t *testing.T) {
+	leakcheck.Check(t)
+	ts, plat, assignment, horizon := longReplay()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SimulatePartitionOpts(ts, plat, assignment, PolicyEDF, 1, horizon,
+		PartitionOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("pre-cancelled replay returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("pre-cancelled replay ran %v, want near-immediate return", elapsed)
+	}
+	if !pipeline.Canceled(err) {
+		t.Errorf("err = %v, want cancellation", err)
+	}
+}
+
+func TestSimulatePartitionDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	ts, plat, assignment, horizon := longReplay()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, err := SimulatePartitionOpts(ts, plat, assignment, PolicyEDF, 1, horizon,
+		PartitionOptions{Ctx: ctx, Workers: 3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestSimulatePartitionNilCtxUnchanged(t *testing.T) {
+	// The zero options must behave exactly as before the Ctx field
+	// existed: no cancellation, identical results.
+	ts := task.Set{{WCET: 1, Period: 2}, {WCET: 1, Period: 3}}
+	plat := machine.New(1, 1)
+	res, err := SimulatePartitionOpts(ts, plat, []int{0, 1}, PolicyEDF, 1, 12, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses != 0 {
+		t.Errorf("feasible per-task machines missed %d deadlines", res.TotalMisses)
+	}
+}
+
+// TestSimulatePartitionPanicIsolated injects a panic into one machine's
+// worker and checks it surfaces as a structured error naming that
+// machine while the pool drains cleanly (no goroutine leak, no crash).
+func TestSimulatePartitionPanicIsolated(t *testing.T) {
+	leakcheck.Check(t)
+	ts, plat, assignment, _ := longReplay()
+	const victim = 1
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:  faultinject.SiteSimMachine,
+		N:     victim,
+		Panic: true,
+	})
+	defer deactivate()
+	_, err := SimulatePartitionOpts(ts, plat, assignment, PolicyEDF, 1, 1000,
+		PartitionOptions{Workers: 3})
+	if err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	if !errors.Is(err, pipeline.ErrPanic) {
+		t.Fatalf("err = %v, want wrapped pipeline.ErrPanic", err)
+	}
+	var pe *pipeline.Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *pipeline.Error", err)
+	}
+	if pe.Machine != victim {
+		t.Errorf("panic attributed to machine %d, want %d", pe.Machine, victim)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}
+
+// TestSimulatePartitionEventFaultCancel fires the cancel deterministically
+// at a fixed event count inside one engine's loop.
+func TestSimulatePartitionEventFaultCancel(t *testing.T) {
+	leakcheck.Check(t)
+	ts, plat, assignment, horizon := longReplay()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:   faultinject.SiteSimEvent,
+		N:      10 * cancelCheckEvents,
+		OnFire: cancel,
+	})
+	defer deactivate()
+	_, err := SimulatePartitionOpts(ts, plat, assignment, PolicyEDF, 1, horizon,
+		PartitionOptions{Ctx: ctx, Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSimulatePartitionPanicReusesPoolSafely checks that a recovered
+// panic does not poison the engine pool: subsequent replays on the same
+// pool produce correct results.
+func TestSimulatePartitionPanicReusesPoolSafely(t *testing.T) {
+	ts := task.Set{{WCET: 1, Period: 2}, {WCET: 1, Period: 3}}
+	plat := machine.New(1, 1)
+	deactivate := faultinject.Activate(faultinject.Plan{
+		Site:  faultinject.SiteSimMachine,
+		N:     0,
+		Panic: true,
+	})
+	if _, err := SimulatePartitionOpts(ts, plat, []int{0, 1}, PolicyEDF, 1, 12, PartitionOptions{Workers: 1}); err == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	deactivate()
+	res, err := SimulatePartitionOpts(ts, plat, []int{0, 1}, PolicyEDF, 1, 12, PartitionOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("replay after recovered panic: %v", err)
+	}
+	if res.TotalMisses != 0 || res.TotalJobs == 0 {
+		t.Errorf("replay after recovered panic produced %+v", res)
+	}
+}

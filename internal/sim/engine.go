@@ -1,12 +1,21 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"partfeas/internal/faultinject"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/rational"
 	"partfeas/internal/task"
 )
+
+// cancelCheckEvents is how many scheduling events pass between
+// cooperative context checks in the engine loop. It bounds cancellation
+// latency to a few hundred O(log n) events (microseconds) while keeping
+// the check invisible next to the per-event rational arithmetic.
+const cancelCheckEvents = 256
 
 // Engine is the reusable event-queue simulator core behind
 // SimulateMachine. Per scheduling event it does O(log n) work — a release
@@ -35,6 +44,8 @@ type Engine struct {
 	rank   []int // RM static priorities (rank[i] of task i; 0 = highest)
 	rmIdx  []int // scratch permutation for rank computation
 	sorter rmSorter
+
+	ctx context.Context // per-run cancellation; nil = never cancelled
 }
 
 // NewEngine returns an empty Engine; buffers grow on first use.
@@ -44,6 +55,16 @@ func NewEngine() *Engine { return &Engine{} }
 // [0, horizon) and until every released job completes, exactly like
 // SimulateMachine (which delegates here).
 func (e *Engine) Simulate(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
+	return e.SimulateCtx(nil, ts, speed, policy, arrivals, horizon)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the event loop
+// polls ctx every cancelCheckEvents scheduling events and returns a
+// *pipeline.Error wrapping the ctx cause when it fires. A nil ctx means
+// no cancellation.
+func (e *Engine) SimulateCtx(ctx context.Context, ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, error) {
+	e.ctx = ctx
+	defer func() { e.ctx = nil }()
 	return e.run(ts, speed, policy, arrivals, horizon, false)
 }
 
@@ -51,6 +72,14 @@ func (e *Engine) Simulate(ts task.Set, speed rational.Rat, policy Policy, arriva
 // is freshly sized to its exact segment count and owned by the caller;
 // the engine's working segment buffer is retained for reuse.
 func (e *Engine) SimulateTraced(ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
+	return e.SimulateCtxTraced(nil, ts, speed, policy, arrivals, horizon)
+}
+
+// SimulateCtxTraced is SimulateTraced with cooperative cancellation,
+// mirroring SimulateCtx.
+func (e *Engine) SimulateCtxTraced(ctx context.Context, ts task.Set, speed rational.Rat, policy Policy, arrivals ArrivalModel, horizon int64) (MachineResult, *Trace, error) {
+	e.ctx = ctx
+	defer func() { e.ctx = nil }()
 	res, err := e.run(ts, speed, policy, arrivals, horizon, true)
 	tr := &Trace{}
 	if len(e.segs) > 0 {
@@ -109,6 +138,12 @@ func (e *Engine) run(ts task.Set, speed rational.Rat, policy Policy, arrivals Ar
 	for events := 0; ; events++ {
 		if events > maxEvents {
 			return res, fmt.Errorf("sim: event budget exceeded (horizon %d, %d tasks)", horizon, len(ts))
+		}
+		faultinject.Hit(faultinject.SiteSimEvent, int64(events))
+		if e.ctx != nil && events%cancelCheckEvents == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return res, pipeline.New(pipeline.StageSimulate, "", err)
+			}
 		}
 		// Release everything due by now. Popping the release heap yields
 		// due jobs in (time, task index) order; each released task's next

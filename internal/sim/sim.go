@@ -20,13 +20,17 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"partfeas/internal/faultinject"
 	"partfeas/internal/machine"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/rational"
 	"partfeas/internal/task"
 )
@@ -217,7 +221,7 @@ type PlatformResult struct {
 
 // PartitionOptions tunes SimulatePartitionOpts. The zero value reproduces
 // SimulatePartition: synchronous periodic releases, one worker per
-// available CPU.
+// available CPU, no cancellation.
 type PartitionOptions struct {
 	// Arrivals generates release times for every task. Task indices
 	// passed to the model are indices into the full input task set — not
@@ -231,6 +235,13 @@ type PartitionOptions struct {
 	// its own Engine — so output is bit-identical at any worker count.
 	// <= 0 means GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, cancels the replay cooperatively: machines not
+	// yet started are skipped and in-flight engines notice within
+	// cancelCheckEvents scheduling events, so the pool drains with
+	// bounded latency. The partial PlatformResult (machines finished
+	// before the cancel) is returned alongside a *pipeline.Error naming
+	// the first interrupted machine.
+	Ctx context.Context
 }
 
 // SimulatePartition replays a partitioned schedule: assignment[i] is the
@@ -341,9 +352,25 @@ func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 	// bounded worker pool (the deterministic pattern from
 	// internal/experiments: results land in machine-indexed slots, all
 	// aggregation happens sequentially after the pool drains, so output
-	// is bit-identical at any worker count).
+	// is bit-identical at any worker count). Worker panics are recovered
+	// per machine — one poisoned replay surfaces as that machine's error
+	// while the rest of the pool drains cleanly — and a cancelled ctx
+	// skips machines not yet started.
+	ctx := opts.Ctx
 	errs := make([]error, len(p))
 	forEachMachine(opts.Workers, len(p), func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[j] = pipeline.FromPanic(pipeline.StageSimulate, "", r, debug.Stack()).AtMachine(j)
+			}
+		}()
+		faultinject.Hit(faultinject.SiteSimMachine, int64(j))
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				errs[j] = pipeline.New(pipeline.StageSimulate, "", err).AtMachine(j)
+				return
+			}
+		}
 		model := arrivals
 		if !periodic {
 			// Index-sensitive models see input-set task indices.
@@ -352,7 +379,7 @@ func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 		eng := getEngine()
 		defer putEngine(eng)
 		if traced {
-			mr, tr, err := eng.SimulateTraced(sets[j], speeds[j], policy, model, horizon)
+			mr, tr, err := eng.SimulateCtxTraced(ctx, sets[j], speeds[j], policy, model, horizon)
 			if err != nil {
 				errs[j] = err
 				return
@@ -365,7 +392,7 @@ func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 			pres.PerMachine[j] = mr
 			return
 		}
-		mr, err := eng.Simulate(sets[j], speeds[j], policy, model, horizon)
+		mr, err := eng.SimulateCtx(ctx, sets[j], speeds[j], policy, model, horizon)
 		if err != nil {
 			errs[j] = err
 			return
@@ -374,6 +401,15 @@ func simulatePartition(ts task.Set, p machine.Platform, assignment []int, policy
 	})
 	for j, err := range errs {
 		if err != nil {
+			var pe *pipeline.Error
+			if errors.As(err, &pe) {
+				// Already located (cancel, panic): attach the machine
+				// index if the engine-level error lacks one.
+				if pe.Machine < 0 {
+					pe.Machine = j
+				}
+				return pres, nil, err
+			}
 			return pres, nil, fmt.Errorf("sim: machine %d: %w", j, err)
 		}
 	}

@@ -143,6 +143,38 @@ func TestHyperperiod(t *testing.T) {
 	}
 }
 
+func TestHyperperiodOverflowBoundary(t *testing.T) {
+	// A product that lands exactly at 2^62 must succeed — the overflow
+	// guard must not reject representable hyperperiods.
+	exact := Set{{WCET: 1, Period: 1 << 31}, {WCET: 1, Period: 1 << 31}, {WCET: 1, Period: 2}}
+	hp, err := exact.Hyperperiod()
+	if err != nil || hp != 1<<31 {
+		t.Errorf("equal periods: hp = %d (%v), want %d", hp, err, int64(1<<31))
+	}
+	atLimit := Set{{WCET: 1, Period: 1 << 31}, {WCET: 1, Period: (1 << 31) + 1}}
+	hp, err = atLimit.Hyperperiod()
+	want := int64(1<<31) * ((1 << 31) + 1) // coprime, product < 2^63
+	if err != nil || hp != want {
+		t.Errorf("at-limit coprimes: hp = %d (%v), want %d", hp, err, want)
+	}
+	// One more coprime factor pushes past int64; the error must name the
+	// period that overflowed rather than wrap around silently.
+	over := append(Set{}, atLimit...)
+	over = append(over, Task{WCET: 1, Period: 99991})
+	_, err = over.Hyperperiod()
+	if err == nil {
+		t.Fatal("overflow not detected")
+	}
+	if !strings.Contains(err.Error(), "99991") {
+		t.Errorf("overflow error %q does not name the offending period", err)
+	}
+	// Overflow must be detected regardless of task order.
+	front := Set{over[2], over[0], over[1]}
+	if _, err := front.Hyperperiod(); err == nil {
+		t.Error("overflow not detected with large periods last")
+	}
+}
+
 func TestFromUtilizations(t *testing.T) {
 	s, err := FromUtilizations([]float64{0.5, 0.25}, 100)
 	if err != nil {

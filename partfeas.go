@@ -1,6 +1,7 @@
 package partfeas
 
 import (
+	"context"
 	"fmt"
 
 	"partfeas/internal/core"
@@ -8,9 +9,32 @@ import (
 	"partfeas/internal/fractional"
 	"partfeas/internal/machine"
 	"partfeas/internal/openshop"
+	"partfeas/internal/pipeline"
 	"partfeas/internal/sim"
 	"partfeas/internal/task"
 )
+
+// PipelineError is the structured error every cancellable entry point
+// returns on interruption: it names the pipeline stage, the trial and
+// machine indices where applicable, and wraps the cause (so errors.Is
+// against context.Canceled / context.DeadlineExceeded works through it).
+// Recovered worker panics surface as a PipelineError wrapping ErrPanic
+// with the panicking goroutine's stack attached.
+type PipelineError = pipeline.Error
+
+// ErrPanic is the sentinel wrapped by PipelineErrors born from recovered
+// worker panics.
+var ErrPanic = pipeline.ErrPanic
+
+// ErrBudgetExceeded is the sentinel the exact partitioned adversary
+// wraps when its node budget runs out. PartitionedMinScaling surfaces
+// it as an error; AnalyzeCtx instead degrades to the certified
+// incumbent bound (Analysis.Degraded) and never returns it.
+var ErrBudgetExceeded = exact.ErrBudgetExceeded
+
+// IsCanceled reports whether err is due to context cancellation or
+// deadline expiry, looking through any PipelineError wrapping.
+func IsCanceled(err error) bool { return pipeline.Canceled(err) }
 
 // Task is one implicit-deadline sporadic task (WCET C, period/deadline P).
 type Task = task.Task
@@ -162,6 +186,14 @@ func SimulateTraced(ts TaskSet, p Platform, assignment []int, policy Policy, alp
 	return sim.SimulatePartitionTraced(ts, p, assignment, policy, alpha, horizon)
 }
 
+// SimulateTracedOpts is SimulateTraced with an explicit arrival model,
+// worker count and context (set SimulateOptions.Ctx to bound a replay's
+// wall time; an interrupted replay returns a PipelineError naming the
+// first machine that observed the cancellation).
+func SimulateTracedOpts(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts SimulateOptions) (SimulationResult, []*Trace, error) {
+	return sim.SimulatePartitionTracedOpts(ts, p, assignment, policy, alpha, horizon, opts)
+}
+
 // Gantt renders per-machine traces as an ASCII chart over [0, horizon)
 // using width character cells; labels[i] names task i.
 func Gantt(traces []*Trace, labels []string, horizon int64, width int) string {
@@ -209,10 +241,16 @@ func MigratorySchedule(ts TaskSet, p Platform) (sched *CyclicSchedule, ok bool, 
 
 // Analysis bundles everything partfeas can say about one instance.
 type Analysis struct {
-	// SigmaPartitioned is σ_part, or 0 with SigmaPartitionedExact=false
-	// when the exact solver exceeded its budget.
+	// SigmaPartitioned is σ_part. When SigmaPartitionedExact is false the
+	// exact search was interrupted (node budget or ctx deadline) and
+	// SigmaPartitioned is instead the certified upper bound the search
+	// degraded to — at worst the polynomial LPT-greedy bound, never 0.
 	SigmaPartitioned      float64
 	SigmaPartitionedExact bool
+	// Degraded is true when any component of the analysis fell back to a
+	// polynomial bound instead of an exact answer (currently only the
+	// partitioned adversary can degrade).
+	Degraded bool
 	// SigmaMigratory is σ_LP.
 	SigmaMigratory float64
 	// Reports holds the outcome of each theorem's test, indexed like
@@ -224,9 +262,29 @@ type Analysis struct {
 	MinAlphaRMS float64
 }
 
+// AnalyzeOptions tunes AnalyzeCtx.
+type AnalyzeOptions struct {
+	// ExactBudget overrides the exact adversary's node budget when
+	// positive (exhaustion degrades the analysis instead of failing it).
+	ExactBudget int64
+	// ExactWorkers bounds the exact adversary's worker goroutines; zero
+	// means GOMAXPROCS.
+	ExactWorkers int
+}
+
 // Analyze runs the four theorem tests, both adversary scalings and the
 // minimal-α measurements for one instance.
 func Analyze(ts TaskSet, p Platform) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), ts, p, AnalyzeOptions{})
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation and graceful
+// degradation. A ctx deadline (or exact node-budget exhaustion) does not
+// fail the analysis: the exact partitioned adversary degrades to its
+// certified incumbent bound and the Analysis is marked Degraded.
+// Explicit cancellation aborts the whole analysis with a PipelineError
+// wrapping context.Canceled.
+func AnalyzeCtx(ctx context.Context, ts TaskSet, p Platform, opts AnalyzeOptions) (*Analysis, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, fmt.Errorf("partfeas: %w", err)
 	}
@@ -239,9 +297,25 @@ func Analyze(ts TaskSet, p Platform) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res, err := exact.MinScaling(ts, p, exact.Options{}); err == nil {
-		a.SigmaPartitioned = res.Sigma
-		a.SigmaPartitionedExact = true
+	// The exact adversary is the only exponential stage; run it bounded so
+	// budget or deadline exhaustion degrades to the incumbent bound
+	// (seeded by the polynomial LPT greedy) instead of failing.
+	exres, err := exact.SearchParallelBounded(ctx, ts, p, exact.Options{
+		NodeBudget: opts.ExactBudget,
+		Workers:    opts.ExactWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.SigmaPartitioned = exres.Sigma
+	a.SigmaPartitionedExact = !exres.Degraded
+	a.Degraded = exres.Degraded
+	// A deadline is a budget for the exponential stage, not an abort: once
+	// it has fired the remaining stages (all polynomial, microseconds) run
+	// unconstrained so the caller still gets a complete, Degraded
+	// analysis. Explicit cancellation still aborts below.
+	if ctx.Err() == context.DeadlineExceeded {
+		ctx = context.Background()
 	}
 	// One solver per scheduler serves the four theorem tests and both
 	// bisections: the sort orders are computed twice instead of the ~60
@@ -255,6 +329,9 @@ func Analyze(ts TaskSet, p Platform) (*Analysis, error) {
 		return nil, err
 	}
 	for i, thm := range Theorems {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, pipeline.New(pipeline.StageAnalyze, "theorem tests", cerr)
+		}
 		tester := testerEDF
 		if thm.Scheduler() == core.RMS {
 			tester = testerRMS
@@ -271,11 +348,11 @@ func Analyze(ts TaskSet, p Platform) (*Analysis, error) {
 	// Search ceilings follow from the theorems: the EDF test accepts by
 	// α = 2.98·σ_LP, the RMS test by 3.34·σ_LP.
 	lo := a.SigmaMigratory / 2
-	a.MinAlphaEDF, _, err = testerEDF.MinAlpha(lo, 2.98*a.SigmaMigratory*(1+1e-6), 1e-6)
+	a.MinAlphaEDF, _, err = testerEDF.MinAlphaCtx(ctx, lo, 2.98*a.SigmaMigratory*(1+1e-6), 1e-6)
 	if err != nil {
 		return nil, err
 	}
-	a.MinAlphaRMS, _, err = testerRMS.MinAlpha(lo, 3.34*a.SigmaMigratory*(1+1e-6), 1e-6)
+	a.MinAlphaRMS, _, err = testerRMS.MinAlphaCtx(ctx, lo, 3.34*a.SigmaMigratory*(1+1e-6), 1e-6)
 	if err != nil {
 		return nil, err
 	}
