@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke fuzz bench benchsmoke benchjson
+.PHONY: ci vet build test race faultsmoke servesmoke fuzz bench benchsmoke benchjson
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
-## the fault-injection matrix, a short fuzz smoke of the partition
-## invariants, and a one-iteration benchmark smoke (catches benchmarks
-## whose setup asserts fail).
-ci: vet build test race faultsmoke fuzz benchsmoke
+## the fault-injection matrix, the admission-server smoke, a short fuzz
+## smoke of the partition invariants, and a one-iteration benchmark smoke
+## (catches benchmarks whose setup asserts fail).
+ci: vet build test race faultsmoke servesmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,14 @@ faultsmoke:
 	$(GO) test -race -timeout 120s -count=1 \
 		-run 'Cancel|Panic|Degrade|Checkpoint|FaultInjection|Budget|Leak|RunTrials|ForEachTrial|RunAllCtx|RunCtx|AnalyzeCtx' \
 		./internal/exact ./internal/sim ./internal/experiments ./internal/faultinject ./internal/pipeline .
+
+## servesmoke: the admission-control server end to end under the race
+## detector — ephemeral port, concurrent clients byte-compared against
+## direct library calls, mid-flight client hang-up, cache-hit metrics,
+## graceful drain and goroutine-leak checks, plus the session/handler
+## suites and the command's own SIGINT drain test.
+servesmoke:
+	$(GO) test -race -timeout 120s -count=1 ./internal/service ./cmd/serve
 
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).

@@ -23,13 +23,16 @@ import (
 	"time"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Extra carries custom units emitted via
+// testing.B.ReportMetric (e.g. the serve benchmarks' p50/p99 latency and
+// requests-per-second figures), keyed by the unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Suite is the file-level document.
@@ -44,34 +47,50 @@ type Suite struct {
 	Results   []Result `json:"results"`
 }
 
-// benchLine matches `go test -bench` output such as
+// gomaxprocsSuffix strips the benchmark name's -N GOMAXPROCS suffix so
+// records compare across hosts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine parses one `go test -bench` output line such as
 //
 //	BenchmarkMinAlpha-8   6266   58375 ns/op   3840 B/op   15 allocs/op
+//	BenchmarkServeTest-8  912    131k ns/op    220 p50-µs  850 p99-µs
 //
-// The -N GOMAXPROCS suffix is stripped so records compare across hosts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
-
+// The fields after the iteration count are (value, unit) pairs: ns/op,
+// B/op and allocs/op land in the standard Result fields, any other unit
+// (testing.B.ReportMetric) lands in Extra. A line without ns/op is not a
+// benchmark result.
 func parseBenchLine(line string) (Result, bool) {
-	m := benchLine.FindStringSubmatch(line)
-	if m == nil {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Result{}, false
 	}
-	iters, err := strconv.ParseInt(m[2], 10, 64)
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	ns, err := strconv.ParseFloat(m[3], 64)
-	if err != nil {
-		return Result{}, false
+	r := Result{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp, sawNs = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
 	}
-	r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-	if m[4] != "" {
-		r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-	}
-	if m[5] != "" {
-		r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-	}
-	return r, true
+	return r, sawNs
 }
 
 func main() {

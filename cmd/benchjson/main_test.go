@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	for _, tc := range []struct {
@@ -23,16 +26,24 @@ func TestParseBenchLine(t *testing.T) {
 			want: Result{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 12},
 			ok:   true,
 		},
+		{
+			// testing.B.ReportMetric custom units land in Extra.
+			line: "BenchmarkServeTest-8 \t912\t 131000 ns/op\t 220.5 p50-µs/op\t 850 p99-µs/op\t 7633 req/s",
+			want: Result{Name: "BenchmarkServeTest", Iterations: 912, NsPerOp: 131000,
+				Extra: map[string]float64{"p50-µs/op": 220.5, "p99-µs/op": 850, "req/s": 7633}},
+			ok: true,
+		},
 		{line: "PASS", ok: false},
 		{line: "ok  \tpartfeas\t1.718s", ok: false},
 		{line: "goos: linux", ok: false},
+		{line: "BenchmarkBroken \t100\t twelve ns/op", ok: false},
 	} {
 		got, ok := parseBenchLine(tc.line)
 		if ok != tc.ok {
 			t.Errorf("parse(%q) ok = %v, want %v", tc.line, ok, tc.ok)
 			continue
 		}
-		if ok && got != tc.want {
+		if ok && !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("parse(%q) = %+v, want %+v", tc.line, got, tc.want)
 		}
 	}

@@ -1,0 +1,100 @@
+// Command serve runs the partfeas admission-control server: the paper's
+// feasibility tests behind a JSON-over-HTTP API with a sharded
+// reusable-tester cache, stateful admission sessions, per-request
+// deadlines and a Prometheus-text /metrics endpoint.
+//
+// Usage:
+//
+//	serve                          # listen on :8377
+//	serve -addr :9000 -timeout 5s
+//
+// Endpoints:
+//
+//	POST /v1/test        one feasibility test        {tasks, speeds|machines, scheduler, alpha}
+//	POST /v1/minalpha    smallest accepted α          {…, lo, hi, tol}
+//	POST /v1/analyze     full per-instance analysis   {…, exact_budget}
+//	POST /v1/sessions    open an admission session    {…, alpha}
+//	GET/DELETE /v1/sessions/{id}
+//	POST /v1/sessions/{id}/test     re-test           {alpha}
+//	POST /v1/sessions/{id}/tasks    admit a task      {task, force}
+//	DELETE /v1/sessions/{id}/tasks/{index}
+//	POST /v1/sessions/{id}/wcet     incremental WCET  {index, wcet, force}
+//	GET /metrics, /healthz, /debug/vars
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
+// requests finish (bounded by -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partfeas/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8377", "listen address")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline (requests may lower it via timeout_ms)")
+		maxTO    = flag.Duration("max-timeout", 120*time.Second, "upper clamp on any request deadline")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		shards   = flag.Int("shards", 16, "tester-cache shard count")
+		maxIdle  = flag.Int("cache-idle", 4, "idle testers cached per instance")
+		sessions = flag.Int("max-sessions", 1024, "admission-session cap")
+		budget   = flag.Int64("analyze-budget", 2_000_000, "default exact-adversary node budget for /v1/analyze")
+	)
+	flag.Parse()
+	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *sessions, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, sessions int, budget int64) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := service.New(service.Config{
+		Addr:              addr,
+		DefaultTimeout:    timeout,
+		MaxTimeout:        maxTO,
+		PoolShards:        shards,
+		PoolMaxIdlePerKey: maxIdle,
+		MaxSessions:       sessions,
+		AnalyzeBudget:     budget,
+		Logf:              logger.Printf,
+	})
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	logger.Printf("serve: signal received, draining for up to %v", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadAddr(t *testing.T) {
+	err := run("127.0.0.1:99999", time.Second, time.Second, time.Second, 1, 1, 1, 1000)
+	if err == nil {
+		t.Fatal("run accepted an unbindable address")
+	}
+}
+
+// TestRunSignalDrain boots the real command path on an ephemeral port,
+// waits until it answers /healthz (so the signal handler is installed),
+// then sends the process SIGINT and expects a clean, nil-error drain.
+func TestRunSignalDrain(t *testing.T) {
+	// Reserve a port, then hand its address to run. The tiny reuse window
+	// between Close and run's own Listen is harmless on a loopback test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(addr, time.Second, 2*time.Second, 5*time.Second, 2, 2, 8, 100000)
+	}()
+
+	up := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run exited before serving: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !up {
+		t.Fatal("server never answered /healthz")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGINT, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain within 10s of SIGINT")
+	}
+}

@@ -81,12 +81,11 @@ func run(ctx context.Context, tasksPath, machinesPath, scheduler string, alpha f
 	}
 
 	var sch partfeas.Scheduler
-	var policy partfeas.Policy
 	switch strings.ToLower(scheduler) {
 	case "edf":
-		sch, policy = partfeas.EDF, partfeas.PolicyEDF
+		sch = partfeas.EDF
 	case "rms", "rm":
-		sch, policy = partfeas.RMS, partfeas.PolicyRM
+		sch = partfeas.RMS
 	default:
 		return fmt.Errorf("unknown scheduler %q (want edf or rms)", scheduler)
 	}
@@ -119,8 +118,9 @@ func run(ctx context.Context, tasksPath, machinesPath, scheduler string, alpha f
 			fmt.Printf("horizon: hyperperiod too large; using 20×max period = %d (override with -horizon)\n", horizon)
 		}
 	}
-	res, traces, err := partfeas.SimulateTracedOpts(ts, plat, rep.Partition.Assignment, policy, alpha, horizon,
-		partfeas.SimulateOptions{Ctx: ctx})
+	res, traces, err := partfeas.SimulateCtx(ctx,
+		partfeas.Instance{Tasks: ts, Platform: plat, Scheduler: sch},
+		partfeas.SimulateOptions{Assignment: rep.Partition.Assignment, Alpha: alpha, Horizon: horizon, Trace: true})
 	if err != nil {
 		return err
 	}

@@ -22,8 +22,40 @@
 // utilization w_i = C_i/P_i, sort machines by non-decreasing speed, and
 // first-fit each task onto the first machine whose single-machine test
 // still passes at speed α·s — the exact utilization bound for EDF, the
-// Liu–Layland bound for RMS. Test and TestTheorem run it; the Report
-// carries the witness partition or the failing task.
+// Liu–Layland bound for RMS. The Report carries the witness partition or
+// the failing task.
+//
+// # The API
+//
+// Every feasibility question is asked about an Instance — the task set,
+// the platform, and the per-machine scheduler — through context-first
+// entry points:
+//
+//	in := partfeas.Instance{Tasks: ts, Platform: p, Scheduler: partfeas.EDF}
+//	rep, err := partfeas.TestCtx(ctx, in, alpha)          // one test
+//	a, ok, err := partfeas.MinAlphaCtx(ctx, in, lo, hi, tol) // smallest accepted α
+//	res, traces, err := partfeas.SimulateCtx(ctx, in, opts)  // exact DES replay
+//
+// Instances are validated eagerly at every entry point: NewPlatform
+// accepts any speeds by design, so a NaN, zero, or infinite speed is
+// rejected here with the offending machine index named, before any
+// solver is built. Test and MinAlpha are the context-free conveniences;
+// the four pre-redesign Simulate variants (Simulate, SimulateOpts,
+// SimulateTraced, SimulateTracedOpts) survive as deprecated wrappers
+// over SimulateCtx and remain decision-identical.
+//
+// Repeated queries on one instance — bisections, sensitivity sweeps,
+// admission-control loops — should use a Tester, which precomputes the
+// sort orders once and answers repeat queries without allocating;
+// Tester.UpdateWCET re-tests a WCET change incrementally. A Tester is
+// not safe for concurrent use; internal/service pools them for the HTTP
+// server (cmd/serve), whose responses are byte-identical to direct
+// library calls.
+//
+// Cancellation is cooperative with bounded latency everywhere: an
+// expired or cancelled context surfaces as a PipelineError (check with
+// IsCanceled), and AnalyzeCtx degrades to certified bounds on deadline
+// expiry instead of failing.
 //
 // # The guarantees
 //
@@ -38,13 +70,7 @@
 // Both adversaries are implemented, not assumed: PartitionedMinScaling is
 // an exact branch-and-bound and MigratoryMinScaling the closed-form LP
 // bound, so the guarantees are checkable on any instance (see the E1–E12
-// experiment suite under internal/experiments and EXPERIMENTS.md).
-//
-// # Beyond the test
-//
-// Simulate replays a partition in an exact rational-arithmetic
-// discrete-event scheduler (synchronous periodic releases over a
-// hyperperiod) to observe the accepted schedule actually meeting
-// deadlines, and Analyze bundles the tests, adversary scalings and
-// minimal-α measurement for one instance.
+// experiment suite under internal/experiments and EXPERIMENTS.md), and
+// Analyze bundles the tests, adversary scalings and minimal-α
+// measurement for one instance.
 package partfeas

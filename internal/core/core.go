@@ -225,6 +225,18 @@ func (t *Tester) Test(alpha float64) (Report, error) {
 	}, nil
 }
 
+// TestCtx is Test observing ctx: a query against an expired or cancelled
+// context returns a *pipeline.Error wrapping the ctx cause instead of
+// running. One query is a single polynomial first-fit pass, so this is
+// the whole cancellation story for Test — there is no mid-pass
+// checkpoint to interrupt.
+func (t *Tester) TestCtx(ctx context.Context, alpha float64) (Report, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return Report{}, pipeline.New(pipeline.StageAnalyze, "Test", cerr)
+	}
+	return t.Test(alpha)
+}
+
 // UpdateWCET changes task i's WCET for subsequent queries (invalidating
 // previously returned Reports' Partition fields).
 func (t *Tester) UpdateWCET(i int, wcet int64) error {

@@ -36,6 +36,14 @@ func (m Machine) Validate() error {
 	return nil
 }
 
+// ValidSpeed reports whether s is a legal machine speed: positive and
+// finite. New does not reject bad speeds (it cannot return an error), so
+// public entry points use this to fail eagerly instead of letting NaN or
+// zero speeds surface from a distant internal Validate.
+func ValidSpeed(s float64) bool {
+	return s > 0 && !math.IsNaN(s) && !math.IsInf(s, 0)
+}
+
 // Platform is an ordered collection of machines. The paper's algorithm
 // requires non-decreasing speed order; use SortedBySpeed to obtain it.
 type Platform []Machine
@@ -55,8 +63,8 @@ func (p Platform) Validate() error {
 		return errors.New("platform: empty")
 	}
 	for i, m := range p {
-		if err := m.Validate(); err != nil {
-			return fmt.Errorf("machine %d: %w", i, err)
+		if !ValidSpeed(m.Speed) {
+			return fmt.Errorf("machine %d (%q): speed %v must be positive and finite", i, m.Name, m.Speed)
 		}
 	}
 	return nil

@@ -1,0 +1,247 @@
+// Package service is the JSON-over-HTTP admission-control layer on top
+// of the partfeas public API: stateless feasibility queries (/v1/test,
+// /v1/minalpha, /v1/analyze), stateful admission sessions (/v1/sessions)
+// with incremental WCET re-tests, a sharded cache of reusable Testers
+// keyed by a canonical instance hash, and a Prometheus-text /metrics
+// endpoint.
+//
+// Every decision the server makes goes through the same context-first
+// library entry points an in-process caller would use (TestCtx,
+// MinAlphaCtx, AnalyzeCtx), so server responses are byte-identical to
+// direct library calls for the same instances — the handler tests and
+// the servesmoke gate hold it to that.
+package service
+
+import (
+	"fmt"
+
+	"partfeas"
+)
+
+// TaskJSON is the wire form of one sporadic task.
+type TaskJSON struct {
+	Name   string `json:"name,omitempty"`
+	WCET   int64  `json:"wcet"`
+	Period int64  `json:"period"`
+}
+
+// MachineJSON is the wire form of one machine.
+type MachineJSON struct {
+	Name  string  `json:"name,omitempty"`
+	Speed float64 `json:"speed"`
+}
+
+// InstanceRequest is the instance description shared by every request
+// body. The platform is given either as bare "speeds" (machines named
+// m0, m1, … like partfeas.NewPlatform) or as explicit "machines";
+// exactly one of the two must be present.
+type InstanceRequest struct {
+	Tasks     []TaskJSON    `json:"tasks"`
+	Speeds    []float64     `json:"speeds,omitempty"`
+	Machines  []MachineJSON `json:"machines,omitempty"`
+	Scheduler string        `json:"scheduler,omitempty"` // "edf" (default) or "rms"
+}
+
+// Instance converts and validates the wire form eagerly: a bad machine
+// speed is rejected here, naming the machine index, before any solver is
+// built.
+func (r InstanceRequest) Instance() (partfeas.Instance, error) {
+	var in partfeas.Instance
+	in.Tasks = make(partfeas.TaskSet, len(r.Tasks))
+	for i, t := range r.Tasks {
+		in.Tasks[i] = partfeas.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+	}
+	switch {
+	case len(r.Speeds) > 0 && len(r.Machines) > 0:
+		return in, fmt.Errorf(`give the platform as "speeds" or "machines", not both`)
+	case len(r.Speeds) > 0:
+		in.Platform = partfeas.NewPlatform(r.Speeds...)
+	default:
+		in.Platform = make(partfeas.Platform, len(r.Machines))
+		for i, m := range r.Machines {
+			in.Platform[i] = partfeas.Machine{Name: m.Name, Speed: m.Speed}
+		}
+	}
+	switch r.Scheduler {
+	case "", "edf", "EDF":
+		in.Scheduler = partfeas.EDF
+	case "rms", "RMS":
+		in.Scheduler = partfeas.RMS
+	default:
+		return in, fmt.Errorf("unknown scheduler %q (want \"edf\" or \"rms\")", r.Scheduler)
+	}
+	if err := in.Validate(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// TestRequest asks for one feasibility test.
+type TestRequest struct {
+	InstanceRequest
+	// Alpha is the speed augmentation; 0 means 1 (original speeds).
+	Alpha float64 `json:"alpha,omitempty"`
+	// TimeoutMS bounds the request's wall time; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// TestResponse is the outcome of one feasibility test. It is a pure
+// function of the library Report (see TestResponseFrom), which is what
+// makes served responses comparable byte-for-byte with direct calls.
+type TestResponse struct {
+	Accepted  bool      `json:"accepted"`
+	Scheduler string    `json:"scheduler"`
+	Alpha     float64   `json:"alpha"`
+	Assignment []int    `json:"assignment"`
+	Loads     []float64 `json:"loads"`
+	// FailedTask is the input index of the paper's τ_n on rejection, -1 on
+	// acceptance.
+	FailedTask int `json:"failed_task"`
+}
+
+// TestResponseFrom builds the wire response for a library Report. The
+// slices are deep-copied, so the response stays valid after the Report's
+// backing Tester answers its next query.
+func TestResponseFrom(rep partfeas.Report) TestResponse {
+	resp := TestResponse{
+		Accepted:   rep.Accepted,
+		Scheduler:  rep.Scheduler.String(),
+		Alpha:      rep.Alpha,
+		Assignment: append([]int(nil), rep.Partition.Assignment...),
+		Loads:      append([]float64(nil), rep.Partition.Loads...),
+		FailedTask: rep.Partition.FailedTask,
+	}
+	return resp
+}
+
+// MinAlphaRequest asks for the smallest accepted augmentation.
+type MinAlphaRequest struct {
+	InstanceRequest
+	// Lo and Hi bracket the bisection; defaults 0.01 and 8.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Tol is the bisection tolerance; default 1e-6.
+	Tol       float64 `json:"tol,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// MinAlphaResponse reports the bisection outcome; OK is false when even
+// Hi does not suffice (Alpha is then 0).
+type MinAlphaResponse struct {
+	Alpha float64 `json:"alpha"`
+	OK    bool    `json:"ok"`
+}
+
+// AnalyzeRequest asks for the full Analysis of one instance (the
+// scheduler field is ignored: the analysis covers both).
+type AnalyzeRequest struct {
+	InstanceRequest
+	// ExactBudget bounds the exact adversary's branch-and-bound nodes;
+	// 0 uses the server default. Exhaustion degrades, it does not fail.
+	ExactBudget int64 `json:"exact_budget,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// TheoremJSON is one theorem test inside an AnalyzeResponse.
+type TheoremJSON struct {
+	Theorem   string  `json:"theorem"`
+	Scheduler string  `json:"scheduler"`
+	Alpha     float64 `json:"alpha"`
+	Accepted  bool    `json:"accepted"`
+}
+
+// AnalyzeResponse mirrors partfeas.Analysis on the wire.
+type AnalyzeResponse struct {
+	SigmaPartitioned      float64       `json:"sigma_partitioned"`
+	SigmaPartitionedExact bool          `json:"sigma_partitioned_exact"`
+	Degraded              bool          `json:"degraded"`
+	SigmaMigratory        float64       `json:"sigma_migratory"`
+	Theorems              []TheoremJSON `json:"theorems"`
+	MinAlphaEDF           float64       `json:"min_alpha_edf"`
+	MinAlphaRMS           float64       `json:"min_alpha_rms"`
+}
+
+// AnalyzeResponseFrom builds the wire response for a library Analysis.
+func AnalyzeResponseFrom(a *partfeas.Analysis) AnalyzeResponse {
+	resp := AnalyzeResponse{
+		SigmaPartitioned:      a.SigmaPartitioned,
+		SigmaPartitionedExact: a.SigmaPartitionedExact,
+		Degraded:              a.Degraded,
+		SigmaMigratory:        a.SigmaMigratory,
+		Theorems:              make([]TheoremJSON, len(partfeas.Theorems)),
+		MinAlphaEDF:           a.MinAlphaEDF,
+		MinAlphaRMS:           a.MinAlphaRMS,
+	}
+	for i, thm := range partfeas.Theorems {
+		resp.Theorems[i] = TheoremJSON{
+			Theorem:   thm.String(),
+			Scheduler: a.Reports[i].Scheduler.String(),
+			Alpha:     a.Reports[i].Alpha,
+			Accepted:  a.Reports[i].Accepted,
+		}
+	}
+	return resp
+}
+
+// CreateSessionRequest opens a stateful admission session.
+type CreateSessionRequest struct {
+	InstanceRequest
+	// Alpha is the augmentation every admission decision in this session
+	// is made at; 0 means 1.
+	Alpha     float64 `json:"alpha,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// SessionResponse describes a session's current state.
+type SessionResponse struct {
+	ID        string        `json:"id"`
+	Scheduler string        `json:"scheduler"`
+	Alpha     float64       `json:"alpha"`
+	Tasks     []TaskJSON    `json:"tasks"`
+	Machines  []MachineJSON `json:"machines"`
+	Test      TestResponse  `json:"test"`
+}
+
+// AddTaskRequest admits one more task into a session.
+type AddTaskRequest struct {
+	Task TaskJSON `json:"task"`
+	// Force commits the change even when the re-test rejects.
+	Force     bool  `json:"force,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// UpdateWCETRequest changes one task's WCET (incremental re-test via the
+// session Tester's UpdateWCET — no solver rebuild).
+type UpdateWCETRequest struct {
+	Index     int   `json:"index"`
+	WCET      int64 `json:"wcet"`
+	Force     bool  `json:"force,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SessionTestRequest re-tests a session, optionally at a different
+// augmentation (0 keeps the session alpha).
+type SessionTestRequest struct {
+	Alpha     float64 `json:"alpha,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// AdmissionResponse is the outcome of a mutating session operation.
+type AdmissionResponse struct {
+	// Admitted is true when the mutated set passes the session's test (or
+	// Force was set).
+	Admitted bool `json:"admitted"`
+	// RolledBack is true when the mutation was undone because the re-test
+	// rejected and Force was not set.
+	RolledBack bool `json:"rolled_back"`
+	// NTasks is the session's task count after the operation.
+	NTasks int `json:"n_tasks"`
+	// Test is the re-test outcome for the mutated (or rolled-back
+	// tentative) set.
+	Test TestResponse `json:"test"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

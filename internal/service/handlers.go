@@ -1,0 +1,391 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"partfeas"
+)
+
+// StatusClientClosedRequest is recorded (nginx's 499 convention) when a
+// client abandons its request mid-flight; nothing readable is written,
+// the code exists for the metrics.
+const StatusClientClosedRequest = 499
+
+// httpError carries a status code with a client-facing message. Session
+// and handler code returns these for every anticipated failure; anything
+// else is a 500.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// checkAlpha rejects non-positive and non-finite augmentations at the
+// HTTP boundary, so a client mistake reads as a 400, not a 500 from deep
+// inside the solver.
+func checkAlpha(a float64) error {
+	if !(a > 0) || math.IsInf(a, 0) {
+		return badRequest("alpha %v must be a positive finite number", a)
+	}
+	return nil
+}
+
+// routes builds the server's mux. Every /v1 endpoint goes through wrap,
+// which owns metrics, panic isolation and error rendering.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/test", s.wrap("/v1/test", s.handleTest))
+	mux.HandleFunc("POST /v1/minalpha", s.wrap("/v1/minalpha", s.handleMinAlpha))
+	mux.HandleFunc("POST /v1/analyze", s.wrap("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/sessions", s.wrap("/v1/sessions", s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.wrap("/v1/sessions/{id}", s.handleSessionGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap("/v1/sessions/{id}", s.handleSessionDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/test", s.wrap("/v1/sessions/{id}/test", s.handleSessionTest))
+	mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.wrap("/v1/sessions/{id}/tasks", s.handleSessionAddTask))
+	mux.HandleFunc("DELETE /v1/sessions/{id}/tasks/{index}", s.wrap("/v1/sessions/{id}/tasks/{index}", s.handleSessionRemoveTask))
+	mux.HandleFunc("POST /v1/sessions/{id}/wcet", s.wrap("/v1/sessions/{id}/wcet", s.handleSessionUpdateWCET))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// wrap is the shared request spine: in-flight gauge, latency recording,
+// panic isolation (one poisoned request answers 500, the server lives),
+// uniform error rendering. Handlers return (body, status, error); status
+// 0 means 200, a nil body with a status writes an empty response.
+func (s *Server) wrap(endpoint string, fn func(w http.ResponseWriter, r *http.Request) (any, int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.RequestStarted()
+		start := time.Now()
+		code := http.StatusOK
+		defer func() {
+			if v := recover(); v != nil {
+				code = http.StatusInternalServerError
+				s.logf("service: panic serving %s: %v\n%s", endpoint, v, debug.Stack())
+				writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf("internal error: %v", v)})
+			}
+			s.metrics.RequestDone(endpoint, code, time.Since(start))
+		}()
+		resp, st, err := fn(w, r)
+		if err != nil {
+			code = s.statusFor(r, err)
+			writeJSON(w, code, ErrorResponse{Error: err.Error()})
+			return
+		}
+		if st != 0 {
+			code = st
+		}
+		if resp == nil {
+			w.WriteHeader(code)
+			return
+		}
+		writeJSON(w, code, resp)
+	}
+}
+
+// statusFor maps an error to its response code: explicit httpErrors keep
+// theirs, cancellations split into client-gone (499) vs request deadline
+// (504), everything else is a 500.
+func (s *Server) statusFor(r *http.Request, err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code
+	}
+	if partfeas.IsCanceled(err) {
+		if r.Context().Err() != nil {
+			s.metrics.RequestCanceled()
+			return StatusClientClosedRequest
+		}
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// decode reads a strict JSON body (unknown fields rejected, 1 MiB cap).
+func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+// requestCtx derives the per-request deadline: the request's own
+// timeout_ms when given, else the server default, both clamped to the
+// server maximum. The returned context descends from the client's, so a
+// dropped connection cancels in-flight work either way.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req TestRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	in, err := req.Instance()
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 1
+	}
+	if err := checkAlpha(req.Alpha); err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	t, key, hit, err := s.pool.Acquire(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := t.TestCtx(ctx, req.Alpha)
+	if err != nil {
+		// The tester is stateless between queries; an interrupted query
+		// leaves it reusable.
+		s.pool.Release(key, t)
+		return nil, 0, err
+	}
+	resp := TestResponseFrom(rep) // deep copy, so release after this
+	s.pool.Release(key, t)
+	w.Header().Set("X-Cache", cacheHeader(hit))
+	return resp, 0, nil
+}
+
+func (s *Server) handleMinAlpha(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req MinAlphaRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	in, err := req.Instance()
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	if req.Lo == 0 {
+		req.Lo = 0.01
+	}
+	if req.Hi == 0 {
+		req.Hi = 8
+	}
+	if req.Tol == 0 {
+		req.Tol = 1e-6
+	}
+	if !(req.Lo > 0) || req.Hi < req.Lo || !(req.Tol > 0) {
+		return nil, 0, badRequest("bisection bracket [lo=%v, hi=%v] tol=%v invalid", req.Lo, req.Hi, req.Tol)
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	t, key, hit, err := s.pool.Acquire(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	alpha, ok, err := t.MinAlphaCtx(ctx, req.Lo, req.Hi, req.Tol)
+	if err != nil {
+		s.pool.Release(key, t)
+		return nil, 0, err
+	}
+	s.pool.Release(key, t)
+	w.Header().Set("X-Cache", cacheHeader(hit))
+	return MinAlphaResponse{Alpha: alpha, OK: ok}, 0, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req AnalyzeRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	in, err := req.Instance()
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	budget := req.ExactBudget
+	if budget <= 0 {
+		budget = s.cfg.AnalyzeBudget
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	a, err := partfeas.AnalyzeCtx(ctx, in.Tasks, in.Platform, partfeas.AnalyzeOptions{ExactBudget: budget})
+	if err != nil {
+		return nil, 0, err
+	}
+	return AnalyzeResponseFrom(a), 0, nil
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req CreateSessionRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	in, err := req.Instance()
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	if req.Alpha == 0 {
+		req.Alpha = 1
+	}
+	if err := checkAlpha(req.Alpha); err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	sess, err := s.sessions.create(in, req.Alpha)
+	if err != nil {
+		return nil, 0, err
+	}
+	state, err := sess.state(ctx)
+	if err != nil {
+		_ = s.sessions.remove(sess.id)
+		return nil, 0, err
+	}
+	return state, http.StatusCreated, nil
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	state, err := sess.state(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return state, 0, nil
+}
+
+func (s *Server) handleSessionDelete(_ http.ResponseWriter, r *http.Request) (any, int, error) {
+	if err := s.sessions.remove(r.PathValue("id")); err != nil {
+		return nil, 0, err
+	}
+	return nil, http.StatusNoContent, nil
+}
+
+func (s *Server) handleSessionTest(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req SessionTestRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	if req.Alpha != 0 { // 0 keeps the session augmentation
+		if err := checkAlpha(req.Alpha); err != nil {
+			return nil, 0, err
+		}
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := sess.test(ctx, req.Alpha)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleSessionAddTask(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req AddTaskRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	t := partfeas.Task{Name: req.Task.Name, WCET: req.Task.WCET, Period: req.Task.Period}
+	if err := t.Validate(); err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := sess.addTask(ctx, t, req.Force)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleSessionRemoveTask(_ http.ResponseWriter, r *http.Request) (any, int, error) {
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		return nil, 0, badRequest("task index %q is not an integer", r.PathValue("index"))
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	resp, err := sess.removeTask(ctx, idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleSessionUpdateWCET(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req UpdateWCETRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := sess.updateWCET(ctx, req.Index, req.WCET, req.Force)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

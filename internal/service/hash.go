@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"partfeas"
+)
+
+// instanceKey encodes an instance canonically: two instances produce the
+// same key iff every field the test's decisions can depend on is equal —
+// scheduler, and each task's and machine's name and parameters in input
+// order (names participate in the solver's deterministic tie-breaks, so
+// they are part of the identity; input order matters because Assignment
+// indices are input-order).
+//
+// The key is the full encoding, not a digest, so distinct instances can
+// never collide into the same cache slot; the FNV hash in shardOf is only
+// used to spread keys across pool shards.
+func instanceKey(in partfeas.Instance) string {
+	n := 2 + 11
+	for _, t := range in.Tasks {
+		n += len(t.Name) + 3*binary.MaxVarintLen64
+	}
+	for _, m := range in.Platform {
+		n += len(m.Name) + 2*binary.MaxVarintLen64
+	}
+	b := make([]byte, 0, n)
+	b = append(b, byte(in.Scheduler))
+	b = binary.AppendUvarint(b, uint64(len(in.Tasks)))
+	for _, t := range in.Tasks {
+		b = binary.AppendUvarint(b, uint64(len(t.Name)))
+		b = append(b, t.Name...)
+		b = binary.AppendVarint(b, t.WCET)
+		b = binary.AppendVarint(b, t.Period)
+	}
+	b = binary.AppendUvarint(b, uint64(len(in.Platform)))
+	for _, m := range in.Platform {
+		b = binary.AppendUvarint(b, uint64(len(m.Name)))
+		b = append(b, m.Name...)
+		b = binary.AppendUvarint(b, math.Float64bits(m.Speed))
+	}
+	return string(b)
+}
+
+// shardOf spreads keys across nShards pool shards by FNV-1a.
+func shardOf(key string, nShards int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(nShards))
+}

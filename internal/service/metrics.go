@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latency histogram: exponential buckets doubling from 1µs; bucket i
+// covers durations up to 1µs·2^i, the last bucket is the overflow.
+const (
+	histBuckets = 26 // 1µs … ~33s, then overflow
+	histBase    = time.Microsecond
+)
+
+// Metrics aggregates the counters behind the /metrics endpoint: request
+// counts by endpoint and status code, in-flight and cancellation gauges,
+// tester-cache hit ratio, and request-latency quantiles (p50/p90/p99)
+// estimated from a log-bucketed histogram. All hot-path updates are
+// atomics or a single short-held mutex, so the handlers can record at
+// full request rate.
+type Metrics struct {
+	start time.Time
+
+	inFlight atomic.Int64
+	canceled atomic.Uint64
+
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+
+	hist     [histBuckets + 1]atomic.Uint64
+	histCnt  atomic.Uint64
+	histSum  atomic.Uint64 // nanoseconds
+
+	// sessionsActive and poolStats are read at scrape time.
+	sessionsActive func() int
+	poolStats      func() PoolStats
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// NewMetrics builds the metrics registry; sessions and pool are read
+// lazily at scrape time (either may be nil).
+func NewMetrics(sessions func() int, pool func() PoolStats) *Metrics {
+	return &Metrics{
+		start:          time.Now(),
+		requests:       map[reqKey]uint64{},
+		sessionsActive: sessions,
+		poolStats:      pool,
+	}
+}
+
+// RequestStarted marks a request in flight; pair with RequestDone.
+func (m *Metrics) RequestStarted() { m.inFlight.Add(1) }
+
+// RequestDone records one finished request.
+func (m *Metrics) RequestDone(endpoint string, code int, d time.Duration) {
+	m.inFlight.Add(-1)
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+	m.hist[bucketOf(d)].Add(1)
+	m.histCnt.Add(1)
+	m.histSum.Add(uint64(d.Nanoseconds()))
+}
+
+// RequestCanceled counts a request abandoned by its client mid-flight.
+func (m *Metrics) RequestCanceled() { m.canceled.Add(1) }
+
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	for i := 0; i < histBuckets; i++ {
+		if d <= histBase<<uint(i) {
+			return i
+		}
+	}
+	return histBuckets
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from the histogram as the
+// upper bound of the bucket holding the q-th observation; 0 with no data.
+func (m *Metrics) quantile(q float64) time.Duration {
+	total := m.histCnt.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += m.hist[i].Load()
+		if cum > rank {
+			if i == histBuckets {
+				return histBase << uint(histBuckets-1)
+			}
+			return histBase << uint(i)
+		}
+	}
+	return histBase << uint(histBuckets-1)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP partfeas_uptime_seconds Time since server start.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "partfeas_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	counts := make(map[reqKey]uint64, len(m.requests))
+	for k, v := range m.requests {
+		counts[k] = v
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP partfeas_http_requests_total Finished requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "partfeas_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[k])
+	}
+
+	fmt.Fprintf(w, "# HELP partfeas_http_in_flight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_http_in_flight gauge\n")
+	fmt.Fprintf(w, "partfeas_http_in_flight %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP partfeas_http_requests_canceled_total Requests abandoned by their client mid-flight.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_http_requests_canceled_total counter\n")
+	fmt.Fprintf(w, "partfeas_http_requests_canceled_total %d\n", m.canceled.Load())
+
+	if m.poolStats != nil {
+		st := m.poolStats()
+		fmt.Fprintf(w, "# HELP partfeas_tester_cache_hits_total Tester-pool cache hits.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_hits_total counter\n")
+		fmt.Fprintf(w, "partfeas_tester_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP partfeas_tester_cache_misses_total Tester-pool cache misses.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_misses_total counter\n")
+		fmt.Fprintf(w, "partfeas_tester_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# HELP partfeas_tester_cache_idle Testers currently cached.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_idle gauge\n")
+		fmt.Fprintf(w, "partfeas_tester_cache_idle %d\n", st.Idle)
+		ratio := 0.0
+		if st.Hits+st.Misses > 0 {
+			ratio = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		fmt.Fprintf(w, "# HELP partfeas_tester_cache_hit_ratio Hits / (hits + misses) since start.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_hit_ratio gauge\n")
+		fmt.Fprintf(w, "partfeas_tester_cache_hit_ratio %g\n", ratio)
+	}
+
+	if m.sessionsActive != nil {
+		fmt.Fprintf(w, "# HELP partfeas_sessions_active Open admission sessions.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_sessions_active gauge\n")
+		fmt.Fprintf(w, "partfeas_sessions_active %d\n", m.sessionsActive())
+	}
+
+	fmt.Fprintf(w, "# HELP partfeas_http_request_duration_seconds Request latency quantiles (log-bucket upper bounds).\n")
+	fmt.Fprintf(w, "# TYPE partfeas_http_request_duration_seconds summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "partfeas_http_request_duration_seconds{quantile=\"%g\"} %g\n", q, m.quantile(q).Seconds())
+	}
+	fmt.Fprintf(w, "partfeas_http_request_duration_seconds_sum %g\n", float64(m.histSum.Load())/1e9)
+	fmt.Fprintf(w, "partfeas_http_request_duration_seconds_count %d\n", m.histCnt.Load())
+}

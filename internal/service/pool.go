@@ -1,0 +1,107 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"partfeas"
+)
+
+// TesterPool is a sharded, concurrency-safe cache of reusable
+// partfeas.Testers keyed by the canonical instance encoding. A Tester is
+// single-goroutine by contract, so the pool hands each one out
+// exclusively: Acquire pops an idle tester for the instance (a cache hit
+// — the repeat query then runs on the zero-alloc precomputed-solver
+// path) or builds a fresh one (a miss); Release returns it for the next
+// request. Concurrent requests for the same instance each get their own
+// tester, so correctness never depends on request serialization.
+type TesterPool struct {
+	shards  []poolShard
+	maxIdle int // per key, per shard (keys live in exactly one shard)
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type poolShard struct {
+	mu   sync.Mutex
+	idle map[string][]*partfeas.Tester
+}
+
+// NewTesterPool builds a pool with the given shard count (<= 0 means 16)
+// and per-instance idle cap (<= 0 means 4). The idle cap bounds memory:
+// testers released beyond it are dropped for the GC.
+func NewTesterPool(shards, maxIdlePerKey int) *TesterPool {
+	if shards <= 0 {
+		shards = 16
+	}
+	if maxIdlePerKey <= 0 {
+		maxIdlePerKey = 4
+	}
+	p := &TesterPool{shards: make([]poolShard, shards), maxIdle: maxIdlePerKey}
+	for i := range p.shards {
+		p.shards[i].idle = map[string][]*partfeas.Tester{}
+	}
+	return p
+}
+
+// Acquire returns an exclusive Tester for the instance plus the cache key
+// to Release it under. hit reports whether the tester came from the cache.
+// The instance must already be validated (the handlers validate at
+// decode); construction errors are still surfaced.
+func (p *TesterPool) Acquire(in partfeas.Instance) (t *partfeas.Tester, key string, hit bool, err error) {
+	key = instanceKey(in)
+	sh := &p.shards[shardOf(key, len(p.shards))]
+	sh.mu.Lock()
+	if idle := sh.idle[key]; len(idle) > 0 {
+		t = idle[len(idle)-1]
+		idle[len(idle)-1] = nil
+		sh.idle[key] = idle[:len(idle)-1]
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		return t, key, true, nil
+	}
+	sh.mu.Unlock()
+	p.misses.Add(1)
+	t, err = partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
+	if err != nil {
+		return nil, "", false, err
+	}
+	return t, key, false, nil
+}
+
+// Release returns a tester acquired for key to the pool. Testers whose
+// state was mutated (UpdateWCET) must not be released — sessions keep
+// their testers privately for exactly that reason.
+func (p *TesterPool) Release(key string, t *partfeas.Tester) {
+	if t == nil {
+		return
+	}
+	sh := &p.shards[shardOf(key, len(p.shards))]
+	sh.mu.Lock()
+	if len(sh.idle[key]) < p.maxIdle {
+		sh.idle[key] = append(sh.idle[key], t)
+	}
+	sh.mu.Unlock()
+}
+
+// PoolStats is a point-in-time cache snapshot.
+type PoolStats struct {
+	Hits   uint64
+	Misses uint64
+	Idle   int // testers currently cached across all shards
+}
+
+// Stats reads the hit/miss counters and counts idle testers.
+func (p *TesterPool) Stats() PoolStats {
+	st := PoolStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, idle := range sh.idle {
+			st.Idle += len(idle)
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

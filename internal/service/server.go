@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes a Server. The zero value is serviceable: listen on
+// :8377, 30s default / 120s max request deadline, 16 pool shards with 4
+// idle testers per instance, 1024 sessions, 2M-node analyze budget.
+type Config struct {
+	// Addr is the listen address; empty means ":8377".
+	Addr string
+	// DefaultTimeout bounds requests that do not carry timeout_ms;
+	// 0 means 30s, negative means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps every request deadline (including client-supplied
+	// timeout_ms); 0 means 120s, negative means unclamped.
+	MaxTimeout time.Duration
+	// PoolShards and PoolMaxIdlePerKey size the tester cache
+	// (NewTesterPool defaults apply on 0).
+	PoolShards        int
+	PoolMaxIdlePerKey int
+	// MaxSessions caps live admission sessions; 0 means 1024.
+	MaxSessions int
+	// AnalyzeBudget is the default exact-adversary node budget for
+	// /v1/analyze; 0 means 2,000,000. Exhaustion degrades the analysis, it
+	// never fails it.
+	AnalyzeBudget int64
+	// Logf receives lifecycle and panic lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the admission-control service: the handler set plus the
+// shared tester pool, session store and metrics registry. Construct with
+// New, then either mount Handler into an existing http.Server or use
+// Listen/Serve/Shutdown for the managed lifecycle.
+type Server struct {
+	cfg      Config
+	pool     *TesterPool
+	sessions *sessionStore
+	metrics  *Metrics
+	handler  http.Handler
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// New builds a Server from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8377"
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = 120 * time.Second
+	}
+	if cfg.DefaultTimeout < 0 {
+		cfg.DefaultTimeout = 0
+	}
+	if cfg.MaxTimeout < 0 {
+		cfg.MaxTimeout = 0
+	}
+	if cfg.AnalyzeBudget <= 0 {
+		cfg.AnalyzeBudget = 2_000_000
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     NewTesterPool(cfg.PoolShards, cfg.PoolMaxIdlePerKey),
+		sessions: newSessionStore(cfg.MaxSessions),
+	}
+	s.metrics = NewMetrics(s.sessions.count, s.pool.Stats)
+	s.handler = s.routes()
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler exposes the full route set for embedding and tests.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the registry (the servesmoke gate reads cache ratios
+// through it without scraping).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool exposes the tester cache.
+func (s *Server) Pool() *TesterPool { return s.pool }
+
+// Listen binds the configured address (":0" picks an ephemeral port;
+// read it back with Addr) without serving yet.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.handler}
+	return nil
+}
+
+// Addr returns the bound address after Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve blocks serving the bound listener; it returns
+// http.ErrServerClosed after a graceful Shutdown.
+func (s *Server) Serve() error {
+	if s.hs == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	s.logf("service: serving on %s", s.Addr())
+	return s.hs.Serve(s.ln)
+}
+
+// Shutdown drains gracefully: the listener closes immediately, in-flight
+// requests run to completion (their contexts are not cancelled), and the
+// call returns when the last one finishes or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	s.logf("service: draining")
+	err := s.hs.Shutdown(ctx)
+	s.logf("service: stopped")
+	return err
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"partfeas"
+)
+
+// session is one live admission-control session: a task set under
+// negotiation against a fixed platform and scheduler, backed by a
+// private reusable Tester. Add/remove rebuild the tester (the instance
+// identity changes); UpdateWCET goes through the tester's incremental
+// path — the solver reorders one task and keeps everything else.
+//
+// The per-session mutex serializes operations, so concurrent clients of
+// one session see a linearizable task set; distinct sessions share
+// nothing and proceed in parallel.
+type session struct {
+	mu     sync.Mutex
+	id     string
+	in     partfeas.Instance
+	alpha  float64
+	tester *partfeas.Tester
+	closed bool
+}
+
+// sessionStore owns the id → session map.
+type sessionStore struct {
+	mu  sync.Mutex
+	seq uint64
+	max int
+	m   map[string]*session
+}
+
+func newSessionStore(max int) *sessionStore {
+	if max <= 0 {
+		max = 1024
+	}
+	return &sessionStore{max: max, m: map[string]*session{}}
+}
+
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// create validates nothing itself — the handler passes a decoded,
+// validated instance. The instance is deep-copied so later request
+// buffers cannot alias session state.
+func (st *sessionStore) create(in partfeas.Instance, alpha float64) (*session, error) {
+	tester, err := partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
+	if err != nil {
+		return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	s := &session{
+		in: partfeas.Instance{
+			Tasks:     in.Tasks.Clone(),
+			Platform:  in.Platform.Clone(),
+			Scheduler: in.Scheduler,
+		},
+		alpha:  alpha,
+		tester: tester,
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.m) >= st.max {
+		return nil, &httpError{code: http.StatusTooManyRequests, msg: fmt.Sprintf("session limit %d reached", st.max)}
+	}
+	st.seq++
+	s.id = fmt.Sprintf("s-%d", st.seq)
+	st.m[s.id] = s
+	return s, nil
+}
+
+func (st *sessionStore) get(id string) (*session, error) {
+	st.mu.Lock()
+	s, ok := st.m[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
+	}
+	return s, nil
+}
+
+func (st *sessionStore) remove(id string) error {
+	st.mu.Lock()
+	s, ok := st.m[id]
+	delete(st.m, id)
+	st.mu.Unlock()
+	if !ok {
+		return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+var errSessionClosed = &httpError{code: http.StatusNotFound, msg: "session closed"}
+
+// state snapshots the session and re-tests it at its alpha.
+func (s *session) state(ctx context.Context) (SessionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SessionResponse{}, errSessionClosed
+	}
+	rep, err := s.tester.TestCtx(ctx, s.alpha)
+	if err != nil {
+		return SessionResponse{}, err
+	}
+	resp := SessionResponse{
+		ID:        s.id,
+		Scheduler: s.in.Scheduler.String(),
+		Alpha:     s.alpha,
+		Tasks:     make([]TaskJSON, len(s.in.Tasks)),
+		Machines:  make([]MachineJSON, len(s.in.Platform)),
+		Test:      TestResponseFrom(rep),
+	}
+	for i, t := range s.in.Tasks {
+		resp.Tasks[i] = TaskJSON{Name: t.Name, WCET: t.WCET, Period: t.Period}
+	}
+	for i, m := range s.in.Platform {
+		resp.Machines[i] = MachineJSON{Name: m.Name, Speed: m.Speed}
+	}
+	return resp, nil
+}
+
+// test re-tests the current set; alpha 0 keeps the session augmentation.
+func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return TestResponse{}, errSessionClosed
+	}
+	if alpha == 0 {
+		alpha = s.alpha
+	}
+	rep, err := s.tester.TestCtx(ctx, alpha)
+	if err != nil {
+		return TestResponse{}, err
+	}
+	return TestResponseFrom(rep), nil
+}
+
+// addTask tentatively admits one more task: the candidate set is tested
+// at the session alpha and committed only on acceptance (or force).
+func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return AdmissionResponse{}, errSessionClosed
+	}
+	cand := append(s.in.Tasks.Clone(), t)
+	tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
+	if err != nil {
+		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	rep, err := tester.TestCtx(ctx, s.alpha)
+	if err != nil {
+		return AdmissionResponse{}, err
+	}
+	resp := AdmissionResponse{Admitted: rep.Accepted || force, Test: TestResponseFrom(rep)}
+	if resp.Admitted {
+		s.in.Tasks = cand
+		s.tester = tester
+	} else {
+		resp.RolledBack = true
+	}
+	resp.NTasks = len(s.in.Tasks)
+	return resp, nil
+}
+
+// removeTask always commits (releasing load cannot be refused) and
+// reports the re-test of the shrunken set.
+func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return AdmissionResponse{}, errSessionClosed
+	}
+	if idx < 0 || idx >= len(s.in.Tasks) {
+		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
+	}
+	if len(s.in.Tasks) == 1 {
+		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: "cannot remove the last task; delete the session instead"}
+	}
+	cand := append(s.in.Tasks[:idx].Clone(), s.in.Tasks[idx+1:]...)
+	tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
+	if err != nil {
+		return AdmissionResponse{}, err
+	}
+	rep, err := tester.TestCtx(ctx, s.alpha)
+	if err != nil {
+		return AdmissionResponse{}, err
+	}
+	s.in.Tasks = cand
+	s.tester = tester
+	return AdmissionResponse{
+		Admitted: rep.Accepted,
+		NTasks:   len(s.in.Tasks),
+		Test:     TestResponseFrom(rep),
+	}, nil
+}
+
+// updateWCET changes one task's WCET through the tester's incremental
+// path (no solver rebuild) and rolls the change back when the re-test
+// rejects and force is unset.
+func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force bool) (AdmissionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return AdmissionResponse{}, errSessionClosed
+	}
+	if idx < 0 || idx >= len(s.in.Tasks) {
+		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
+	}
+	old := s.in.Tasks[idx].WCET
+	if err := s.tester.UpdateWCET(idx, wcet); err != nil {
+		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	rep, err := s.tester.TestCtx(ctx, s.alpha)
+	if err != nil {
+		// Leave the session as the client knew it.
+		_ = s.tester.UpdateWCET(idx, old)
+		return AdmissionResponse{}, err
+	}
+	resp := AdmissionResponse{Admitted: rep.Accepted || force, Test: TestResponseFrom(rep)}
+	if resp.Admitted {
+		s.in.Tasks[idx].WCET = wcet
+	} else {
+		resp.RolledBack = true
+		if err := s.tester.UpdateWCET(idx, old); err != nil {
+			return AdmissionResponse{}, err
+		}
+	}
+	resp.NTasks = len(s.in.Tasks)
+	return resp, nil
+}

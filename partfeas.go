@@ -85,9 +85,12 @@ var Theorems = core.Theorems
 type Report = core.Report
 
 // Test runs the paper's first-fit feasibility test for the scheduler at
-// speed augmentation alpha.
+// speed augmentation alpha. It is TestCtx without a deadline; both
+// validate the instance eagerly, so a platform built from bad speeds
+// (NewPlatform accepts anything) fails here with the offending machine
+// index named.
 func Test(ts TaskSet, p Platform, sch Scheduler, alpha float64) (Report, error) {
-	return core.Test(ts, p, sch, alpha)
+	return TestCtx(context.Background(), Instance{Tasks: ts, Platform: p, Scheduler: sch}, alpha)
 }
 
 // TestTheorem runs the test at the theorem's proved augmentation factor.
@@ -111,8 +114,13 @@ func MinAlpha(ts TaskSet, p Platform, sch Scheduler, lo, hi, tol float64) (alpha
 // use; construct one per goroutine.
 type Tester = core.Tester
 
-// NewTester builds a reusable Tester for the instance.
+// NewTester builds a reusable Tester for the instance, validating it
+// eagerly (bad machine speeds are reported here, by index, rather than
+// surfacing later).
 func NewTester(ts TaskSet, p Platform, sch Scheduler) (*Tester, error) {
+	if err := (Instance{Tasks: ts, Platform: p, Scheduler: sch}).Validate(); err != nil {
+		return nil, err
+	}
 	return core.NewTester(ts, p, sch)
 }
 
@@ -157,24 +165,32 @@ type ArrivalModel = sim.ArrivalModel
 // arrival model for SimulateOpts.
 type JitteredArrivals = sim.JitteredArrivals
 
-// SimulateOptions selects the arrival model (nil = synchronous periodic)
-// and the per-machine replay worker count (<= 0 = GOMAXPROCS; results
-// are bit-identical at any setting).
-type SimulateOptions = sim.PartitionOptions
-
 // Simulate replays a partition (assignment[i] = machine of task i) under
 // synchronous periodic releases with exact rational timestamps. alpha
 // scales machine speeds, matching a Report produced at that augmentation.
 // horizon <= 0 selects one hyperperiod.
+//
+// Deprecated: use SimulateCtx, which unifies the four Simulate variants
+// behind one context-aware entry point. This wrapper runs
+// SimulateCtx(context.Background(), …) with the policy's matching
+// scheduler and is decision-identical.
 func Simulate(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64) (SimulationResult, error) {
-	return sim.SimulatePartition(ts, p, assignment, policy, alpha, horizon)
+	res, _, err := SimulateCtx(context.Background(),
+		Instance{Tasks: ts, Platform: p, Scheduler: schedulerForPolicy(policy)},
+		SimulateOptions{Assignment: assignment, Alpha: alpha, Horizon: horizon})
+	return res, err
 }
 
 // SimulateOpts is Simulate with an explicit arrival model and worker
-// count, so sporadic (e.g. jittered) replays no longer require splitting
-// the task set per machine by hand.
+// count.
+//
+// Deprecated: use SimulateCtx. The opts struct is shared; this wrapper
+// honors opts.Ctx for callers that set it.
 func SimulateOpts(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts SimulateOptions) (SimulationResult, error) {
-	return sim.SimulatePartitionOpts(ts, p, assignment, policy, alpha, horizon, opts)
+	opts.Assignment, opts.Alpha, opts.Horizon, opts.Trace = assignment, alpha, horizon, false
+	res, _, err := SimulateCtx(opts.Ctx,
+		Instance{Tasks: ts, Platform: p, Scheduler: schedulerForPolicy(policy)}, opts)
+	return res, err
 }
 
 // Trace records the execution segments of one simulated machine.
@@ -182,16 +198,23 @@ type Trace = sim.Trace
 
 // SimulateTraced is Simulate plus one execution trace per machine, for
 // Gantt rendering and schedule audits.
+//
+// Deprecated: use SimulateCtx with SimulateOptions.Trace set.
 func SimulateTraced(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64) (SimulationResult, []*Trace, error) {
-	return sim.SimulatePartitionTraced(ts, p, assignment, policy, alpha, horizon)
+	return SimulateCtx(context.Background(),
+		Instance{Tasks: ts, Platform: p, Scheduler: schedulerForPolicy(policy)},
+		SimulateOptions{Assignment: assignment, Alpha: alpha, Horizon: horizon, Trace: true})
 }
 
 // SimulateTracedOpts is SimulateTraced with an explicit arrival model,
-// worker count and context (set SimulateOptions.Ctx to bound a replay's
-// wall time; an interrupted replay returns a PipelineError naming the
-// first machine that observed the cancellation).
+// worker count and context.
+//
+// Deprecated: use SimulateCtx with SimulateOptions.Trace set. This
+// wrapper honors opts.Ctx for callers that set it.
 func SimulateTracedOpts(ts TaskSet, p Platform, assignment []int, policy Policy, alpha float64, horizon int64, opts SimulateOptions) (SimulationResult, []*Trace, error) {
-	return sim.SimulatePartitionTracedOpts(ts, p, assignment, policy, alpha, horizon, opts)
+	opts.Assignment, opts.Alpha, opts.Horizon, opts.Trace = assignment, alpha, horizon, true
+	return SimulateCtx(opts.Ctx,
+		Instance{Tasks: ts, Platform: p, Scheduler: schedulerForPolicy(policy)}, opts)
 }
 
 // Gantt renders per-machine traces as an ASCII chart over [0, horizon)
