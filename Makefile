@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke servesmoke fuzz bench benchsmoke benchjson
+.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke fuzz bench benchsmoke benchjson bench5
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
-## the fault-injection matrix, the admission-server smoke, a short fuzz
-## smoke of the partition invariants, and a one-iteration benchmark smoke
-## (catches benchmarks whose setup asserts fail).
-ci: vet build test race faultsmoke servesmoke fuzz benchsmoke
+## the fault-injection matrix, the admission-server smoke, an open-loop
+## load-generator smoke, a short fuzz smoke of the partition invariants,
+## and a one-iteration benchmark smoke (catches benchmarks whose setup
+## asserts fail).
+ci: vet build test race faultsmoke servesmoke loadsmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +37,12 @@ faultsmoke:
 servesmoke:
 	$(GO) test -race -timeout 120s -count=1 ./internal/service ./cmd/serve
 
+## loadsmoke: a short open-loop Poisson run against an in-process server.
+## Every request in the mix answers 200 on a healthy server, so loadgen's
+## default -max-errors 0 makes any error a nonzero exit.
+loadsmoke:
+	$(GO) run ./cmd/loadgen -rate 400 -duration 2s -clients 8
+
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).
 fuzz:
@@ -54,3 +61,10 @@ benchsmoke:
 ## cross-PR perf tracking.
 benchjson:
 	$(GO) run ./cmd/benchjson -benchtime 0.3s -o results/BENCH_1.json
+
+## bench5: record the online-engine benchmarks (incremental admit vs full
+## re-solve, repartition planning) to results/BENCH_5.json.
+bench5:
+	$(GO) run ./cmd/benchjson -pkg ./internal/online -benchtime 0.3s \
+		-note 'online engine: incremental admit vs full re-solve (m=64, n=1000)' \
+		-o results/BENCH_5.json

@@ -1,115 +1,52 @@
 // Command benchjson runs the repository's benchmark suite (the E1–E20
-// kernels plus the solver/bisection benchmarks in bench_test.go) via
+// kernels plus the solver/bisection and online-engine benchmarks) via
 // `go test -bench` and records the results as a machine-readable JSON
 // file, so successive PRs can track the performance trajectory.
+//
+// With -baseline it also diffs the fresh run against a prior results
+// file and exits nonzero when the named metric regressed beyond the
+// bound — the CI smoke targets use this as their performance gate.
 //
 // Usage:
 //
 //	benchjson                              # full suite -> BENCH_1.json
 //	benchjson -bench 'MinAlpha|Solver'     # subset
 //	benchjson -benchtime 0.2s -o results/BENCH_2.json
+//	benchjson -baseline results/BENCH_4.json -max-regress 0.5
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
+
+	"partfeas/internal/benchfmt"
 )
-
-// Result is one benchmark line. Extra carries custom units emitted via
-// testing.B.ReportMetric (e.g. the serve benchmarks' p50/p99 latency and
-// requests-per-second figures), keyed by the unit string.
-type Result struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
-}
-
-// Suite is the file-level document.
-type Suite struct {
-	Generated string   `json:"generated"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	Note      string   `json:"note,omitempty"`
-	Results   []Result `json:"results"`
-}
-
-// gomaxprocsSuffix strips the benchmark name's -N GOMAXPROCS suffix so
-// records compare across hosts.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
-
-// parseBenchLine parses one `go test -bench` output line such as
-//
-//	BenchmarkMinAlpha-8   6266   58375 ns/op   3840 B/op   15 allocs/op
-//	BenchmarkServeTest-8  912    131k ns/op    220 p50-µs  850 p99-µs
-//
-// The fields after the iteration count are (value, unit) pairs: ns/op,
-// B/op and allocs/op land in the standard Result fields, any other unit
-// (testing.B.ReportMetric) lands in Extra. A line without ns/op is not a
-// benchmark result.
-func parseBenchLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
-	sawNs := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			r.NsPerOp, sawNs = v, true
-		case "B/op":
-			r.BytesPerOp = v
-		case "allocs/op":
-			r.AllocsPerOp = v
-		default:
-			if r.Extra == nil {
-				r.Extra = map[string]float64{}
-			}
-			r.Extra[unit] = v
-		}
-	}
-	return r, sawNs
-}
 
 func main() {
 	var (
-		bench     = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
-		benchtime = flag.String("benchtime", "0.3s", "per-benchmark budget (go test -benchtime)")
-		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
-		out       = flag.String("o", "BENCH_1.json", "output JSON path")
-		short     = flag.Bool("short", false, "pass -short to go test")
-		note      = flag.String("note", "", "free-form label recorded in the suite document")
+		bench      = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime  = flag.String("benchtime", "0.3s", "per-benchmark budget (go test -benchtime)")
+		pkg        = flag.String("pkg", ".", "package containing the benchmarks")
+		out        = flag.String("o", "BENCH_1.json", "output JSON path")
+		short      = flag.Bool("short", false, "pass -short to go test")
+		note       = flag.String("note", "", "free-form label recorded in the suite document")
+		baseline   = flag.String("baseline", "", "prior results/BENCH_N.json to diff against")
+		metric     = flag.String("metric", "ns_per_op", "metric gated by -baseline (ns_per_op, allocs_per_op, or an extra unit)")
+		maxRegress = flag.Float64("max-regress", 0.5, "fail when -baseline shows the metric worse by more than this fraction")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *pkg, *out, *short, *note); err != nil {
+	if err := run(*bench, *benchtime, *pkg, *out, *short, *note, *baseline, *metric, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg, out string, short bool, note string) error {
+func run(bench, benchtime, pkg, out string, short bool, note, baseline, metric string, maxRegress float64) error {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime}
 	if short {
 		args = append(args, "-short")
@@ -121,7 +58,7 @@ func run(bench, benchtime, pkg, out string, short bool, note string) error {
 	if err != nil {
 		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
-	suite := Suite{
+	suite := benchfmt.Suite{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -129,22 +66,35 @@ func run(bench, benchtime, pkg, out string, short bool, note string) error {
 		Bench:     bench,
 		Benchtime: benchtime,
 		Note:      note,
-	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		if r, ok := parseBenchLine(strings.TrimSpace(line)); ok {
-			suite.Results = append(suite.Results, r)
-		}
+		Results:   benchfmt.ParseOutput(raw),
 	}
 	if len(suite.Results) == 0 {
 		return fmt.Errorf("no benchmark lines matched %q in output:\n%s", bench, raw)
 	}
-	doc, err := json.MarshalIndent(suite, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+	if err := suite.Write(out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(suite.Results), out)
-	return nil
+	if baseline == "" {
+		return nil
+	}
+	prior, err := benchfmt.Load(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return checkBaseline(prior, suite, metric, maxRegress)
+}
+
+// checkBaseline is the regression gate: every shared benchmark whose
+// metric got worse by more than maxRegress fails the run.
+func checkBaseline(prior, suite benchfmt.Suite, metric string, maxRegress float64) error {
+	regs := benchfmt.Compare(prior, suite, metric, maxRegress)
+	if len(regs) == 0 {
+		fmt.Printf("baseline check passed: no %s regression over %.0f%%\n", metric, maxRegress*100)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed %s beyond %.0f%% of baseline", len(regs), metric, maxRegress*100)
 }

@@ -1,50 +1,32 @@
 package main
 
 import (
-	"reflect"
 	"testing"
+
+	"partfeas/internal/benchfmt"
 )
 
-func TestParseBenchLine(t *testing.T) {
-	for _, tc := range []struct {
-		line string
-		want Result
-		ok   bool
-	}{
-		{
-			line: "BenchmarkMinAlpha-8   \t6266\t     58375 ns/op\t    3840 B/op\t      15 allocs/op",
-			want: Result{Name: "BenchmarkMinAlpha", Iterations: 6266, NsPerOp: 58375, BytesPerOp: 3840, AllocsPerOp: 15},
-			ok:   true,
-		},
-		{
-			line: "BenchmarkSolverReuse/solver-4 \t304632\t       986.6 ns/op\t       0 B/op\t       0 allocs/op",
-			want: Result{Name: "BenchmarkSolverReuse/solver", Iterations: 304632, NsPerOp: 986.6},
-			ok:   true,
-		},
-		{
-			line: "BenchmarkNoMem \t100\t 12 ns/op",
-			want: Result{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 12},
-			ok:   true,
-		},
-		{
-			// testing.B.ReportMetric custom units land in Extra.
-			line: "BenchmarkServeTest-8 \t912\t 131000 ns/op\t 220.5 p50-µs/op\t 850 p99-µs/op\t 7633 req/s",
-			want: Result{Name: "BenchmarkServeTest", Iterations: 912, NsPerOp: 131000,
-				Extra: map[string]float64{"p50-µs/op": 220.5, "p99-µs/op": 850, "req/s": 7633}},
-			ok: true,
-		},
-		{line: "PASS", ok: false},
-		{line: "ok  \tpartfeas\t1.718s", ok: false},
-		{line: "goos: linux", ok: false},
-		{line: "BenchmarkBroken \t100\t twelve ns/op", ok: false},
-	} {
-		got, ok := parseBenchLine(tc.line)
-		if ok != tc.ok {
-			t.Errorf("parse(%q) ok = %v, want %v", tc.line, ok, tc.ok)
-			continue
-		}
-		if ok && !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("parse(%q) = %+v, want %+v", tc.line, got, tc.want)
-		}
+func TestCheckBaseline(t *testing.T) {
+	prior := benchfmt.Suite{Results: []benchfmt.Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+	}}
+	ok := benchfmt.Suite{Results: []benchfmt.Result{
+		{Name: "BenchmarkA", NsPerOp: 120},
+		{Name: "BenchmarkB", NsPerOp: 90},
+	}}
+	if err := checkBaseline(prior, ok, "ns_per_op", 0.5); err != nil {
+		t.Errorf("within-bound run failed the gate: %v", err)
+	}
+	bad := benchfmt.Suite{Results: []benchfmt.Result{
+		{Name: "BenchmarkA", NsPerOp: 170},
+		{Name: "BenchmarkB", NsPerOp: 90},
+	}}
+	if err := checkBaseline(prior, bad, "ns_per_op", 0.5); err == nil {
+		t.Error("70% regression passed a 50% gate")
+	}
+	// A metric neither side records cannot fail the gate.
+	if err := checkBaseline(prior, bad, "p99-µs", 0.5); err != nil {
+		t.Errorf("absent metric failed the gate: %v", err)
 	}
 }

@@ -1,0 +1,283 @@
+// Command loadgen drives the admission-control server with an open-loop
+// Poisson workload and reports per-endpoint latency quantiles.
+//
+// Open-loop means arrivals are scheduled ahead of time from an
+// exponential inter-arrival process at the requested rate, and each
+// request's latency is measured from its *scheduled* arrival — so when
+// the server falls behind, queueing delay shows up in the tail instead
+// of silently throttling the generator (the coordinated-omission trap
+// closed-loop harnesses fall into).
+//
+// The request mix exercises the stateless test endpoint plus one shared
+// admission session (reads, incremental admits, WCET updates and
+// repartition plans); every request in the mix answers 200 on a healthy
+// server, so any error is a real failure and `-max-errors 0` (the
+// default, used by `make loadsmoke`) turns it into a nonzero exit.
+//
+// Usage:
+//
+//	loadgen                                  # in-process server, 200 req/s for 2s
+//	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
+//	loadgen -o results/LOADGEN.json          # record a benchfmt suite
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"partfeas/internal/benchfmt"
+	"partfeas/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "target base URL; empty starts an in-process server")
+		rate      = flag.Float64("rate", 200, "mean arrival rate, requests/second (Poisson)")
+		duration  = flag.Duration("duration", 2*time.Second, "generation window")
+		clients   = flag.Int("clients", 8, "concurrent worker connections")
+		seed      = flag.Int64("seed", 1, "arrival-process seed")
+		out       = flag.String("o", "", "write per-endpoint results as a benchfmt JSON suite")
+		note      = flag.String("note", "", "free-form label recorded in the suite document")
+		maxErrors = flag.Int("max-errors", 0, "exit nonzero when more requests than this fail")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *out, *note, *maxErrors); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// job is one scheduled arrival: the endpoint to hit and the instant the
+// open-loop process emitted it.
+type job struct {
+	kind  int
+	sched time.Time
+}
+
+// endpoint kinds, cycled deterministically so every run carries the same
+// mix at a given rate and duration.
+const (
+	kindTest = iota // POST /v1/test (stateless, pool-cached)
+	kindSessionGet  // GET /v1/sessions/{id}
+	kindTaskAdd     // POST /v1/sessions/{id}/tasks (rolled back when full)
+	kindWCET        // POST /v1/sessions/{id}/wcet
+	kindRepartition // POST /v1/sessions/{id}/repartition (plan only)
+	kindCount
+)
+
+var kindNames = [kindCount]string{"test", "session_get", "task_add", "wcet", "repartition"}
+
+// epStats accumulates one endpoint's outcomes; quantiles are computed
+// exactly from the recorded samples at report time.
+type epStats struct {
+	mu        sync.Mutex
+	durations []time.Duration
+	errors    int
+}
+
+func (st *epStats) record(d time.Duration, failed bool) {
+	st.mu.Lock()
+	st.durations = append(st.durations, d)
+	if failed {
+		st.errors++
+	}
+	st.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the sorted sample set.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, out, note string, maxErrors int) error {
+	if !(rate > 0) {
+		return fmt.Errorf("rate %v must be positive", rate)
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if addr == "" {
+		srv := service.New(service.Config{Addr: "127.0.0.1:0"})
+		if err := srv.Listen(); err != nil {
+			return err
+		}
+		go func() { _ = srv.Serve() }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		addr = "http://" + srv.Addr()
+		fmt.Fprintf(w, "loadgen: in-process server on %s\n", srv.Addr())
+	}
+	addr = strings.TrimSuffix(addr, "/")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	sessionID, err := openSession(client, addr)
+	if err != nil {
+		return fmt.Errorf("opening load session: %w", err)
+	}
+
+	var stats [kindCount]epStats
+	jobs := make(chan job, 1<<14)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				failed := fire(client, addr, sessionID, j.kind)
+				stats[j.kind].record(time.Since(j.sched), failed)
+			}
+		}()
+	}
+
+	// Open-loop arrival process: exponential gaps, deterministic mix.
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	next := start
+	sent := 0
+	for time.Since(start) < duration {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{kind: sent % kindCount, sched: next}
+		sent++
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	suite := benchfmt.Suite{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     "loadgen",
+		Benchtime: duration.String(),
+		Note:      note,
+	}
+	totalErrors := 0
+	fmt.Fprintf(w, "loadgen: %d requests in %v (%.0f req/s offered)\n", sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Fprintf(w, "%-12s %8s %7s %10s %10s %10s %10s\n", "endpoint", "count", "errors", "mean", "p50", "p99", "p999")
+	for k := 0; k < kindCount; k++ {
+		st := &stats[k]
+		n := len(st.durations)
+		if n == 0 {
+			continue
+		}
+		sort.Slice(st.durations, func(i, j int) bool { return st.durations[i] < st.durations[j] })
+		var sum time.Duration
+		for _, d := range st.durations {
+			sum += d
+		}
+		mean := sum / time.Duration(n)
+		p50, p99, p999 := quantile(st.durations, 0.50), quantile(st.durations, 0.99), quantile(st.durations, 0.999)
+		totalErrors += st.errors
+		fmt.Fprintf(w, "%-12s %8d %7d %10v %10v %10v %10v\n",
+			kindNames[k], n, st.errors, mean.Round(time.Microsecond), p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+		suite.Results = append(suite.Results, benchfmt.Result{
+			Name:       "Loadgen/" + kindNames[k],
+			Iterations: int64(n),
+			NsPerOp:    float64(mean.Nanoseconds()),
+			Extra: map[string]float64{
+				"p50-µs/op":  float64(p50.Microseconds()),
+				"p99-µs/op":  float64(p99.Microseconds()),
+				"p999-µs/op": float64(p999.Microseconds()),
+				"req/s":      float64(n) / elapsed.Seconds(),
+				"errors":     float64(st.errors),
+			},
+		})
+	}
+	if out != "" {
+		if err := suite.Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loadgen: wrote %d endpoint results to %s\n", len(suite.Results), out)
+	}
+	if totalErrors > maxErrors {
+		return fmt.Errorf("%d request errors (max %d)", totalErrors, maxErrors)
+	}
+	return nil
+}
+
+// loadBody is the session every run negotiates against: modest
+// utilization on a three-speed platform, so incremental admits both
+// succeed and (eventually, as the set fills) roll back — the mix covers
+// both answer shapes without ever producing a non-200.
+const loadBody = `{"tasks":[{"name":"video","wcet":9,"period":30},{"name":"audio","wcet":1,"period":4},{"name":"net","wcet":3,"period":10}],"speeds":[1,1,4],"scheduler":"edf"}`
+
+func openSession(client *http.Client, addr string) (string, error) {
+	resp, err := client.Post(addr+"/v1/sessions", "application/json", strings.NewReader(loadBody))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("session create: %d %s", resp.StatusCode, body)
+	}
+	var state struct {
+		ID string `json:"id"`
+	}
+	if err := decodeBody(resp.Body, &state); err != nil {
+		return "", err
+	}
+	return state.ID, nil
+}
+
+func decodeBody(r io.Reader, dst any) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, dst)
+}
+
+// fire issues one request of the given kind; every kind answers 200 on a
+// healthy server (admission rejections are 200 + rolled_back), so any
+// other outcome counts as a failure.
+func fire(client *http.Client, addr, sessionID string, kind int) (failed bool) {
+	var resp *http.Response
+	var err error
+	switch kind {
+	case kindTest:
+		resp, err = client.Post(addr+"/v1/test", "application/json", strings.NewReader(loadBody))
+	case kindSessionGet:
+		resp, err = client.Get(addr + "/v1/sessions/" + sessionID)
+	case kindTaskAdd:
+		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/tasks", "application/json",
+			strings.NewReader(`{"task":{"wcet":1,"period":50}}`))
+	case kindWCET:
+		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/wcet", "application/json",
+			strings.NewReader(`{"index":0,"wcet":9}`))
+	default:
+		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/repartition", "application/json",
+			strings.NewReader(`{}`))
+	}
+	if err != nil {
+		return true
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode != http.StatusOK
+}

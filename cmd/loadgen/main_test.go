@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"partfeas/internal/benchfmt"
+)
+
+// TestRunInProcess is the loadgen smoke: a short open-loop run against
+// an in-process server must finish with zero request errors and record a
+// well-formed benchfmt suite covering every endpoint in the mix.
+func TestRunInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, out, "smoke", 0); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	suite, err := benchfmt.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Results) != kindCount {
+		t.Fatalf("suite covers %d endpoints, want %d:\n%s", len(suite.Results), kindCount, buf.String())
+	}
+	for _, r := range suite.Results {
+		if !strings.HasPrefix(r.Name, "Loadgen/") || r.Iterations == 0 {
+			t.Errorf("malformed result %+v", r)
+		}
+		if r.Extra["errors"] != 0 {
+			t.Errorf("%s recorded %g errors", r.Name, r.Extra["errors"])
+		}
+		if r.Extra["p99-µs/op"] < r.Extra["p50-µs/op"] {
+			t.Errorf("%s: p99 %g below p50 %g", r.Name, r.Extra["p99-µs/op"], r.Extra["p50-µs/op"])
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.5); q != 6 {
+		t.Errorf("p50 = %d, want 6", q)
+	}
+	if q := quantile(sorted, 0.999); q != 10 {
+		t.Errorf("p999 = %d, want 10", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %d", q)
+	}
+}
+
+func TestRunRejectsBadRate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, time.Millisecond, 1, 1, "", "", 0); err == nil {
+		t.Error("rate 0 accepted")
+	}
+}

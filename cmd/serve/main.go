@@ -13,12 +13,13 @@
 //	POST /v1/test        one feasibility test        {tasks, speeds|machines, scheduler, alpha}
 //	POST /v1/minalpha    smallest accepted α          {…, lo, hi, tol}
 //	POST /v1/analyze     full per-instance analysis   {…, exact_budget}
-//	POST /v1/sessions    open an admission session    {…, alpha}
+//	POST /v1/sessions    open an admission session    {…, alpha, placement}
 //	GET/DELETE /v1/sessions/{id}
 //	POST /v1/sessions/{id}/test     re-test           {alpha}
 //	POST /v1/sessions/{id}/tasks    admit a task      {task, force}
 //	DELETE /v1/sessions/{id}/tasks/{index}
 //	POST /v1/sessions/{id}/wcet     incremental WCET  {index, wcet, force}
+//	POST /v1/sessions/{id}/repartition  drift plan/apply  {apply, max_moves}
 //	GET /metrics, /healthz, /debug/vars
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
@@ -48,17 +49,18 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 		shards   = flag.Int("shards", 16, "tester-cache shard count")
 		maxIdle  = flag.Int("cache-idle", 4, "idle testers cached per instance")
+		maxKeys  = flag.Int("cache-keys", 1024, "distinct instances cached pool-wide (LRU beyond)")
 		sessions = flag.Int("max-sessions", 1024, "admission-session cap")
 		budget   = flag.Int64("analyze-budget", 2_000_000, "default exact-adversary node budget for /v1/analyze")
 	)
 	flag.Parse()
-	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *sessions, *budget); err != nil {
+	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *maxKeys, *sessions, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, sessions int, budget int64) error {
+func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, maxKeys, sessions int, budget int64) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv := service.New(service.Config{
 		Addr:              addr,
@@ -66,6 +68,7 @@ func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, sess
 		MaxTimeout:        maxTO,
 		PoolShards:        shards,
 		PoolMaxIdlePerKey: maxIdle,
+		PoolMaxKeys:       maxKeys,
 		MaxSessions:       sessions,
 		AnalyzeBudget:     budget,
 		Logf:              logger.Printf,

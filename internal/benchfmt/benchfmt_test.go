@@ -1,0 +1,121 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkMinAlpha-8   \t6266\t     58375 ns/op\t    3840 B/op\t      15 allocs/op",
+			want: Result{Name: "BenchmarkMinAlpha", Iterations: 6266, NsPerOp: 58375, BytesPerOp: 3840, AllocsPerOp: 15},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkSolverReuse/solver-4 \t304632\t       986.6 ns/op\t       0 B/op\t       0 allocs/op",
+			want: Result{Name: "BenchmarkSolverReuse/solver", Iterations: 304632, NsPerOp: 986.6},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkNoMem \t100\t 12 ns/op",
+			want: Result{Name: "BenchmarkNoMem", Iterations: 100, NsPerOp: 12},
+			ok:   true,
+		},
+		{
+			// testing.B.ReportMetric custom units land in Extra.
+			line: "BenchmarkServeTest-8 \t912\t 131000 ns/op\t 220.5 p50-µs/op\t 850 p99-µs/op\t 7633 req/s",
+			want: Result{Name: "BenchmarkServeTest", Iterations: 912, NsPerOp: 131000,
+				Extra: map[string]float64{"p50-µs/op": 220.5, "p99-µs/op": 850, "req/s": 7633}},
+			ok: true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \tpartfeas\t1.718s", ok: false},
+		{line: "goos: linux", ok: false},
+		{line: "BenchmarkBroken \t100\t twelve ns/op", ok: false},
+	} {
+		got, ok := ParseLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parse(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parse(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestParseOutput(t *testing.T) {
+	raw := []byte("goos: linux\nBenchmarkA-8 \t100\t 50 ns/op\nnoise\nBenchmarkB-8 \t200\t 70 ns/op\t 3 widgets/op\nPASS\n")
+	got := ParseOutput(raw)
+	if len(got) != 2 || got[0].Name != "BenchmarkA" || got[1].Extra["widgets/op"] != 3 {
+		t.Fatalf("ParseOutput = %+v", got)
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	s := Suite{
+		Generated: "2026-01-01T00:00:00Z",
+		GoVersion: "go1.22",
+		Bench:     ".",
+		Results: []Result{
+			{Name: "BenchmarkX", Iterations: 10, NsPerOp: 123.5, Extra: map[string]float64{"p99-µs": 9}},
+		},
+	}
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, s)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load(missing) succeeded")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Suite{Results: []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100},
+		{Name: "BenchmarkSlow", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkZero", NsPerOp: 0},
+		{Name: "BenchmarkLat", NsPerOp: 10, Extra: map[string]float64{"p99-µs": 200}},
+	}}
+	cur := Suite{Results: []Result{
+		{Name: "BenchmarkFast", NsPerOp: 109},   // +9%: under the gate
+		{Name: "BenchmarkSlow", NsPerOp: 1500},  // +50%: regression
+		{Name: "BenchmarkNew", NsPerOp: 999999}, // no baseline: skipped
+		{Name: "BenchmarkZero", NsPerOp: 5},     // zero baseline: skipped
+		{Name: "BenchmarkLat", NsPerOp: 10, Extra: map[string]float64{"p99-µs": 500}},
+	}}
+	regs := Compare(base, cur, "ns_per_op", 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("Compare ns_per_op = %+v, want only BenchmarkSlow", regs)
+	}
+	if regs[0].Fraction != 0.5 {
+		t.Errorf("Fraction = %g, want 0.5", regs[0].Fraction)
+	}
+	if s := regs[0].String(); s == "" {
+		t.Error("empty Regression string")
+	}
+	// Custom units gate the same way.
+	regs = Compare(base, cur, "p99-µs", 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkLat" || regs[0].Current != 500 {
+		t.Fatalf("Compare p99-µs = %+v, want only BenchmarkLat", regs)
+	}
+	// An improvement is never a regression.
+	if regs := Compare(cur, base, "ns_per_op", 0); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}

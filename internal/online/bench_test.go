@@ -1,0 +1,139 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/partition"
+	"partfeas/internal/task"
+)
+
+// benchInstance builds the acceptance-criteria instance: m=64 machines,
+// n=1000 resident tasks at moderate total utilization so admissions
+// almost always succeed.
+func benchInstance() (task.Set, machine.Platform) {
+	rng := rand.New(rand.NewSource(97))
+	const m, n = 64, 1000
+	speeds := make([]float64, m)
+	for j := range speeds {
+		speeds[j] = 0.5 + 2*rng.Float64()
+	}
+	p := machine.New(speeds...)
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	ts := make(task.Set, n)
+	for i := range ts {
+		per := int64(100 + rng.Intn(900))
+		// Target ~40% of platform capacity in aggregate.
+		u := 0.4 * total / n * (0.5 + rng.Float64())
+		wc := int64(u * float64(per))
+		if wc < 1 {
+			wc = 1
+		}
+		ts[i] = task.Task{WCET: wc, Period: per}
+	}
+	return ts, p
+}
+
+// benchProbes: "tail" has a utilization below every resident task, so
+// its sorted position is last and Admit takes the capacity-tree fast
+// path — the typical case for a new small task joining a large set.
+// "interior" lands mid-order and forces a suffix replay, first-fit's
+// genuinely expensive case (removing it cascades later placements
+// exactly as a fresh solve would).
+var benchProbes = []struct {
+	name string
+	tk   task.Task
+}{
+	{"tail", task.Task{WCET: 1, Period: 1 << 20}},
+	{"interior", task.Task{WCET: 7, Period: 100}},
+}
+
+// BenchmarkOnlineAdmit measures one incremental admit+remove round trip
+// on a live engine — the operation pair a session performs for a
+// rejected-then-rolled-back or probed mutation, and the engine-backed
+// replacement for the full re-solve below. The acceptance comparison is
+// sorted/tail (the path sessions hit for typical arrivals) against
+// BenchmarkFullResolveAdmit.
+func BenchmarkOnlineAdmit(b *testing.B) {
+	ts, p := benchInstance()
+	for _, ord := range []Order{SortedOrder, ArrivalOrder} {
+		for _, probe := range benchProbes {
+			if ord == ArrivalOrder && probe.name == "interior" {
+				continue // arrival placement is position-independent
+			}
+			b.Run(ord.String()+"/"+probe.name, func(b *testing.B) {
+				e, err := New(ts, p, partition.EDFAdmission{}, 1, ord)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok, err := e.Admit(probe.tk); err != nil || !ok {
+						b.Fatalf("admit: ok=%v err=%v", ok, err)
+					}
+					if _, ok, err := e.Remove(e.Len() - 1); err != nil || !ok {
+						b.Fatalf("remove: ok=%v err=%v", ok, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFullResolveAdmit measures the path the engine replaces: the
+// session's legacy admit, which clones the candidate set and re-solves
+// the whole instance from scratch (NewSolver + Solve) per mutation.
+func BenchmarkFullResolveAdmit(b *testing.B) {
+	ts, p := benchInstance()
+	cfg := partition.Paper(partition.EDFAdmission{}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		candidate := append(ts.Clone(), benchProbes[0].tk)
+		s, err := partition.NewSolver(candidate, p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Solve(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("bench instance must be feasible")
+		}
+	}
+}
+
+// BenchmarkRepartitionPlan measures the drift measurement itself (a
+// fresh sorted solve plus the diff) at the acceptance-criteria scale.
+func BenchmarkRepartitionPlan(b *testing.B) {
+	ts, p := benchInstance()
+	e, err := New(ts, p, partition.EDFAdmission{}, 1, ArrivalOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PlanRepartition(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchInstanceFeasible keeps the benchmark instance honest: it must
+// be feasible in both modes so the loops above cannot silently no-op.
+func TestBenchInstanceFeasible(t *testing.T) {
+	ts, p := benchInstance()
+	for _, ord := range []Order{SortedOrder, ArrivalOrder} {
+		if _, err := New(ts, p, partition.EDFAdmission{}, 1, ord); err != nil {
+			t.Fatal(fmt.Errorf("%v: %w", ord, err))
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package online
+
+import "math"
+
+// capTree indexes machines by scan position with the capacity each one
+// has for a single additional task, so the common admission case — a
+// task that lands at the end of the placement order — finds its
+// first-fit machine in O(log m) instead of scanning all m machines.
+//
+// Stored capacities are slightly inflated (see capSlack) so that any
+// machine whose exact admission predicate would accept a task of
+// utilization u is guaranteed to satisfy cap ≥ u in the tree. The tree
+// therefore never skips an admissible machine; candidate leaves are
+// re-verified with the exact predicate by the caller, which keeps every
+// decision byte-identical to the linear scan while only costing extra
+// probes in the rare near-boundary case.
+type capTree struct {
+	n    int       // leaves in use (machine positions)
+	size int       // leaf offset; power of two ≥ n
+	max  []float64 // 1-based segment tree over leaf capacities
+}
+
+func newCapTree(n int) *capTree {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if n == 0 {
+		size = 1
+	}
+	t := &capTree{n: n, size: size, max: make([]float64, 2*size)}
+	for i := range t.max {
+		t.max[i] = math.Inf(-1)
+	}
+	return t
+}
+
+// set updates the capacity at leaf pos and the path above it.
+func (t *capTree) set(pos int, cap float64) {
+	i := t.size + pos
+	t.max[i] = cap
+	for i >>= 1; i >= 1; i >>= 1 {
+		l, r := t.max[2*i], t.max[2*i+1]
+		if l >= r {
+			t.max[i] = l
+		} else {
+			t.max[i] = r
+		}
+	}
+}
+
+// firstAtLeast returns the leftmost position ≥ from whose capacity is at
+// least u, or -1 when no such position exists.
+func (t *capTree) firstAtLeast(u float64, from int) int {
+	if from >= t.n || t.max[1] < u {
+		return -1
+	}
+	return t.descend(1, 0, t.size-1, u, from)
+}
+
+func (t *capTree) descend(node, lo, hi int, u float64, from int) int {
+	if hi < from || t.max[node] < u {
+		return -1
+	}
+	if lo == hi {
+		if lo >= t.n {
+			return -1
+		}
+		return lo
+	}
+	mid := (lo + hi) / 2
+	if p := t.descend(2*node, lo, mid, u, from); p >= 0 {
+		return p
+	}
+	return t.descend(2*node+1, mid+1, hi, u, from)
+}
+
+// capSlack is the inflation added to a machine's computed capacity
+// before it enters the tree: a bound on the rounding error between
+// "capacity ≥ u" (the tree's phrasing) and the solver's exact admission
+// predicate (e.g. load+u ≤ s), both evaluated in float64. 2⁻⁴⁰ relative
+// to the operand magnitudes over-covers the few-ulp true error by orders
+// of magnitude; the cost of the surplus is only an occasional extra
+// verification probe.
+func capSlack(speed, load float64) float64 {
+	const rel = 1.0 / (1 << 40)
+	return rel * (math.Abs(speed) + math.Abs(load) + 1)
+}

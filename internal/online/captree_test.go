@@ -1,0 +1,72 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCapTreeMatchesLinearScan drives random capacity updates and
+// firstAtLeast queries against a plain slice scan.
+func TestCapTreeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 64, 100} {
+		tr := newCapTree(n)
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = math.Inf(-1)
+		}
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(3) > 0 {
+				pos := rng.Intn(n)
+				cap := rng.Float64() * 4
+				if rng.Intn(8) == 0 {
+					cap = math.Inf(-1)
+				}
+				tr.set(pos, cap)
+				ref[pos] = cap
+			}
+			u := rng.Float64() * 4
+			from := rng.Intn(n + 2)
+			want := -1
+			for p := from; p < n; p++ {
+				if ref[p] >= u {
+					want = p
+					break
+				}
+			}
+			if got := tr.firstAtLeast(u, from); got != want {
+				t.Fatalf("n=%d firstAtLeast(%v, %d) = %d, want %d (caps %v)", n, u, from, got, want, ref)
+			}
+		}
+	}
+}
+
+func TestCapTreeEmpty(t *testing.T) {
+	tr := newCapTree(0)
+	if got := tr.firstAtLeast(0, 0); got != -1 {
+		t.Fatalf("empty tree returned %d", got)
+	}
+}
+
+// TestCapSlackCoversRounding checks the slack dominates the worst-case
+// rounding gap between "cap ≥ u" and "load + u ≤ s" near the boundary:
+// for values where the exact predicate accepts, the inflated capacity
+// must accept too.
+func TestCapSlackCoversRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200000; i++ {
+		s := rng.Float64() * 8
+		load := rng.Float64() * s
+		u := s - load // straddles the boundary after rounding
+		if rng.Intn(2) == 0 {
+			u = math.Nextafter(u, 0)
+		}
+		if load+u <= s { // exact admission accepts
+			cap := s - load + capSlack(s, load)
+			if cap < u {
+				t.Fatalf("slack too small: s=%v load=%v u=%v cap=%v", s, load, u, cap)
+			}
+		}
+	}
+}

@@ -1,0 +1,940 @@
+// Package online implements an incremental version of the paper's §III
+// partitioned feasibility test: an admission engine that keeps live
+// per-machine load state (EDF utilization sums, Liu–Layland counts, the
+// hyperbolic product) across Admit / Remove / UpdateWCET calls instead
+// of re-solving the whole instance on every mutation.
+//
+// The engine runs in one of two placement orders:
+//
+//   - SortedOrder is the paper's order (utilization-descending tasks,
+//     speed-ascending machines). Every mutation leaves the engine in
+//     exactly the state a fresh partition.Solver.Solve(alpha) over the
+//     surviving task multiset would produce — decisions, assignments and
+//     per-machine load floats are byte-identical, which the differential
+//     tests enforce. Mutations that land at the end of the order are
+//     answered in O(log m) via a machine-capacity tree; interior
+//     mutations replay only the affected suffix, skipping every task
+//     whose placement provably cannot change (see replayFrom).
+//
+//   - ArrivalOrder places each task when it arrives and never revisits
+//     earlier placements, so every operation is O(m) worst case and
+//     O(log m) typical. This forfeits the sorted-order guarantee the
+//     paper's bounds are proved for; the gap is observable as drift
+//     against the sorted solve, and the repartitioner (repartition.go)
+//     measures it and proposes bounded migration plans that restore it.
+//
+// All mutations are transactional: a mutation that would make the set
+// infeasible is rolled back via an undo journal and the engine stays in
+// its previous (feasible) state, while the caller still receives the
+// failed partition witness a fresh solve would have reported.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/partition"
+	"partfeas/internal/sched"
+	"partfeas/internal/task"
+)
+
+// Order selects the sequence tasks are offered to first-fit in.
+type Order int
+
+const (
+	// SortedOrder is the paper's utilization-descending order; the
+	// engine's state is always byte-identical to a fresh sorted solve.
+	SortedOrder Order = iota
+	// ArrivalOrder places tasks in admission order and never moves
+	// earlier tasks, trading the paper's guarantee for O(m) mutations.
+	ArrivalOrder
+)
+
+func (o Order) String() string {
+	switch o {
+	case SortedOrder:
+		return "sorted"
+	case ArrivalOrder:
+		return "arrival"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// ErrInfeasible is returned by New when the initial task set does not
+// partition at the requested augmentation: an engine only represents
+// feasible states.
+var ErrInfeasible = errors.New("online: initial task set infeasible at this augmentation")
+
+// admKind mirrors the partition solver's fast-path selector; the engine
+// supports exactly the admissions whose state folds incrementally.
+type admKind int
+
+const (
+	admEDF admKind = iota
+	admLL
+	admHyperbolic
+)
+
+// mach is one machine's live placement state: the task ids assigned to
+// it in placement order, plus the cumulative left-folds of the admission
+// aggregates after each placement. cum[i] is the machine's utilization
+// load after placing placed[:i+1] — the exact float sequence a fresh
+// solver produces, which is what makes prefix states recoverable without
+// re-summing (and without re-rounding).
+type mach struct {
+	placed  []int
+	cum     []float64
+	cumProd []float64 // hyperbolic only
+}
+
+func (mc *mach) load() float64 {
+	if len(mc.cum) == 0 {
+		return 0
+	}
+	return mc.cum[len(mc.cum)-1]
+}
+
+func (mc *mach) prod() float64 {
+	if len(mc.cumProd) == 0 {
+		return 1
+	}
+	return mc.cumProd[len(mc.cumProd)-1]
+}
+
+// machSnap is one journaled machine state (the pre-mutation slices are
+// moved here intact; the live machine continues on fresh copies).
+type machSnap struct {
+	j  int
+	mc mach
+}
+
+type assignSnap struct{ id, mach int }
+
+type editOp int
+
+const (
+	opNone editOp = iota
+	opInsert
+	opRemove
+	opUpdate
+)
+
+// edit records the structural change of the in-flight mutation so
+// rollback can undo it without a full-state snapshot.
+type edit struct {
+	op      editOp
+	id      int
+	kOld    int // original placement-order position (opRemove, opUpdate)
+	oldWCET int64
+	oldUtil float64
+}
+
+// Engine is the incremental admission engine. It is not safe for
+// concurrent use; callers serialize access (the service layer holds its
+// per-session mutex around every call).
+type Engine struct {
+	adm   partition.AdmissionTest
+	kind  admKind
+	order Order
+	alpha float64
+
+	p       machine.Platform
+	machIdx []int     // scan order (speed-ascending), machine input indices
+	machPos []int     // machine input index → position in machIdx
+	speeds  []float64 // α-scaled speeds, input order
+
+	tasks task.Set // arrival order; slice indices are the public task ids
+	utils []float64
+
+	sorted []int // task ids in placement order
+	pos    []int // task id → index in sorted
+	assign []int // task id → machine input index
+
+	machs []mach
+
+	tree   *capTree
+	treeOK bool
+
+	epoch    int
+	dirty    []int // machine input index → epoch last dirtied
+	minDirty int   // min dirtied machine position this epoch; m when none
+
+	jMachs   []machSnap
+	jAssigns []assignSnap
+	ed       edit
+
+	loadsBuf []float64 // Result scratch
+}
+
+// New builds an engine for the task set, platform and admission test at
+// augmentation alpha (0 means 1). Only the solver's incremental
+// admissions are supported (EDF, RMS Liu–Layland, RMS hyperbolic); any
+// other AdmissionTest is rejected. The inputs are copied. If the initial
+// set does not partition, New returns ErrInfeasible: engines represent
+// feasible states only.
+func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha float64, ord Order) (*Engine, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
+	}
+	e := &Engine{adm: adm, order: ord, alpha: alpha}
+	switch adm.(type) {
+	case partition.EDFAdmission:
+		e.kind = admEDF
+	case partition.RMSLLAdmission:
+		e.kind = admLL
+	case partition.RMSHyperbolicAdmission:
+		e.kind = admHyperbolic
+	default:
+		return nil, fmt.Errorf("online: admission %q has no incremental state; use the batch solver", adm.Name())
+	}
+	switch ord {
+	case SortedOrder, ArrivalOrder:
+	default:
+		return nil, fmt.Errorf("online: unknown order %v", ord)
+	}
+
+	n, m := len(ts), len(p)
+	e.tasks = ts.Clone()
+	e.p = append(machine.Platform(nil), p...)
+	e.utils = make([]float64, n)
+	for i, t := range e.tasks {
+		e.utils[i] = t.Utilization()
+	}
+	e.speeds = make([]float64, m)
+	for j := range e.p {
+		e.speeds[j] = alpha * e.p[j].Speed
+	}
+	e.machIdx = make([]int, m)
+	for j := range e.machIdx {
+		e.machIdx[j] = j
+	}
+	sort.SliceStable(e.machIdx, func(a, b int) bool {
+		return partition.MachineLessSpeedAsc(e.p, e.machIdx[a], e.machIdx[b])
+	})
+	e.machPos = make([]int, m)
+	for pp, j := range e.machIdx {
+		e.machPos[j] = pp
+	}
+
+	e.sorted = make([]int, n)
+	for i := range e.sorted {
+		e.sorted[i] = i
+	}
+	if ord == SortedOrder {
+		sort.SliceStable(e.sorted, func(a, b int) bool {
+			return partition.TaskLessUtilDesc(e.tasks, e.sorted[a], e.sorted[b])
+		})
+	}
+	e.pos = make([]int, n)
+	for i, id := range e.sorted {
+		e.pos[id] = i
+	}
+	e.assign = make([]int, n)
+	e.machs = make([]mach, m)
+	e.dirty = make([]int, m)
+	for j := range e.dirty {
+		e.dirty[j] = -1
+	}
+	e.minDirty = m
+	e.tree = newCapTree(m)
+	e.loadsBuf = make([]float64, m)
+
+	// Initial placement is a plain first-fit pass in placement order:
+	// every machine state is final-so-far, so aggregate tests suffice.
+	for _, id := range e.sorted {
+		chosen := -1
+		for _, j := range e.machIdx {
+			if e.fitsAgg(j, id) {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, ErrInfeasible
+		}
+		e.assign[id] = chosen
+		e.place(chosen, id)
+	}
+	return e, nil
+}
+
+// less is the engine's placement order on task ids.
+func (e *Engine) less(a, b int) bool {
+	if e.order == ArrivalOrder {
+		return a < b
+	}
+	return partition.TaskLessUtilDesc(e.tasks, a, b)
+}
+
+// fitsAgg answers the admission query for task id on machine j against
+// the machine's current aggregates — character-for-character the
+// partition solver's fast paths, so both round identically.
+func (e *Engine) fitsAgg(j, id int) bool {
+	u := e.utils[id]
+	speed := e.speeds[j]
+	mc := &e.machs[j]
+	switch e.kind {
+	case admEDF:
+		return mc.load()+u <= speed
+	case admLL:
+		return mc.load()+u <= sched.LiuLaylandBound(len(mc.placed)+1)*speed
+	default: // admHyperbolic
+		if speed <= 0 {
+			return false
+		}
+		return mc.prod()*(u/speed+1) <= 2
+	}
+}
+
+// prefixLen returns how many of machine j's placed tasks come strictly
+// before placement-order position at. Placed lists are ordered by
+// position, so the machine's exact state at that point is the
+// corresponding prefix of its cumulative folds.
+func (e *Engine) prefixLen(j, at int) int {
+	mc := &e.machs[j]
+	return sort.Search(len(mc.placed), func(x int) bool { return e.pos[mc.placed[x]] >= at })
+}
+
+// fitsAt answers the admission query for task id on an untouched machine
+// j as of placement-order position at, reading the machine's historical
+// state from its cumulative folds. Same expressions as fitsAgg.
+func (e *Engine) fitsAt(j, id, at int) bool {
+	u := e.utils[id]
+	speed := e.speeds[j]
+	mc := &e.machs[j]
+	x := e.prefixLen(j, at)
+	var load float64
+	if x > 0 {
+		load = mc.cum[x-1]
+	}
+	switch e.kind {
+	case admEDF:
+		return load+u <= speed
+	case admLL:
+		return load+u <= sched.LiuLaylandBound(x+1)*speed
+	default: // admHyperbolic
+		if speed <= 0 {
+			return false
+		}
+		prod := 1.0
+		if x > 0 {
+			prod = mc.cumProd[x-1]
+		}
+		return prod*(u/speed+1) <= 2
+	}
+}
+
+// place appends task id to machine j's fold. The caller has already
+// established admission and (during replays) journaled j.
+func (e *Engine) place(j, id int) {
+	mc := &e.machs[j]
+	newLoad := mc.load() + e.utils[id]
+	mc.placed = append(mc.placed, id)
+	mc.cum = append(mc.cum, newLoad)
+	if e.kind == admHyperbolic {
+		mc.cumProd = append(mc.cumProd, mc.prod()*(e.utils[id]/e.speeds[j]+1))
+	}
+	if e.treeOK {
+		e.tree.set(e.machPos[j], e.nextCap(j))
+	}
+}
+
+// nextCap is machine j's capacity for one more task, slack-inflated for
+// the capacity tree (see capTree).
+func (e *Engine) nextCap(j int) float64 {
+	s := e.speeds[j]
+	mc := &e.machs[j]
+	switch e.kind {
+	case admEDF:
+		return s - mc.load() + capSlack(s, mc.load())
+	case admLL:
+		return sched.LiuLaylandBound(len(mc.placed)+1)*s - mc.load() + capSlack(s, mc.load())
+	default: // admHyperbolic
+		if s <= 0 {
+			return math.Inf(-1)
+		}
+		return s*(2/mc.prod()-1) + capSlack(s, mc.load())
+	}
+}
+
+func (e *Engine) ensureTree() {
+	if e.treeOK {
+		return
+	}
+	for pp, j := range e.machIdx {
+		e.tree.set(pp, e.nextCap(j))
+	}
+	e.treeOK = true
+}
+
+// firstFitAgg finds the first-fit machine for task id against current
+// aggregates, using the capacity tree with exact re-verification at each
+// candidate. Decisions are identical to a linear fitsAgg scan.
+func (e *Engine) firstFitAgg(id int) int {
+	e.ensureTree()
+	u := e.utils[id]
+	from := 0
+	for {
+		pp := e.tree.firstAtLeast(u, from)
+		if pp < 0 {
+			return -1
+		}
+		j := e.machIdx[pp]
+		if e.fitsAgg(j, id) {
+			return j
+		}
+		from = pp + 1
+	}
+}
+
+func (e *Engine) dirtyAt(j int) bool { return e.dirty[j] == e.epoch }
+
+// begin opens a mutation's undo scope.
+func (e *Engine) begin(ed edit) {
+	e.epoch++
+	e.minDirty = len(e.machIdx)
+	e.jMachs = e.jMachs[:0]
+	e.jAssigns = e.jAssigns[:0]
+	e.ed = ed
+}
+
+// makeDirty journals machine j and truncates its placement to the exact
+// state it had before placement-order position at; the truncated tasks
+// all lie in the suffix being replayed and will be re-placed (possibly
+// elsewhere) when the replay reaches them.
+func (e *Engine) makeDirty(j, at int) {
+	mc := &e.machs[j]
+	e.jMachs = append(e.jMachs, machSnap{j: j, mc: *mc})
+	x := e.prefixLen(j, at)
+	nm := mach{
+		placed: append(make([]int, 0, x+4), mc.placed[:x]...),
+		cum:    append(make([]float64, 0, x+4), mc.cum[:x]...),
+	}
+	if e.kind == admHyperbolic {
+		nm.cumProd = append(make([]float64, 0, x+4), mc.cumProd[:x]...)
+	}
+	*mc = nm
+	e.dirty[j] = e.epoch
+	if e.machPos[j] < e.minDirty {
+		e.minDirty = e.machPos[j]
+	}
+	e.treeOK = false
+}
+
+func (e *Engine) journalAssign(id int) {
+	e.jAssigns = append(e.jAssigns, assignSnap{id: id, mach: e.assign[id]})
+}
+
+func (e *Engine) recomputePos(from int) {
+	for i := from; i < len(e.sorted); i++ {
+		e.pos[e.sorted[i]] = i
+	}
+}
+
+// replayFrom re-runs first-fit for sorted[k:] after a structural edit at
+// position k, returning the id of the first unplaceable task or -1 on
+// success. The prefix sorted[:k] is untouched by construction, so only
+// the suffix can change — and most of it provably cannot:
+//
+//   - A suffix task still sitting on an untouched machine whose scan
+//     position precedes every dirtied machine keeps its placement: the
+//     machines it was rejected by and the machine that accepted it are
+//     all in states identical to the previous run at that point (O(1)
+//     skip).
+//   - Otherwise, untouched machines that rejected the task before
+//     still reject it (same state, same query), so only dirtied
+//     machines before its old position plus everything from its old
+//     position onward need re-testing; untouched machines are tested
+//     against their historical prefix folds.
+//
+// Machines are journaled and truncated the first time the replay
+// actually changes them, which both bounds the work and provides the
+// undo log for rollback.
+func (e *Engine) replayFrom(k int) int {
+	m := len(e.machIdx)
+	for i := k; i < len(e.sorted); i++ {
+		id := e.sorted[i]
+		old := e.assign[id]
+		if old >= 0 && !e.dirtyAt(old) {
+			oldP := e.machPos[old]
+			if oldP < e.minDirty {
+				continue // no machine it ever saw has changed
+			}
+			moved := -1
+			for pp := e.minDirty; pp < oldP; pp++ {
+				j := e.machIdx[pp]
+				if e.dirtyAt(j) && e.fitsAgg(j, id) {
+					moved = j
+					break
+				}
+			}
+			if moved < 0 {
+				continue // stays exactly where it was
+			}
+			e.makeDirty(old, i) // drops id (and later entries) from old
+			e.journalAssign(id)
+			e.assign[id] = moved
+			e.place(moved, id)
+			continue
+		}
+		// Fresh task (old == -1) or its machine was truncated: full
+		// first-fit scan, skipping untouched machines its previous run
+		// already rejected. The skip is void for the edited task itself —
+		// its utilization changed, so old rejections prove nothing — and
+		// for a task that was never placed.
+		skipBefore := -1
+		if old >= 0 && !(e.ed.op == opUpdate && id == e.ed.id) {
+			skipBefore = e.machPos[old]
+		}
+		chosen := -1
+		for pp := 0; pp < m; pp++ {
+			j := e.machIdx[pp]
+			if e.dirtyAt(j) {
+				if e.fitsAgg(j, id) {
+					chosen = j
+					break
+				}
+			} else if pp < skipBefore {
+				continue // untouched: previous rejection stands
+			} else if e.fitsAt(j, id, i) {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			return id
+		}
+		if !e.dirtyAt(chosen) {
+			e.makeDirty(chosen, i)
+		}
+		e.journalAssign(id)
+		e.assign[id] = chosen
+		e.place(chosen, id)
+	}
+	return -1
+}
+
+// failResult builds the partition.Result a fresh Solve over the
+// surviving multiset reports when task failID cannot be placed: the
+// prefix before the failure keeps its (byte-identical) assignment, the
+// failing task and everything after it is unplaced, and per-machine
+// loads are the folds as of the failure point. exclude ≥ 0 compacts
+// task ids for a removal in flight (fresh solves of the shrunken set
+// number tasks without it). The result is freshly allocated.
+func (e *Engine) failResult(failID, exclude int) partition.Result {
+	at := e.pos[failID]
+	n := len(e.tasks)
+	if exclude >= 0 {
+		n--
+	}
+	as := make([]int, n)
+	for id := 0; id < len(e.tasks); id++ {
+		if id == exclude {
+			continue
+		}
+		nid := id
+		if exclude >= 0 && id > exclude {
+			nid--
+		}
+		if id != failID && e.pos[id] < at {
+			as[nid] = e.assign[id]
+		} else {
+			as[nid] = -1
+		}
+	}
+	loads := make([]float64, len(e.p))
+	for j := range e.machs {
+		if e.dirtyAt(j) {
+			loads[j] = e.machs[j].load()
+		} else if x := e.prefixLen(j, at); x > 0 {
+			loads[j] = e.machs[j].cum[x-1]
+		}
+	}
+	failed := failID
+	if exclude >= 0 && failID > exclude {
+		failed--
+	}
+	return partition.Result{Assignment: as, FailedTask: failed, Loads: loads, Alpha: e.alpha}
+}
+
+// rollback restores the pre-mutation state from the undo journal.
+func (e *Engine) rollback() {
+	for i := range e.jMachs {
+		e.machs[e.jMachs[i].j] = e.jMachs[i].mc
+	}
+	for i := len(e.jAssigns) - 1; i >= 0; i-- {
+		e.assign[e.jAssigns[i].id] = e.jAssigns[i].mach
+	}
+	switch e.ed.op {
+	case opInsert:
+		k := e.pos[e.ed.id]
+		e.sorted = append(e.sorted[:k], e.sorted[k+1:]...)
+		e.tasks = e.tasks[:len(e.tasks)-1]
+		e.utils = e.utils[:len(e.utils)-1]
+		e.assign = e.assign[:len(e.assign)-1]
+		e.pos = e.pos[:len(e.pos)-1]
+		e.recomputePos(k)
+	case opRemove:
+		e.insertSorted(e.ed.id, e.ed.kOld)
+		e.recomputePos(e.ed.kOld)
+	case opUpdate:
+		e.tasks[e.ed.id].WCET = e.ed.oldWCET
+		e.utils[e.ed.id] = e.ed.oldUtil
+		cur := e.pos[e.ed.id]
+		e.sorted = append(e.sorted[:cur], e.sorted[cur+1:]...)
+		e.insertSorted(e.ed.id, e.ed.kOld)
+		if cur < e.ed.kOld {
+			e.recomputePos(cur)
+		} else {
+			e.recomputePos(e.ed.kOld)
+		}
+	}
+	e.ed = edit{}
+	e.treeOK = false
+}
+
+func (e *Engine) insertSorted(id, k int) {
+	e.sorted = append(e.sorted, 0)
+	copy(e.sorted[k+1:], e.sorted[k:])
+	e.sorted[k] = id
+}
+
+// Admit offers one more task to the engine. On acceptance the task joins
+// the set with the id Len()-1 had before the call (arrival ids are
+// stable append order) and res is the engine's new state; on rejection
+// the engine is unchanged and res is the failed fresh-solve witness over
+// the candidate set. res aliases no engine scratch on rejection; on
+// acceptance it follows Result's aliasing rules.
+func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err error) {
+	if err := t.Validate(); err != nil {
+		return partition.Result{}, false, fmt.Errorf("online: %w", err)
+	}
+	id := len(e.tasks)
+	e.tasks = append(e.tasks, t)
+	e.utils = append(e.utils, t.Utilization())
+	e.assign = append(e.assign, -1)
+
+	k := len(e.sorted)
+	if e.order == SortedOrder {
+		k = sort.Search(len(e.sorted), func(i int) bool { return e.less(id, e.sorted[i]) })
+	}
+	e.pos = append(e.pos, 0)
+	e.insertSorted(id, k)
+	e.recomputePos(k)
+	e.begin(edit{op: opInsert, id: id})
+
+	if k == len(e.sorted)-1 {
+		// End of the placement order: every machine's current aggregate
+		// is its state at this point, so this is a single O(log m)
+		// capacity query (plus exact verification).
+		chosen := e.firstFitAgg(id)
+		if chosen < 0 {
+			res = e.failResult(id, -1)
+			e.rollback()
+			return res, false, nil
+		}
+		e.journalAssign(id)
+		e.assign[id] = chosen
+		e.place(chosen, id)
+		return e.Result(), true, nil
+	}
+	if failID := e.replayFrom(k); failID >= 0 {
+		res = e.failResult(failID, -1)
+		e.rollback()
+		return res, false, nil
+	}
+	return e.Result(), true, nil
+}
+
+// Remove deletes task id (later ids shift down by one, mirroring the
+// caller's slice semantics). In SortedOrder the remainder is re-placed
+// exactly as a fresh solve would place it; first-fit is not monotone
+// under removals, so the shrunken set can fail — in that case the engine
+// rolls back, ok is false, and res is the failed fresh-solve witness for
+// the shrunken set. In ArrivalOrder removal is local (the machine's fold
+// is re-closed over the surviving tasks) and always succeeds.
+func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
+	if id < 0 || id >= len(e.tasks) {
+		return partition.Result{}, false, fmt.Errorf("online: Remove task %d out of range [0, %d)", id, len(e.tasks))
+	}
+	if len(e.tasks) == 1 {
+		return partition.Result{}, false, fmt.Errorf("online: cannot remove the last task")
+	}
+	if e.order == ArrivalOrder {
+		// Local removal: close the machine's fold over the survivors.
+		// Every admission aggregate shrinks, so feasibility is preserved
+		// and the operation always commits. sorted is the identity in
+		// this mode, so the order edit is a plain splice too.
+		e.begin(edit{op: opNone})
+		e.sorted = append(e.sorted[:id], e.sorted[id+1:]...)
+		e.recomputePos(id)
+		e.splice(e.assign[id], id)
+		e.compact(id)
+		return e.Result(), true, nil
+	}
+
+	o := e.assign[id]
+	k := e.pos[id]
+	e.begin(edit{op: opRemove, id: id, kOld: k})
+	e.sorted = append(e.sorted[:k], e.sorted[k+1:]...)
+	e.recomputePos(k)
+	e.makeDirty(o, k) // drops id and every later entry on its machine
+	if failID := e.replayFrom(k); failID >= 0 {
+		res = e.failResult(failID, id)
+		e.rollback()
+		return res, false, nil
+	}
+	e.compact(id)
+	return e.Result(), true, nil
+}
+
+// UpdateWCET changes task id's worst-case execution time. In SortedOrder
+// the task is re-ranked and the affected suffix replayed, leaving the
+// engine byte-identical to a fresh solve over the updated multiset; on
+// infeasibility the change is rolled back (ok false) and res is the
+// failed fresh-solve witness for the updated set. In ArrivalOrder the
+// task is re-admitted against current aggregates; if no machine fits it
+// the change rolls back likewise.
+func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, err error) {
+	if id < 0 || id >= len(e.tasks) {
+		return partition.Result{}, false, fmt.Errorf("online: UpdateWCET task %d out of range [0, %d)", id, len(e.tasks))
+	}
+	if wcet <= 0 {
+		return partition.Result{}, false, fmt.Errorf("online: UpdateWCET wcet %d must be positive", wcet)
+	}
+	if wcet == e.tasks[id].WCET {
+		return e.Result(), true, nil
+	}
+	o := e.assign[id]
+	if e.order == ArrivalOrder {
+		// Local re-admission: splice the task out of its machine's fold,
+		// then first-fit it against current aggregates. The placement
+		// order (arrival order) is untouched either way.
+		e.begin(edit{op: opNone})
+		oldWCET, oldUtil := e.tasks[id].WCET, e.utils[id]
+		e.tasks[id].WCET = wcet
+		e.utils[id] = e.tasks[id].Utilization()
+		e.splice(o, id)
+		e.journalAssign(id)
+		chosen := e.firstFitAgg(id)
+		if chosen < 0 {
+			res = e.arrivalFailResult(id)
+			e.tasks[id].WCET = oldWCET
+			e.utils[id] = oldUtil
+			e.rollback()
+			return res, false, nil
+		}
+		e.assign[id] = chosen
+		e.place(chosen, id)
+		return e.Result(), true, nil
+	}
+
+	kOld := e.pos[id]
+	e.begin(edit{op: opUpdate, id: id, kOld: kOld, oldWCET: e.tasks[id].WCET, oldUtil: e.utils[id]})
+	e.tasks[id].WCET = wcet
+	e.utils[id] = e.tasks[id].Utilization()
+
+	e.sorted = append(e.sorted[:kOld], e.sorted[kOld+1:]...)
+	kNew := sort.Search(len(e.sorted), func(i int) bool { return e.less(id, e.sorted[i]) })
+	e.insertSorted(id, kNew)
+	k := kOld
+	if kNew < k {
+		k = kNew
+	}
+	e.recomputePos(k)
+	e.makeDirty(o, k)
+	if failID := e.replayFrom(k); failID >= 0 {
+		res = e.failResult(failID, -1)
+		e.rollback()
+		return res, false, nil
+	}
+	return e.Result(), true, nil
+}
+
+// splice removes task id from machine j's fold locally, journaling j and
+// re-closing the cumulative folds over the surviving tasks (ArrivalOrder
+// only; sorted-order removals go through the replay).
+func (e *Engine) splice(j, id int) {
+	mc := &e.machs[j]
+	e.jMachs = append(e.jMachs, machSnap{j: j, mc: *mc})
+	x := -1
+	for i, pid := range mc.placed {
+		if pid == id {
+			x = i
+			break
+		}
+	}
+	nm := mach{
+		placed: append(make([]int, 0, len(mc.placed)), mc.placed[:x]...),
+		cum:    append(make([]float64, 0, len(mc.placed)), mc.cum[:x]...),
+	}
+	if e.kind == admHyperbolic {
+		nm.cumProd = append(make([]float64, 0, len(mc.placed)), mc.cumProd[:x]...)
+	}
+	*mc = nm
+	for _, pid := range e.jMachs[len(e.jMachs)-1].mc.placed[x+1:] {
+		e.place(j, pid)
+	}
+	e.dirty[j] = e.epoch
+	e.treeOK = false
+}
+
+// arrivalFailResult is the rejection witness for a local (ArrivalOrder)
+// mutation: every other task keeps its current machine, the failing task
+// is unplaced, loads are the current folds without it.
+func (e *Engine) arrivalFailResult(failID int) partition.Result {
+	as := make([]int, len(e.tasks))
+	for id := range as {
+		as[id] = e.assign[id]
+	}
+	as[failID] = -1
+	loads := make([]float64, len(e.p))
+	for j := range e.machs {
+		loads[j] = e.machs[j].load()
+	}
+	return partition.Result{Assignment: as, FailedTask: failID, Loads: loads, Alpha: e.alpha}
+}
+
+// compact renumbers task ids after a successful removal of r: ids above
+// r shift down by one everywhere (tasks, folds, order, assignment).
+func (e *Engine) compact(r int) {
+	n := len(e.tasks)
+	copy(e.tasks[r:], e.tasks[r+1:])
+	e.tasks = e.tasks[:n-1]
+	copy(e.utils[r:], e.utils[r+1:])
+	e.utils = e.utils[:n-1]
+	copy(e.assign[r:], e.assign[r+1:])
+	e.assign = e.assign[:n-1]
+	copy(e.pos[r:], e.pos[r+1:])
+	e.pos = e.pos[:n-1]
+	for i, id := range e.sorted {
+		if id > r {
+			e.sorted[i] = id - 1
+		}
+	}
+	for j := range e.machs {
+		for x, id := range e.machs[j].placed {
+			if id > r {
+				e.machs[j].placed[x] = id - 1
+			}
+		}
+	}
+}
+
+// Result snapshots the engine's current (feasible) state. Assignment and
+// Loads alias engine-owned buffers and are only valid until the next
+// mutation; use Result.Clone to retain one.
+func (e *Engine) Result() partition.Result {
+	for j := range e.machs {
+		e.loadsBuf[j] = e.machs[j].load()
+	}
+	return partition.Result{
+		Feasible:   true,
+		Assignment: e.assign,
+		FailedTask: -1,
+		Loads:      e.loadsBuf,
+		Alpha:      e.alpha,
+	}
+}
+
+// Len returns the number of resident tasks.
+func (e *Engine) Len() int { return len(e.tasks) }
+
+// Alpha returns the fixed augmentation every decision is made at.
+func (e *Engine) Alpha() float64 { return e.alpha }
+
+// OrderMode returns the engine's placement order.
+func (e *Engine) OrderMode() Order { return e.order }
+
+// Tasks returns a copy of the resident task multiset in id order.
+func (e *Engine) Tasks() task.Set { return e.tasks.Clone() }
+
+// SelfCheck verifies the engine's internal invariants: the placement
+// order is a valid permutation sorted by the order relation, positions
+// invert it, every task sits on exactly one machine matching its
+// assignment, placed lists are position-ordered (SortedOrder), every
+// cumulative fold re-derives bit-identically, and every machine's final
+// state satisfies its admission bound. It is O(n log n + n·m) and meant
+// for tests and debugging, not the hot path.
+func (e *Engine) SelfCheck() error {
+	n := len(e.tasks)
+	if len(e.utils) != n || len(e.assign) != n || len(e.pos) != n || len(e.sorted) != n {
+		return fmt.Errorf("online: inconsistent lengths")
+	}
+	seen := make([]bool, n)
+	for i, id := range e.sorted {
+		if id < 0 || id >= n || seen[id] {
+			return fmt.Errorf("online: sorted is not a permutation at %d", i)
+		}
+		seen[id] = true
+		if e.pos[id] != i {
+			return fmt.Errorf("online: pos[%d] = %d, want %d", id, e.pos[id], i)
+		}
+		if i > 0 && !e.less(e.sorted[i-1], id) {
+			return fmt.Errorf("online: sorted out of order at %d", i)
+		}
+	}
+	placedOn := make([]int, n)
+	for i := range placedOn {
+		placedOn[i] = -1
+	}
+	for j := range e.machs {
+		mc := &e.machs[j]
+		if len(mc.cum) != len(mc.placed) {
+			return fmt.Errorf("online: machine %d fold length mismatch", j)
+		}
+		load, prod := 0.0, 1.0
+		for x, id := range mc.placed {
+			if id < 0 || id >= n || placedOn[id] >= 0 {
+				return fmt.Errorf("online: task %d multiply placed", id)
+			}
+			placedOn[id] = j
+			if e.order == SortedOrder && x > 0 && e.pos[mc.placed[x-1]] >= e.pos[id] {
+				return fmt.Errorf("online: machine %d placed list out of position order at %d", j, x)
+			}
+			load += e.utils[id]
+			if math.Float64bits(load) != math.Float64bits(mc.cum[x]) {
+				return fmt.Errorf("online: machine %d cum[%d] = %v, refold %v", j, x, mc.cum[x], load)
+			}
+			if e.kind == admHyperbolic {
+				prod *= e.utils[id]/e.speeds[j] + 1
+				if math.Float64bits(prod) != math.Float64bits(mc.cumProd[x]) {
+					return fmt.Errorf("online: machine %d cumProd[%d] mismatch", j, x)
+				}
+			}
+		}
+		switch e.kind {
+		case admEDF:
+			if mc.load() > e.speeds[j] {
+				return fmt.Errorf("online: machine %d overloaded: %v > %v", j, mc.load(), e.speeds[j])
+			}
+		case admLL:
+			if len(mc.placed) > 0 && mc.load() > sched.LiuLaylandBound(len(mc.placed))*e.speeds[j] {
+				return fmt.Errorf("online: machine %d violates Liu–Layland", j)
+			}
+		case admHyperbolic:
+			if mc.prod() > 2 {
+				return fmt.Errorf("online: machine %d violates hyperbolic bound", j)
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if placedOn[id] != e.assign[id] {
+			return fmt.Errorf("online: task %d assigned to %d but placed on %d", id, e.assign[id], placedOn[id])
+		}
+	}
+	return nil
+}

@@ -250,6 +250,35 @@ func Partition(ts task.Set, p machine.Platform, cfg Config) (Result, error) {
 	return s.Solve(cfg.Alpha)
 }
 
+// TaskLessUtilDesc is the paper's task order as a strict total order on
+// input indices a, b of ts: utilization descending by exact rational
+// comparison, ties broken by period, name, then input index. orderTasks,
+// the Solver's incremental re-sort and the online engine's insertion
+// search all use this single definition, which is what makes their
+// placements byte-identical.
+func TaskLessUtilDesc(ts task.Set, a, b int) bool {
+	c := ts[a].UtilizationRat().Cmp(ts[b].UtilizationRat())
+	if c != 0 {
+		return c > 0
+	}
+	if ts[a].Period != ts[b].Period {
+		return ts[a].Period < ts[b].Period
+	}
+	if ts[a].Name != ts[b].Name {
+		return ts[a].Name < ts[b].Name
+	}
+	return a < b
+}
+
+// MachineLessSpeedAsc is the paper's machine scan order as a strict total
+// order on input indices a, b of p: speed ascending, ties by input index.
+func MachineLessSpeedAsc(p machine.Platform, a, b int) bool {
+	if p[a].Speed != p[b].Speed {
+		return p[a].Speed < p[b].Speed
+	}
+	return a < b
+}
+
 func orderTasks(ts task.Set, o TaskOrder) ([]int, error) {
 	idx := make([]int, len(ts))
 	for i := range idx {
@@ -262,17 +291,7 @@ func orderTasks(ts task.Set, o TaskOrder) ([]int, error) {
 		// Same exact-rational comparison as task.SortedByUtilizationDesc,
 		// applied to the index permutation.
 		sort.SliceStable(idx, func(a, b int) bool {
-			c := ts[idx[a]].UtilizationRat().Cmp(ts[idx[b]].UtilizationRat())
-			if c != 0 {
-				return c > 0
-			}
-			if ts[idx[a]].Period != ts[idx[b]].Period {
-				return ts[idx[a]].Period < ts[idx[b]].Period
-			}
-			if ts[idx[a]].Name != ts[idx[b]].Name {
-				return ts[idx[a]].Name < ts[idx[b]].Name
-			}
-			return idx[a] < idx[b]
+			return TaskLessUtilDesc(ts, idx[a], idx[b])
 		})
 		if o == TasksByUtilizationAsc {
 			for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
@@ -295,18 +314,15 @@ func orderMachines(p machine.Platform, o MachineOrder) ([]int, error) {
 		return idx, nil
 	case MachinesBySpeedAsc:
 		sort.SliceStable(idx, func(a, b int) bool {
-			if p[a].Speed != p[b].Speed {
-				return p[a].Speed < p[b].Speed
-			}
-			return a < b
+			return MachineLessSpeedAsc(p, idx[a], idx[b])
 		})
 		return idx, nil
 	case MachinesBySpeedDesc:
 		sort.SliceStable(idx, func(a, b int) bool {
-			if p[a].Speed != p[b].Speed {
-				return p[a].Speed > p[b].Speed
+			if p[idx[a]].Speed != p[idx[b]].Speed {
+				return p[idx[a]].Speed > p[idx[b]].Speed
 			}
-			return a < b
+			return idx[a] < idx[b]
 		})
 		return idx, nil
 	default:

@@ -275,17 +275,7 @@ func (s *Solver) UpdateWCET(i int, wcet int64) error {
 // the same total order orderTasks sorts by, so the insertion re-sort in
 // reorderTasks reproduces exactly what a fresh sort would.
 func (s *Solver) taskLessDesc(a, b int) bool {
-	c := s.ts[a].UtilizationRat().Cmp(s.ts[b].UtilizationRat())
-	if c != 0 {
-		return c > 0
-	}
-	if s.ts[a].Period != s.ts[b].Period {
-		return s.ts[a].Period < s.ts[b].Period
-	}
-	if s.ts[a].Name != s.ts[b].Name {
-		return s.ts[a].Name < s.ts[b].Name
-	}
-	return a < b
+	return TaskLessUtilDesc(s.ts, a, b)
 }
 
 // reorderTasks restores taskIdx to the configured order after a single

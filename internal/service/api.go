@@ -188,8 +188,15 @@ type CreateSessionRequest struct {
 	InstanceRequest
 	// Alpha is the augmentation every admission decision in this session
 	// is made at; 0 means 1.
-	Alpha     float64 `json:"alpha,omitempty"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	// Placement selects how the session's incremental engine orders
+	// tasks: "sorted" (default) keeps every decision byte-identical to
+	// the paper's fresh utilization-sorted solve; "arrival" places tasks
+	// in arrival order — O(m) mutations that forfeit the sorted-order
+	// guarantee, with the drift measured and repaired via the
+	// repartition endpoint.
+	Placement string `json:"placement,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // SessionResponse describes a session's current state.
@@ -197,6 +204,7 @@ type SessionResponse struct {
 	ID        string        `json:"id"`
 	Scheduler string        `json:"scheduler"`
 	Alpha     float64       `json:"alpha"`
+	Placement string        `json:"placement"`
 	Tasks     []TaskJSON    `json:"tasks"`
 	Machines  []MachineJSON `json:"machines"`
 	Test      TestResponse  `json:"test"`
@@ -210,8 +218,9 @@ type AddTaskRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// UpdateWCETRequest changes one task's WCET (incremental re-test via the
-// session Tester's UpdateWCET — no solver rebuild).
+// UpdateWCETRequest changes one task's WCET (incremental re-test via
+// the session's online engine, or the batch Tester's UpdateWCET while
+// the resident set is infeasible — never a solver rebuild).
 type UpdateWCETRequest struct {
 	Index     int   `json:"index"`
 	WCET      int64 `json:"wcet"`
@@ -238,6 +247,50 @@ type AdmissionResponse struct {
 	NTasks int `json:"n_tasks"`
 	// Test is the re-test outcome for the mutated (or rolled-back
 	// tentative) set.
+	Test TestResponse `json:"test"`
+}
+
+// RepartitionRequest measures (and optionally repairs) the drift between
+// a session's live placement and the paper's sorted first-fit over the
+// same task multiset.
+type RepartitionRequest struct {
+	// Apply migrates tasks toward the sorted placement; false only
+	// reports the plan.
+	Apply bool `json:"apply,omitempty"`
+	// MaxMoves bounds the number of migrations applied in this call
+	// (each applied move is individually feasibility-preserving); 0 or
+	// ≥ the plan size applies the full plan atomically.
+	MaxMoves  int   `json:"max_moves,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MoveJSON is one task migration in a repartition plan.
+type MoveJSON struct {
+	Task int `json:"task"`
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// RepartitionResponse reports a session's drift from the sorted solve
+// and what, if anything, was migrated.
+type RepartitionResponse struct {
+	Placement string `json:"placement"`
+	// TargetFeasible is false when the sorted solve over the resident
+	// multiset fails at the session alpha (possible for arrival-order
+	// sessions; nothing is applied then).
+	TargetFeasible bool `json:"target_feasible"`
+	// MovesTotal is the full plan size; Moves lists it.
+	MovesTotal int        `json:"moves_total"`
+	Moves      []MoveJSON `json:"moves"`
+	// DriftFraction is MovesTotal over the resident task count.
+	DriftFraction float64 `json:"drift_fraction"`
+	// MaxLoadDelta is the largest per-machine |current − target| load.
+	MaxLoadDelta float64 `json:"max_load_delta"`
+	// Applied counts migrations performed by this call; Partial is true
+	// when drift remains (MaxMoves was binding or moves were skipped).
+	Applied int  `json:"applied"`
+	Partial bool `json:"partial"`
+	// Test is the session's state after any migrations.
 	Test TestResponse `json:"test"`
 }
 

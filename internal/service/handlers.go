@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"partfeas"
+	"partfeas/internal/online"
 )
 
 // StatusClientClosedRequest is recorded (nginx's 499 convention) when a
@@ -58,6 +59,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.wrap("/v1/sessions/{id}/tasks", s.handleSessionAddTask))
 	mux.HandleFunc("DELETE /v1/sessions/{id}/tasks/{index}", s.wrap("/v1/sessions/{id}/tasks/{index}", s.handleSessionRemoveTask))
 	mux.HandleFunc("POST /v1/sessions/{id}/wcet", s.wrap("/v1/sessions/{id}/wcet", s.handleSessionUpdateWCET))
+	mux.HandleFunc("POST /v1/sessions/{id}/repartition", s.wrap("/v1/sessions/{id}/repartition", s.handleSessionRepartition))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -262,9 +264,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 	if err := checkAlpha(req.Alpha); err != nil {
 		return nil, 0, err
 	}
+	var placement online.Order
+	switch req.Placement {
+	case "", online.SortedOrder.String():
+		placement = online.SortedOrder
+	case online.ArrivalOrder.String():
+		placement = online.ArrivalOrder
+	default:
+		return nil, 0, badRequest("unknown placement %q (want %q or %q)", req.Placement, online.SortedOrder, online.ArrivalOrder)
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	sess, err := s.sessions.create(in, req.Alpha)
+	sess, err := s.sessions.create(in, req.Alpha, placement)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -372,6 +383,27 @@ func (s *Server) handleSessionUpdateWCET(w http.ResponseWriter, r *http.Request)
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	resp, err := sess.updateWCET(ctx, req.Index, req.WCET, req.Force)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleSessionRepartition(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req RepartitionRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	if req.MaxMoves < 0 {
+		return nil, 0, badRequest("max_moves %d must be non-negative", req.MaxMoves)
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := sess.repartition(ctx, req.MaxMoves, req.Apply)
 	if err != nil {
 		return nil, 0, err
 	}

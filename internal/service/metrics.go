@@ -157,6 +157,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP partfeas_tester_cache_idle Testers currently cached.\n")
 		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_idle gauge\n")
 		fmt.Fprintf(w, "partfeas_tester_cache_idle %d\n", st.Idle)
+		fmt.Fprintf(w, "# HELP partfeas_tester_cache_keys Distinct instances currently cached.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_cache_keys gauge\n")
+		fmt.Fprintf(w, "partfeas_tester_cache_keys %d\n", st.Keys)
+		fmt.Fprintf(w, "# HELP partfeas_tester_pool_evictions_total Instance keys evicted by the pool's LRU key bound.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_tester_pool_evictions_total counter\n")
+		fmt.Fprintf(w, "partfeas_tester_pool_evictions_total %d\n", st.Evictions)
 		ratio := 0.0
 		if st.Hits+st.Misses > 0 {
 			ratio = float64(st.Hits) / float64(st.Hits+st.Misses)

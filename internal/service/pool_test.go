@@ -72,7 +72,7 @@ func TestInstanceKeyIdentity(t *testing.T) {
 }
 
 func TestPoolHitMissAndIdleCap(t *testing.T) {
-	p := NewTesterPool(4, 2)
+	p := NewTesterPool(4, 2, 0)
 	in := demoInstances()[0]
 
 	t1, key, hit, err := p.Acquire(in)
@@ -119,7 +119,7 @@ func TestPoolHitMissAndIdleCap(t *testing.T) {
 }
 
 func TestPoolRejectsInvalidInstance(t *testing.T) {
-	p := NewTesterPool(0, 0)
+	p := NewTesterPool(0, 0, 0)
 	in := demoInstances()[0]
 	in.Platform = partfeas.NewPlatform(1, -3)
 	if _, _, _, err := p.Acquire(in); err == nil {
@@ -151,7 +151,7 @@ func TestPoolConcurrentBitIdentical(t *testing.T) {
 		}
 	}
 
-	pool := NewTesterPool(4, 3)
+	pool := NewTesterPool(4, 3, 0)
 	const goroutines = 16
 	const iters = 60
 	var wg sync.WaitGroup
@@ -198,5 +198,102 @@ func TestPoolConcurrentBitIdentical(t *testing.T) {
 	}
 	if st.Hits+st.Misses != goroutines*iters {
 		t.Errorf("hits %d + misses %d != %d requests", st.Hits, st.Misses, goroutines*iters)
+	}
+}
+
+// poolInstance builds the i-th of a family of distinct single-task
+// instances (distinct WCET → distinct canonical key).
+func poolInstance(i int) partfeas.Instance {
+	return partfeas.Instance{
+		Tasks:     partfeas.TaskSet{{WCET: int64(i + 1), Period: 1000}},
+		Platform:  partfeas.NewPlatform(4),
+		Scheduler: partfeas.EDF,
+	}
+}
+
+// TestPoolKeyEviction: the pool-wide key bound must evict least recently
+// used keys instead of growing without bound — the leak this bound
+// fixes: one client cycling through distinct instances used to pin every
+// key's idle slice forever.
+func TestPoolKeyEviction(t *testing.T) {
+	p := NewTesterPool(1, 4, 3) // one shard → deterministic LRU across keys
+	for i := 0; i < 5; i++ {
+		tt, key, hit, err := p.Acquire(poolInstance(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("instance %d cannot be cached yet", i)
+		}
+		p.Release(key, tt)
+	}
+	st := p.Stats()
+	if st.Keys != 3 {
+		t.Fatalf("Keys = %d, want 3", st.Keys)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", st.Evictions)
+	}
+	// Oldest keys (0, 1) were evicted; newest (2..4) remain cached.
+	if _, _, hit, _ := p.Acquire(poolInstance(0)); hit {
+		t.Fatal("evicted key 0 still cached")
+	}
+	if _, _, hit, _ := p.Acquire(poolInstance(4)); !hit {
+		t.Fatal("resident key 4 missed")
+	}
+}
+
+// TestPoolKeyEvictionCrossShard: the key bound is pool-wide, not
+// per-shard — even when distinct keys hash to distinct shards, the
+// global count must converge to the cap.
+func TestPoolKeyEvictionCrossShard(t *testing.T) {
+	p := NewTesterPool(16, 4, 2)
+	for i := 0; i < 6; i++ {
+		tt, key, _, err := p.Acquire(poolInstance(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(key, tt)
+	}
+	st := p.Stats()
+	if st.Keys > 2 {
+		t.Fatalf("Keys = %d after 6 releases, want <= 2", st.Keys)
+	}
+	if st.Evictions < 4 {
+		t.Fatalf("Evictions = %d, want >= 4", st.Evictions)
+	}
+}
+
+// TestPoolKeyEvictionLRUOrder: releasing under an existing key must
+// refresh its recency, so the bound evicts the stalest key, not the
+// first-inserted one.
+func TestPoolKeyEvictionLRUOrder(t *testing.T) {
+	p := NewTesterPool(1, 4, 2)
+	acquire := func(i int) (*partfeas.Tester, string, bool) {
+		tt, key, hit, err := p.Acquire(poolInstance(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt, key, hit
+	}
+	tA1, keyA, _ := acquire(0)
+	tA2, _, _ := acquire(0)
+	tB, keyB, _ := acquire(1)
+	tC, keyC, _ := acquire(2)
+	p.Release(keyA, tA1)
+	p.Release(keyB, tB)
+	p.Release(keyA, tA2) // refresh A: B becomes the LRU key
+	p.Release(keyC, tC)  // bound 2 → evict B
+	if st := p.Stats(); st.Evictions != 1 || st.Keys != 2 {
+		t.Fatalf("Evictions=%d Keys=%d, want 1 and 2", st.Evictions, st.Keys)
+	}
+	if _, _, hit := acquire(1); hit {
+		t.Fatal("stale key B survived the refresh of A")
+	}
+	if _, _, hit := acquire(0); !hit {
+		t.Fatal("refreshed key A was evicted")
+	}
+	if _, _, hit := acquire(2); !hit {
+		t.Fatal("newest key C was evicted")
 	}
 }

@@ -20,10 +20,12 @@ type Config struct {
 	// MaxTimeout clamps every request deadline (including client-supplied
 	// timeout_ms); 0 means 120s, negative means unclamped.
 	MaxTimeout time.Duration
-	// PoolShards and PoolMaxIdlePerKey size the tester cache
-	// (NewTesterPool defaults apply on 0).
+	// PoolShards, PoolMaxIdlePerKey and PoolMaxKeys size the tester
+	// cache (NewTesterPool defaults apply on 0). PoolMaxKeys bounds the
+	// distinct instances cached pool-wide; excess keys are evicted LRU.
 	PoolShards        int
 	PoolMaxIdlePerKey int
+	PoolMaxKeys       int
 	// MaxSessions caps live admission sessions; 0 means 1024.
 	MaxSessions int
 	// AnalyzeBudget is the default exact-adversary node budget for
@@ -71,7 +73,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		pool:     NewTesterPool(cfg.PoolShards, cfg.PoolMaxIdlePerKey),
+		pool:     NewTesterPool(cfg.PoolShards, cfg.PoolMaxIdlePerKey, cfg.PoolMaxKeys),
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
 	s.metrics = NewMetrics(s.sessions.count, s.pool.Stats)

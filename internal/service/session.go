@@ -7,24 +7,40 @@ import (
 	"sync"
 
 	"partfeas"
+	"partfeas/internal/online"
+	"partfeas/internal/partition"
+	"partfeas/internal/pipeline"
 )
 
 // session is one live admission-control session: a task set under
-// negotiation against a fixed platform and scheduler, backed by a
-// private reusable Tester. Add/remove rebuild the tester (the instance
-// identity changes); UpdateWCET goes through the tester's incremental
-// path — the solver reorders one task and keeps everything else.
+// negotiation against a fixed platform and scheduler.
+//
+// Mutations are served by an incremental online.Engine that keeps live
+// per-machine load state, so an admit/remove/update costs a suffix
+// replay (typically O(log m)) instead of the full re-solve the first
+// version of this service performed. The engine only represents feasible
+// states; when a client force-commits an infeasible set the session
+// falls back to the batch Tester path (eng == nil) and re-arms the
+// engine on the next feasible commit.
+//
+// Placement selects the engine's order: SortedOrder sessions stay
+// byte-identical to the paper's fresh sorted solve at every step;
+// ArrivalOrder sessions place tasks as they arrive — the drift that
+// accumulates against the sorted guarantee is measured and repaired via
+// repartition().
 //
 // The per-session mutex serializes operations, so concurrent clients of
 // one session see a linearizable task set; distinct sessions share
 // nothing and proceed in parallel.
 type session struct {
-	mu     sync.Mutex
-	id     string
-	in     partfeas.Instance
-	alpha  float64
-	tester *partfeas.Tester
-	closed bool
+	mu        sync.Mutex
+	id        string
+	in        partfeas.Instance
+	alpha     float64
+	placement online.Order
+	eng       *online.Engine   // nil while the resident set is (force-)infeasible
+	tester    *partfeas.Tester // batch fallback; nil when stale (rebuilt lazily)
+	closed    bool
 }
 
 // sessionStore owns the id → session map.
@@ -51,7 +67,7 @@ func (st *sessionStore) count() int {
 // create validates nothing itself — the handler passes a decoded,
 // validated instance. The instance is deep-copied so later request
 // buffers cannot alias session state.
-func (st *sessionStore) create(in partfeas.Instance, alpha float64) (*session, error) {
+func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Order) (*session, error) {
 	tester, err := partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
 	if err != nil {
 		return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
@@ -62,9 +78,11 @@ func (st *sessionStore) create(in partfeas.Instance, alpha float64) (*session, e
 			Platform:  in.Platform.Clone(),
 			Scheduler: in.Scheduler,
 		},
-		alpha:  alpha,
-		tester: tester,
+		alpha:     alpha,
+		placement: placement,
+		tester:    tester,
 	}
+	s.armEngine() // sessions may open infeasible; they just start on the batch path
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.m) >= st.max {
@@ -102,6 +120,73 @@ func (st *sessionStore) remove(id string) error {
 
 var errSessionClosed = &httpError{code: http.StatusNotFound, msg: "session closed"}
 
+// armEngine (re)builds the incremental engine over the current task set,
+// leaving it nil when the set is infeasible at the session augmentation
+// (the batch path then serves every query). Caller holds s.mu (or sole
+// ownership during create).
+func (s *session) armEngine() {
+	s.eng = nil
+	adm, err := s.in.Scheduler.Admission()
+	if err != nil {
+		return
+	}
+	eng, err := online.New(s.in.Tasks, s.in.Platform, adm, s.alpha, s.placement)
+	if err != nil {
+		return // ErrInfeasible or unsupported: stay on the batch path
+	}
+	s.eng = eng
+}
+
+// batchTester returns the session's batch Tester, rebuilding it when a
+// prior engine-path mutation left it stale.
+func (s *session) batchTester() (*partfeas.Tester, error) {
+	if s.tester == nil {
+		t, err := partfeas.NewTester(s.in.Tasks, s.in.Platform, s.in.Scheduler)
+		if err != nil {
+			return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		s.tester = t
+	}
+	return s.tester, nil
+}
+
+// ctxGuard mirrors Tester.TestCtx's contract on the engine path: an
+// expired or cancelled context yields the same *pipeline.Error shape, so
+// clients cannot tell which path answered.
+func ctxGuard(ctx context.Context) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return pipeline.New(pipeline.StageAnalyze, "Test", cerr)
+	}
+	return nil
+}
+
+// engReport wraps an engine partition result as the library Report the
+// wire layer encodes.
+func (s *session) engReport(res partition.Result) partfeas.Report {
+	return partfeas.Report{
+		Accepted:  res.Feasible,
+		Scheduler: s.in.Scheduler,
+		Alpha:     res.Alpha,
+		Partition: res,
+	}
+}
+
+// currentReport answers "test the resident set at the session alpha"
+// from the engine when armed, else from the batch tester.
+func (s *session) currentReport(ctx context.Context) (partfeas.Report, error) {
+	if s.eng != nil {
+		if err := ctxGuard(ctx); err != nil {
+			return partfeas.Report{}, err
+		}
+		return s.engReport(s.eng.Result()), nil
+	}
+	t, err := s.batchTester()
+	if err != nil {
+		return partfeas.Report{}, err
+	}
+	return t.TestCtx(ctx, s.alpha)
+}
+
 // state snapshots the session and re-tests it at its alpha.
 func (s *session) state(ctx context.Context) (SessionResponse, error) {
 	s.mu.Lock()
@@ -109,7 +194,7 @@ func (s *session) state(ctx context.Context) (SessionResponse, error) {
 	if s.closed {
 		return SessionResponse{}, errSessionClosed
 	}
-	rep, err := s.tester.TestCtx(ctx, s.alpha)
+	rep, err := s.currentReport(ctx)
 	if err != nil {
 		return SessionResponse{}, err
 	}
@@ -117,6 +202,7 @@ func (s *session) state(ctx context.Context) (SessionResponse, error) {
 		ID:        s.id,
 		Scheduler: s.in.Scheduler.String(),
 		Alpha:     s.alpha,
+		Placement: s.placement.String(),
 		Tasks:     make([]TaskJSON, len(s.in.Tasks)),
 		Machines:  make([]MachineJSON, len(s.in.Platform)),
 		Test:      TestResponseFrom(rep),
@@ -131,30 +217,65 @@ func (s *session) state(ctx context.Context) (SessionResponse, error) {
 }
 
 // test re-tests the current set; alpha 0 keeps the session augmentation.
+// Ad-hoc alphas always run the batch sorted test (the engine's state is
+// only valid at the session alpha).
 func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return TestResponse{}, errSessionClosed
 	}
-	if alpha == 0 {
-		alpha = s.alpha
+	if alpha == 0 || alpha == s.alpha {
+		rep, err := s.currentReport(ctx)
+		if err != nil {
+			return TestResponse{}, err
+		}
+		return TestResponseFrom(rep), nil
 	}
-	rep, err := s.tester.TestCtx(ctx, alpha)
+	t, err := s.batchTester()
+	if err != nil {
+		return TestResponse{}, err
+	}
+	rep, err := t.TestCtx(ctx, alpha)
 	if err != nil {
 		return TestResponse{}, err
 	}
 	return TestResponseFrom(rep), nil
 }
 
-// addTask tentatively admits one more task: the candidate set is tested
-// at the session alpha and committed only on acceptance (or force).
+// addTask tentatively admits one more task: committed only on acceptance
+// (or force). The armed engine answers incrementally; a force-committed
+// rejection drops to the batch path until the set is feasible again.
 func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return AdmissionResponse{}, errSessionClosed
 	}
+	if s.eng != nil {
+		if err := ctxGuard(ctx); err != nil {
+			return AdmissionResponse{}, err
+		}
+		res, admitted, err := s.eng.Admit(t)
+		if err != nil {
+			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		resp := AdmissionResponse{Admitted: admitted || force, Test: TestResponseFrom(s.engReport(res))}
+		switch {
+		case admitted:
+			s.in.Tasks = append(s.in.Tasks, t)
+			s.tester = nil
+		case force:
+			if err := s.commitInfeasible(append(s.in.Tasks.Clone(), t)); err != nil {
+				return AdmissionResponse{}, err
+			}
+		default:
+			resp.RolledBack = true
+		}
+		resp.NTasks = len(s.in.Tasks)
+		return resp, nil
+	}
+
 	cand := append(s.in.Tasks.Clone(), t)
 	tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
 	if err != nil {
@@ -168,6 +289,9 @@ func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (Adm
 	if resp.Admitted {
 		s.in.Tasks = cand
 		s.tester = tester
+		if rep.Accepted {
+			s.armEngine()
+		}
 	} else {
 		resp.RolledBack = true
 	}
@@ -175,8 +299,25 @@ func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (Adm
 	return resp, nil
 }
 
+// commitInfeasible installs a set the engine refused (force commits and
+// removal anomalies): the batch tester takes over and the engine is
+// disarmed until feasibility returns. Caller holds s.mu.
+func (s *session) commitInfeasible(cand partfeas.TaskSet) error {
+	tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
+	if err != nil {
+		return &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	s.in.Tasks = cand
+	s.tester = tester
+	s.eng = nil
+	return nil
+}
+
 // removeTask always commits (releasing load cannot be refused) and
-// reports the re-test of the shrunken set.
+// reports the re-test of the shrunken set. Sorted first-fit is not
+// monotone under removals, so the engine can (rarely) refuse a removal
+// whose shrunken set re-solves infeasible — the session still commits
+// it, on the batch path.
 func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,6 +330,26 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	if len(s.in.Tasks) == 1 {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: "cannot remove the last task; delete the session instead"}
 	}
+	if s.eng != nil {
+		if err := ctxGuard(ctx); err != nil {
+			return AdmissionResponse{}, err
+		}
+		res, ok, err := s.eng.Remove(idx)
+		if err != nil {
+			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		resp := AdmissionResponse{Admitted: ok, Test: TestResponseFrom(s.engReport(res))}
+		cand := append(s.in.Tasks[:idx].Clone(), s.in.Tasks[idx+1:]...)
+		if ok {
+			s.in.Tasks = cand
+			s.tester = nil
+		} else if err := s.commitInfeasible(cand); err != nil {
+			return AdmissionResponse{}, err
+		}
+		resp.NTasks = len(s.in.Tasks)
+		return resp, nil
+	}
+
 	cand := append(s.in.Tasks[:idx].Clone(), s.in.Tasks[idx+1:]...)
 	tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
 	if err != nil {
@@ -200,6 +361,9 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	}
 	s.in.Tasks = cand
 	s.tester = tester
+	if rep.Accepted {
+		s.armEngine()
+	}
 	return AdmissionResponse{
 		Admitted: rep.Accepted,
 		NTasks:   len(s.in.Tasks),
@@ -207,9 +371,8 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	}, nil
 }
 
-// updateWCET changes one task's WCET through the tester's incremental
-// path (no solver rebuild) and rolls the change back when the re-test
-// rejects and force is unset.
+// updateWCET changes one task's WCET through the engine's incremental
+// path, rolling back when the re-test rejects and force is unset.
 func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force bool) (AdmissionResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -219,25 +382,111 @@ func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force boo
 	if idx < 0 || idx >= len(s.in.Tasks) {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
 	}
+	if s.eng != nil {
+		if err := ctxGuard(ctx); err != nil {
+			return AdmissionResponse{}, err
+		}
+		res, ok, err := s.eng.UpdateWCET(idx, wcet)
+		if err != nil {
+			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		resp := AdmissionResponse{Admitted: ok || force, Test: TestResponseFrom(s.engReport(res))}
+		switch {
+		case ok:
+			s.in.Tasks[idx].WCET = wcet
+			s.tester = nil
+		case force:
+			cand := s.in.Tasks.Clone()
+			cand[idx].WCET = wcet
+			if err := s.commitInfeasible(cand); err != nil {
+				return AdmissionResponse{}, err
+			}
+		default:
+			resp.RolledBack = true
+		}
+		resp.NTasks = len(s.in.Tasks)
+		return resp, nil
+	}
+
+	tester, err := s.batchTester()
+	if err != nil {
+		return AdmissionResponse{}, err
+	}
 	old := s.in.Tasks[idx].WCET
-	if err := s.tester.UpdateWCET(idx, wcet); err != nil {
+	if err := tester.UpdateWCET(idx, wcet); err != nil {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 	}
-	rep, err := s.tester.TestCtx(ctx, s.alpha)
+	rep, err := tester.TestCtx(ctx, s.alpha)
 	if err != nil {
 		// Leave the session as the client knew it.
-		_ = s.tester.UpdateWCET(idx, old)
+		_ = tester.UpdateWCET(idx, old)
 		return AdmissionResponse{}, err
 	}
 	resp := AdmissionResponse{Admitted: rep.Accepted || force, Test: TestResponseFrom(rep)}
 	if resp.Admitted {
 		s.in.Tasks[idx].WCET = wcet
+		if rep.Accepted {
+			s.armEngine()
+		}
 	} else {
 		resp.RolledBack = true
-		if err := s.tester.UpdateWCET(idx, old); err != nil {
+		if err := tester.UpdateWCET(idx, old); err != nil {
 			return AdmissionResponse{}, err
 		}
 	}
 	resp.NTasks = len(s.in.Tasks)
+	return resp, nil
+}
+
+// errNoEngine is the repartition answer for sessions whose resident set
+// is infeasible (engine disarmed): there is no feasible target to drift
+// from.
+var errNoEngine = &httpError{code: http.StatusConflict, msg: "session has no armed engine (resident set infeasible); restore feasibility first"}
+
+// repartition measures drift between the session's live placement and
+// the paper's sorted first-fit over the same task multiset, optionally
+// applying up to maxMoves migrations. Sorted sessions report zero drift
+// by construction; arrival sessions accumulate it and drain it here.
+func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (RepartitionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RepartitionResponse{}, errSessionClosed
+	}
+	if s.eng == nil {
+		return RepartitionResponse{}, errNoEngine
+	}
+	if err := ctxGuard(ctx); err != nil {
+		return RepartitionResponse{}, err
+	}
+	pl, err := s.eng.PlanRepartition()
+	if err != nil {
+		return RepartitionResponse{}, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	resp := RepartitionResponse{
+		Placement:      s.placement.String(),
+		TargetFeasible: pl.TargetFeasible,
+		MovesTotal:     len(pl.Moves),
+		DriftFraction:  pl.DriftFraction(s.eng.Len()),
+		MaxLoadDelta:   pl.MaxLoadDelta,
+		Moves:          make([]MoveJSON, len(pl.Moves)),
+	}
+	for i, mv := range pl.Moves {
+		resp.Moves[i] = MoveJSON{Task: mv.Task, From: mv.From, To: mv.To}
+	}
+	if apply && pl.TargetFeasible && len(pl.Moves) > 0 {
+		applied, err := s.eng.ApplyRepartition(pl, maxMoves)
+		if err != nil {
+			// A stale plan is impossible under s.mu; surface anything else.
+			return RepartitionResponse{}, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+		}
+		resp.Applied = applied
+		resp.Partial = applied < len(pl.Moves)
+	}
+	rep, err := s.currentReport(ctx)
+	if err != nil {
+		return RepartitionResponse{}, err
+	}
+	resp.Test = TestResponseFrom(rep)
 	return resp, nil
 }

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"partfeas"
+)
+
+// stressSession opens a session with headroom for concurrent mutation.
+func stressSession(t *testing.T, s *Server, placement string) string {
+	t.Helper()
+	body := `{"tasks":[{"wcet":1,"period":100},{"wcet":1,"period":100},{"wcet":1,"period":100},{"wcet":1,"period":100}],` +
+		`"speeds":[1,1,2,4],"scheduler":"edf"`
+	if placement != "" {
+		body += fmt.Sprintf(`,"placement":%q`, placement)
+	}
+	body += `}`
+	w := do(t, s, http.MethodPost, "/v1/sessions", body)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body)
+	}
+	var resp SessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.ID
+}
+
+// TestSessionConcurrentMutation hammers one session with parallel
+// add/remove/UpdateWCET through the real handlers (run under -race in
+// CI). The session mutex makes some serial order of the operations real;
+// the assertions are the ones every serial order satisfies: no panics or
+// 5xx, and a final state whose test response is byte-identical to a
+// fresh library solve over whatever task multiset survived — i.e. the
+// engine's rollback journal never corrupted the incremental load sums.
+func TestSessionConcurrentMutation(t *testing.T) {
+	for _, placement := range []string{"sorted", "arrival"} {
+		placement := placement
+		t.Run(placement, func(t *testing.T) {
+			s := newTestServer(t)
+			id := stressSession(t, s, placement)
+
+			const workers = 8
+			var wg sync.WaitGroup
+			for wkr := 0; wkr < workers; wkr++ {
+				wkr := wkr
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(wkr)))
+					for i := 0; i < 40; i++ {
+						var w int
+						switch k := rng.Intn(10); {
+						case k < 5:
+							body := fmt.Sprintf(`{"task":{"wcet":%d,"period":%d}}`, 1+rng.Intn(40), 50+rng.Intn(100))
+							w = do(t, s, http.MethodPost, "/v1/sessions/"+id+"/tasks", body).Code
+						case k < 7:
+							w = do(t, s, http.MethodDelete, fmt.Sprintf("/v1/sessions/%s/tasks/%d", id, rng.Intn(6)), "").Code
+						default:
+							body := fmt.Sprintf(`{"index":%d,"wcet":%d}`, rng.Intn(6), 1+rng.Intn(60))
+							w = do(t, s, http.MethodPost, "/v1/sessions/"+id+"/wcet", body).Code
+						}
+						// 200 (applied or rolled back) and 400 (index raced
+						// out of range, last-task guard) are both legal;
+						// anything else is a server bug.
+						if w != http.StatusOK && w != http.StatusBadRequest {
+							t.Errorf("worker %d: status %d", wkr, w)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			w := do(t, s, http.MethodGet, "/v1/sessions/"+id, "")
+			if w.Code != http.StatusOK {
+				t.Fatalf("final state: %d %s", w.Code, w.Body)
+			}
+			var got SessionResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+				t.Fatal(err)
+			}
+			ts := make(partfeas.TaskSet, len(got.Tasks))
+			for i, tj := range got.Tasks {
+				ts[i] = partfeas.Task{Name: tj.Name, WCET: tj.WCET, Period: tj.Period}
+			}
+			if placement == "sorted" {
+				// Sorted sessions must still answer exactly as a fresh
+				// library solve of the surviving multiset.
+				tester, err := partfeas.NewTester(ts, partfeas.NewPlatform(1, 1, 2, 4), partfeas.EDF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := tester.TestCtx(context.Background(), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := encode(t, TestResponseFrom(rep)); encode(t, got.Test) != want {
+					t.Fatalf("final state diverged from fresh solve\ngot  %s\nwant %s", encode(t, got.Test), want)
+				}
+			} else if !got.Test.Accepted {
+				// Arrival placements differ from the sorted solve, but the
+				// resident set must still be feasible under them.
+				t.Fatalf("arrival session ended infeasible: %s", w.Body)
+			}
+		})
+	}
+}
+
+// TestSessionRepartitionEndpoint drives the drift lifecycle over HTTP:
+// an arrival session fed ascending-utilization tasks drifts from the
+// sorted solve, a plan-only call reports the moves without mutating, a
+// bounded apply performs at most max_moves, and a full apply drains the
+// drift to zero.
+func TestSessionRepartitionEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	body := `{"tasks":[{"wcet":1,"period":64}],"speeds":[1,1,2],"scheduler":"edf","placement":"arrival"}`
+	w := do(t, s, http.MethodPost, "/v1/sessions", body)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body)
+	}
+	var sess SessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Placement != "arrival" {
+		t.Fatalf("placement = %q", sess.Placement)
+	}
+	// Ascending utilizations are first-fit's worst arrival order.
+	for i := 1; i <= 12; i++ {
+		body := fmt.Sprintf(`{"task":{"wcet":%d,"period":64}}`, i)
+		if w := do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/tasks", body); w.Code != http.StatusOK {
+			t.Fatalf("add %d: %d %s", i, w.Code, w.Body)
+		}
+	}
+
+	var plan RepartitionResponse
+	w = do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/repartition", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetFeasible {
+		t.Fatalf("sorted target infeasible: %s", w.Body)
+	}
+	if plan.MovesTotal == 0 {
+		t.Skip("instance did not drift; adjust the arrival sequence")
+	}
+	if plan.Applied != 0 {
+		t.Fatalf("plan-only call applied %d moves", plan.Applied)
+	}
+
+	var bounded RepartitionResponse
+	w = do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/repartition", `{"apply":true,"max_moves":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("bounded apply: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &bounded); err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Applied > 1 {
+		t.Fatalf("bounded apply moved %d tasks", bounded.Applied)
+	}
+	if !bounded.Test.Accepted {
+		t.Fatal("session infeasible after bounded apply")
+	}
+
+	var full RepartitionResponse
+	w = do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/repartition", `{"apply":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("full apply: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.MovesTotal > 0 && (full.Applied != full.MovesTotal || full.Partial) {
+		t.Fatalf("full apply left drift: %s", w.Body)
+	}
+
+	var after RepartitionResponse
+	w = do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/repartition", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-apply plan: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.MovesTotal != 0 || after.DriftFraction != 0 {
+		t.Fatalf("drift remains after full apply: %s", w.Body)
+	}
+}
+
+// TestSessionRepartitionConflict: a session whose resident set was
+// force-committed infeasible has no engine, so repartition answers 409
+// until feasibility returns.
+func TestSessionRepartitionConflict(t *testing.T) {
+	s := newTestServer(t)
+	id := stressSession(t, s, "")
+	if w := do(t, s, http.MethodPost, "/v1/sessions/"+id+"/tasks", `{"task":{"wcet":999,"period":100},"force":true}`); w.Code != http.StatusOK {
+		t.Fatalf("force add: %d %s", w.Code, w.Body)
+	}
+	if w := do(t, s, http.MethodPost, "/v1/sessions/"+id+"/repartition", `{}`); w.Code != http.StatusConflict {
+		t.Fatalf("repartition on infeasible session: %d, want 409", w.Code)
+	}
+	// Removing the hog restores feasibility and re-arms the engine.
+	if w := do(t, s, http.MethodDelete, "/v1/sessions/"+id+"/tasks/4", ""); w.Code != http.StatusOK {
+		t.Fatalf("remove hog: %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/v1/sessions/"+id+"/repartition", `{}`); w.Code != http.StatusOK {
+		t.Fatalf("repartition after recovery: %d %s", w.Code, w.Body)
+	}
+	// A sorted session never drifts.
+	w := do(t, s, http.MethodPost, "/v1/sessions/"+id+"/repartition", `{}`)
+	var plan RepartitionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovesTotal != 0 {
+		t.Fatalf("sorted session drifted: %s", w.Body)
+	}
+}
