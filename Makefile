@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke fuzz bench benchsmoke benchjson bench5
+.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke fuzz bench benchsmoke benchjson bench5 bench6
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
 ## the fault-injection matrix, the admission-server smoke, an open-loop
@@ -68,3 +68,13 @@ bench5:
 	$(GO) run ./cmd/benchjson -pkg ./internal/online -benchtime 0.3s \
 		-note 'online engine: incremental admit vs full re-solve (m=64, n=1000)' \
 		-o results/BENCH_5.json
+
+## bench6: record the checkpointed-replay + batch-admission benchmarks to
+## results/BENCH_6.json, gated against the BENCH_5 baseline — the gate
+## only fails on regressions (tail admit must not get slower); the ~10x
+## interior improvement and the new batch benchmark pass through.
+bench6:
+	$(GO) run ./cmd/benchjson -pkg ./internal/online -benchtime 0.3s \
+		-note 'checkpointed suffix replay + batch admission (m=64, n=1000)' \
+		-baseline results/BENCH_5.json -max-regress 0.25 \
+		-o results/BENCH_6.json

@@ -9,15 +9,27 @@
 // closed-loop harnesses fall into).
 //
 // The request mix exercises the stateless test endpoint plus one shared
-// admission session (reads, incremental admits, WCET updates and
-// repartition plans); every request in the mix answers 200 on a healthy
-// server, so any error is a real failure and `-max-errors 0` (the
-// default, used by `make loadsmoke`) turns it into a nonzero exit.
+// admission session (reads, incremental admits, batch admits, WCET
+// updates and repartition plans); every request in the mix answers 200
+// on a healthy server (admission rejections are 200 + rolled_back), so
+// any error is a real failure and `-max-errors 0` (the default, used by
+// `make loadsmoke`) turns it into a nonzero exit.
+//
+// Single-task admits come in two flavors reported separately, because
+// their server-side cost differs by orders of magnitude: tail adds
+// carry tiny utilization and append at the end of the sorted order,
+// interior adds carry resident-scale utilization and land mid-order,
+// forcing a suffix replay. `-mix` sets the interior fraction of add
+// traffic (spread deterministically by error diffusion, so a given
+// mix always produces the same add sequence), and `-pareto` switches
+// WCETs to a heavy-tailed Pareto draw with the paired period scaled to
+// hold utilization at the flavor's target.
 //
 // Usage:
 //
 //	loadgen                                  # in-process server, 200 req/s for 2s
 //	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
+//	loadgen -mix 0.9 -pareto 1.5             # interior-heavy, heavy-tailed WCETs
 //	loadgen -o results/LOADGEN.json          # record a benchfmt suite
 package main
 
@@ -27,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -47,36 +60,127 @@ func main() {
 		duration  = flag.Duration("duration", 2*time.Second, "generation window")
 		clients   = flag.Int("clients", 8, "concurrent worker connections")
 		seed      = flag.Int64("seed", 1, "arrival-process seed")
+		mix       = flag.Float64("mix", 0.5, "interior fraction of single-task admits, in [0,1]")
+		pareto    = flag.Float64("pareto", 0, "Pareto tail index for WCET draws; 0 keeps WCETs fixed")
 		out       = flag.String("o", "", "write per-endpoint results as a benchfmt JSON suite")
 		note      = flag.String("note", "", "free-form label recorded in the suite document")
 		maxErrors = flag.Int("max-errors", 0, "exit nonzero when more requests than this fail")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *out, *note, *maxErrors); err != nil {
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *out, *note, *maxErrors); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-// job is one scheduled arrival: the endpoint to hit and the instant the
-// open-loop process emitted it.
+// job is one scheduled arrival: the endpoint to hit, the request body
+// for the admit kinds (generated up front in the single-threaded arrival
+// loop so the seeded rng stays race-free), and the instant the open-loop
+// process emitted it.
 type job struct {
 	kind  int
+	body  string
 	sched time.Time
 }
 
-// endpoint kinds, cycled deterministically so every run carries the same
-// mix at a given rate and duration.
+// endpoint kinds, reported separately so the orders-of-magnitude cost
+// gap between tail and interior admits shows up in the summary instead
+// of averaging away.
 const (
-	kindTest = iota // POST /v1/test (stateless, pool-cached)
-	kindSessionGet  // GET /v1/sessions/{id}
-	kindTaskAdd     // POST /v1/sessions/{id}/tasks (rolled back when full)
-	kindWCET        // POST /v1/sessions/{id}/wcet
-	kindRepartition // POST /v1/sessions/{id}/repartition (plan only)
+	kindTest        = iota // POST /v1/test (stateless, pool-cached)
+	kindSessionGet         // GET /v1/sessions/{id}
+	kindTailAdd            // POST /v1/sessions/{id}/tasks, tiny utilization (sorted tail)
+	kindInteriorAdd        // POST /v1/sessions/{id}/tasks, resident-scale utilization (suffix replay)
+	kindBatchAdd           // POST /v1/sessions/{id}/admit-batch, mixed best-effort batch
+	kindWCET               // POST /v1/sessions/{id}/wcet
+	kindRepartition        // POST /v1/sessions/{id}/repartition (plan only)
 	kindCount
 )
 
-var kindNames = [kindCount]string{"test", "session_get", "task_add", "wcet", "repartition"}
+var kindNames = [kindCount]string{"test", "session_get", "task_add_tail", "task_add_interior", "task_add_batch", "wcet", "repartition"}
+
+// Utilization targets for generated tasks. Tail adds sit far below the
+// session residents (u 0.25–0.3) so they append at the sorted tail;
+// interior adds land inside the resident range so every one forces a
+// suffix replay. The gap between the bands keeps a run's adds from
+// drifting across flavors as the set fills.
+const (
+	tailU       = 0.02
+	interiorULo = 0.20
+	interiorUHi = 0.28
+	batchSize   = 4
+	maxParetoWC = 1 << 20
+)
+
+// taskGen produces admit request bodies from the seeded rng. The
+// tail/interior decision uses error diffusion rather than a coin flip:
+// the interior fraction of the first n adds is always within one task of
+// n*mix, so two runs at the same mix carry the same add sequence even
+// though WCET draws consume rng state.
+type taskGen struct {
+	rng    *rand.Rand
+	mix    float64
+	pareto float64
+	acc    float64
+}
+
+// wcet draws one WCET: fixed when -pareto is off, otherwise
+// Pareto(xm=1, alpha) via inverse-CDF, clamped so the paired period
+// stays well inside int64. The caller scales the period to hold
+// utilization at the flavor's target, so heavy tail draws stress the
+// magnitude arithmetic without moving the task's sorted position.
+func (g *taskGen) wcet() int64 {
+	if g.pareto <= 0 {
+		return 3
+	}
+	x := math.Pow(1-g.rng.Float64(), -1/g.pareto)
+	if x > maxParetoWC {
+		x = maxParetoWC
+	}
+	return int64(math.Ceil(x))
+}
+
+// periodFor pairs a period with w so the task's utilization is u.
+func periodFor(w int64, u float64) int64 {
+	p := int64(math.Ceil(float64(w) / u))
+	if p < w {
+		p = w
+	}
+	return p
+}
+
+// add emits one single-task admit: the flavor kind and its body.
+func (g *taskGen) add() (int, string) {
+	kind, u := kindTailAdd, tailU
+	if g.acc += g.mix; g.acc >= 1 {
+		g.acc--
+		kind = kindInteriorAdd
+		u = interiorULo + (interiorUHi-interiorULo)*g.rng.Float64()
+	}
+	w := g.wcet()
+	return kind, fmt.Sprintf(`{"task":{"wcet":%d,"period":%d}}`, w, periodFor(w, u))
+}
+
+// batch emits one best-effort admit-batch body alternating tail and
+// interior flavors, so a single call exercises the merged replay over
+// scattered insertion points.
+func (g *taskGen) batch() string {
+	var sb strings.Builder
+	sb.WriteString(`{"tasks":[`)
+	for i := 0; i < batchSize; i++ {
+		u := tailU
+		if i%2 == 1 {
+			u = interiorULo + (interiorUHi-interiorULo)*g.rng.Float64()
+		}
+		w := g.wcet()
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"wcet":%d,"period":%d}`, w, periodFor(w, u))
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
 
 // epStats accumulates one endpoint's outcomes; quantiles are computed
 // exactly from the recorded samples at report time.
@@ -107,9 +211,15 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, out, note string, maxErrors int) error {
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, out, note string, maxErrors int) error {
 	if !(rate > 0) {
 		return fmt.Errorf("rate %v must be positive", rate)
+	}
+	if mix < 0 || mix > 1 || math.IsNaN(mix) {
+		return fmt.Errorf("mix %v must be in [0,1]", mix)
+	}
+	if pareto < 0 || math.IsNaN(pareto) {
+		return fmt.Errorf("pareto %v must be ≥ 0", pareto)
 	}
 	if clients < 1 {
 		clients = 1
@@ -144,14 +254,19 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				failed := fire(client, addr, sessionID, j.kind)
+				failed := fire(client, addr, sessionID, j.kind, j.body)
 				stats[j.kind].record(time.Since(j.sched), failed)
 			}
 		}()
 	}
 
-	// Open-loop arrival process: exponential gaps, deterministic mix.
+	// Open-loop arrival process: exponential gaps over a fixed slot
+	// cycle — single adds get two slots of seven (their flavor decided
+	// by the -mix diffusion), batches one — so every run at a given
+	// seed and mix carries the same request stream.
 	rng := rand.New(rand.NewSource(seed))
+	gen := &taskGen{rng: rng, mix: mix, pareto: pareto}
+	slots := [...]int{kindTest, kindSessionGet, kindTailAdd, kindWCET, kindTailAdd, kindRepartition, kindBatchAdd}
 	start := time.Now()
 	next := start
 	sent := 0
@@ -160,7 +275,14 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		jobs <- job{kind: sent % kindCount, sched: next}
+		j := job{kind: slots[sent%len(slots)], sched: next}
+		switch j.kind {
+		case kindTailAdd:
+			j.kind, j.body = gen.add()
+		case kindBatchAdd:
+			j.body = gen.batch()
+		}
+		jobs <- j
 		sent++
 	}
 	close(jobs)
@@ -178,7 +300,7 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	}
 	totalErrors := 0
 	fmt.Fprintf(w, "loadgen: %d requests in %v (%.0f req/s offered)\n", sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
-	fmt.Fprintf(w, "%-12s %8s %7s %10s %10s %10s %10s\n", "endpoint", "count", "errors", "mean", "p50", "p99", "p999")
+	fmt.Fprintf(w, "%-18s %8s %7s %10s %10s %10s %10s\n", "endpoint", "count", "errors", "mean", "p50", "p99", "p999")
 	for k := 0; k < kindCount; k++ {
 		st := &stats[k]
 		n := len(st.durations)
@@ -193,7 +315,7 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		mean := sum / time.Duration(n)
 		p50, p99, p999 := quantile(st.durations, 0.50), quantile(st.durations, 0.99), quantile(st.durations, 0.999)
 		totalErrors += st.errors
-		fmt.Fprintf(w, "%-12s %8d %7d %10v %10v %10v %10v\n",
+		fmt.Fprintf(w, "%-18s %8d %7d %10v %10v %10v %10v\n",
 			kindNames[k], n, st.errors, mean.Round(time.Microsecond), p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
 		suite.Results = append(suite.Results, benchfmt.Result{
 			Name:       "Loadgen/" + kindNames[k],
@@ -256,7 +378,7 @@ func decodeBody(r io.Reader, dst any) error {
 // fire issues one request of the given kind; every kind answers 200 on a
 // healthy server (admission rejections are 200 + rolled_back), so any
 // other outcome counts as a failure.
-func fire(client *http.Client, addr, sessionID string, kind int) (failed bool) {
+func fire(client *http.Client, addr, sessionID string, kind int, body string) (failed bool) {
 	var resp *http.Response
 	var err error
 	switch kind {
@@ -264,9 +386,12 @@ func fire(client *http.Client, addr, sessionID string, kind int) (failed bool) {
 		resp, err = client.Post(addr+"/v1/test", "application/json", strings.NewReader(loadBody))
 	case kindSessionGet:
 		resp, err = client.Get(addr + "/v1/sessions/" + sessionID)
-	case kindTaskAdd:
+	case kindTailAdd, kindInteriorAdd:
 		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/tasks", "application/json",
-			strings.NewReader(`{"task":{"wcet":1,"period":50}}`))
+			strings.NewReader(body))
+	case kindBatchAdd:
+		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/admit-batch", "application/json",
+			strings.NewReader(body))
 	case kindWCET:
 		resp, err = client.Post(addr+"/v1/sessions/"+sessionID+"/wcet", "application/json",
 			strings.NewReader(`{"index":0,"wcet":9}`))

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,11 +14,13 @@ import (
 
 // TestRunInProcess is the loadgen smoke: a short open-loop run against
 // an in-process server must finish with zero request errors and record a
-// well-formed benchfmt suite covering every endpoint in the mix.
+// well-formed benchfmt suite covering every endpoint in the mix — with
+// a balanced -mix and Pareto WCETs on, that includes tail, interior and
+// batch admission paths as separate rows.
 func TestRunInProcess(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "load.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, out, "smoke", 0); err != nil {
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 1.5, out, "smoke", 0); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	suite, err := benchfmt.Load(out)
@@ -26,15 +30,44 @@ func TestRunInProcess(t *testing.T) {
 	if len(suite.Results) != kindCount {
 		t.Fatalf("suite covers %d endpoints, want %d:\n%s", len(suite.Results), kindCount, buf.String())
 	}
+	seen := map[string]bool{}
 	for _, r := range suite.Results {
 		if !strings.HasPrefix(r.Name, "Loadgen/") || r.Iterations == 0 {
 			t.Errorf("malformed result %+v", r)
 		}
+		seen[strings.TrimPrefix(r.Name, "Loadgen/")] = true
 		if r.Extra["errors"] != 0 {
 			t.Errorf("%s recorded %g errors", r.Name, r.Extra["errors"])
 		}
 		if r.Extra["p99-µs/op"] < r.Extra["p50-µs/op"] {
 			t.Errorf("%s: p99 %g below p50 %g", r.Name, r.Extra["p99-µs/op"], r.Extra["p50-µs/op"])
+		}
+	}
+	for _, path := range []string{"task_add_tail", "task_add_interior", "task_add_batch"} {
+		if !seen[path] {
+			t.Errorf("suite missing admission path %q:\n%s", path, buf.String())
+		}
+	}
+}
+
+// TestTaskGenMix pins the error-diffusion property: over n adds the
+// interior count is within one of n*mix, regardless of rng state.
+func TestTaskGenMix(t *testing.T) {
+	for _, mix := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		g := &taskGen{rng: rand.New(rand.NewSource(7)), mix: mix, pareto: 1.2}
+		interior := 0
+		const n = 200
+		for i := 0; i < n; i++ {
+			kind, body := g.add()
+			if kind == kindInteriorAdd {
+				interior++
+			}
+			if !strings.HasPrefix(body, `{"task":{"wcet":`) {
+				t.Fatalf("mix %v: malformed body %q", mix, body)
+			}
+		}
+		if want := mix * n; math.Abs(float64(interior)-want) > 1 {
+			t.Errorf("mix %v: %d/%d interior adds, want ~%g", mix, interior, n, want)
 		}
 	}
 }
@@ -52,9 +85,15 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadRate(t *testing.T) {
+func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, time.Millisecond, 1, 1, "", "", 0); err == nil {
+	if err := run(&buf, "", 0, time.Millisecond, 1, 1, 0.5, 0, "", "", 0); err == nil {
 		t.Error("rate 0 accepted")
+	}
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 1.5, 0, "", "", 0); err == nil {
+		t.Error("mix 1.5 accepted")
+	}
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, -1, "", "", 0); err == nil {
+		t.Error("pareto -1 accepted")
 	}
 }

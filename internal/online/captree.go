@@ -82,7 +82,10 @@ func (t *capTree) descend(node, lo, hi int, u float64, from int) int {
 // to the operand magnitudes over-covers the few-ulp true error by orders
 // of magnitude; the cost of the surplus is only an occasional extra
 // verification probe.
+// Speeds are validated positive at engine construction and loads are
+// sums of positive utilizations, so the operands are their own absolute
+// values; this sits on the per-placement hot path.
 func capSlack(speed, load float64) float64 {
 	const rel = 1.0 / (1 << 40)
-	return rel * (math.Abs(speed) + math.Abs(load) + 1)
+	return rel * (speed + load + 1)
 }

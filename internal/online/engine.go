@@ -13,8 +13,20 @@
 //     per-machine load floats are byte-identical, which the differential
 //     tests enforce. Mutations that land at the end of the order are
 //     answered in O(log m) via a machine-capacity tree; interior
-//     mutations replay only the affected suffix, skipping every task
-//     whose placement provably cannot change (see replayFrom).
+//     mutations replay only the affected suffix, and the replay walks
+//     that suffix densely but does near-zero work per stationary task:
+//     per-machine prefix-state checkpoints every K positions make
+//     historical-state queries O(1) amortized, cached per-machine
+//     admission thresholds let one comparison against a prefix maximum
+//     over the dirtied machines dismiss a task whose placement provably
+//     cannot change, and consecutive tasks re-folding onto the same
+//     dirtied machine are fused into a run with deferred bookkeeping
+//     (see replayFrom). Mutations recycle journal buffers through an
+//     arena, so steady-state Admit/Remove/UpdateWCET allocate nothing.
+//
+// Batches of admissions go through AdmitBatch, which merges the whole
+// batch into the placement order and runs one replay for all of its
+// insertions, with all-or-nothing and best-effort failure modes.
 //
 //   - ArrivalOrder places each task when it arrives and never revisits
 //     earlier placements, so every operation is O(m) worst case and
@@ -86,7 +98,7 @@ const (
 // solver produces, which is what makes prefix states recoverable without
 // re-summing (and without re-rounding).
 type mach struct {
-	placed  []int
+	placed  []int32
 	cum     []float64
 	cumProd []float64 // hyperbolic only
 }
@@ -112,7 +124,7 @@ type machSnap struct {
 	mc mach
 }
 
-type assignSnap struct{ id, mach int }
+type assignSnap struct{ id, mach int32 }
 
 type editOp int
 
@@ -121,16 +133,26 @@ const (
 	opInsert
 	opRemove
 	opUpdate
+	opBatchInsert
 )
 
 // edit records the structural change of the in-flight mutation so
 // rollback can undo it without a full-state snapshot.
 type edit struct {
 	op      editOp
-	id      int
-	kOld    int // original placement-order position (opRemove, opUpdate)
+	id      int // task id; first batch id for opBatchInsert
+	kOld    int // original placement-order position (opRemove, opUpdate); first merged position (opBatchInsert)
 	oldWCET int64
 	oldUtil float64
+}
+
+// OpStats describes how the engine executed its most recent mutation;
+// the service layer reads it to classify admissions for metrics.
+type OpStats struct {
+	Tail       bool // end-of-order fast path or arrival-order local op
+	ReplayFrom int  // first replayed position; -1 when no replay ran
+	Visited    int  // suffix positions the replay actually visited
+	BatchSize  int  // number of tasks offered (>1 for AdmitBatch)
 }
 
 // Engine is the incremental admission engine. It is not safe for
@@ -150,9 +172,15 @@ type Engine struct {
 	tasks task.Set // arrival order; slice indices are the public task ids
 	utils []float64
 
-	sorted []int // task ids in placement order
-	pos    []int // task id → index in sorted
-	assign []int // task id → machine input index
+	sorted []int32 // task ids in placement order
+	pos    []int32 // task id → index in sorted (int32: n < 2^31)
+	assign []int32 // task id → machine input index
+
+	// assignPub mirrors assign as []int for Result, maintained
+	// incrementally at commit time: tasks whose machine changed are
+	// exactly the journaled ones, so the refresh is O(changes), and a
+	// rolled-back mutation never reaches the mirror.
+	assignPub []int
 
 	machs []mach
 
@@ -163,10 +191,37 @@ type Engine struct {
 	dirty    []int // machine input index → epoch last dirtied
 	minDirty int   // min dirtied machine position this epoch; m when none
 
+	// Replay acceleration (per-epoch; reset by begin). dirtyPos lists
+	// dirtied machines' scan positions ascending; dirtyTheta is the
+	// parallel cache of each one's slack-inflated one-more-task capacity
+	// (nextCap); dirtyIdx maps a dirtied machine's input index to its
+	// slot in both. pmax caches inclusive prefix maxima of dirtyTheta
+	// (pmax[i] = max(dirtyTheta[:i+1])); entries below the pmaxN
+	// watermark are valid, the rest are recomputed lazily on read, so
+	// "can any dirtied machine before position P admit u?" is one
+	// comparison on the replay's hot path instead of a scan.
+	dirtyPos   []int
+	dirtyTheta []float64
+	dirtyIdx   []int
+	pmax       []float64
+	pmaxN      int
+	// thetaPos flattens the dirty set by scan position: thetaPos[pp] is
+	// the cached threshold of the dirtied machine at position pp, NaN for
+	// untouched machines. The replay's forward scan reads one float per
+	// position instead of chasing dirty/dirtyIdx/dirtyTheta. Entries are
+	// kept in sync with dirtyTheta and cleared lazily at the next begin.
+	thetaPos []float64
+
+	cps      *checkpoints // prefix-state checkpoints (SortedOrder only)
+	machPool []mach       // retired state triples (see arena.go)
+	batchIDs []int32      // AdmitBatch scratch
+
 	jMachs   []machSnap
 	jAssigns []assignSnap
 	ed       edit
+	edTreeOK bool // treeOK at begin; commit/rollback restore it incrementally
 
+	stats    OpStats
 	loadsBuf []float64 // Result scratch
 }
 
@@ -229,20 +284,19 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 		e.machPos[j] = pp
 	}
 
-	e.sorted = make([]int, n)
+	e.sorted = make([]int32, n)
 	for i := range e.sorted {
-		e.sorted[i] = i
+		e.sorted[i] = int32(i)
 	}
 	if ord == SortedOrder {
 		sort.SliceStable(e.sorted, func(a, b int) bool {
-			return partition.TaskLessUtilDesc(e.tasks, e.sorted[a], e.sorted[b])
+			return partition.TaskLessUtilDesc(e.tasks, int(e.sorted[a]), int(e.sorted[b]))
 		})
 	}
-	e.pos = make([]int, n)
-	for i, id := range e.sorted {
-		e.pos[id] = i
-	}
-	e.assign = make([]int, n)
+	e.pos = make([]int32, n)
+	e.recomputePos(0)
+	e.assign = make([]int32, n)
+	e.assignPub = make([]int, n)
 	e.machs = make([]mach, m)
 	e.dirty = make([]int, m)
 	for j := range e.dirty {
@@ -251,6 +305,16 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 	e.minDirty = m
 	e.tree = newCapTree(m)
 	e.loadsBuf = make([]float64, m)
+	e.dirtyPos = make([]int, 0, m)
+	e.dirtyTheta = make([]float64, 0, m)
+	e.dirtyIdx = make([]int, m)
+	e.thetaPos = make([]float64, m)
+	for i := range e.thetaPos {
+		e.thetaPos[i] = math.NaN()
+	}
+	if ord == SortedOrder {
+		e.cps = newCheckpoints(checkpointStride, m)
+	}
 
 	// Initial placement is a plain first-fit pass in placement order:
 	// every machine state is final-so-far, so aggregate tests suffice.
@@ -265,24 +329,31 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 		if chosen < 0 {
 			return nil, ErrInfeasible
 		}
-		e.assign[id] = chosen
+		e.assign[id] = int32(chosen)
+		e.assignPub[id] = chosen
 		e.place(chosen, id)
+	}
+	if e.cps != nil {
+		e.cps.rebuildFrom(e, 0)
 	}
 	return e, nil
 }
 
+// LastOpStats reports how the engine executed its most recent mutation.
+func (e *Engine) LastOpStats() OpStats { return e.stats }
+
 // less is the engine's placement order on task ids.
-func (e *Engine) less(a, b int) bool {
+func (e *Engine) less(a, b int32) bool {
 	if e.order == ArrivalOrder {
 		return a < b
 	}
-	return partition.TaskLessUtilDesc(e.tasks, a, b)
+	return partition.TaskLessUtilDesc(e.tasks, int(a), int(b))
 }
 
 // fitsAgg answers the admission query for task id on machine j against
 // the machine's current aggregates — character-for-character the
 // partition solver's fast paths, so both round identically.
-func (e *Engine) fitsAgg(j, id int) bool {
+func (e *Engine) fitsAgg(j int, id int32) bool {
 	u := e.utils[id]
 	speed := e.speeds[j]
 	mc := &e.machs[j]
@@ -302,16 +373,33 @@ func (e *Engine) fitsAgg(j, id int) bool {
 // prefixLen returns how many of machine j's placed tasks come strictly
 // before placement-order position at. Placed lists are ordered by
 // position, so the machine's exact state at that point is the
-// corresponding prefix of its cumulative folds.
+// corresponding prefix of its cumulative folds. The nearest checkpoint
+// at-or-before at supplies a starting estimate; the bidirectional local
+// scan makes the answer exact regardless of checkpoint staleness, and
+// with fresh checkpoints it terminates within the stride's worth of
+// placements (typically 0–2 steps).
 func (e *Engine) prefixLen(j, at int) int {
 	mc := &e.machs[j]
-	return sort.Search(len(mc.placed), func(x int) bool { return e.pos[mc.placed[x]] >= at })
+	x := 0
+	if e.cps != nil {
+		x = e.cps.hint(j, at)
+		if x > len(mc.placed) {
+			x = len(mc.placed)
+		}
+	}
+	for x > 0 && int(e.pos[mc.placed[x-1]]) >= at {
+		x--
+	}
+	for x < len(mc.placed) && int(e.pos[mc.placed[x]]) < at {
+		x++
+	}
+	return x
 }
 
 // fitsAt answers the admission query for task id on an untouched machine
 // j as of placement-order position at, reading the machine's historical
 // state from its cumulative folds. Same expressions as fitsAgg.
-func (e *Engine) fitsAt(j, id, at int) bool {
+func (e *Engine) fitsAt(j int, id int32, at int) bool {
 	u := e.utils[id]
 	speed := e.speeds[j]
 	mc := &e.machs[j]
@@ -339,7 +427,7 @@ func (e *Engine) fitsAt(j, id, at int) bool {
 
 // place appends task id to machine j's fold. The caller has already
 // established admission and (during replays) journaled j.
-func (e *Engine) place(j, id int) {
+func (e *Engine) place(j int, id int32) {
 	mc := &e.machs[j]
 	newLoad := mc.load() + e.utils[id]
 	mc.placed = append(mc.placed, id)
@@ -349,6 +437,27 @@ func (e *Engine) place(j, id int) {
 	}
 	if e.treeOK {
 		e.tree.set(e.machPos[j], e.nextCap(j))
+	}
+	if e.dirty[j] == e.epoch {
+		// Refresh the machine's cached threshold in place (same value
+		// nextCap computes, reusing newLoad) — this runs once per
+		// placement during replays.
+		di := e.dirtyIdx[j]
+		s := e.speeds[j]
+		var th float64
+		switch e.kind {
+		case admEDF:
+			th = s - newLoad + capSlack(s, newLoad)
+		case admLL:
+			th = sched.LiuLaylandBound(len(mc.placed)+1)*s - newLoad + capSlack(s, newLoad)
+		default: // admHyperbolic; s > 0 by construction
+			th = s*(2/mc.prod()-1) + capSlack(s, newLoad)
+		}
+		e.dirtyTheta[di] = th
+		e.thetaPos[e.machPos[j]] = th
+		if di < e.pmaxN {
+			e.pmaxN = di
+		}
 	}
 }
 
@@ -383,7 +492,7 @@ func (e *Engine) ensureTree() {
 // firstFitAgg finds the first-fit machine for task id against current
 // aggregates, using the capacity tree with exact re-verification at each
 // candidate. Decisions are identical to a linear fitsAgg scan.
-func (e *Engine) firstFitAgg(id int) int {
+func (e *Engine) firstFitAgg(id int32) int {
 	e.ensureTree()
 	u := e.utils[id]
 	from := 0
@@ -404,43 +513,178 @@ func (e *Engine) dirtyAt(j int) bool { return e.dirty[j] == e.epoch }
 
 // begin opens a mutation's undo scope.
 func (e *Engine) begin(ed edit) {
+	e.edTreeOK = e.treeOK
 	e.epoch++
 	e.minDirty = len(e.machIdx)
 	e.jMachs = e.jMachs[:0]
 	e.jAssigns = e.jAssigns[:0]
+	for _, pp := range e.dirtyPos { // clear the previous epoch's flat view
+		e.thetaPos[pp] = math.NaN()
+	}
+	e.dirtyPos = e.dirtyPos[:0]
+	e.dirtyTheta = e.dirtyTheta[:0]
+	e.pmax = e.pmax[:0]
+	e.pmaxN = 0
 	e.ed = ed
+}
+
+// commit closes a successful mutation: the journaled pre-mutation state
+// buffers return to the arena and the checkpoints past the edit position
+// (the only ones the mutation could invalidate) are rebuilt exactly.
+//
+// If the capacity tree was fresh when the mutation began, it is brought
+// back to fresh here by re-keying just the journaled machines instead of
+// invalidating all m leaves: machines that changed without being
+// journaled only ever gained load, so their (over-estimating) entries
+// stay sound for the tree's probe-then-verify protocol, while every
+// machine whose capacity grew was journaled by makeDirty or splice.
+func (e *Engine) commit(from int) {
+	refresh := e.edTreeOK && !e.treeOK
+	for i := range e.jMachs {
+		if refresh {
+			j := e.jMachs[i].j
+			e.tree.set(e.machPos[j], e.nextCap(j))
+		}
+		e.recycleMach(e.jMachs[i].mc)
+		e.jMachs[i] = machSnap{}
+	}
+	if refresh {
+		e.treeOK = true
+	}
+	e.jMachs = e.jMachs[:0]
+	for i := range e.jAssigns {
+		id := e.jAssigns[i].id
+		e.assignPub[id] = int(e.assign[id])
+	}
+	e.jAssigns = e.jAssigns[:0]
+	e.ed = edit{}
+	if e.cps != nil {
+		e.cps.rebuildFrom(e, from)
+	}
 }
 
 // makeDirty journals machine j and truncates its placement to the exact
 // state it had before placement-order position at; the truncated tasks
-// all lie in the suffix being replayed and will be re-placed (possibly
-// elsewhere) when the replay reaches them.
+// all lie in the suffix being replayed (still assigned to j, which is
+// now marked dirty — exactly how the replay recognizes them) and will
+// be re-placed, possibly elsewhere, when the dense walk reaches them.
 func (e *Engine) makeDirty(j, at int) {
 	mc := &e.machs[j]
 	e.jMachs = append(e.jMachs, machSnap{j: j, mc: *mc})
 	x := e.prefixLen(j, at)
-	nm := mach{
-		placed: append(make([]int, 0, x+4), mc.placed[:x]...),
-		cum:    append(make([]float64, 0, x+4), mc.cum[:x]...),
-	}
+	nm := e.grabMach()
+	nm.placed = append(nm.placed, mc.placed[:x]...)
+	nm.cum = append(nm.cum, mc.cum[:x]...)
 	if e.kind == admHyperbolic {
-		nm.cumProd = append(make([]float64, 0, x+4), mc.cumProd[:x]...)
+		nm.cumProd = append(nm.cumProd, mc.cumProd[:x]...)
 	}
 	*mc = nm
-	e.dirty[j] = e.epoch
-	if e.machPos[j] < e.minDirty {
-		e.minDirty = e.machPos[j]
-	}
+	e.noteDirty(j)
 	e.treeOK = false
 }
 
-func (e *Engine) journalAssign(id int) {
+// noteDirty registers machine j as dirtied this epoch: marks its epoch,
+// lowers minDirty, and inserts its scan position and threshold into the
+// ascending dirtyPos/dirtyTheta arrays (few entries; linear shift,
+// re-pointing dirtyIdx for each shifted machine).
+func (e *Engine) noteDirty(j int) {
+	e.dirty[j] = e.epoch
+	pp := e.machPos[j]
+	if pp < e.minDirty {
+		e.minDirty = pp
+	}
+	di := len(e.dirtyPos)
+	e.dirtyPos = append(e.dirtyPos, 0)
+	e.dirtyTheta = append(e.dirtyTheta, 0)
+	e.pmax = append(e.pmax, 0)
+	for di > 0 && e.dirtyPos[di-1] > pp {
+		e.dirtyPos[di] = e.dirtyPos[di-1]
+		e.dirtyTheta[di] = e.dirtyTheta[di-1]
+		e.dirtyIdx[e.machIdx[e.dirtyPos[di]]] = di
+		di--
+	}
+	e.dirtyPos[di] = pp
+	e.dirtyTheta[di] = e.nextCap(j)
+	e.thetaPos[pp] = e.dirtyTheta[di]
+	e.dirtyIdx[j] = di
+	if di < e.pmaxN {
+		e.pmaxN = di
+	}
+}
+
+// preMax returns the largest inflated one-more-task capacity over the
+// first lim entries of the dirty set, i.e. over every dirtied machine
+// scanned before dirtyPos[lim] (-Inf when lim is 0). No task with a
+// larger utilization can be admitted by any of those machines, so the
+// replay collapses "scan the dirtied prefix" to this one comparison.
+// Cascades dirty machines in ascending scan order and re-place onto the
+// newest one, so the watermark almost always sits at the tail and the
+// amortized cost is O(1) per query. (Keeping pmax exact — invalidating
+// on every threshold refresh — measures ~3.5x faster end-to-end than a
+// stale-upper-bound variant: the initial post-truncation thresholds are
+// large, and freezing them into pmax makes the skip guard pass
+// spuriously for most stationary tasks.)
+func (e *Engine) preMax(lim int) float64 {
+	if e.pmaxN < lim {
+		return e.preMaxSlow(lim)
+	}
+	if lim <= 0 {
+		return negInf
+	}
+	return e.pmax[lim-1]
+}
+
+// negInf hoists math.Inf(-1) so preMax stays within the inlining budget.
+var negInf = math.Inf(-1)
+
+// preMaxSlow extends the prefix-max watermark up to lim (> pmaxN ≥ 0 by
+// the fast-path guard). Split out of preMax so the watermark-already-
+// valid fast path inlines at call sites.
+func (e *Engine) preMaxSlow(lim int) float64 {
+	mt := negInf
+	if e.pmaxN > 0 {
+		mt = e.pmax[e.pmaxN-1]
+	}
+	for i := e.pmaxN; i < lim; i++ {
+		if th := e.dirtyTheta[i]; th > mt {
+			mt = th
+		}
+		e.pmax[i] = mt
+	}
+	e.pmaxN = lim
+	return e.pmax[lim-1]
+}
+
+// firstDirtyGE returns the first dirty-set index below lim whose cached
+// threshold is at least u. Prefix maxima are non-decreasing and the
+// first index where the prefix max reaches u is exactly the first index
+// where a threshold does, so this is a binary search over pmax instead
+// of a linear threshold scan. The caller must have just observed
+// preMax(lim) ≥ u, which both validates pmax[:lim] and guarantees a hit.
+func (e *Engine) firstDirtyGE(u float64, lim int) int {
+	lo, hi := 0, lim-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.pmax[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (e *Engine) journalAssign(id int32) {
 	e.jAssigns = append(e.jAssigns, assignSnap{id: id, mach: e.assign[id]})
 }
 
+// recomputePos refreshes pos (task id → placement position) for
+// sorted[from:]; every edit of sorted runs through here with from at or
+// before the first changed position.
 func (e *Engine) recomputePos(from int) {
-	for i := from; i < len(e.sorted); i++ {
-		e.pos[e.sorted[i]] = i
+	pos, sorted := e.pos, e.sorted
+	for i := from; i < len(sorted); i++ {
+		pos[sorted[i]] = int32(i)
 	}
 }
 
@@ -452,79 +696,265 @@ func (e *Engine) recomputePos(from int) {
 //   - A suffix task still sitting on an untouched machine whose scan
 //     position precedes every dirtied machine keeps its placement: the
 //     machines it was rejected by and the machine that accepted it are
-//     all in states identical to the previous run at that point (O(1)
-//     skip).
+//     all in states identical to the previous run at that point.
 //   - Otherwise, untouched machines that rejected the task before
 //     still reject it (same state, same query), so only dirtied
 //     machines before its old position plus everything from its old
 //     position onward need re-testing; untouched machines are tested
 //     against their historical prefix folds.
 //
+// The walk is dense — every suffix position is examined — because the
+// classification needs no auxiliary marking: a task whose machine is
+// dirty this epoch is pending re-placement (makeDirty truncated it), a
+// task with no machine is a fresh insert, and anything else is a
+// stationary candidate dismissed in O(1) when its machine precedes every
+// dirtied one. Examining a position that turns out inert is always
+// semantics-preserving; only placements change state.
+//
+// The dominant shape of a cascade is a run: consecutive truncated tasks
+// re-folding onto the same dirtied machine, with every earlier dirtied
+// machine too full to poach them. The run fast path fuses that case —
+// one threshold comparison against the frozen prefix-max of earlier
+// dirtied thresholds (their state cannot change while the run only
+// appends to its own machine), the exact admission predicate on locally
+// carried aggregates, and the fold append. No journaling (the
+// assignment is unchanged), no threshold refresh (flushed once when the
+// run breaks). Anything that falls out of the pattern — a poachable
+// task, a rejection, another machine's task — flushes the run and takes
+// the general path, which re-derives the decision from scratch, so
+// decisions are byte-identical to the plain linear loop.
+//
 // Machines are journaled and truncated the first time the replay
 // actually changes them, which both bounds the work and provides the
 // undo log for rollback.
 func (e *Engine) replayFrom(k int) int {
 	m := len(e.machIdx)
-	for i := k; i < len(e.sorted); i++ {
-		id := e.sorted[i]
-		old := e.assign[id]
+	n := len(e.sorted)
+	sorted, assign, utils := e.sorted, e.assign, e.utils
+	kind := e.kind
+	visited := 0
+
+	// The edited task of an opUpdate must never ride a fast path: its
+	// utilization changed, so its previous placement proves nothing.
+	updID := int32(-1)
+	if e.ed.op == opUpdate {
+		updID = int32(e.ed.id)
+	}
+
+	// Active run: truncated tasks re-folding onto machine runF (-2 when
+	// none; -1 would collide with a fresh task's unassigned machine).
+	runF := -2
+	var mcF *mach
+	var sF, loadF, prodF, preMaxF float64
+
+	for i := k; i < n; i++ {
+		id := sorted[i]
+		old := int(assign[id])
+		if old == runF && id != updID {
+			// Fused inner loop: consume the whole run of consecutive
+			// truncated tasks re-folding onto runF with the fold slice
+			// headers held in locals, and write them back before anything
+			// else can observe the machine.
+			plF, cumF, cpF := mcF.placed, mcF.cum, mcF.cumProd
+			for {
+				u := utils[id]
+				if u <= preMaxF { // an earlier dirtied machine may take it
+					break
+				}
+				ok := false
+				var newLoad, newProd float64
+				switch kind {
+				case admEDF:
+					newLoad = loadF + u
+					ok = newLoad <= sF
+				case admLL:
+					newLoad = loadF + u
+					ok = newLoad <= sched.LiuLaylandBound(len(plF)+1)*sF
+				default: // admHyperbolic
+					newProd = prodF * (u/sF + 1)
+					newLoad = loadF + u
+					ok = newProd <= 2
+				}
+				if !ok {
+					break
+				}
+				plF = append(plF, id)
+				cumF = append(cumF, newLoad)
+				if kind == admHyperbolic {
+					cpF = append(cpF, newProd)
+				}
+				loadF, prodF = newLoad, newProd
+				visited++
+				i++
+				if i >= n {
+					break
+				}
+				id = sorted[i]
+				old = int(assign[id])
+				if old != runF || id == updID {
+					break
+				}
+			}
+			mcF.placed, mcF.cum, mcF.cumProd = plF, cumF, cpF
+			if i >= n {
+				break
+			}
+			if old == runF && id != updID {
+				// The run machine (or an earlier dirtied one) now answers
+				// differently for id: the run is over, re-derive below.
+				e.flushRun(runF)
+				runF = -2
+			}
+		}
+		u := utils[id]
 		if old >= 0 && !e.dirtyAt(old) {
 			oldP := e.machPos[old]
 			if oldP < e.minDirty {
 				continue // no machine it ever saw has changed
 			}
 			moved := -1
-			for pp := e.minDirty; pp < oldP; pp++ {
-				j := e.machIdx[pp]
-				if e.dirtyAt(j) && e.fitsAgg(j, id) {
-					moved = j
-					break
+			if diLim := e.dirtyBefore(oldP); diLim > 0 && u <= e.preMax(diLim) {
+				for di := e.firstDirtyGE(u, diLim); di < diLim; di++ {
+					if u <= e.dirtyTheta[di] {
+						if j := e.machIdx[e.dirtyPos[di]]; e.fitsAgg(j, id) {
+							moved = j
+							break
+						}
+					}
 				}
 			}
 			if moved < 0 {
 				continue // stays exactly where it was
 			}
+			visited++
+			if runF >= 0 {
+				// makeDirty below may register a machine ahead of the run
+				// machine in scan order; the frozen preMaxF would not cover
+				// it, so the run cannot survive this placement.
+				e.flushRun(runF)
+			}
 			e.makeDirty(old, i) // drops id (and later entries) from old
 			e.journalAssign(id)
-			e.assign[id] = moved
+			e.assign[id] = int32(moved)
 			e.place(moved, id)
+			runF = moved
+			mcF = &e.machs[moved]
+			sF = e.speeds[moved]
+			loadF = mcF.load()
+			prodF = mcF.prod()
+			preMaxF = e.preMax(e.dirtyIdx[moved])
 			continue
 		}
+		visited++
 		// Fresh task (old == -1) or its machine was truncated: full
 		// first-fit scan, skipping untouched machines its previous run
 		// already rejected. The skip is void for the edited task itself —
 		// its utilization changed, so old rejections prove nothing — and
-		// for a task that was never placed.
+		// for a task that was never placed. Below the skip horizon only
+		// dirtied machines can matter, so only they are probed there —
+		// and usually not even they: a truncated task's machine sits at a
+		// known dirty slot, every dirtied machine before it occupies the
+		// slots below, and one preMax comparison rules them all out.
 		skipBefore := -1
-		if old >= 0 && !(e.ed.op == opUpdate && id == e.ed.id) {
+		diLim := 0
+		if old >= 0 && id != updID {
 			skipBefore = e.machPos[old]
+			if e.dirtyAt(old) {
+				diLim = e.dirtyIdx[old]
+			} else {
+				diLim = e.dirtyBefore(skipBefore)
+			}
 		}
 		chosen := -1
-		for pp := 0; pp < m; pp++ {
-			j := e.machIdx[pp]
-			if e.dirtyAt(j) {
-				if e.fitsAgg(j, id) {
+		start := 0
+		if skipBefore > 0 {
+			if diLim > 0 && u <= e.preMax(diLim) {
+				for di := e.firstDirtyGE(u, diLim); di < diLim; di++ {
+					if u <= e.dirtyTheta[di] {
+						if j := e.machIdx[e.dirtyPos[di]]; e.fitsAgg(j, id) {
+							chosen = j
+							break
+						}
+					}
+				}
+			}
+			start = skipBefore
+		}
+		if chosen < 0 {
+			thetaPos := e.thetaPos
+			for pp := start; pp < m; pp++ {
+				if th := thetaPos[pp]; th == th { // dirtied machine at pp
+					if u <= th {
+						if j := e.machIdx[pp]; e.fitsAgg(j, id) {
+							chosen = j
+							break
+						}
+					}
+				} else if j := e.machIdx[pp]; e.fitsAt(j, id, i) {
 					chosen = j
 					break
 				}
-			} else if pp < skipBefore {
-				continue // untouched: previous rejection stands
-			} else if e.fitsAt(j, id, i) {
-				chosen = j
-				break
 			}
 		}
 		if chosen < 0 {
-			return id
+			e.stats.Visited += visited
+			return int(id)
 		}
 		if !e.dirtyAt(chosen) {
 			e.makeDirty(chosen, i)
 		}
-		e.journalAssign(id)
-		e.assign[id] = chosen
+		if int(e.assign[id]) != chosen {
+			e.journalAssign(id)
+			e.assign[id] = int32(chosen)
+		}
 		e.place(chosen, id)
+		// Seed the refill run: subsequent tasks truncated off this (now
+		// dirtied) machine can fuse until the pattern breaks. preMaxF is
+		// computed after any makeDirty above, so it covers every dirtied
+		// machine currently ahead of the run machine.
+		if runF >= 0 && runF != chosen {
+			e.flushRun(runF)
+		}
+		runF = chosen
+		mcF = &e.machs[chosen]
+		sF = e.speeds[chosen]
+		loadF = mcF.load()
+		prodF = mcF.prod()
+		preMaxF = e.preMax(e.dirtyIdx[chosen])
 	}
+	if runF >= 0 {
+		e.flushRun(runF)
+	}
+	e.stats.Visited += visited
 	return -1
+}
+
+// flushRun writes a broken run's deferred threshold refresh: the run
+// machine's cached theta and the prefix-max watermark, exactly as the
+// final fused place would have left them.
+func (e *Engine) flushRun(f int) {
+	di := e.dirtyIdx[f]
+	th := e.nextCap(f)
+	e.dirtyTheta[di] = th
+	e.thetaPos[e.machPos[f]] = th
+	if di < e.pmaxN {
+		e.pmaxN = di
+	}
+}
+
+// dirtyBefore returns how many dirtied machines occupy scan positions
+// strictly before pp (dirtyPos is ascending; inlined binary search).
+func (e *Engine) dirtyBefore(pp int) int {
+	lo, hi := 0, len(e.dirtyPos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.dirtyPos[mid] < pp {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // failResult builds the partition.Result a fresh Solve over the
@@ -535,7 +965,7 @@ func (e *Engine) replayFrom(k int) int {
 // task ids for a removal in flight (fresh solves of the shrunken set
 // number tasks without it). The result is freshly allocated.
 func (e *Engine) failResult(failID, exclude int) partition.Result {
-	at := e.pos[failID]
+	at := int(e.pos[failID])
 	n := len(e.tasks)
 	if exclude >= 0 {
 		n--
@@ -549,8 +979,8 @@ func (e *Engine) failResult(failID, exclude int) partition.Result {
 		if exclude >= 0 && id > exclude {
 			nid--
 		}
-		if id != failID && e.pos[id] < at {
-			as[nid] = e.assign[id]
+		if id != failID && int(e.pos[id]) < at {
+			as[nid] = int(e.assign[id])
 		} else {
 			as[nid] = -1
 		}
@@ -570,43 +1000,74 @@ func (e *Engine) failResult(failID, exclude int) partition.Result {
 	return partition.Result{Assignment: as, FailedTask: failed, Loads: loads, Alpha: e.alpha}
 }
 
-// rollback restores the pre-mutation state from the undo journal.
+// rollback restores the pre-mutation state from the undo journal. The
+// abandoned working buffers of every journaled machine return to the
+// arena; checkpoints were never touched mid-mutation, so they are
+// exact for the restored state as-is.
 func (e *Engine) rollback() {
+	refresh := e.edTreeOK && !e.treeOK
 	for i := range e.jMachs {
-		e.machs[e.jMachs[i].j] = e.jMachs[i].mc
+		j := e.jMachs[i].j
+		e.recycleMach(e.machs[j])
+		e.machs[j] = e.jMachs[i].mc
+		e.jMachs[i] = machSnap{}
+		if refresh {
+			e.tree.set(e.machPos[j], e.nextCap(j))
+		}
 	}
+	if refresh {
+		e.treeOK = true
+	}
+	e.jMachs = e.jMachs[:0]
 	for i := len(e.jAssigns) - 1; i >= 0; i-- {
 		e.assign[e.jAssigns[i].id] = e.jAssigns[i].mach
 	}
+	e.jAssigns = e.jAssigns[:0]
 	switch e.ed.op {
 	case opInsert:
-		k := e.pos[e.ed.id]
+		k := int(e.pos[e.ed.id])
 		e.sorted = append(e.sorted[:k], e.sorted[k+1:]...)
 		e.tasks = e.tasks[:len(e.tasks)-1]
 		e.utils = e.utils[:len(e.utils)-1]
 		e.assign = e.assign[:len(e.assign)-1]
+		e.assignPub = e.assignPub[:len(e.assignPub)-1]
 		e.pos = e.pos[:len(e.pos)-1]
 		e.recomputePos(k)
 	case opRemove:
-		e.insertSorted(e.ed.id, e.ed.kOld)
+		e.insertSorted(int32(e.ed.id), e.ed.kOld)
 		e.recomputePos(e.ed.kOld)
 	case opUpdate:
 		e.tasks[e.ed.id].WCET = e.ed.oldWCET
 		e.utils[e.ed.id] = e.ed.oldUtil
-		cur := e.pos[e.ed.id]
+		cur := int(e.pos[e.ed.id])
 		e.sorted = append(e.sorted[:cur], e.sorted[cur+1:]...)
-		e.insertSorted(e.ed.id, e.ed.kOld)
+		e.insertSorted(int32(e.ed.id), e.ed.kOld)
 		if cur < e.ed.kOld {
 			e.recomputePos(cur)
 		} else {
 			e.recomputePos(e.ed.kOld)
 		}
+	case opBatchInsert:
+		n0 := int32(e.ed.id)
+		w := 0
+		for _, id := range e.sorted {
+			if id < n0 {
+				e.sorted[w] = id
+				w++
+			}
+		}
+		e.sorted = e.sorted[:w]
+		e.tasks = e.tasks[:e.ed.id]
+		e.utils = e.utils[:e.ed.id]
+		e.assign = e.assign[:e.ed.id]
+		e.assignPub = e.assignPub[:e.ed.id]
+		e.pos = e.pos[:e.ed.id]
+		e.recomputePos(e.ed.kOld)
 	}
 	e.ed = edit{}
-	e.treeOK = false
 }
 
-func (e *Engine) insertSorted(id, k int) {
+func (e *Engine) insertSorted(id int32, k int) {
 	e.sorted = append(e.sorted, 0)
 	copy(e.sorted[k+1:], e.sorted[k:])
 	e.sorted[k] = id
@@ -622,10 +1083,11 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 	if err := t.Validate(); err != nil {
 		return partition.Result{}, false, fmt.Errorf("online: %w", err)
 	}
-	id := len(e.tasks)
+	id := int32(len(e.tasks))
 	e.tasks = append(e.tasks, t)
 	e.utils = append(e.utils, t.Utilization())
 	e.assign = append(e.assign, -1)
+	e.assignPub = append(e.assignPub, -1)
 
 	k := len(e.sorted)
 	if e.order == SortedOrder {
@@ -634,28 +1096,33 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 	e.pos = append(e.pos, 0)
 	e.insertSorted(id, k)
 	e.recomputePos(k)
-	e.begin(edit{op: opInsert, id: id})
+	e.begin(edit{op: opInsert, id: int(id)})
 
 	if k == len(e.sorted)-1 {
 		// End of the placement order: every machine's current aggregate
 		// is its state at this point, so this is a single O(log m)
 		// capacity query (plus exact verification).
+		e.stats = OpStats{Tail: true, ReplayFrom: -1, BatchSize: 1}
 		chosen := e.firstFitAgg(id)
 		if chosen < 0 {
-			res = e.failResult(id, -1)
+			res = e.failResult(int(id), -1)
 			e.rollback()
 			return res, false, nil
 		}
 		e.journalAssign(id)
-		e.assign[id] = chosen
+		e.assign[id] = int32(chosen)
+		e.assignPub[id] = chosen
 		e.place(chosen, id)
+		e.commit(k)
 		return e.Result(), true, nil
 	}
+	e.stats = OpStats{ReplayFrom: k, BatchSize: 1}
 	if failID := e.replayFrom(k); failID >= 0 {
 		res = e.failResult(failID, -1)
 		e.rollback()
 		return res, false, nil
 	}
+	e.commit(k)
 	return e.Result(), true, nil
 }
 
@@ -679,16 +1146,22 @@ func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
 		// and the operation always commits. sorted is the identity in
 		// this mode, so the order edit is a plain splice too.
 		e.begin(edit{op: opNone})
+		e.stats = OpStats{Tail: true, ReplayFrom: -1}
 		e.sorted = append(e.sorted[:id], e.sorted[id+1:]...)
 		e.recomputePos(id)
-		e.splice(e.assign[id], id)
+		e.splice(int(e.assign[id]), int32(id))
+		// Commit before compact: the mirror refresh keys off journaled
+		// (pre-renumber) ids, and checkpoints/tree are machine-keyed, so
+		// id renumbering cannot invalidate them.
+		e.commit(id)
 		e.compact(id)
 		return e.Result(), true, nil
 	}
 
-	o := e.assign[id]
-	k := e.pos[id]
+	o := int(e.assign[id])
+	k := int(e.pos[id])
 	e.begin(edit{op: opRemove, id: id, kOld: k})
+	e.stats = OpStats{ReplayFrom: k}
 	e.sorted = append(e.sorted[:k], e.sorted[k+1:]...)
 	e.recomputePos(k)
 	e.makeDirty(o, k) // drops id and every later entry on its machine
@@ -697,6 +1170,7 @@ func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
 		e.rollback()
 		return res, false, nil
 	}
+	e.commit(k) // before compact; see the ArrivalOrder branch
 	e.compact(id)
 	return e.Result(), true, nil
 }
@@ -724,12 +1198,13 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 		// then first-fit it against current aggregates. The placement
 		// order (arrival order) is untouched either way.
 		e.begin(edit{op: opNone})
+		e.stats = OpStats{Tail: true, ReplayFrom: -1}
 		oldWCET, oldUtil := e.tasks[id].WCET, e.utils[id]
 		e.tasks[id].WCET = wcet
 		e.utils[id] = e.tasks[id].Utilization()
-		e.splice(o, id)
-		e.journalAssign(id)
-		chosen := e.firstFitAgg(id)
+		e.splice(int(o), int32(id))
+		e.journalAssign(int32(id))
+		chosen := e.firstFitAgg(int32(id))
 		if chosen < 0 {
 			res = e.arrivalFailResult(id)
 			e.tasks[id].WCET = oldWCET
@@ -737,37 +1212,40 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 			e.rollback()
 			return res, false, nil
 		}
-		e.assign[id] = chosen
-		e.place(chosen, id)
+		e.assign[id] = int32(chosen)
+		e.place(chosen, int32(id))
+		e.commit(0)
 		return e.Result(), true, nil
 	}
 
-	kOld := e.pos[id]
+	kOld := int(e.pos[id])
 	e.begin(edit{op: opUpdate, id: id, kOld: kOld, oldWCET: e.tasks[id].WCET, oldUtil: e.utils[id]})
 	e.tasks[id].WCET = wcet
 	e.utils[id] = e.tasks[id].Utilization()
 
 	e.sorted = append(e.sorted[:kOld], e.sorted[kOld+1:]...)
-	kNew := sort.Search(len(e.sorted), func(i int) bool { return e.less(id, e.sorted[i]) })
-	e.insertSorted(id, kNew)
+	kNew := sort.Search(len(e.sorted), func(i int) bool { return e.less(int32(id), e.sorted[i]) })
+	e.insertSorted(int32(id), kNew)
 	k := kOld
 	if kNew < k {
 		k = kNew
 	}
+	e.stats = OpStats{ReplayFrom: k}
 	e.recomputePos(k)
-	e.makeDirty(o, k)
+	e.makeDirty(int(o), k)
 	if failID := e.replayFrom(k); failID >= 0 {
 		res = e.failResult(failID, -1)
 		e.rollback()
 		return res, false, nil
 	}
+	e.commit(k)
 	return e.Result(), true, nil
 }
 
 // splice removes task id from machine j's fold locally, journaling j and
 // re-closing the cumulative folds over the surviving tasks (ArrivalOrder
 // only; sorted-order removals go through the replay).
-func (e *Engine) splice(j, id int) {
+func (e *Engine) splice(j int, id int32) {
 	mc := &e.machs[j]
 	e.jMachs = append(e.jMachs, machSnap{j: j, mc: *mc})
 	x := -1
@@ -777,18 +1255,17 @@ func (e *Engine) splice(j, id int) {
 			break
 		}
 	}
-	nm := mach{
-		placed: append(make([]int, 0, len(mc.placed)), mc.placed[:x]...),
-		cum:    append(make([]float64, 0, len(mc.placed)), mc.cum[:x]...),
-	}
+	nm := e.grabMach()
+	nm.placed = append(nm.placed, mc.placed[:x]...)
+	nm.cum = append(nm.cum, mc.cum[:x]...)
 	if e.kind == admHyperbolic {
-		nm.cumProd = append(make([]float64, 0, len(mc.placed)), mc.cumProd[:x]...)
+		nm.cumProd = append(nm.cumProd, mc.cumProd[:x]...)
 	}
 	*mc = nm
 	for _, pid := range e.jMachs[len(e.jMachs)-1].mc.placed[x+1:] {
 		e.place(j, pid)
 	}
-	e.dirty[j] = e.epoch
+	e.noteDirty(j)
 	e.treeOK = false
 }
 
@@ -798,7 +1275,7 @@ func (e *Engine) splice(j, id int) {
 func (e *Engine) arrivalFailResult(failID int) partition.Result {
 	as := make([]int, len(e.tasks))
 	for id := range as {
-		as[id] = e.assign[id]
+		as[id] = int(e.assign[id])
 	}
 	as[failID] = -1
 	loads := make([]float64, len(e.p))
@@ -818,16 +1295,22 @@ func (e *Engine) compact(r int) {
 	e.utils = e.utils[:n-1]
 	copy(e.assign[r:], e.assign[r+1:])
 	e.assign = e.assign[:n-1]
+	copy(e.assignPub[r:], e.assignPub[r+1:])
+	e.assignPub = e.assignPub[:n-1]
 	copy(e.pos[r:], e.pos[r+1:])
 	e.pos = e.pos[:n-1]
+	if r == n-1 {
+		return // removed the largest id; nothing to renumber
+	}
+	r32 := int32(r)
 	for i, id := range e.sorted {
-		if id > r {
+		if id > r32 {
 			e.sorted[i] = id - 1
 		}
 	}
 	for j := range e.machs {
 		for x, id := range e.machs[j].placed {
-			if id > r {
+			if id > r32 {
 				e.machs[j].placed[x] = id - 1
 			}
 		}
@@ -843,7 +1326,7 @@ func (e *Engine) Result() partition.Result {
 	}
 	return partition.Result{
 		Feasible:   true,
-		Assignment: e.assign,
+		Assignment: e.assignPub,
 		FailedTask: -1,
 		Loads:      e.loadsBuf,
 		Alpha:      e.alpha,
@@ -876,11 +1359,11 @@ func (e *Engine) SelfCheck() error {
 	}
 	seen := make([]bool, n)
 	for i, id := range e.sorted {
-		if id < 0 || id >= n || seen[id] {
+		if id < 0 || int(id) >= n || seen[id] {
 			return fmt.Errorf("online: sorted is not a permutation at %d", i)
 		}
 		seen[id] = true
-		if e.pos[id] != i {
+		if int(e.pos[id]) != i {
 			return fmt.Errorf("online: pos[%d] = %d, want %d", id, e.pos[id], i)
 		}
 		if i > 0 && !e.less(e.sorted[i-1], id) {
@@ -898,7 +1381,7 @@ func (e *Engine) SelfCheck() error {
 		}
 		load, prod := 0.0, 1.0
 		for x, id := range mc.placed {
-			if id < 0 || id >= n || placedOn[id] >= 0 {
+			if id < 0 || int(id) >= n || placedOn[id] >= 0 {
 				return fmt.Errorf("online: task %d multiply placed", id)
 			}
 			placedOn[id] = j
@@ -932,8 +1415,36 @@ func (e *Engine) SelfCheck() error {
 		}
 	}
 	for id := 0; id < n; id++ {
-		if placedOn[id] != e.assign[id] {
+		if placedOn[id] != int(e.assign[id]) {
 			return fmt.Errorf("online: task %d assigned to %d but placed on %d", id, e.assign[id], placedOn[id])
+		}
+		if e.assignPub[id] != int(e.assign[id]) {
+			return fmt.Errorf("online: task %d assignPub %d out of sync with assign %d", id, e.assignPub[id], e.assign[id])
+		}
+	}
+	if len(e.assignPub) != n {
+		return fmt.Errorf("online: assignPub length %d, want %d", len(e.assignPub), n)
+	}
+	if e.cps != nil {
+		// Checkpoints must be exact between mutations: entry c holds every
+		// machine's placement count strictly before position (c+1)·stride.
+		if want := n / e.cps.stride; len(e.cps.plen) != want {
+			return fmt.Errorf("online: %d checkpoints, want %d", len(e.cps.plen), want)
+		}
+		cnt := make([]int32, len(e.machs))
+		for i := 0; i <= n; i++ {
+			if i > 0 && i%e.cps.stride == 0 {
+				row := e.cps.plen[i/e.cps.stride-1]
+				for j := range cnt {
+					if row[j] != cnt[j] {
+						return fmt.Errorf("online: checkpoint at %d machine %d = %d, recount %d", i, j, row[j], cnt[j])
+					}
+				}
+			}
+			if i == n {
+				break
+			}
+			cnt[e.assign[e.sorted[i]]]++
 		}
 	}
 	return nil

@@ -68,8 +68,8 @@ func (e *Engine) PlanRepartition() (Plan, error) {
 		return pl, nil
 	}
 	for id := range e.assign {
-		if e.assign[id] != res.Assignment[id] {
-			pl.Moves = append(pl.Moves, Move{Task: id, From: e.assign[id], To: res.Assignment[id]})
+		if int(e.assign[id]) != res.Assignment[id] {
+			pl.Moves = append(pl.Moves, Move{Task: id, From: int(e.assign[id]), To: res.Assignment[id]})
 		}
 	}
 	return pl, nil
@@ -118,12 +118,12 @@ func (e *Engine) ApplyRepartition(pl Plan, maxMoves int) (int, error) {
 func (e *Engine) applyFull(pl Plan) error {
 	order := e.sorted
 	if e.order == ArrivalOrder {
-		order = make([]int, len(e.tasks))
+		order = make([]int32, len(e.tasks))
 		for i := range order {
-			order[i] = i
+			order[i] = int32(i)
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			return partition.TaskLessUtilDesc(e.tasks, order[a], order[b])
+			return partition.TaskLessUtilDesc(e.tasks, int(order[a]), int(order[b]))
 		})
 	}
 	e.begin(edit{op: opNone})
@@ -143,10 +143,12 @@ func (e *Engine) applyFull(pl Plan) error {
 			return fmt.Errorf("online: stale repartition plan: task %d no longer fits machine %d", id, j)
 		}
 		e.journalAssign(id)
-		e.assign[id] = j
+		e.assign[id] = int32(j)
 		e.place(j, id)
 	}
-	e.ed = edit{}
+	// Every machine was rebuilt, so every checkpoint is invalidated;
+	// commit recycles the journal and re-sweeps them from position 0.
+	e.commit(0)
 	return nil
 }
 
@@ -167,19 +169,19 @@ func (e *Engine) applyPartial(pl Plan, maxMoves int) (int, error) {
 			break
 		}
 		id := mv.Task
-		if id < 0 || id >= len(e.tasks) || e.assign[id] != mv.From {
+		if id < 0 || id >= len(e.tasks) || int(e.assign[id]) != mv.From {
 			continue // stale entry; skip rather than fail the round
 		}
 		e.begin(edit{op: opNone})
-		e.splice(mv.From, id)
-		if !e.fitsAgg(mv.To, id) {
+		e.splice(mv.From, int32(id))
+		if !e.fitsAgg(mv.To, int32(id)) {
 			e.rollback()
 			continue // destination full right now; a later round retries
 		}
-		e.journalAssign(id)
-		e.assign[id] = mv.To
-		e.place(mv.To, id)
-		e.ed = edit{}
+		e.journalAssign(int32(id))
+		e.assign[id] = int32(mv.To)
+		e.place(mv.To, int32(id))
+		e.commit(0)
 		applied++
 	}
 	return applied, nil

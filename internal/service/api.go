@@ -89,11 +89,11 @@ type TestRequest struct {
 // function of the library Report (see TestResponseFrom), which is what
 // makes served responses comparable byte-for-byte with direct calls.
 type TestResponse struct {
-	Accepted  bool      `json:"accepted"`
-	Scheduler string    `json:"scheduler"`
-	Alpha     float64   `json:"alpha"`
-	Assignment []int    `json:"assignment"`
-	Loads     []float64 `json:"loads"`
+	Accepted   bool      `json:"accepted"`
+	Scheduler  string    `json:"scheduler"`
+	Alpha      float64   `json:"alpha"`
+	Assignment []int     `json:"assignment"`
+	Loads      []float64 `json:"loads"`
 	// FailedTask is the input index of the paper's τ_n on rejection, -1 on
 	// acceptance.
 	FailedTask int `json:"failed_task"`
@@ -216,6 +216,34 @@ type AddTaskRequest struct {
 	// Force commits the change even when the re-test rejects.
 	Force     bool  `json:"force,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AdmitBatchRequest offers several tasks to a session at once. The
+// engine places the whole batch with one merged suffix replay, so a
+// batch of interior-landing tasks costs roughly one replay instead of
+// one per task; verdicts are identical to admitting the tasks one at a
+// time in input order.
+type AdmitBatchRequest struct {
+	Tasks []TaskJSON `json:"tasks"`
+	// Mode is "best_effort" (default: admit the subset sequential
+	// admission would admit) or "all_or_nothing" (the batch commits
+	// atomically or not at all).
+	Mode      string `json:"mode,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// BatchAdmissionResponse is the outcome of one admit-batch call.
+type BatchAdmissionResponse struct {
+	Mode string `json:"mode"`
+	// Admitted holds one verdict per input task, in input order.
+	Admitted []bool `json:"admitted"`
+	// NAdmitted counts true verdicts; NTasks is the session's task count
+	// after the operation.
+	NAdmitted int `json:"n_admitted"`
+	NTasks    int `json:"n_tasks"`
+	// Test is the session state after the batch on any admission, or the
+	// rejection witness when nothing was admitted.
+	Test TestResponse `json:"test"`
 }
 
 // UpdateWCETRequest changes one task's WCET (incremental re-test via

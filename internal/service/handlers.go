@@ -57,6 +57,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap("/v1/sessions/{id}", s.handleSessionDelete))
 	mux.HandleFunc("POST /v1/sessions/{id}/test", s.wrap("/v1/sessions/{id}/test", s.handleSessionTest))
 	mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.wrap("/v1/sessions/{id}/tasks", s.handleSessionAddTask))
+	mux.HandleFunc("POST /v1/sessions/{id}/admit-batch", s.wrap("/v1/sessions/{id}/admit-batch", s.handleSessionAdmitBatch))
 	mux.HandleFunc("DELETE /v1/sessions/{id}/tasks/{index}", s.wrap("/v1/sessions/{id}/tasks/{index}", s.handleSessionRemoveTask))
 	mux.HandleFunc("POST /v1/sessions/{id}/wcet", s.wrap("/v1/sessions/{id}/wcet", s.handleSessionUpdateWCET))
 	mux.HandleFunc("POST /v1/sessions/{id}/repartition", s.wrap("/v1/sessions/{id}/repartition", s.handleSessionRepartition))
@@ -347,6 +348,40 @@ func (s *Server) handleSessionAddTask(w http.ResponseWriter, r *http.Request) (a
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	resp, err := sess.addTask(ctx, t, req.Force)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleSessionAdmitBatch(w http.ResponseWriter, r *http.Request) (any, int, error) {
+	var req AdmitBatchRequest
+	if err := decode(w, r, &req); err != nil {
+		return nil, 0, err
+	}
+	var mode online.BatchMode
+	switch req.Mode {
+	case "", online.BestEffort.String():
+		mode = online.BestEffort
+	case online.AllOrNothing.String():
+		mode = online.AllOrNothing
+	default:
+		return nil, 0, badRequest("unknown mode %q (want %q or %q)", req.Mode, online.BestEffort, online.AllOrNothing)
+	}
+	ts := make([]partfeas.Task, len(req.Tasks))
+	for i, tj := range req.Tasks {
+		ts[i] = partfeas.Task{Name: tj.Name, WCET: tj.WCET, Period: tj.Period}
+		if err := ts[i].Validate(); err != nil {
+			return nil, 0, badRequest("batch task %d: %v", i, err)
+		}
+	}
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := sess.addTaskBatch(ctx, ts, mode)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -31,9 +31,15 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[reqKey]uint64
 
-	hist     [histBuckets + 1]atomic.Uint64
-	histCnt  atomic.Uint64
-	histSum  atomic.Uint64 // nanoseconds
+	hist    [histBuckets + 1]atomic.Uint64
+	histCnt atomic.Uint64
+	histSum atomic.Uint64 // nanoseconds
+
+	// Per-path session-admission counters and latency histograms
+	// (engine mutation time, not whole-request time).
+	admitHist [nPaths][histBuckets + 1]atomic.Uint64
+	admitCnt  [nPaths]atomic.Uint64
+	admitSum  [nPaths]atomic.Uint64 // nanoseconds
 
 	// sessionsActive and poolStats are read at scrape time.
 	sessionsActive func() int
@@ -43,6 +49,36 @@ type Metrics struct {
 type reqKey struct {
 	endpoint string
 	code     int
+}
+
+// AdmissionPath classifies how a session admission was executed, as
+// reported by the engine's per-op stats: the end-of-order fast path, an
+// interior suffix replay, an explicit admit-batch request, or a group
+// of concurrent single admits the session coalesced into one merged
+// replay.
+type AdmissionPath int
+
+const (
+	PathTail AdmissionPath = iota
+	PathInterior
+	PathBatch
+	PathCoalesced
+	nPaths
+)
+
+func (p AdmissionPath) String() string {
+	switch p {
+	case PathTail:
+		return "tail"
+	case PathInterior:
+		return "interior"
+	case PathBatch:
+		return "batch"
+	case PathCoalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("path%d", int(p))
+	}
 }
 
 // NewMetrics builds the metrics registry; sessions and pool are read
@@ -72,6 +108,41 @@ func (m *Metrics) RequestDone(endpoint string, code int, d time.Duration) {
 
 // RequestCanceled counts a request abandoned by its client mid-flight.
 func (m *Metrics) RequestCanceled() { m.canceled.Add(1) }
+
+// AdmissionObserved records one session admission served on the given
+// path, with the time the engine mutation took.
+func (m *Metrics) AdmissionObserved(p AdmissionPath, d time.Duration) {
+	if p < 0 || p >= nPaths {
+		return
+	}
+	m.admitHist[p][bucketOf(d)].Add(1)
+	m.admitCnt[p].Add(1)
+	m.admitSum[p].Add(uint64(d.Nanoseconds()))
+}
+
+// admitQuantile estimates the q-quantile of one path's admission
+// latency histogram; 0 with no data.
+func (m *Metrics) admitQuantile(p AdmissionPath, q float64) time.Duration {
+	total := m.admitCnt[p].Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += m.admitHist[p][i].Load()
+		if cum > rank {
+			if i == histBuckets {
+				return histBase << uint(histBuckets-1)
+			}
+			return histBase << uint(i)
+		}
+	}
+	return histBase << uint(histBuckets-1)
+}
 
 func bucketOf(d time.Duration) int {
 	if d < 0 {
@@ -176,6 +247,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP partfeas_sessions_active Open admission sessions.\n")
 		fmt.Fprintf(w, "# TYPE partfeas_sessions_active gauge\n")
 		fmt.Fprintf(w, "partfeas_sessions_active %d\n", m.sessionsActive())
+	}
+
+	fmt.Fprintf(w, "# HELP partfeas_admissions_total Session admissions by engine path.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_admissions_total counter\n")
+	for p := AdmissionPath(0); p < nPaths; p++ {
+		fmt.Fprintf(w, "partfeas_admissions_total{path=%q} %d\n", p.String(), m.admitCnt[p].Load())
+	}
+	fmt.Fprintf(w, "# HELP partfeas_admission_duration_seconds Engine admission latency quantiles by path (log-bucket upper bounds).\n")
+	fmt.Fprintf(w, "# TYPE partfeas_admission_duration_seconds summary\n")
+	for p := AdmissionPath(0); p < nPaths; p++ {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "partfeas_admission_duration_seconds{path=%q,quantile=\"%g\"} %g\n", p.String(), q, m.admitQuantile(p, q).Seconds())
+		}
+		fmt.Fprintf(w, "partfeas_admission_duration_seconds_sum{path=%q} %g\n", p.String(), float64(m.admitSum[p].Load())/1e9)
+		fmt.Fprintf(w, "partfeas_admission_duration_seconds_count{path=%q} %d\n", p.String(), m.admitCnt[p].Load())
 	}
 
 	fmt.Fprintf(w, "# HELP partfeas_http_request_duration_seconds Request latency quantiles (log-bucket upper bounds).\n")

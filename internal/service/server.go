@@ -77,6 +77,7 @@ func New(cfg Config) *Server {
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
 	s.metrics = NewMetrics(s.sessions.count, s.pool.Stats)
+	s.sessions.mx = s.metrics
 	s.handler = s.routes()
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"partfeas"
 	"partfeas/internal/online"
@@ -41,6 +42,24 @@ type session struct {
 	eng       *online.Engine   // nil while the resident set is (force-)infeasible
 	tester    *partfeas.Tester // batch fallback; nil when stale (rebuilt lazily)
 	closed    bool
+	mx        *Metrics // per-path admission metrics; nil in bare tests
+
+	// Admit coalescing: concurrent non-force single admits enqueue here
+	// and whichever request acquires s.mu next drains the whole queue as
+	// one merged engine batch (see addTask). pendMu is always acquired
+	// after s.mu or alone, never the other way around.
+	pendMu  sync.Mutex
+	pending []*admitWaiter
+}
+
+// admitWaiter is one queued single-task admission awaiting a coalesced
+// drain. done is closed by the draining request after resp/err are set.
+type admitWaiter struct {
+	ctx  context.Context
+	t    partfeas.Task
+	resp AdmissionResponse
+	err  error
+	done chan struct{}
 }
 
 // sessionStore owns the id → session map.
@@ -49,6 +68,7 @@ type sessionStore struct {
 	seq uint64
 	max int
 	m   map[string]*session
+	mx  *Metrics // propagated into every session it creates
 }
 
 func newSessionStore(max int) *sessionStore {
@@ -81,6 +101,7 @@ func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement on
 		alpha:     alpha,
 		placement: placement,
 		tester:    tester,
+		mx:        st.mx,
 	}
 	s.armEngine() // sessions may open infeasible; they just start on the batch path
 	st.mu.Lock()
@@ -246,9 +267,117 @@ func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error)
 // addTask tentatively admits one more task: committed only on acceptance
 // (or force). The armed engine answers incrementally; a force-committed
 // rejection drops to the batch path until the set is feasible again.
+//
+// Non-force admits coalesce opportunistically: the request enqueues its
+// task, then takes the session lock; whichever request gets the lock
+// first drains every queued admit as one merged engine batch (best-
+// effort semantics, identical verdicts to admitting them in queue
+// order) and completes the others' responses. Under contention n
+// queued interior admits cost one suffix replay instead of n; with no
+// contention the queue holds a single entry and the plain path runs.
 func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
+	if force {
+		// Force commits can disarm the engine mid-group; keep them out
+		// of coalesced batches. They serialize on s.mu like everything
+		// else, so verdict linearizability is unaffected.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.addTaskLocked(ctx, t, true)
+	}
+	w := &admitWaiter{ctx: ctx, t: t, done: make(chan struct{})}
+	s.pendMu.Lock()
+	s.pending = append(s.pending, w)
+	s.pendMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pendMu.Lock()
+	group := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	s.drainAdmits(group) // may be empty, may not include w, may be w alone
+	s.mu.Unlock()
+	<-w.done // completed by this drain or an earlier one
+	return w.resp, w.err
+}
+
+// drainAdmits serves a coalesced group of queued single admits; the
+// caller holds s.mu. A singleton group runs the plain single-admit
+// path; larger groups run one engine AdmitBatch in queue order and
+// share the group's final state as their test response (each verdict
+// still equals what a sequential admit at that queue position would
+// have answered).
+func (s *session) drainAdmits(group []*admitWaiter) {
+	if len(group) == 0 {
+		return
+	}
+	live := group[:0]
+	for _, w := range group {
+		switch {
+		case s.closed:
+			w.err = errSessionClosed
+			close(w.done)
+		case ctxGuard(w.ctx) != nil:
+			w.err = ctxGuard(w.ctx)
+			close(w.done)
+		default:
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 || s.eng == nil {
+		// No useful merge: the plain path answers each waiter (and keeps
+		// single-admit witness semantics and tail/interior metrics).
+		for _, w := range live {
+			w.resp, w.err = s.addTaskLocked(w.ctx, w.t, false)
+			close(w.done)
+		}
+		return
+	}
+	ts := make(partfeas.TaskSet, len(live))
+	for i, w := range live {
+		ts[i] = w.t
+	}
+	start := time.Now()
+	res, admitted, err := s.eng.AdmitBatch(ts, online.BestEffort)
+	if err != nil {
+		herr := &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		for _, w := range live {
+			w.err = herr
+			close(w.done)
+		}
+		return
+	}
+	if s.mx != nil {
+		d := time.Since(start)
+		for range live {
+			s.mx.AdmissionObserved(PathCoalesced, d)
+		}
+	}
+	any := false
+	for i, ok := range admitted {
+		if ok {
+			s.in.Tasks = append(s.in.Tasks, live[i].t)
+			any = true
+		}
+	}
+	if any {
+		s.tester = nil
+	}
+	test := TestResponseFrom(s.engReport(res))
+	for i, w := range live {
+		w.resp = AdmissionResponse{
+			Admitted:   admitted[i],
+			RolledBack: !admitted[i],
+			NTasks:     len(s.in.Tasks),
+			Test:       test,
+		}
+		close(w.done)
+	}
+}
+
+// addTaskLocked is the single-admit body; the caller holds s.mu.
+func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
 	if s.closed {
 		return AdmissionResponse{}, errSessionClosed
 	}
@@ -256,10 +385,12 @@ func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (Adm
 		if err := ctxGuard(ctx); err != nil {
 			return AdmissionResponse{}, err
 		}
+		start := time.Now()
 		res, admitted, err := s.eng.Admit(t)
 		if err != nil {
 			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		}
+		s.observeAdmission(start)
 		resp := AdmissionResponse{Admitted: admitted || force, Test: TestResponseFrom(s.engReport(res))}
 		switch {
 		case admitted:
@@ -297,6 +428,181 @@ func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (Adm
 	}
 	resp.NTasks = len(s.in.Tasks)
 	return resp, nil
+}
+
+// observeAdmission classifies the engine's most recent single admit as
+// tail or interior and records its latency. Caller holds s.mu and must
+// call this immediately after the engine operation.
+func (s *session) observeAdmission(start time.Time) {
+	if s.mx == nil {
+		return
+	}
+	p := PathInterior
+	if s.eng.LastOpStats().Tail {
+		p = PathTail
+	}
+	s.mx.AdmissionObserved(p, time.Since(start))
+}
+
+// addTaskBatch admits several tasks in one call. With an armed engine
+// the whole batch is one merged suffix replay; per-task verdicts are
+// identical to admitting the tasks one at a time in input order
+// (best-effort mode) or the batch commits atomically or not at all
+// (all-or-nothing mode). While the resident set is infeasible the
+// fallback answers each task through the batch tester with best-effort
+// semantics; all-or-nothing then degenerates to reject-all, since
+// adding tasks cannot restore feasibility.
+func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, mode online.BatchMode) (BatchAdmissionResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return BatchAdmissionResponse{}, errSessionClosed
+	}
+	if len(ts) == 0 {
+		rep, err := s.currentReport(ctx)
+		if err != nil {
+			return BatchAdmissionResponse{}, err
+		}
+		return BatchAdmissionResponse{
+			Mode:     mode.String(),
+			Admitted: []bool{},
+			NTasks:   len(s.in.Tasks),
+			Test:     TestResponseFrom(rep),
+		}, nil
+	}
+	if s.eng != nil {
+		if err := ctxGuard(ctx); err != nil {
+			return BatchAdmissionResponse{}, err
+		}
+		start := time.Now()
+		res, admitted, err := s.eng.AdmitBatch(ts, mode)
+		if err != nil {
+			return BatchAdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		if s.mx != nil {
+			s.mx.AdmissionObserved(PathBatch, time.Since(start))
+		}
+		n := 0
+		for i, ok := range admitted {
+			if ok {
+				s.in.Tasks = append(s.in.Tasks, ts[i])
+				n++
+			}
+		}
+		if n > 0 {
+			s.tester = nil
+		}
+		return BatchAdmissionResponse{
+			Mode:      mode.String(),
+			Admitted:  admitted,
+			NAdmitted: n,
+			NTasks:    len(s.in.Tasks),
+			Test:      TestResponseFrom(s.engReport(res)),
+		}, nil
+	}
+
+	// Batch-tester fallback (resident set infeasible). All-or-nothing:
+	// one union test decides the whole batch. Best-effort: admit each
+	// task in order against the then-current set.
+	admitted := make([]bool, len(ts))
+	if mode == online.AllOrNothing {
+		cand := append(s.in.Tasks.Clone(), ts...)
+		tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
+		if err != nil {
+			return BatchAdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		rep, err := tester.TestCtx(ctx, s.alpha)
+		if err != nil {
+			return BatchAdmissionResponse{}, err
+		}
+		n := 0
+		if rep.Accepted {
+			s.in.Tasks = cand
+			s.tester = tester
+			s.armEngine()
+			for i := range admitted {
+				admitted[i] = true
+			}
+			n = len(ts)
+		}
+		return BatchAdmissionResponse{
+			Mode:      mode.String(),
+			Admitted:  admitted,
+			NAdmitted: n,
+			NTasks:    len(s.in.Tasks),
+			Test:      TestResponseFrom(rep),
+		}, nil
+	}
+	n := 0
+	var last partfeas.Report
+	for i, t := range ts {
+		cand := append(s.in.Tasks.Clone(), t)
+		tester, err := partfeas.NewTester(cand, s.in.Platform, s.in.Scheduler)
+		if err != nil {
+			return BatchAdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+		}
+		rep, err := tester.TestCtx(ctx, s.alpha)
+		if err != nil {
+			return BatchAdmissionResponse{}, err
+		}
+		last = rep
+		if rep.Accepted {
+			admitted[i] = true
+			n++
+			s.in.Tasks = cand
+			s.tester = tester
+			s.armEngine()
+			if s.eng != nil {
+				// Feasibility returned mid-batch: the engine finishes it.
+				rest, err := s.addTaskBatchEngine(ctx, ts[i+1:], admitted[i+1:])
+				if err != nil {
+					return BatchAdmissionResponse{}, err
+				}
+				n += rest
+				break
+			}
+		}
+	}
+	resp := BatchAdmissionResponse{
+		Mode:      mode.String(),
+		Admitted:  admitted,
+		NAdmitted: n,
+		NTasks:    len(s.in.Tasks),
+	}
+	if s.eng != nil {
+		resp.Test = TestResponseFrom(s.engReport(s.eng.Result()))
+	} else {
+		resp.Test = TestResponseFrom(last)
+	}
+	return resp, nil
+}
+
+// addTaskBatchEngine finishes a best-effort batch on the engine after
+// the tester fallback restored feasibility partway through. Caller
+// holds s.mu; verdicts land in the admitted slice.
+func (s *session) addTaskBatchEngine(ctx context.Context, ts []partfeas.Task, admitted []bool) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	if err := ctxGuard(ctx); err != nil {
+		return 0, err
+	}
+	_, adm, err := s.eng.AdmitBatch(ts, online.BestEffort)
+	if err != nil {
+		return 0, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	n := 0
+	for i, ok := range adm {
+		admitted[i] = ok
+		if ok {
+			s.in.Tasks = append(s.in.Tasks, ts[i])
+			n++
+		}
+	}
+	if n > 0 {
+		s.tester = nil
+	}
+	return n, nil
 }
 
 // commitInfeasible installs a set the engine refused (force commits and
