@@ -78,3 +78,14 @@ bench6:
 		-note 'checkpointed suffix replay + batch admission (m=64, n=1000)' \
 		-baseline results/BENCH_5.json -max-regress 0.25 \
 		-o results/BENCH_6.json
+
+## bench7: record the tiered constrained-deadline admission benchmarks to
+## results/BENCH_7.json, gated against the BENCH_6 baseline — the gate
+## fails if any implicit-path benchmark regresses; the new
+## BenchmarkOnlineAdmitDBF tiered/exact variants (with their
+## cheap-tier-rate export) pass through as additions.
+bench7:
+	$(GO) run ./cmd/benchjson -pkg ./internal/online -benchtime 0.3s \
+		-note 'tiered DBF admission: tiered (k=8) vs exact-only (k=0), constrained deadlines (m=64, n=1000)' \
+		-baseline results/BENCH_6.json -max-regress 0.25 \
+		-o results/BENCH_7.json

@@ -25,11 +25,20 @@
 // WCETs to a heavy-tailed Pareto draw with the paired period scaled to
 // hold utilization at the flavor's target.
 //
+// `-suite dbf` switches the run to a constrained-deadline session:
+// generated tasks carry relative deadlines drawn with D/T uniform in
+// [`-deadline-ratio`, 1], admissions route through the tiered DBF
+// pipeline, and the summary reports each tier's hit rate (density /
+// dbf_approx / dbf_exact, scraped from /metrics) alongside the latency
+// quantiles. Repartition is not part of the dbf mix — constrained
+// sessions refuse it — so that slot carries an extra tail admit.
+//
 // Usage:
 //
 //	loadgen                                  # in-process server, 200 req/s for 2s
 //	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
 //	loadgen -mix 0.9 -pareto 1.5             # interior-heavy, heavy-tailed WCETs
+//	loadgen -suite dbf -deadline-ratio 0.4   # constrained deadlines, tiered admission
 //	loadgen -o results/LOADGEN.json          # record a benchfmt suite
 package main
 
@@ -62,12 +71,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "arrival-process seed")
 		mix       = flag.Float64("mix", 0.5, "interior fraction of single-task admits, in [0,1]")
 		pareto    = flag.Float64("pareto", 0, "Pareto tail index for WCET draws; 0 keeps WCETs fixed")
+		suite     = flag.String("suite", "implicit", `workload suite: "implicit" (D = T) or "dbf" (constrained deadlines, tiered admission)`)
+		dlRatio   = flag.Float64("deadline-ratio", 0.5, "dbf suite: lower bound of the uniform D/T draw, in (0,1]")
 		out       = flag.String("o", "", "write per-endpoint results as a benchfmt JSON suite")
 		note      = flag.String("note", "", "free-form label recorded in the suite document")
 		maxErrors = flag.Int("max-errors", 0, "exit nonzero when more requests than this fail")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *out, *note, *maxErrors); err != nil {
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *dlRatio, *out, *note, *maxErrors); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -121,7 +132,27 @@ type taskGen struct {
 	rng    *rand.Rand
 	mix    float64
 	pareto float64
-	acc    float64
+	// dlRatio > 0 switches generated tasks to constrained deadlines:
+	// D/T is drawn uniform in [dlRatio, 1] and clamped to D ≥ C. Zero
+	// keeps deadlines implicit (no deadline field on the wire).
+	dlRatio float64
+	acc     float64
+}
+
+// taskJSON renders one task object, with the deadline field only when
+// the generator runs in constrained mode.
+func (g *taskGen) taskJSON(w, p int64) string {
+	if g.dlRatio <= 0 {
+		return fmt.Sprintf(`{"wcet":%d,"period":%d}`, w, p)
+	}
+	d := int64(float64(p) * (g.dlRatio + (1-g.dlRatio)*g.rng.Float64()))
+	if d < w {
+		d = w
+	}
+	if d > p {
+		d = p
+	}
+	return fmt.Sprintf(`{"wcet":%d,"period":%d,"deadline":%d}`, w, p, d)
 }
 
 // wcet draws one WCET: fixed when -pareto is off, otherwise
@@ -158,7 +189,7 @@ func (g *taskGen) add() (int, string) {
 		u = interiorULo + (interiorUHi-interiorULo)*g.rng.Float64()
 	}
 	w := g.wcet()
-	return kind, fmt.Sprintf(`{"task":{"wcet":%d,"period":%d}}`, w, periodFor(w, u))
+	return kind, `{"task":` + g.taskJSON(w, periodFor(w, u)) + `}`
 }
 
 // batch emits one best-effort admit-batch body alternating tail and
@@ -176,7 +207,7 @@ func (g *taskGen) batch() string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, `{"wcet":%d,"period":%d}`, w, periodFor(w, u))
+		sb.WriteString(g.taskJSON(w, periodFor(w, u)))
 	}
 	sb.WriteString(`]}`)
 	return sb.String()
@@ -211,7 +242,7 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, out, note string, maxErrors int) error {
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName string, dlRatio float64, out, note string, maxErrors int) error {
 	if !(rate > 0) {
 		return fmt.Errorf("rate %v must be positive", rate)
 	}
@@ -220,6 +251,13 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	}
 	if pareto < 0 || math.IsNaN(pareto) {
 		return fmt.Errorf("pareto %v must be ≥ 0", pareto)
+	}
+	if suiteName != "implicit" && suiteName != "dbf" {
+		return fmt.Errorf("suite %q must be \"implicit\" or \"dbf\"", suiteName)
+	}
+	dbfSuite := suiteName == "dbf"
+	if dbfSuite && !(dlRatio > 0 && dlRatio <= 1) {
+		return fmt.Errorf("deadline-ratio %v must be in (0,1]", dlRatio)
 	}
 	if clients < 1 {
 		clients = 1
@@ -241,9 +279,18 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	addr = strings.TrimSuffix(addr, "/")
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	sessionID, err := openSession(client, addr)
+	sessionID, err := openSession(client, addr, dbfSuite)
 	if err != nil {
 		return fmt.Errorf("opening load session: %w", err)
+	}
+	tierBase := map[string]float64{}
+	if dbfSuite {
+		// Baseline the tier counters so an external server's prior
+		// traffic (and our own session-create solve) doesn't pollute
+		// the run's hit rates.
+		if tierBase, err = scrapeTiers(client, addr); err != nil {
+			return fmt.Errorf("scraping tier baseline: %w", err)
+		}
 	}
 
 	var stats [kindCount]epStats
@@ -266,7 +313,14 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	// seed and mix carries the same request stream.
 	rng := rand.New(rand.NewSource(seed))
 	gen := &taskGen{rng: rng, mix: mix, pareto: pareto}
-	slots := [...]int{kindTest, kindSessionGet, kindTailAdd, kindWCET, kindTailAdd, kindRepartition, kindBatchAdd}
+	slots := []int{kindTest, kindSessionGet, kindTailAdd, kindWCET, kindTailAdd, kindRepartition, kindBatchAdd}
+	if dbfSuite {
+		gen.dlRatio = dlRatio
+		// Constrained sessions refuse repartition; keep the slot cycle
+		// length (and thus the arrival schedule) by substituting an
+		// extra admit, the operation the dbf suite is here to measure.
+		slots[5] = kindTailAdd
+	}
 	start := time.Now()
 	next := start
 	sent := 0
@@ -289,12 +343,16 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	bench := "loadgen"
+	if dbfSuite {
+		bench = "loadgen-dbf"
+	}
 	suite := benchfmt.Suite{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Bench:     "loadgen",
+		Bench:     bench,
 		Benchtime: duration.String(),
 		Note:      note,
 	}
@@ -330,6 +388,28 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 			},
 		})
 	}
+	if dbfSuite {
+		after, err := scrapeTiers(client, addr)
+		if err != nil {
+			return fmt.Errorf("scraping tier counters: %w", err)
+		}
+		total := 0.0
+		for _, path := range tierPaths {
+			total += after[path] - tierBase[path]
+		}
+		res := benchfmt.Result{Name: "Loadgen/tier_hit_rate", Iterations: int64(total), Extra: map[string]float64{}}
+		fmt.Fprintf(w, "tiers (%d decisions):", int64(total))
+		for _, path := range tierPaths {
+			rate := 0.0
+			if total > 0 {
+				rate = (after[path] - tierBase[path]) / total
+			}
+			res.Extra[path] = rate
+			fmt.Fprintf(w, " %s=%.3f", path, rate)
+		}
+		fmt.Fprintln(w)
+		suite.Results = append(suite.Results, res)
+	}
 	if out != "" {
 		if err := suite.Write(out); err != nil {
 			return err
@@ -348,8 +428,57 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 // both answer shapes without ever producing a non-200.
 const loadBody = `{"tasks":[{"name":"video","wcet":9,"period":30},{"name":"audio","wcet":1,"period":4},{"name":"net","wcet":3,"period":10}],"speeds":[1,1,4],"scheduler":"edf"}`
 
-func openSession(client *http.Client, addr string) (string, error) {
-	resp, err := client.Post(addr+"/v1/sessions", "application/json", strings.NewReader(loadBody))
+// loadBodyDBF is the dbf suite's session: the same platform and
+// utilizations, but created as a constrained-deadline session with the
+// residents' deadlines pulled below their periods, so every subsequent
+// admission routes through the tiered DBF pipeline.
+const loadBodyDBF = `{"tasks":[{"name":"video","wcet":9,"period":30,"deadline":20},{"name":"audio","wcet":1,"period":4,"deadline":3},{"name":"net","wcet":3,"period":10,"deadline":8}],"speeds":[1,1,4],"scheduler":"edf","deadline_model":"constrained"}`
+
+// tierPaths are the admission-tier counters the dbf suite reports, in
+// pipeline order: the O(1) density pre-filter, the approximate demand
+// band, and the exact processor-demand fallback.
+var tierPaths = []string{"density", "dbf_approx", "dbf_exact"}
+
+// scrapeTiers reads the server's per-tier admission counters from the
+// Prometheus endpoint.
+func scrapeTiers(client *http.Client, addr string) (map[string]float64, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %d %s", resp.StatusCode, raw)
+	}
+	got := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		for _, path := range tierPaths {
+			marker := fmt.Sprintf("partfeas_admissions_total{path=%q} ", path)
+			if rest, ok := strings.CutPrefix(line, marker); ok {
+				var v float64
+				if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+					return nil, fmt.Errorf("parsing %q counter from %q: %w", path, line, err)
+				}
+				got[path] = v
+			}
+		}
+	}
+	if len(got) != len(tierPaths) {
+		return nil, fmt.Errorf("/metrics exposes %d of %d tier counters", len(got), len(tierPaths))
+	}
+	return got, nil
+}
+
+func openSession(client *http.Client, addr string, dbfSuite bool) (string, error) {
+	body := loadBody
+	if dbfSuite {
+		body = loadBodyDBF
+	}
+	resp, err := client.Post(addr+"/v1/sessions", "application/json", strings.NewReader(body))
 	if err != nil {
 		return "", err
 	}

@@ -20,7 +20,7 @@ import (
 func TestRunInProcess(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "load.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 1.5, out, "smoke", 0); err != nil {
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 1.5, "implicit", 0.5, out, "smoke", 0); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	suite, err := benchfmt.Load(out)
@@ -47,6 +47,51 @@ func TestRunInProcess(t *testing.T) {
 		if !seen[path] {
 			t.Errorf("suite missing admission path %q:\n%s", path, buf.String())
 		}
+	}
+}
+
+// TestRunDBFSuite drives the constrained-deadline suite: the run must
+// finish with zero errors against an in-process server, skip the
+// repartition endpoint (constrained sessions refuse it), and report
+// per-tier hit rates that account for every admission decision.
+func TestRunDBFSuite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dbf.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 0, "dbf", 0.4, out, "dbf smoke", 0); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	suite, err := benchfmt.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Bench != "loadgen-dbf" {
+		t.Errorf("bench = %q, want loadgen-dbf", suite.Bench)
+	}
+	var tiers *benchfmt.Result
+	for i, r := range suite.Results {
+		if r.Name == "Loadgen/repartition" {
+			t.Errorf("dbf suite hit the repartition endpoint: %+v", r)
+		}
+		if r.Name == "Loadgen/tier_hit_rate" {
+			tiers = &suite.Results[i]
+		}
+	}
+	if tiers == nil {
+		t.Fatalf("suite missing tier hit rates:\n%s", buf.String())
+	}
+	if tiers.Iterations == 0 {
+		t.Fatalf("no tier decisions recorded:\n%s", buf.String())
+	}
+	sum := 0.0
+	for _, path := range tierPaths {
+		rate, ok := tiers.Extra[path]
+		if !ok || rate < 0 || rate > 1 {
+			t.Errorf("tier %q rate %v out of range", path, rate)
+		}
+		sum += rate
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("tier rates sum to %v, want 1", sum)
 	}
 }
 
@@ -87,13 +132,22 @@ func TestQuantile(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, time.Millisecond, 1, 1, 0.5, 0, "", "", 0); err == nil {
+	if err := run(&buf, "", 0, time.Millisecond, 1, 1, 0.5, 0, "implicit", 0.5, "", "", 0); err == nil {
 		t.Error("rate 0 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 1.5, 0, "", "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 1.5, 0, "implicit", 0.5, "", "", 0); err == nil {
 		t.Error("mix 1.5 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, -1, "", "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, -1, "implicit", 0.5, "", "", 0); err == nil {
 		t.Error("pareto -1 accepted")
+	}
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "arbitrary", 0.5, "", "", 0); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", 0, "", "", 0); err == nil {
+		t.Error("deadline-ratio 0 accepted for dbf suite")
+	}
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", 1.5, "", "", 0); err == nil {
+		t.Error("deadline-ratio 1.5 accepted")
 	}
 }

@@ -91,17 +91,36 @@ func (s Set) TotalDensity() float64 {
 }
 
 // DBF returns the demand bound function at time t: the maximal work that
-// can both be released and be due within any window of length t.
+// can both be released and be due within any window of length t. Demand
+// beyond int64 range saturates at math.MaxInt64 rather than wrapping, so
+// the result stays monotone in t; callers that must distinguish genuine
+// demand from saturation use dbfChecked.
 func (s Set) DBF(t int64) int64 {
-	var demand int64
+	d, ok := s.dbfChecked(t)
+	if !ok {
+		return math.MaxInt64
+	}
+	return d
+}
+
+// dbfChecked is DBF with overflow detection: ok is false when the exact
+// demand does not fit in int64 (jobs·C or the running sum overflows).
+func (s Set) dbfChecked(t int64) (demand int64, ok bool) {
 	for _, tk := range s {
 		if t < tk.Deadline {
 			continue
 		}
 		jobs := (t-tk.Deadline)/tk.Period + 1
-		demand += jobs * tk.WCET
+		if jobs > math.MaxInt64/tk.WCET {
+			return 0, false
+		}
+		d := jobs * tk.WCET
+		if demand > math.MaxInt64-d {
+			return 0, false
+		}
+		demand += d
 	}
-	return demand
+	return demand, true
 }
 
 // ApproxDBF returns the k-step approximate demand bound: exact for each
@@ -136,6 +155,10 @@ const maxCheckpoints = 5_000_000
 // checkpoints than the budget allows (utilization too close to capacity
 // with wildly incommensurate periods).
 var ErrHorizonTooLarge = errors.New("dbf: analysis horizon too large")
+
+// ErrDemandOverflow is returned when the exact demand at a checkpoint
+// exceeds int64 range, so the test cannot answer without a wrong value.
+var ErrDemandOverflow = errors.New("dbf: demand exceeds int64 range")
 
 // FeasibleEDF decides exactly whether EDF schedules the set on one
 // machine of the given speed, via processor-demand analysis over all
@@ -178,6 +201,13 @@ func FeasibleEDF(s Set, speed float64) (bool, error) {
 			num += float64(t.Period-t.Deadline) * t.Utilization()
 		}
 		la := num / (speed - u)
+		// Guard the float→int64 conversion: for co-prime large periods at
+		// utilizations close to the speed, la can exceed int64 range, and
+		// int64(huge float) is implementation-defined garbage. Same guarded
+		// bound as the hyperperiod branch below.
+		if la >= float64(1<<62) {
+			return false, ErrHorizonTooLarge
+		}
 		horizon = int64(math.Ceil(la))
 		if horizon < maxD {
 			horizon = maxD
@@ -221,7 +251,11 @@ func checkDemand(s Set, speed float64, horizon int64) (bool, error) {
 		if t > horizon || t == math.MaxInt64 {
 			return true, nil
 		}
-		if float64(s.DBF(t)) > speed*float64(t)*(1+1e-12) {
+		d, ok := s.dbfChecked(t)
+		if !ok {
+			return false, ErrDemandOverflow
+		}
+		if float64(d) > speed*float64(t)*(1+1e-12) {
 			return false, nil
 		}
 		for i, tk := range s {

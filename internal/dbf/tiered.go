@@ -1,0 +1,192 @@
+package dbf
+
+import (
+	"fmt"
+	"math"
+)
+
+func errBadSpeed(speed float64) error {
+	return fmt.Errorf("dbf: speed %v must be positive and finite", speed)
+}
+
+// Tiered admission: the three-stage pipeline the online engine runs per
+// machine probe. Every tier's verdict is *conclusive* — it equals what
+// FeasibleEDF(s, speed) returns, errors included — so callers may stop
+// at the first tier that answers and still agree bit-for-bit with an
+// exact fresh solve. Tiers that cannot guarantee that (a margin case, an
+// unsafe horizon) simply decline, and the exact test decides.
+//
+//	tier 1 (density):  O(n) here, O(1) over the engine's cached folds.
+//	                   Σw > s rejects (FeasibleEDF's own pre-check);
+//	                   Σδ ≤ s accepts (dbf(t) ≤ Σδ·t for constrained
+//	                   tasks, since ⌊(t−D)/P⌋+1 ≤ t/D when P ≥ D).
+//	tier 2 (approx):   the Albers–Slomka k-point band. Exact demand at a
+//	                   checked point over s·t·(1+1e-12) rejects; the
+//	                   approximate dbf under s·t·(1−1e-9) at every jump
+//	                   point accepts (ApproxDBF ≥ DBF everywhere, and
+//	                   between jump points both grow slower than s·t).
+//	tier 3 (exact):    FeasibleEDF itself.
+//
+// The 1e-9 margins leave room for the engine's incrementally folded
+// sums, whose rounding differs from a fresh summation by at most a few
+// ulps per resident task; anything inside the margin band falls through
+// to the exact test, which the engine evaluates over the identically
+// ordered candidate set and therefore rounds identically.
+
+// Tier identifies the pipeline stage that decided an admission probe.
+type Tier int
+
+const (
+	TierNone Tier = iota
+	TierDensity
+	TierApprox
+	TierExact
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierDensity:
+		return "density"
+	case TierApprox:
+		return "dbf_approx"
+	case TierExact:
+		return "dbf_exact"
+	default:
+		return "none"
+	}
+}
+
+// horizonSafeBound keeps every quantity the safety argument multiplies
+// comfortably inside int64/float64 range.
+const horizonSafeBound = float64(int64(1) << 61)
+
+// HorizonSafe reports whether FeasibleEDF(s, speed) is guaranteed to
+// return a verdict — no ErrHorizonTooLarge, no ErrDemandOverflow — so a
+// sufficient accept or reject established by cheaper means is conclusive
+// against it. The caller passes conservative *upper bounds* on the set's
+// total utilization, total density, Σ1/P_i and Σ(P_i−D_i)·w_i (inflate
+// incrementally folded sums by a relative 1e-9 to dominate the fresh
+// summation FeasibleEDF performs), plus the exact max deadline and task
+// count. The conditions are:
+//
+//   - uUB ≤ s·(1−1e-6): the La branch is taken (never the hyperperiod
+//     fallback) and its denominator s−u is well away from zero;
+//   - horizon = max(La, maxD) < 2^61: the float→int64 conversion and all
+//     demand products stay in range;
+//   - n + horizon·Σ1/P < maxCheckpoints/2: checkDemand finishes within
+//     its enumeration budget;
+//   - densUB·horizon < 2^61: dbf(t) ≤ Σδ·t fits in int64 at every
+//     enumerated checkpoint, so dbfChecked cannot overflow before the
+//     first violation (if any) is reached.
+func HorizonSafe(speed, uUB, densUB, invPUB, numUB float64, maxD int64, n int) bool {
+	if !(uUB <= speed*(1-1e-6)) {
+		return false
+	}
+	h := numUB / (speed - uUB)
+	if fm := float64(maxD); fm > h {
+		h = fm
+	}
+	if !(h < horizonSafeBound) {
+		return false
+	}
+	if !(float64(n)+(h+1)*invPUB < float64(maxCheckpoints)/2) {
+		return false
+	}
+	if !(densUB*(h+1) < horizonSafeBound) {
+		return false
+	}
+	return true
+}
+
+// TieredFeasibleEDF answers FeasibleEDF(s, speed) through the tiered
+// pipeline, reporting which tier decided. The verdict (and any error) is
+// identical to calling FeasibleEDF directly; k ≤ 0 disables the cheap
+// tiers and runs the exact test alone.
+func TieredFeasibleEDF(s Set, speed float64, k int) (bool, Tier, error) {
+	if k < 1 {
+		ok, err := FeasibleEDF(s, speed)
+		return ok, TierExact, err
+	}
+	if err := s.Validate(); err != nil {
+		return false, TierNone, err
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return false, TierNone, errBadSpeed(speed)
+	}
+	// Identical expression and summation order to FeasibleEDF's
+	// pre-check, so this rejection is bitwise the same decision.
+	u := s.TotalUtilization()
+	if u > speed*(1+1e-12) {
+		return false, TierDensity, nil
+	}
+	var dens, invP, num float64
+	var maxD int64
+	for _, t := range s {
+		dens += t.Density()
+		invP += 1 / float64(t.Period)
+		num += float64(t.Period-t.Deadline) * t.Utilization()
+		if t.Deadline > maxD {
+			maxD = t.Deadline
+		}
+	}
+	if HorizonSafe(speed, u*(1+1e-9), dens*(1+1e-9), invP*(1+1e-9), num*(1+1e-9), maxD, len(s)) {
+		if dens <= speed*(1-1e-9) {
+			return true, TierDensity, nil
+		}
+		switch approxBand(s, speed, k, maxD, u <= speed) {
+		case +1:
+			return true, TierApprox, nil
+		case -1:
+			return false, TierApprox, nil
+		}
+	}
+	ok, err := FeasibleEDF(s, speed)
+	return ok, TierExact, err
+}
+
+// approxBand scans the union's jump points (each task's first k
+// deadlines) once: +1 is a conclusive accept, −1 a conclusive reject, 0
+// inconclusive. The caller has established HorizonSafe.
+//
+// Reject side: an exact demand violation at a checked point t ≤ maxD is
+// conclusive because the last deadline checkpoint t* ≤ t carries the
+// same demand (dbf is a step function), s·t* ≤ s·t, and checkDemand
+// provably reaches t* ≤ maxD ≤ horizon within budget under HorizonSafe —
+// the exact test cannot answer true. Points beyond maxD are not used for
+// rejection: the exact test's horizon is only guaranteed to cover maxD.
+//
+// Accept side: if the approximate dbf stays under s·t·(1−1e-9) at every
+// jump point of every task, it stays under s·t everywhere (between jump
+// points it is linear with slope ≤ Σw ≤ s·(1+1e-12)), and DBF ≤ ApproxDBF
+// pointwise, so no checkpoint can violate the exact test's tolerance.
+func approxBand(s Set, speed float64, k int, maxD int64, uOK bool) int {
+	approxOK := uOK
+	for _, tk := range s {
+		t := tk.Deadline
+		for j := 0; j < k; j++ {
+			st := speed * float64(t)
+			if t <= maxD {
+				if d, ok := s.dbfChecked(t); ok && float64(d) > st*(1+1e-12) {
+					return -1
+				}
+			}
+			if approxOK && s.ApproxDBF(t, k) > st*(1-1e-9) {
+				approxOK = false
+			}
+			if !approxOK && t > maxD {
+				break // nothing left to learn from this task's later points
+			}
+			if t > math.MaxInt64-tk.Period {
+				// Later points exceed int64 range and therefore lie far
+				// beyond the exact test's horizon (< 2^61 under
+				// HorizonSafe); they cannot affect its verdict.
+				break
+			}
+			t += tk.Period
+		}
+	}
+	if approxOK {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package dbf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randConstrained(rng *rand.Rand, maxP int64) Task {
+	p := 2 + rng.Int63n(maxP-1)
+	c := 1 + rng.Int63n(p)
+	d := c + rng.Int63n(p-c+1)
+	return Task{WCET: c, Deadline: d, Period: p}
+}
+
+// TestApproxDBFOneSidedErrorFuzz is the differential fuzz of the k-point
+// linearization against the exact demand bound function: across random
+// constrained sets, times and depths, ApproxDBF must over-approximate
+// (never under — that is what makes approximate-accept sound) and stay
+// within the Albers–Slomka (k+1)/k factor of the exact value, and the
+// exact DBF must be monotone in t.
+func TestApproxDBFOneSidedErrorFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		s := make(Set, n)
+		for i := range s {
+			s[i] = randConstrained(rng, 1000)
+		}
+		k := 1 + rng.Intn(8)
+		factor := float64(k+1) / float64(k)
+		var maxT int64
+		for _, tk := range s {
+			if end := tk.Deadline + int64(k+2)*tk.Period; end > maxT {
+				maxT = end
+			}
+		}
+		prev := int64(0)
+		for _, tt := range sampleTimes(rng, s, k, maxT) {
+			exact := s.DBF(tt)
+			approx := s.ApproxDBF(tt, k)
+			if exact == 0 {
+				if approx != 0 {
+					t.Fatalf("trial %d t=%d: exact 0 but approx %v", trial, tt, approx)
+				}
+				continue
+			}
+			fe := float64(exact)
+			if approx < fe*(1-1e-9) {
+				t.Fatalf("trial %d t=%d k=%d: approx %v under-approximates exact %d", trial, tt, k, approx, exact)
+			}
+			if approx > fe*factor*(1+1e-9) {
+				t.Fatalf("trial %d t=%d k=%d: approx %v exceeds (k+1)/k bound %v of exact %d", trial, tt, k, approx, fe*factor, exact)
+			}
+			if exact < prev {
+				t.Fatalf("trial %d t=%d: DBF not monotone (%d after %d)", trial, tt, exact, prev)
+			}
+			prev = exact
+		}
+	}
+}
+
+// sampleTimes yields an ascending mix of exact deadline checkpoints,
+// their neighbors, and random times up to maxT.
+func sampleTimes(rng *rand.Rand, s Set, k int, maxT int64) []int64 {
+	var ts []int64
+	for _, tk := range s {
+		tt := tk.Deadline
+		for step := 0; step < k+2; step++ {
+			ts = append(ts, tt-1, tt, tt+1)
+			tt += tk.Period
+		}
+	}
+	for i := 0; i < 16; i++ {
+		ts = append(ts, 1+rng.Int63n(maxT))
+	}
+	out := ts[:0]
+	for _, tt := range ts {
+		if tt > 0 {
+			out = append(out, tt)
+		}
+	}
+	sortInt64(out)
+	return out
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestDBFSaturatesOnOverflow pins the guarded-multiply clamp: a demand
+// that exceeds int64 range reports MaxInt64 instead of wrapping.
+func TestDBFSaturatesOnOverflow(t *testing.T) {
+	tk := Task{WCET: 1 << 40, Deadline: 1 << 40, Period: 1 << 40}
+	s := Set{tk, tk} // each task's demand ≈ t; the sum exceeds int64 range
+	if got := s.DBF(math.MaxInt64); got != math.MaxInt64 {
+		t.Fatalf("DBF = %d, want saturation at MaxInt64", got)
+	}
+	if _, ok := s.dbfChecked(math.MaxInt64); ok {
+		t.Fatal("dbfChecked reported an overflowed demand as exact")
+	}
+	if got := s.DBF(1 << 41); got != 1<<42 {
+		t.Fatalf("in-range DBF = %d, want %d", got, int64(1)<<42)
+	}
+}
+
+// TestCheckDemandOverflow drives the checkpoint scan into int64 demand
+// overflow and expects the typed error, not a verdict.
+func TestCheckDemandOverflow(t *testing.T) {
+	tk := Task{WCET: 1 << 50, Deadline: 1 << 50, Period: 1 << 50}
+	s := Set{tk, tk} // accumulated demand crosses int64 range within ~2^13 checkpoints
+	if _, err := checkDemand(s, 1e30, math.MaxInt64-1); !errors.Is(err, ErrDemandOverflow) {
+		t.Fatalf("err = %v, want ErrDemandOverflow", err)
+	}
+}
+
+// TestFeasibleEDFHyperperiodOverflow: utilization exactly at the speed
+// over near-coprime ~2^39 periods forces the hyperperiod fallback, whose
+// lcm overflows the guarded multiply into ErrHorizonTooLarge.
+func TestFeasibleEDFHyperperiodOverflow(t *testing.T) {
+	p1 := int64(1)<<39 + 1
+	p2 := int64(1)<<39 - 1
+	t1 := Task{WCET: 1 << 30, Deadline: (p1 + 1) / 2, Period: p1}
+	t2 := Task{WCET: 1 << 30, Deadline: (p2 + 1) / 2, Period: p2}
+	speed := t1.Utilization() + t2.Utilization()
+	if _, err := FeasibleEDF(Set{t1, t2}, speed); !errors.Is(err, ErrHorizonTooLarge) {
+		t.Fatalf("err = %v, want ErrHorizonTooLarge", err)
+	}
+}
+
+// TestTieredFeasibleEDFDifferential: the single-shot tiered pipeline
+// must agree with the exact test — verdict and error — on random
+// constrained sets at every depth, and report a coherent deciding tier.
+func TestTieredFeasibleEDFDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(10)
+		s := make(Set, n)
+		for i := range s {
+			p := int64(4) << rng.Intn(5)
+			c := 1 + rng.Int63n(p)
+			d := c + rng.Int63n(p-c+1)
+			s[i] = Task{WCET: c, Deadline: d, Period: p}
+		}
+		speed := float64(1+rng.Intn(24)) / 4
+		k := rng.Intn(9)
+		wantOK, wantErr := FeasibleEDF(s, speed)
+		gotOK, tier, gotErr := TieredFeasibleEDF(s, speed, k)
+		if (wantErr == nil) != (gotErr == nil) || !errors.Is(gotErr, wantErr) && wantErr != nil {
+			t.Fatalf("trial %d: err = %v, want %v", trial, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotOK != wantOK {
+			t.Fatalf("trial %d (n=%d speed=%v k=%d): tiered = %v, exact = %v", trial, n, speed, k, gotOK, wantOK)
+		}
+		if k < 1 && tier != TierExact {
+			t.Fatalf("trial %d: k=%d decided at tier %v, want exact", trial, k, tier)
+		}
+		if tier < TierDensity || tier > TierExact {
+			t.Fatalf("trial %d: bad tier %v", trial, tier)
+		}
+	}
+}
+
+// TestTierString pins the metric label spellings the service exports.
+func TestTierString(t *testing.T) {
+	want := map[Tier]string{TierDensity: "density", TierApprox: "dbf_approx", TierExact: "dbf_exact"}
+	for tier, s := range want {
+		if got := tier.String(); got != s {
+			t.Fatalf("Tier(%d).String() = %q, want %q", int(tier), got, s)
+		}
+	}
+}

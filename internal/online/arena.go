@@ -27,5 +27,14 @@ func (e *Engine) recycleMach(mc mach) {
 	mc.placed = mc.placed[:0]
 	mc.cum = mc.cum[:0]
 	mc.cumProd = mc.cumProd[:0]
+	mc.cumDens = mc.cumDens[:0]
+	mc.cumNum = mc.cumNum[:0]
+	mc.cumInvP = mc.cumInvP[:0]
+	mc.cumMaxD = mc.cumMaxD[:0]
+	mc.envT = mc.envT[:0]
+	mc.envE = mc.envE[:0]
+	mc.envA = mc.envA[:0]
+	mc.envGen = 0
+	mc.envBad = false
 	e.machPool = append(e.machPool, mc)
 }

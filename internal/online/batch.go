@@ -57,11 +57,18 @@ func (e *Engine) AdmitBatch(ts []task.Task, mode BatchMode) (res partition.Resul
 			return partition.Result{}, nil, fmt.Errorf("online: batch task %d: %w", i, err)
 		}
 	}
+	return e.admitBatch(ts, nil, mode)
+}
+
+// admitBatch is the shared batch core. dls carries per-task deadlines
+// for constrained-deadline engines (nil means implicit, D = P); tasks
+// and mode are already validated.
+func (e *Engine) admitBatch(ts []task.Task, dls []int64, mode BatchMode) (res partition.Result, admitted []bool, err error) {
 	if len(ts) == 0 {
 		return e.Result(), nil, nil
 	}
 	if e.order == ArrivalOrder || len(ts) == 1 {
-		return e.admitBatchSequential(ts, mode)
+		return e.admitBatchSequential(ts, dls, mode)
 	}
 
 	// Merged transaction: append the batch, merge its ids into the
@@ -70,12 +77,20 @@ func (e *Engine) AdmitBatch(ts []task.Task, mode BatchMode) (res partition.Resul
 	// exactly the one sequential sort.Search insertions produce), then
 	// replay once from the first merged position.
 	n0 := len(e.tasks)
-	for _, t := range ts {
+	for i, t := range ts {
 		e.tasks = append(e.tasks, t)
 		e.utils = append(e.utils, t.Utilization())
 		e.assign = append(e.assign, -1)
 		e.assignPub = append(e.assignPub, -1)
 		e.pos = append(e.pos, 0)
+		if e.kind == admDBF {
+			d := t.Period
+			if dls != nil {
+				d = dls[i]
+			}
+			e.dl = append(e.dl, d)
+			e.dens = append(e.dens, float64(t.WCET)/float64(d))
+		}
 	}
 	ids := e.batchIDs[:0]
 	for id := n0; id < n0+len(ts); id++ {
@@ -100,6 +115,10 @@ func (e *Engine) AdmitBatch(ts []task.Task, mode BatchMode) (res partition.Resul
 	e.begin(edit{op: opBatchInsert, id: n0, kOld: kmin})
 	e.stats = OpStats{ReplayFrom: kmin, BatchSize: len(ts)}
 	failID := e.replayFrom(kmin)
+	if perr := e.takeProbeErr(); perr != nil {
+		e.rollback()
+		return partition.Result{}, nil, fmt.Errorf("online: %w", perr)
+	}
 	if failID < 0 {
 		e.commit(kmin)
 		admitted = make([]bool, len(ts))
@@ -115,20 +134,24 @@ func (e *Engine) AdmitBatch(ts []task.Task, mode BatchMode) (res partition.Resul
 	}
 	// Best effort with a conflicting batch: fall back to the sequential
 	// path, which is the mode's defining semantics.
-	return e.admitBatchSequential(ts, mode)
+	return e.admitBatchSequential(ts, dls, mode)
 }
 
 // admitBatchSequential admits the batch one task at a time. For
 // AllOrNothing a failure undoes the already-admitted prefix (only
 // reachable in ArrivalOrder, where removal always succeeds).
-func (e *Engine) admitBatchSequential(ts []task.Task, mode BatchMode) (partition.Result, []bool, error) {
+func (e *Engine) admitBatchSequential(ts []task.Task, dls []int64, mode BatchMode) (partition.Result, []bool, error) {
 	admitted := make([]bool, len(ts))
 	nAdmitted := 0
 	var witness partition.Result
 	rejected := false
 	total := 0
 	for i, t := range ts {
-		r, ok, err := e.Admit(t)
+		d := t.Period
+		if dls != nil {
+			d = dls[i]
+		}
+		r, ok, err := e.admitOne(t, d)
 		if err != nil {
 			return partition.Result{}, nil, err
 		}

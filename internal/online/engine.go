@@ -47,6 +47,7 @@ import (
 	"math"
 	"sort"
 
+	"partfeas/internal/dbf"
 	"partfeas/internal/machine"
 	"partfeas/internal/partition"
 	"partfeas/internal/sched"
@@ -89,6 +90,9 @@ const (
 	admEDF admKind = iota
 	admLL
 	admHyperbolic
+	// admDBF is the constrained-deadline tiered pipeline (dbfstate.go);
+	// engines of this kind are built by NewConstrained, not New.
+	admDBF
 )
 
 // mach is one machine's live placement state: the task ids assigned to
@@ -101,6 +105,29 @@ type mach struct {
 	placed  []int32
 	cum     []float64
 	cumProd []float64 // hyperbolic only
+
+	// admDBF only: parallel left-folds of the quantities the tiered
+	// pipeline needs in O(1) — density sum, Σ(P−D)·w, Σ1/P and the
+	// running max deadline — plus the machine's cached demand envelope:
+	// the merged ascending testing-point set (each resident task's first
+	// k deadlines, deduplicated) with per-point exact cumulative demand
+	// (int64, drift-free) and approximate k-point demand (float64).
+	cumDens []float64
+	cumNum  []float64
+	cumInvP []float64
+	cumMaxD []int64
+	envT    []int64
+	envE    []int64
+	envA    []float64
+	// envGen is the machine's demand-envelope generation: a globally
+	// unique, monotone stamp refreshed on every composition change, which
+	// keys the exact-tier memo (stale entries can never collide because
+	// generations are never reused, even across rollbacks).
+	envGen uint64
+	// envBad disables the envelope tiers until the next rebuild after an
+	// int64 overflow in a cumulative demand (beyond the design envelope;
+	// purely defensive).
+	envBad bool
 }
 
 func (mc *mach) load() float64 {
@@ -115,6 +142,34 @@ func (mc *mach) prod() float64 {
 		return 1
 	}
 	return mc.cumProd[len(mc.cumProd)-1]
+}
+
+func (mc *mach) densLoad() float64 {
+	if len(mc.cumDens) == 0 {
+		return 0
+	}
+	return mc.cumDens[len(mc.cumDens)-1]
+}
+
+func (mc *mach) numLoad() float64 {
+	if len(mc.cumNum) == 0 {
+		return 0
+	}
+	return mc.cumNum[len(mc.cumNum)-1]
+}
+
+func (mc *mach) invPLoad() float64 {
+	if len(mc.cumInvP) == 0 {
+		return 0
+	}
+	return mc.cumInvP[len(mc.cumInvP)-1]
+}
+
+func (mc *mach) maxDLoad() int64 {
+	if len(mc.cumMaxD) == 0 {
+		return 0
+	}
+	return mc.cumMaxD[len(mc.cumMaxD)-1]
 }
 
 // machSnap is one journaled machine state (the pre-mutation slices are
@@ -144,6 +199,7 @@ type edit struct {
 	kOld    int // original placement-order position (opRemove, opUpdate); first merged position (opBatchInsert)
 	oldWCET int64
 	oldUtil float64
+	oldDens float64 // admDBF only: pre-update density (opUpdate)
 }
 
 // OpStats describes how the engine executed its most recent mutation;
@@ -153,6 +209,10 @@ type OpStats struct {
 	ReplayFrom int  // first replayed position; -1 when no replay ran
 	Visited    int  // suffix positions the replay actually visited
 	BatchSize  int  // number of tasks offered (>1 for AdmitBatch)
+	// MaxTier is the deepest admission tier any probe of the mutation
+	// reached on a constrained-deadline engine: 1 density, 2 approximate
+	// DBF, 3 exact FeasibleEDF; 0 on implicit-deadline engines.
+	MaxTier int
 }
 
 // Engine is the incremental admission engine. It is not safe for
@@ -223,6 +283,16 @@ type Engine struct {
 
 	stats    OpStats
 	loadsBuf []float64 // Result scratch
+
+	// Constrained-deadline state (admDBF only; see dbfstate.go).
+	dl       []int64   // task id → relative deadline
+	dens     []float64 // task id → density C/D
+	approxK  int       // envelope depth; ≤ 0 runs exact-only probes
+	genCtr   uint64    // monotone source for mach.envGen
+	tierCnt  [3]uint64 // cumulative probes decided per tier (density, approx, exact)
+	memo     map[dbfMemoKey]bool
+	candBuf  dbf.Set // scratch candidate for exact probes
+	probeErr error   // first exact-test error of the in-flight mutation
 }
 
 // New builds an engine for the task set, platform and admission test at
@@ -261,16 +331,26 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 		return nil, fmt.Errorf("online: unknown order %v", ord)
 	}
 
-	n, m := len(ts), len(p)
 	e.tasks = ts.Clone()
 	e.p = append(machine.Platform(nil), p...)
-	e.utils = make([]float64, n)
+	e.utils = make([]float64, len(ts))
 	for i, t := range e.tasks {
 		e.utils[i] = t.Utilization()
 	}
+	if err := e.initCommon(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// initCommon finishes construction once the kind-specific per-task state
+// (tasks, utils and, for admDBF, dl/dens) is populated: machine order,
+// placement order, state buffers and the initial first-fit placement.
+func (e *Engine) initCommon() error {
+	n, m := len(e.tasks), len(e.p)
 	e.speeds = make([]float64, m)
 	for j := range e.p {
-		e.speeds[j] = alpha * e.p[j].Speed
+		e.speeds[j] = e.alpha * e.p[j].Speed
 	}
 	e.machIdx = make([]int, m)
 	for j := range e.machIdx {
@@ -288,9 +368,9 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 	for i := range e.sorted {
 		e.sorted[i] = int32(i)
 	}
-	if ord == SortedOrder {
+	if e.order == SortedOrder {
 		sort.SliceStable(e.sorted, func(a, b int) bool {
-			return partition.TaskLessUtilDesc(e.tasks, int(e.sorted[a]), int(e.sorted[b]))
+			return e.less(e.sorted[a], e.sorted[b])
 		})
 	}
 	e.pos = make([]int32, n)
@@ -312,7 +392,7 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 	for i := range e.thetaPos {
 		e.thetaPos[i] = math.NaN()
 	}
-	if ord == SortedOrder {
+	if e.order == SortedOrder {
 		e.cps = newCheckpoints(checkpointStride, m)
 	}
 
@@ -326,8 +406,11 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 				break
 			}
 		}
+		if err := e.takeProbeErr(); err != nil {
+			return err
+		}
 		if chosen < 0 {
-			return nil, ErrInfeasible
+			return ErrInfeasible
 		}
 		e.assign[id] = int32(chosen)
 		e.assignPub[id] = chosen
@@ -336,15 +419,35 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 	if e.cps != nil {
 		e.cps.rebuildFrom(e, 0)
 	}
-	return e, nil
+	return nil
+}
+
+// takeProbeErr returns and clears the first exact-test error recorded by
+// a constrained-deadline probe during the current pass (nil otherwise).
+func (e *Engine) takeProbeErr() error {
+	err := e.probeErr
+	e.probeErr = nil
+	return err
 }
 
 // LastOpStats reports how the engine executed its most recent mutation.
 func (e *Engine) LastOpStats() OpStats { return e.stats }
 
-// less is the engine's placement order on task ids.
+// less is the engine's placement order on task ids. For admDBF it is
+// dbf.FirstFit's stable sort made strict — density descending (the same
+// float comparison), deadline ascending, then arrival id, which is
+// exactly the tie-break a stable sort of ids gives.
 func (e *Engine) less(a, b int32) bool {
 	if e.order == ArrivalOrder {
+		return a < b
+	}
+	if e.kind == admDBF {
+		if da, db := e.dens[a], e.dens[b]; da != db {
+			return da > db
+		}
+		if e.dl[a] != e.dl[b] {
+			return e.dl[a] < e.dl[b]
+		}
 		return a < b
 	}
 	return partition.TaskLessUtilDesc(e.tasks, int(a), int(b))
@@ -362,6 +465,8 @@ func (e *Engine) fitsAgg(j int, id int32) bool {
 		return mc.load()+u <= speed
 	case admLL:
 		return mc.load()+u <= sched.LiuLaylandBound(len(mc.placed)+1)*speed
+	case admDBF:
+		return e.fitsDBF(j, id)
 	default: // admHyperbolic
 		if speed <= 0 {
 			return false
@@ -413,6 +518,8 @@ func (e *Engine) fitsAt(j int, id int32, at int) bool {
 		return load+u <= speed
 	case admLL:
 		return load+u <= sched.LiuLaylandBound(x+1)*speed
+	case admDBF:
+		return e.fitsAtDBF(j, id, x)
 	default: // admHyperbolic
 		if speed <= 0 {
 			return false
@@ -430,6 +537,11 @@ func (e *Engine) fitsAt(j int, id int32, at int) bool {
 func (e *Engine) place(j int, id int32) {
 	mc := &e.machs[j]
 	newLoad := mc.load() + e.utils[id]
+	if e.kind == admDBF {
+		// Fold the tier-1 aggregates before appending, then carry the
+		// envelope forward (placeDBF reads the pre-append folds).
+		e.placeDBF(j, id)
+	}
 	mc.placed = append(mc.placed, id)
 	mc.cum = append(mc.cum, newLoad)
 	if e.kind == admHyperbolic {
@@ -448,6 +560,12 @@ func (e *Engine) place(j int, id int32) {
 		switch e.kind {
 		case admEDF:
 			th = s - newLoad + capSlack(s, newLoad)
+		case admDBF:
+			// The DBF admission's only utilization-shaped necessary
+			// condition is FeasibleEDF's pre-check load+u ≤ s·(1+1e-12), so
+			// that is the capacity the threshold over-estimates: skipping on
+			// cap < u then exactly matches the pre-check rejection.
+			th = s*(1+1e-12) - newLoad + capSlack(s, newLoad)
 		case admLL:
 			th = sched.LiuLaylandBound(len(mc.placed)+1)*s - newLoad + capSlack(s, newLoad)
 		default: // admHyperbolic; s > 0 by construction
@@ -469,6 +587,15 @@ func (e *Engine) nextCap(j int) float64 {
 	switch e.kind {
 	case admEDF:
 		return s - mc.load() + capSlack(s, mc.load())
+	case admDBF:
+		// Utilization keys against FeasibleEDF's pre-check capacity
+		// s·(1+1e-12): a tree entry below u means load+u lands above the
+		// pre-check tolerance, a conclusive (false, nil) DBF rejection —
+		// never an error, because the pre-check runs first. (Density-based
+		// keys would be unsound: density sums above the speed can still be
+		// exactly feasible, so they would skip admissible machines and
+		// break first-fit fidelity.)
+		return s*(1+1e-12) - mc.load() + capSlack(s, mc.load())
 	case admLL:
 		return sched.LiuLaylandBound(len(mc.placed)+1)*s - mc.load() + capSlack(s, mc.load())
 	default: // admHyperbolic
@@ -578,7 +705,16 @@ func (e *Engine) makeDirty(j, at int) {
 	if e.kind == admHyperbolic {
 		nm.cumProd = append(nm.cumProd, mc.cumProd[:x]...)
 	}
+	if e.kind == admDBF {
+		nm.cumDens = append(nm.cumDens, mc.cumDens[:x]...)
+		nm.cumNum = append(nm.cumNum, mc.cumNum[:x]...)
+		nm.cumInvP = append(nm.cumInvP, mc.cumInvP[:x]...)
+		nm.cumMaxD = append(nm.cumMaxD, mc.cumMaxD[:x]...)
+	}
 	*mc = nm
+	if e.kind == admDBF {
+		e.rebuildEnvDBF(j)
+	}
 	e.noteDirty(j)
 	e.treeOK = false
 }
@@ -743,7 +879,12 @@ func (e *Engine) replayFrom(k int) int {
 
 	// Active run: truncated tasks re-folding onto machine runF (-2 when
 	// none; -1 would collide with a fresh task's unassigned machine).
+	// Run fusion is disabled for admDBF — the fused inner loop appends
+	// folds without maintaining the demand envelope, and a DBF admission
+	// is not a pure fold over the carried locals anyway — so runF stays
+	// -2 and every placement takes the general path.
 	runF := -2
+	fuse := kind != admDBF
 	var mcF *mach
 	var sF, loadF, prodF, preMaxF float64
 
@@ -837,12 +978,14 @@ func (e *Engine) replayFrom(k int) int {
 			e.journalAssign(id)
 			e.assign[id] = int32(moved)
 			e.place(moved, id)
-			runF = moved
-			mcF = &e.machs[moved]
-			sF = e.speeds[moved]
-			loadF = mcF.load()
-			prodF = mcF.prod()
-			preMaxF = e.preMax(e.dirtyIdx[moved])
+			if fuse {
+				runF = moved
+				mcF = &e.machs[moved]
+				sF = e.speeds[moved]
+				loadF = mcF.load()
+				prodF = mcF.prod()
+				preMaxF = e.preMax(e.dirtyIdx[moved])
+			}
 			continue
 		}
 		visited++
@@ -915,12 +1058,14 @@ func (e *Engine) replayFrom(k int) int {
 		if runF >= 0 && runF != chosen {
 			e.flushRun(runF)
 		}
-		runF = chosen
-		mcF = &e.machs[chosen]
-		sF = e.speeds[chosen]
-		loadF = mcF.load()
-		prodF = mcF.prod()
-		preMaxF = e.preMax(e.dirtyIdx[chosen])
+		if fuse {
+			runF = chosen
+			mcF = &e.machs[chosen]
+			sF = e.speeds[chosen]
+			loadF = mcF.load()
+			prodF = mcF.prod()
+			preMaxF = e.preMax(e.dirtyIdx[chosen])
+		}
 	}
 	if runF >= 0 {
 		e.flushRun(runF)
@@ -1032,6 +1177,10 @@ func (e *Engine) rollback() {
 		e.assign = e.assign[:len(e.assign)-1]
 		e.assignPub = e.assignPub[:len(e.assignPub)-1]
 		e.pos = e.pos[:len(e.pos)-1]
+		if e.kind == admDBF {
+			e.dl = e.dl[:len(e.dl)-1]
+			e.dens = e.dens[:len(e.dens)-1]
+		}
 		e.recomputePos(k)
 	case opRemove:
 		e.insertSorted(int32(e.ed.id), e.ed.kOld)
@@ -1039,6 +1188,9 @@ func (e *Engine) rollback() {
 	case opUpdate:
 		e.tasks[e.ed.id].WCET = e.ed.oldWCET
 		e.utils[e.ed.id] = e.ed.oldUtil
+		if e.kind == admDBF {
+			e.dens[e.ed.id] = e.ed.oldDens
+		}
 		cur := int(e.pos[e.ed.id])
 		e.sorted = append(e.sorted[:cur], e.sorted[cur+1:]...)
 		e.insertSorted(int32(e.ed.id), e.ed.kOld)
@@ -1062,6 +1214,10 @@ func (e *Engine) rollback() {
 		e.assign = e.assign[:e.ed.id]
 		e.assignPub = e.assignPub[:e.ed.id]
 		e.pos = e.pos[:e.ed.id]
+		if e.kind == admDBF {
+			e.dl = e.dl[:e.ed.id]
+			e.dens = e.dens[:e.ed.id]
+		}
 		e.recomputePos(e.ed.kOld)
 	}
 	e.ed = edit{}
@@ -1083,11 +1239,22 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 	if err := t.Validate(); err != nil {
 		return partition.Result{}, false, fmt.Errorf("online: %w", err)
 	}
+	// On a constrained-deadline engine an implicit task is D = P.
+	return e.admitOne(t, t.Period)
+}
+
+// admitOne is the shared single-admit body; the caller has validated t
+// (and, for admDBF, the relative deadline d — ignored otherwise).
+func (e *Engine) admitOne(t task.Task, d int64) (res partition.Result, admitted bool, err error) {
 	id := int32(len(e.tasks))
 	e.tasks = append(e.tasks, t)
 	e.utils = append(e.utils, t.Utilization())
 	e.assign = append(e.assign, -1)
 	e.assignPub = append(e.assignPub, -1)
+	if e.kind == admDBF {
+		e.dl = append(e.dl, d)
+		e.dens = append(e.dens, float64(t.WCET)/float64(d))
+	}
 
 	k := len(e.sorted)
 	if e.order == SortedOrder {
@@ -1104,6 +1271,10 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 		// capacity query (plus exact verification).
 		e.stats = OpStats{Tail: true, ReplayFrom: -1, BatchSize: 1}
 		chosen := e.firstFitAgg(id)
+		if perr := e.takeProbeErr(); perr != nil {
+			e.rollback()
+			return partition.Result{}, false, fmt.Errorf("online: %w", perr)
+		}
 		if chosen < 0 {
 			res = e.failResult(int(id), -1)
 			e.rollback()
@@ -1117,7 +1288,12 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 		return e.Result(), true, nil
 	}
 	e.stats = OpStats{ReplayFrom: k, BatchSize: 1}
-	if failID := e.replayFrom(k); failID >= 0 {
+	failID := e.replayFrom(k)
+	if perr := e.takeProbeErr(); perr != nil {
+		e.rollback()
+		return partition.Result{}, false, fmt.Errorf("online: %w", perr)
+	}
+	if failID >= 0 {
 		res = e.failResult(failID, -1)
 		e.rollback()
 		return res, false, nil
@@ -1165,7 +1341,12 @@ func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
 	e.sorted = append(e.sorted[:k], e.sorted[k+1:]...)
 	e.recomputePos(k)
 	e.makeDirty(o, k) // drops id and every later entry on its machine
-	if failID := e.replayFrom(k); failID >= 0 {
+	failID := e.replayFrom(k)
+	if perr := e.takeProbeErr(); perr != nil {
+		e.rollback()
+		return partition.Result{}, false, fmt.Errorf("online: %w", perr)
+	}
+	if failID >= 0 {
 		res = e.failResult(failID, id)
 		e.rollback()
 		return res, false, nil
@@ -1189,6 +1370,9 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 	if wcet <= 0 {
 		return partition.Result{}, false, fmt.Errorf("online: UpdateWCET wcet %d must be positive", wcet)
 	}
+	if e.kind == admDBF && wcet > e.dl[id] {
+		return partition.Result{}, false, fmt.Errorf("online: UpdateWCET wcet %d exceeds deadline %d (constrained model)", wcet, e.dl[id])
+	}
 	if wcet == e.tasks[id].WCET {
 		return e.Result(), true, nil
 	}
@@ -1200,15 +1384,31 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 		e.begin(edit{op: opNone})
 		e.stats = OpStats{Tail: true, ReplayFrom: -1}
 		oldWCET, oldUtil := e.tasks[id].WCET, e.utils[id]
+		var oldDens float64
 		e.tasks[id].WCET = wcet
 		e.utils[id] = e.tasks[id].Utilization()
+		if e.kind == admDBF {
+			oldDens = e.dens[id]
+			e.dens[id] = float64(wcet) / float64(e.dl[id])
+		}
+		undo := func() {
+			e.tasks[id].WCET = oldWCET
+			e.utils[id] = oldUtil
+			if e.kind == admDBF {
+				e.dens[id] = oldDens
+			}
+		}
 		e.splice(int(o), int32(id))
 		e.journalAssign(int32(id))
 		chosen := e.firstFitAgg(int32(id))
+		if perr := e.takeProbeErr(); perr != nil {
+			undo()
+			e.rollback()
+			return partition.Result{}, false, fmt.Errorf("online: %w", perr)
+		}
 		if chosen < 0 {
 			res = e.arrivalFailResult(id)
-			e.tasks[id].WCET = oldWCET
-			e.utils[id] = oldUtil
+			undo()
 			e.rollback()
 			return res, false, nil
 		}
@@ -1219,9 +1419,16 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 	}
 
 	kOld := int(e.pos[id])
-	e.begin(edit{op: opUpdate, id: id, kOld: kOld, oldWCET: e.tasks[id].WCET, oldUtil: e.utils[id]})
+	ed := edit{op: opUpdate, id: id, kOld: kOld, oldWCET: e.tasks[id].WCET, oldUtil: e.utils[id]}
+	if e.kind == admDBF {
+		ed.oldDens = e.dens[id]
+	}
+	e.begin(ed)
 	e.tasks[id].WCET = wcet
 	e.utils[id] = e.tasks[id].Utilization()
+	if e.kind == admDBF {
+		e.dens[id] = float64(wcet) / float64(e.dl[id])
+	}
 
 	e.sorted = append(e.sorted[:kOld], e.sorted[kOld+1:]...)
 	kNew := sort.Search(len(e.sorted), func(i int) bool { return e.less(int32(id), e.sorted[i]) })
@@ -1233,7 +1440,12 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 	e.stats = OpStats{ReplayFrom: k}
 	e.recomputePos(k)
 	e.makeDirty(int(o), k)
-	if failID := e.replayFrom(k); failID >= 0 {
+	failID := e.replayFrom(k)
+	if perr := e.takeProbeErr(); perr != nil {
+		e.rollback()
+		return partition.Result{}, false, fmt.Errorf("online: %w", perr)
+	}
+	if failID >= 0 {
 		res = e.failResult(failID, -1)
 		e.rollback()
 		return res, false, nil
@@ -1261,7 +1473,16 @@ func (e *Engine) splice(j int, id int32) {
 	if e.kind == admHyperbolic {
 		nm.cumProd = append(nm.cumProd, mc.cumProd[:x]...)
 	}
+	if e.kind == admDBF {
+		nm.cumDens = append(nm.cumDens, mc.cumDens[:x]...)
+		nm.cumNum = append(nm.cumNum, mc.cumNum[:x]...)
+		nm.cumInvP = append(nm.cumInvP, mc.cumInvP[:x]...)
+		nm.cumMaxD = append(nm.cumMaxD, mc.cumMaxD[:x]...)
+	}
 	*mc = nm
+	if e.kind == admDBF {
+		e.rebuildEnvDBF(j)
+	}
 	for _, pid := range e.jMachs[len(e.jMachs)-1].mc.placed[x+1:] {
 		e.place(j, pid)
 	}
@@ -1299,6 +1520,12 @@ func (e *Engine) compact(r int) {
 	e.assignPub = e.assignPub[:n-1]
 	copy(e.pos[r:], e.pos[r+1:])
 	e.pos = e.pos[:n-1]
+	if e.kind == admDBF {
+		copy(e.dl[r:], e.dl[r+1:])
+		e.dl = e.dl[:n-1]
+		copy(e.dens[r:], e.dens[r+1:])
+		e.dens = e.dens[:n-1]
+	}
 	if r == n-1 {
 		return // removed the largest id; nothing to renumber
 	}
@@ -1445,6 +1672,11 @@ func (e *Engine) SelfCheck() error {
 				break
 			}
 			cnt[e.assign[e.sorted[i]]]++
+		}
+	}
+	if e.kind == admDBF {
+		if err := e.selfCheckDBF(); err != nil {
+			return err
 		}
 	}
 	return nil

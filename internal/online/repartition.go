@@ -50,6 +50,12 @@ func (pl Plan) DriftFraction(n int) float64 {
 // engine's resident multiset at its augmentation and diffs the result
 // against the live placement. The engine is not modified.
 func (e *Engine) PlanRepartition() (Plan, error) {
+	if e.kind == admDBF {
+		// The DBF engine's reference solve is dbf.FirstFit, not the
+		// utilization partitioner; SortedOrder DBF engines track it
+		// exactly, so drift plans have nothing to measure.
+		return Plan{}, fmt.Errorf("online: repartition is not supported for constrained-deadline engines")
+	}
 	res, err := partition.Partition(e.tasks, e.p, partition.Config{
 		Admission: e.adm,
 		Alpha:     e.alpha,

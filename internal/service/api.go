@@ -18,11 +18,16 @@ import (
 	"partfeas"
 )
 
-// TaskJSON is the wire form of one sporadic task.
+// TaskJSON is the wire form of one sporadic task. Deadline is only
+// meaningful in constrained-deadline sessions: 0 (or omitted) means
+// D = P, and any explicit value must satisfy WCET ≤ D ≤ P. Stateless
+// endpoints and implicit-deadline sessions reject a deadline below the
+// period rather than silently ignoring it.
 type TaskJSON struct {
-	Name   string `json:"name,omitempty"`
-	WCET   int64  `json:"wcet"`
-	Period int64  `json:"period"`
+	Name     string `json:"name,omitempty"`
+	WCET     int64  `json:"wcet"`
+	Period   int64  `json:"period"`
+	Deadline int64  `json:"deadline,omitempty"`
 }
 
 // MachineJSON is the wire form of one machine.
@@ -44,9 +49,33 @@ type InstanceRequest struct {
 
 // Instance converts and validates the wire form eagerly: a bad machine
 // speed is rejected here, naming the machine index, before any solver is
-// built.
+// built. Constrained deadlines are rejected — only constrained-deadline
+// sessions (which convert via instance(true)) accept them.
 func (r InstanceRequest) Instance() (partfeas.Instance, error) {
+	return r.instance(false)
+}
+
+// Deadlines resolves the wire tasks' relative deadlines (0 → period).
+func (r InstanceRequest) Deadlines() []int64 {
+	dls := make([]int64, len(r.Tasks))
+	for i, t := range r.Tasks {
+		dls[i] = t.Deadline
+		if dls[i] == 0 {
+			dls[i] = t.Period
+		}
+	}
+	return dls
+}
+
+func (r InstanceRequest) instance(allowDeadlines bool) (partfeas.Instance, error) {
 	var in partfeas.Instance
+	if !allowDeadlines {
+		for i, t := range r.Tasks {
+			if t.Deadline != 0 && t.Deadline != t.Period {
+				return in, fmt.Errorf("task %d: deadline %d below the period requires a constrained-deadline session", i, t.Deadline)
+			}
+		}
+	}
 	in.Tasks = make(partfeas.TaskSet, len(r.Tasks))
 	for i, t := range r.Tasks {
 		in.Tasks[i] = partfeas.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
@@ -196,18 +225,28 @@ type CreateSessionRequest struct {
 	// guarantee, with the drift measured and repaired via the
 	// repartition endpoint.
 	Placement string `json:"placement,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// DeadlineModel selects the admission analysis: "implicit" (default)
+	// tests utilization bounds with D = P; "constrained" accepts per-task
+	// deadlines D ≤ P and admits through the tiered demand-bound-function
+	// pipeline (density pre-filter → approximate DBF band → exact test).
+	// Constrained sessions require the EDF scheduler, are engine-only (no
+	// force commits, no infeasible resident states, no repartition), and
+	// their decisions stay identical to a fresh exact constrained
+	// first-fit solve over the resident set.
+	DeadlineModel string `json:"deadline_model,omitempty"`
+	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
 }
 
 // SessionResponse describes a session's current state.
 type SessionResponse struct {
-	ID        string        `json:"id"`
-	Scheduler string        `json:"scheduler"`
-	Alpha     float64       `json:"alpha"`
-	Placement string        `json:"placement"`
-	Tasks     []TaskJSON    `json:"tasks"`
-	Machines  []MachineJSON `json:"machines"`
-	Test      TestResponse  `json:"test"`
+	ID            string        `json:"id"`
+	Scheduler     string        `json:"scheduler"`
+	Alpha         float64       `json:"alpha"`
+	Placement     string        `json:"placement"`
+	DeadlineModel string        `json:"deadline_model,omitempty"`
+	Tasks         []TaskJSON    `json:"tasks"`
+	Machines      []MachineJSON `json:"machines"`
+	Test          TestResponse  `json:"test"`
 }
 
 // AddTaskRequest admits one more task into a session.

@@ -177,7 +177,7 @@ func TestAdmissionMetricsMove(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			resp, err := sess.addTask(context.Background(),
-				partfeas.Task{WCET: 1, Period: int64(500 + i)}, false)
+				partfeas.Task{WCET: 1, Period: int64(500 + i)}, 0, false)
 			if err != nil {
 				t.Errorf("coalesced admit %d: %v", i, err)
 				return

@@ -255,7 +255,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 	if err := decode(w, r, &req); err != nil {
 		return nil, 0, err
 	}
-	in, err := req.Instance()
+	constrained := false
+	switch req.DeadlineModel {
+	case "", "implicit":
+	case "constrained":
+		constrained = true
+	default:
+		return nil, 0, badRequest("unknown deadline_model %q (want \"implicit\" or \"constrained\")", req.DeadlineModel)
+	}
+	in, err := req.instance(constrained)
 	if err != nil {
 		return nil, 0, badRequest("%v", err)
 	}
@@ -276,7 +284,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	sess, err := s.sessions.create(in, req.Alpha, placement)
+	var sess *session
+	if constrained {
+		sess, err = s.sessions.createConstrained(in, req.Deadlines(), req.Alpha, placement)
+	} else {
+		sess, err = s.sessions.create(in, req.Alpha, placement)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -347,7 +360,7 @@ func (s *Server) handleSessionAddTask(w http.ResponseWriter, r *http.Request) (a
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	resp, err := sess.addTask(ctx, t, req.Force)
+	resp, err := sess.addTask(ctx, t, req.Task.Deadline, req.Force)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -369,8 +382,10 @@ func (s *Server) handleSessionAdmitBatch(w http.ResponseWriter, r *http.Request)
 		return nil, 0, badRequest("unknown mode %q (want %q or %q)", req.Mode, online.BestEffort, online.AllOrNothing)
 	}
 	ts := make([]partfeas.Task, len(req.Tasks))
+	dls := make([]int64, len(req.Tasks))
 	for i, tj := range req.Tasks {
 		ts[i] = partfeas.Task{Name: tj.Name, WCET: tj.WCET, Period: tj.Period}
+		dls[i] = tj.Deadline
 		if err := ts[i].Validate(); err != nil {
 			return nil, 0, badRequest("batch task %d: %v", i, err)
 		}
@@ -381,7 +396,7 @@ func (s *Server) handleSessionAdmitBatch(w http.ResponseWriter, r *http.Request)
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	resp, err := sess.addTaskBatch(ctx, ts, mode)
+	resp, err := sess.addTaskBatch(ctx, ts, dls, mode)
 	if err != nil {
 		return nil, 0, err
 	}

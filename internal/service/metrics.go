@@ -63,6 +63,15 @@ const (
 	PathInterior
 	PathBatch
 	PathCoalesced
+	// The tier paths classify constrained-deadline (DBF) admissions by
+	// the deepest tier that decided them: the O(1) density pre-filter,
+	// the approximate k-point demand band, or the exact processor-demand
+	// test. A constrained single admit records on both axes — tail/
+	// interior for where it landed, and one tier path for how hard the
+	// feasibility question was.
+	PathDensity
+	PathDBFApprox
+	PathDBFExact
 	nPaths
 )
 
@@ -76,8 +85,29 @@ func (p AdmissionPath) String() string {
 		return "batch"
 	case PathCoalesced:
 		return "coalesced"
+	case PathDensity:
+		return "density"
+	case PathDBFApprox:
+		return "dbf_approx"
+	case PathDBFExact:
+		return "dbf_exact"
 	default:
 		return fmt.Sprintf("path%d", int(p))
+	}
+}
+
+// TierPath maps the engine's per-op MaxTier (1-based) to its admission
+// path; ok is false for implicit-deadline ops (tier 0).
+func TierPath(tier int) (AdmissionPath, bool) {
+	switch tier {
+	case 1:
+		return PathDensity, true
+	case 2:
+		return PathDBFApprox, true
+	case 3:
+		return PathDBFExact, true
+	default:
+		return 0, false
 	}
 }
 

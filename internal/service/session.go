@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"partfeas"
+	"partfeas/internal/dbf"
 	"partfeas/internal/online"
 	"partfeas/internal/partition"
 	"partfeas/internal/pipeline"
@@ -44,6 +45,14 @@ type session struct {
 	closed    bool
 	mx        *Metrics // per-path admission metrics; nil in bare tests
 
+	// Constrained-deadline sessions (deadline_model "constrained") admit
+	// through the engine's tiered DBF pipeline and are engine-only: the
+	// engine is always armed, force commits and repartition are refused,
+	// and dls holds each resident task's relative deadline (parallel to
+	// in.Tasks).
+	constrained bool
+	dls         []int64
+
 	// Admit coalescing: concurrent non-force single admits enqueue here
 	// and whichever request acquires s.mu next drains the whole queue as
 	// one merged engine batch (see addTask). pendMu is always acquired
@@ -57,6 +66,7 @@ type session struct {
 type admitWaiter struct {
 	ctx  context.Context
 	t    partfeas.Task
+	dl   int64 // relative deadline (0 = implicit) on constrained sessions
 	resp AdmissionResponse
 	err  error
 	done chan struct{}
@@ -228,8 +238,14 @@ func (s *session) state(ctx context.Context) (SessionResponse, error) {
 		Machines:  make([]MachineJSON, len(s.in.Platform)),
 		Test:      TestResponseFrom(rep),
 	}
+	if s.constrained {
+		resp.DeadlineModel = "constrained"
+	}
 	for i, t := range s.in.Tasks {
 		resp.Tasks[i] = TaskJSON{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		if s.constrained && s.dls[i] != t.Period {
+			resp.Tasks[i].Deadline = s.dls[i]
+		}
 	}
 	for i, m := range s.in.Platform {
 		resp.Machines[i] = MachineJSON{Name: m.Name, Speed: m.Speed}
@@ -248,6 +264,18 @@ func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error)
 	}
 	if alpha == 0 || alpha == s.alpha {
 		rep, err := s.currentReport(ctx)
+		if err != nil {
+			return TestResponse{}, err
+		}
+		return TestResponseFrom(rep), nil
+	}
+	if s.constrained {
+		// No batch tester exists for constrained sets; ad-hoc alphas run
+		// a fresh exact constrained first-fit solve.
+		if err := ctxGuard(ctx); err != nil {
+			return TestResponse{}, err
+		}
+		rep, err := s.freshConstrainedReport(alpha)
 		if err != nil {
 			return TestResponse{}, err
 		}
@@ -275,16 +303,19 @@ func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error)
 // order) and completes the others' responses. Under contention n
 // queued interior admits cost one suffix replay instead of n; with no
 // contention the queue holds a single entry and the plain path runs.
-func (s *session) addTask(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
+func (s *session) addTask(ctx context.Context, t partfeas.Task, dl int64, force bool) (AdmissionResponse, error) {
+	if err := s.checkDeadlineArg(dl, t.Period, force); err != nil {
+		return AdmissionResponse{}, err
+	}
 	if force {
 		// Force commits can disarm the engine mid-group; keep them out
 		// of coalesced batches. They serialize on s.mu like everything
 		// else, so verdict linearizability is unaffected.
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.addTaskLocked(ctx, t, true)
+		return s.addTaskLocked(ctx, t, dl, true)
 	}
-	w := &admitWaiter{ctx: ctx, t: t, done: make(chan struct{})}
+	w := &admitWaiter{ctx: ctx, t: t, dl: dl, done: make(chan struct{})}
 	s.pendMu.Lock()
 	s.pending = append(s.pending, w)
 	s.pendMu.Unlock()
@@ -329,17 +360,28 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 		// No useful merge: the plain path answers each waiter (and keeps
 		// single-admit witness semantics and tail/interior metrics).
 		for _, w := range live {
-			w.resp, w.err = s.addTaskLocked(w.ctx, w.t, false)
+			w.resp, w.err = s.addTaskLocked(w.ctx, w.t, w.dl, false)
 			close(w.done)
 		}
 		return
 	}
-	ts := make(partfeas.TaskSet, len(live))
-	for i, w := range live {
-		ts[i] = w.t
-	}
 	start := time.Now()
-	res, admitted, err := s.eng.AdmitBatch(ts, online.BestEffort)
+	var res partition.Result
+	var admitted []bool
+	var err error
+	if s.constrained {
+		cs := make(dbf.Set, len(live))
+		for i, w := range live {
+			cs[i] = s.constrainedTask(w.t, w.dl)
+		}
+		res, admitted, err = s.eng.AdmitBatchConstrained(cs, online.BestEffort)
+	} else {
+		ts := make(partfeas.TaskSet, len(live))
+		for i, w := range live {
+			ts[i] = w.t
+		}
+		res, admitted, err = s.eng.AdmitBatch(ts, online.BestEffort)
+	}
 	if err != nil {
 		herr := &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		for _, w := range live {
@@ -353,11 +395,15 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 		for range live {
 			s.mx.AdmissionObserved(PathCoalesced, d)
 		}
+		s.observeTier(d)
 	}
 	any := false
 	for i, ok := range admitted {
 		if ok {
 			s.in.Tasks = append(s.in.Tasks, live[i].t)
+			if s.constrained {
+				s.dls = append(s.dls, s.deadlineOf(live[i].t, live[i].dl))
+			}
 			any = true
 		}
 	}
@@ -377,7 +423,7 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 }
 
 // addTaskLocked is the single-admit body; the caller holds s.mu.
-func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, force bool) (AdmissionResponse, error) {
+func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, dl int64, force bool) (AdmissionResponse, error) {
 	if s.closed {
 		return AdmissionResponse{}, errSessionClosed
 	}
@@ -386,7 +432,14 @@ func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, force bool
 			return AdmissionResponse{}, err
 		}
 		start := time.Now()
-		res, admitted, err := s.eng.Admit(t)
+		var res partition.Result
+		var admitted bool
+		var err error
+		if s.constrained {
+			res, admitted, err = s.eng.AdmitConstrained(s.constrainedTask(t, dl))
+		} else {
+			res, admitted, err = s.eng.Admit(t)
+		}
 		if err != nil {
 			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		}
@@ -395,6 +448,9 @@ func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, force bool
 		switch {
 		case admitted:
 			s.in.Tasks = append(s.in.Tasks, t)
+			if s.constrained {
+				s.dls = append(s.dls, s.deadlineOf(t, dl))
+			}
 			s.tester = nil
 		case force:
 			if err := s.commitInfeasible(append(s.in.Tasks.Clone(), t)); err != nil {
@@ -431,8 +487,9 @@ func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, force bool
 }
 
 // observeAdmission classifies the engine's most recent single admit as
-// tail or interior and records its latency. Caller holds s.mu and must
-// call this immediately after the engine operation.
+// tail or interior and records its latency; constrained admissions also
+// record which DBF tier decided them. Caller holds s.mu and must call
+// this immediately after the engine operation.
 func (s *session) observeAdmission(start time.Time) {
 	if s.mx == nil {
 		return
@@ -441,7 +498,20 @@ func (s *session) observeAdmission(start time.Time) {
 	if s.eng.LastOpStats().Tail {
 		p = PathTail
 	}
-	s.mx.AdmissionObserved(p, time.Since(start))
+	d := time.Since(start)
+	s.mx.AdmissionObserved(p, d)
+	s.observeTier(d)
+}
+
+// observeTier records the deepest DBF tier the engine's last op used
+// (no-op for implicit-deadline ops). Caller holds s.mu.
+func (s *session) observeTier(d time.Duration) {
+	if s.mx == nil || s.eng == nil {
+		return
+	}
+	if tp, ok := TierPath(s.eng.LastOpStats().MaxTier); ok {
+		s.mx.AdmissionObserved(tp, d)
+	}
 }
 
 // addTaskBatch admits several tasks in one call. With an armed engine
@@ -452,11 +522,20 @@ func (s *session) observeAdmission(start time.Time) {
 // fallback answers each task through the batch tester with best-effort
 // semantics; all-or-nothing then degenerates to reject-all, since
 // adding tasks cannot restore feasibility.
-func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, mode online.BatchMode) (BatchAdmissionResponse, error) {
+func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, dls []int64, mode online.BatchMode) (BatchAdmissionResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return BatchAdmissionResponse{}, errSessionClosed
+	}
+	for i := range ts {
+		var dl int64
+		if dls != nil {
+			dl = dls[i]
+		}
+		if err := s.checkDeadlineArg(dl, ts[i].Period, false); err != nil {
+			return BatchAdmissionResponse{}, err
+		}
 	}
 	if len(ts) == 0 {
 		rep, err := s.currentReport(ctx)
@@ -475,17 +554,41 @@ func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, mode onl
 			return BatchAdmissionResponse{}, err
 		}
 		start := time.Now()
-		res, admitted, err := s.eng.AdmitBatch(ts, mode)
+		var res partition.Result
+		var admitted []bool
+		var err error
+		if s.constrained {
+			cs := make(dbf.Set, len(ts))
+			for i, t := range ts {
+				var dl int64
+				if dls != nil {
+					dl = dls[i]
+				}
+				cs[i] = s.constrainedTask(t, dl)
+			}
+			res, admitted, err = s.eng.AdmitBatchConstrained(cs, mode)
+		} else {
+			res, admitted, err = s.eng.AdmitBatch(ts, mode)
+		}
 		if err != nil {
 			return BatchAdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
 		}
 		if s.mx != nil {
-			s.mx.AdmissionObserved(PathBatch, time.Since(start))
+			d := time.Since(start)
+			s.mx.AdmissionObserved(PathBatch, d)
+			s.observeTier(d)
 		}
 		n := 0
 		for i, ok := range admitted {
 			if ok {
 				s.in.Tasks = append(s.in.Tasks, ts[i])
+				if s.constrained {
+					var dl int64
+					if dls != nil {
+						dl = dls[i]
+					}
+					s.dls = append(s.dls, s.deadlineOf(ts[i], dl))
+				}
 				n++
 			}
 		}
@@ -646,11 +749,22 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 		}
 		resp := AdmissionResponse{Admitted: ok, Test: TestResponseFrom(s.engReport(res))}
 		cand := append(s.in.Tasks[:idx].Clone(), s.in.Tasks[idx+1:]...)
-		if ok {
+		switch {
+		case ok:
 			s.in.Tasks = cand
+			if s.constrained {
+				s.dls = append(s.dls[:idx], s.dls[idx+1:]...)
+			}
 			s.tester = nil
-		} else if err := s.commitInfeasible(cand); err != nil {
-			return AdmissionResponse{}, err
+		case s.constrained:
+			// Constrained sessions have no infeasible fallback path: the
+			// (rare) removal whose shrunken set re-solves infeasible stays
+			// resident and the client sees the rejection witness.
+			resp.RolledBack = true
+		default:
+			if err := s.commitInfeasible(cand); err != nil {
+				return AdmissionResponse{}, err
+			}
 		}
 		resp.NTasks = len(s.in.Tasks)
 		return resp, nil
@@ -687,6 +801,9 @@ func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force boo
 	}
 	if idx < 0 || idx >= len(s.in.Tasks) {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
+	}
+	if s.constrained && force {
+		return AdmissionResponse{}, errConstrainedForce
 	}
 	if s.eng != nil {
 		if err := ctxGuard(ctx); err != nil {
@@ -758,6 +875,9 @@ func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (Re
 	defer s.mu.Unlock()
 	if s.closed {
 		return RepartitionResponse{}, errSessionClosed
+	}
+	if s.constrained {
+		return RepartitionResponse{}, errConstrainedRepartition
 	}
 	if s.eng == nil {
 		return RepartitionResponse{}, errNoEngine
