@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke fuzz bench benchsmoke benchjson bench5 bench6
+.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke crashsmoke fuzz bench benchsmoke benchjson bench5 bench6 bench7 bench8
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
 ## the fault-injection matrix, the admission-server smoke, an open-loop
-## load-generator smoke, a short fuzz smoke of the partition invariants,
-## and a one-iteration benchmark smoke (catches benchmarks whose setup
-## asserts fail).
-ci: vet build test race faultsmoke servesmoke loadsmoke fuzz benchsmoke
+## load-generator smoke, the durability crash-recovery smoke, a short fuzz
+## smoke of the partition invariants, and a one-iteration benchmark smoke
+## (catches benchmarks whose setup asserts fail).
+ci: vet build test race faultsmoke servesmoke loadsmoke crashsmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,15 @@ servesmoke:
 ## default -max-errors 0 makes any error a nonzero exit.
 loadsmoke:
 	$(GO) run ./cmd/loadgen -rate 400 -duration 2s -clients 8
+
+## crashsmoke: the durability matrix under the race detector, -short
+## subset — WAL torn-write corpus, injected crash points in append /
+## fsync / rotate / snapshot / replay, byte-identical recovery, degraded
+## read-only mode and the clean-drain zero-replay check.
+crashsmoke:
+	$(GO) test -race -short -timeout 120s -count=1 \
+		-run 'WAL|Torn|Snapshot|Injected|Durab|Crash|Degraded|Drain|Replay|Recovery' \
+		./internal/oplog ./internal/service
 
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).
@@ -89,3 +98,15 @@ bench7:
 		-note 'tiered DBF admission: tiered (k=8) vs exact-only (k=0), constrained deadlines (m=64, n=1000)' \
 		-baseline results/BENCH_6.json -max-regress 0.25 \
 		-o results/BENCH_7.json
+
+## bench8: record the durability benchmarks (WAL append throughput,
+## snapshotless cold-open recovery) alongside the online-engine suite to
+## results/BENCH_8.json, gated against the BENCH_7 baseline — the gate
+## fails if any engine benchmark regresses (durability is opt-in and must
+## cost nothing when off); the new BenchmarkWALAppend / BenchmarkRecovery
+## entries pass through as additions.
+bench8:
+	$(GO) run ./cmd/benchjson -pkg "./internal/online ./internal/oplog ./internal/service" -benchtime 0.3s \
+		-note 'durable sessions: WAL append modes, crash recovery; engine suite unchanged' \
+		-baseline results/BENCH_7.json -max-regress 0.25 \
+		-o results/BENCH_8.json

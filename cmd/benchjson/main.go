@@ -31,7 +31,7 @@ func main() {
 	var (
 		bench      = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
 		benchtime  = flag.String("benchtime", "0.3s", "per-benchmark budget (go test -benchtime)")
-		pkg        = flag.String("pkg", ".", "package containing the benchmarks")
+		pkg        = flag.String("pkg", ".", "package(s) containing the benchmarks, space separated")
 		out        = flag.String("o", "BENCH_1.json", "output JSON path")
 		short      = flag.Bool("short", false, "pass -short to go test")
 		note       = flag.String("note", "", "free-form label recorded in the suite document")
@@ -51,7 +51,7 @@ func run(bench, benchtime, pkg, out string, short bool, note, baseline, metric s
 	if short {
 		args = append(args, "-short")
 	}
-	args = append(args, pkg)
+	args = append(args, strings.Fields(pkg)...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()

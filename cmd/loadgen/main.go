@@ -33,9 +33,19 @@
 // quantiles. Repartition is not part of the dbf mix — constrained
 // sessions refuse it — so that slot carries an extra tail admit.
 //
+// With `-data-dir` the in-process server runs durably (write-ahead log
+// + snapshots), and `-crashes N` kills it — no final fsync, no final
+// snapshot, exactly a process kill — and restarts it from the same
+// directory N times while the load keeps arriving. Requests caught in a
+// blackout window count as errors (so `-max-errors`, unless set
+// explicitly, is not enforced in crash mode); after the last restart the
+// run verifies the load session survived recovery and reports the
+// restart count.
+//
 // Usage:
 //
 //	loadgen                                  # in-process server, 200 req/s for 2s
+//	loadgen -data-dir /tmp/pf -crashes 3     # kill/restart under load, thrice
 //	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
 //	loadgen -mix 0.9 -pareto 1.5             # interior-heavy, heavy-tailed WCETs
 //	loadgen -suite dbf -deadline-ratio 0.4   # constrained deadlines, tiered admission
@@ -76,9 +86,20 @@ func main() {
 		out       = flag.String("o", "", "write per-endpoint results as a benchfmt JSON suite")
 		note      = flag.String("note", "", "free-form label recorded in the suite document")
 		maxErrors = flag.Int("max-errors", 0, "exit nonzero when more requests than this fail")
+		dataDir   = flag.String("data-dir", "", "run the in-process server durably from this directory (WAL + snapshots)")
+		crashes   = flag.Int("crashes", 0, "with -data-dir: kill and restart the in-process server this many times during the run")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *dlRatio, *out, *note, *maxErrors); err != nil {
+	if *crashes > 0 {
+		// Blackout-window failures are the point of crash mode, so the
+		// error budget only applies when the caller set one explicitly.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "max-errors" })
+		if !explicit {
+			*maxErrors = -1
+		}
+	}
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *dlRatio, *out, *note, *maxErrors, *dataDir, *crashes); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -242,7 +263,7 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName string, dlRatio float64, out, note string, maxErrors int) error {
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName string, dlRatio float64, out, note string, maxErrors int, dataDir string, crashes int) error {
 	if !(rate > 0) {
 		return fmt.Errorf("rate %v must be positive", rate)
 	}
@@ -262,19 +283,35 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	if clients < 1 {
 		clients = 1
 	}
+	if crashes > 0 && (dataDir == "" || addr != "") {
+		return fmt.Errorf("-crashes requires -data-dir and an in-process server (empty -addr)")
+	}
+	var restarter *serverRestarter
 	if addr == "" {
-		srv := service.New(service.Config{Addr: "127.0.0.1:0"})
+		cfg := service.Config{Addr: "127.0.0.1:0", DataDir: dataDir}
+		var srv *service.Server
+		var err error
+		if dataDir != "" {
+			srv, err = service.NewDurable(cfg)
+			if err != nil {
+				return err
+			}
+		} else {
+			srv = service.New(cfg)
+		}
 		if err := srv.Listen(); err != nil {
 			return err
 		}
 		go func() { _ = srv.Serve() }()
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(ctx)
-		}()
+		cfg.Addr = srv.Addr() // pin the port so restarts keep the address
+		restarter = &serverRestarter{srv: srv, cfg: cfg}
+		defer restarter.close()
 		addr = "http://" + srv.Addr()
-		fmt.Fprintf(w, "loadgen: in-process server on %s\n", srv.Addr())
+		mode := ""
+		if dataDir != "" {
+			mode = fmt.Sprintf(" (durable: %s)", dataDir)
+		}
+		fmt.Fprintf(w, "loadgen: in-process server on %s%s\n", srv.Addr(), mode)
 	}
 	addr = strings.TrimSuffix(addr, "/")
 
@@ -321,6 +358,22 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		// extra admit, the operation the dbf suite is here to measure.
 		slots[5] = kindTailAdd
 	}
+	crashErr := make(chan error, 1)
+	if crashes > 0 {
+		go func() {
+			interval := duration / time.Duration(crashes+1)
+			for i := 0; i < crashes; i++ {
+				time.Sleep(interval)
+				if err := restarter.crashRestart(); err != nil {
+					crashErr <- fmt.Errorf("crash/restart %d: %w", i+1, err)
+					return
+				}
+			}
+			crashErr <- nil
+		}()
+	} else {
+		crashErr <- nil
+	}
 	start := time.Now()
 	next := start
 	sent := 0
@@ -342,6 +395,23 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	close(jobs)
 	wg.Wait()
 	elapsed := time.Since(start)
+	if err := <-crashErr; err != nil {
+		return err
+	}
+	if crashes > 0 {
+		// The durable claim under test: the load session (and whatever
+		// mix of mutations was acknowledged) survives every kill.
+		resp, err := client.Get(addr + "/v1/sessions/" + sessionID)
+		if err != nil {
+			return fmt.Errorf("session lookup after %d restart(s): %w", crashes, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("session %s lost after %d restart(s): status %d", sessionID, crashes, resp.StatusCode)
+		}
+		fmt.Fprintf(w, "loadgen: server killed and recovered %d time(s); session %s intact\n", restarter.recoveries(), sessionID)
+	}
 
 	bench := "loadgen"
 	if dbfSuite {
@@ -416,10 +486,60 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		}
 		fmt.Fprintf(w, "loadgen: wrote %d endpoint results to %s\n", len(suite.Results), out)
 	}
-	if totalErrors > maxErrors {
+	if maxErrors >= 0 && totalErrors > maxErrors {
 		return fmt.Errorf("%d request errors (max %d)", totalErrors, maxErrors)
 	}
 	return nil
+}
+
+// serverRestarter owns the in-process server so crash mode can swap it
+// out underneath the workers: Crash abandons the durability layer with
+// no final fsync or snapshot (a process kill), the HTTP side is torn
+// down, and a fresh NewDurable recovers from the same directory on the
+// same port.
+type serverRestarter struct {
+	mu   sync.Mutex
+	srv  *service.Server
+	cfg  service.Config
+	recs int
+}
+
+func (r *serverRestarter) crashRestart() error {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	srv.Crash()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
+	next, err := service.NewDurable(r.cfg)
+	if err != nil {
+		return err
+	}
+	if err := next.Listen(); err != nil {
+		return err
+	}
+	go func() { _ = next.Serve() }()
+	r.mu.Lock()
+	r.srv = next
+	r.recs++
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *serverRestarter) recoveries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recs
+}
+
+func (r *serverRestarter) close() {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
 }
 
 // loadBody is the session every run negotiates against: modest

@@ -22,8 +22,17 @@
 //	POST /v1/sessions/{id}/repartition  drift plan/apply  {apply, max_moves}
 //	GET /metrics, /healthz, /debug/vars
 //
+// With -data-dir the session store is durable: every mutation is
+// appended to a write-ahead log before its 200 is sent, snapshots bound
+// recovery replay, and a restart reloads the store from disk. The
+// -fsync-interval flag trades latency for loss window: writes reach the
+// OS on every append (a process crash loses nothing acknowledged), but a
+// power loss can drop up to one interval of acknowledged ops; 0 fsyncs
+// on every append.
+//
 // SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
-// requests finish (bounded by -drain), then the process exits 0.
+// requests finish (bounded by -drain), the WAL group-commit buffer
+// flushes and a final snapshot is written, then the process exits 0.
 package main
 
 import (
@@ -52,17 +61,20 @@ func main() {
 		maxKeys  = flag.Int("cache-keys", 1024, "distinct instances cached pool-wide (LRU beyond)")
 		sessions = flag.Int("max-sessions", 1024, "admission-session cap")
 		budget   = flag.Int64("analyze-budget", 2_000_000, "default exact-adversary node budget for /v1/analyze")
+		dataDir  = flag.String("data-dir", "", "durability directory (write-ahead log + snapshots); empty disables durability")
+		fsyncInt = flag.Duration("fsync-interval", 5*time.Millisecond, "WAL group-commit fsync cadence; 0 fsyncs on every append (requires -data-dir)")
+		snapEvry = flag.Int("snapshot-every", 1024, "ops between automatic snapshots; 0 disables automatic snapshots (requires -data-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *maxKeys, *sessions, *budget); err != nil {
+	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *maxKeys, *sessions, *budget, *dataDir, *fsyncInt, *snapEvry); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, maxKeys, sessions int, budget int64) error {
+func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, maxKeys, sessions int, budget int64, dataDir string, fsyncInt time.Duration, snapEvery int) error {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Addr:              addr,
 		DefaultTimeout:    timeout,
 		MaxTimeout:        maxTO,
@@ -72,7 +84,28 @@ func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, maxK
 		MaxSessions:       sessions,
 		AnalyzeBudget:     budget,
 		Logf:              logger.Printf,
-	})
+	}
+	var srv *service.Server
+	if dataDir != "" {
+		// The flag's 0 means fsync-per-append and its default means group
+		// commit; the Config encodes those as negative and positive.
+		cfg.DataDir = dataDir
+		cfg.FsyncInterval = fsyncInt
+		if fsyncInt == 0 {
+			cfg.FsyncInterval = -1
+		}
+		cfg.SnapshotEvery = snapEvery
+		if snapEvery == 0 {
+			cfg.SnapshotEvery = -1
+		}
+		var err error
+		srv, err = service.NewDurable(cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		srv = service.New(cfg)
+	}
 	if err := srv.Listen(); err != nil {
 		return err
 	}

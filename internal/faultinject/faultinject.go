@@ -1,22 +1,32 @@
 // Package faultinject provides deterministic, test-only fault hooks for
 // the long-running pipeline stages: the experiment trial executor, the
-// partition-simulation worker pool, the simulator event loop and the
-// exact branch-and-bound search.
+// partition-simulation worker pool, the simulator event loop, the exact
+// branch-and-bound search, and the durability layer's write-ahead log.
 //
 // Instrumented code calls Hit(site, idx) at each unit of work, passing a
 // deterministic index (trial number, machine number, event count, node
-// count). When a Plan is active for that site and its N matches idx, the
-// configured fault fires: an optional callback (typically a context
-// cancel), an optional delay, and optionally a panic. Because firing is
-// keyed on the index the instrumented code supplies — not on global call
-// order — the same fault hits the same unit of work at any worker count,
-// which is what lets the robustness tests run the full matrix under
-// -race.
+// count). When a Plan is active for that site and its trigger matches,
+// the configured fault fires: an optional callback (typically a context
+// cancel), an optional delay, and optionally a panic. Two triggers
+// exist:
 //
-// When no plan is active, Hit is a single atomic pointer load, so the
-// hooks are safe to leave in production paths. Activation is process
-// global and not meant for concurrent tests; tests that inject faults
-// must not run in t.Parallel.
+//   - N matches the index the instrumented code supplies, so the same
+//     fault hits the same unit of work at any worker count — what lets
+//     the robustness tests run the full matrix under -race.
+//   - Nth (when > 0) instead counts calls: the plan fires on the Nth
+//     hit of the site regardless of the supplied index. Crash-matrix
+//     tests use it to land a fault in the middle of a group-commit
+//     batch, where per-record indices are not known up front.
+//
+// IO-shaped code calls CheckErr(site, idx) instead, which additionally
+// returns the plan's Err so the fault can surface as a failed syscall
+// (and, for torn-write simulation, reports how many bytes of the
+// pending record to write before failing — Plan.Partial).
+//
+// When no plan is active, Hit and CheckErr are a single atomic pointer
+// load, so the hooks are safe to leave in production paths. Activation
+// is process global and not meant for concurrent tests; tests that
+// inject faults must not run in t.Parallel.
 package faultinject
 
 import (
@@ -40,6 +50,24 @@ const (
 	// SiteExactNode fires periodically inside the exact search; idx is
 	// the visited-node count at the check.
 	SiteExactNode Site = "exact/node"
+
+	// SiteWALAppend fires inside the write-ahead log's append, before
+	// the record body is written; idx is the record's op index. With
+	// Partial ≥ 0 only that many bytes of the record reach the file —
+	// the torn-write crash.
+	SiteWALAppend Site = "oplog/append"
+	// SiteWALFsync fires before a WAL fsync; idx is the op index the
+	// sync would make durable.
+	SiteWALFsync Site = "oplog/fsync"
+	// SiteWALRotate fires before a segment rotation; idx is the first
+	// op index of the would-be new segment.
+	SiteWALRotate Site = "oplog/rotate"
+	// SiteSnapshotWrite fires inside snapshot persistence, before the
+	// temp file is renamed into place; idx is the snapshot's op index.
+	SiteSnapshotWrite Site = "oplog/snapshot"
+	// SiteWALReplay fires per replayed op during recovery; idx is the
+	// op index about to be applied.
+	SiteWALReplay Site = "oplog/replay"
 )
 
 // Plan describes one deterministic fault.
@@ -47,19 +75,36 @@ type Plan struct {
 	// Site selects the instrumented point.
 	Site Site
 	// N is the index at which the fault fires (matched against the idx
-	// the instrumented code passes to Hit).
+	// the instrumented code passes to Hit/CheckErr). Ignored when Nth
+	// is set.
 	N int64
-	// OnFire, when non-nil, runs first — typically a context cancel.
+	// Nth, when > 0, switches the trigger to a hit counter: the plan
+	// fires on the Nth call for the site (1-based), regardless of the
+	// supplied index. This is what lets a crash-matrix test target the
+	// middle of a group-commit batch.
+	Nth int64
+	// OnFire, when non-nil, runs first — typically a context cancel or
+	// a "the crash happened" marker for matrix tests.
 	OnFire func()
 	// Delay, when positive, sleeps before returning or panicking.
 	Delay time.Duration
 	// Panic, when true, panics with a recognizable payload after OnFire
 	// and Delay.
 	Panic bool
+	// Err, when non-nil, is returned by CheckErr on fire — the injected
+	// syscall failure. Hit ignores it.
+	Err error
+	// Partial is honored by SiteWALAppend plans: the number of bytes of
+	// the pending record to write before failing — the torn-write
+	// crash. ≤ 0 writes nothing (a clean crash before the record);
+	// ≥ the record length writes it whole (the record is durable but
+	// its append still reports the injected error, i.e. unacknowledged).
+	Partial int
 }
 
 type state struct {
 	plan  Plan
+	hits  atomic.Int64
 	fired atomic.Bool
 }
 
@@ -76,15 +121,48 @@ func Activate(p Plan) (deactivate func()) {
 	return func() { active.CompareAndSwap(st, nil) }
 }
 
+// matches decides whether this call triggers the plan: a hit-count match
+// when Nth is set, an index match otherwise.
+func (st *state) matches(site Site, idx int64) bool {
+	if st.plan.Site != site {
+		return false
+	}
+	if st.plan.Nth > 0 {
+		return st.hits.Add(1) == st.plan.Nth
+	}
+	return idx == st.plan.N
+}
+
 // Hit is called by instrumented code with its deterministic work index.
-// It fires the active plan at most once, when site and index match.
+// It fires the active plan at most once, when the trigger matches.
 func Hit(site Site, idx int64) {
 	st := active.Load()
-	if st == nil || st.plan.Site != site || idx != st.plan.N {
+	if st == nil || !st.matches(site, idx) {
 		return
 	}
+	st.fire(site, idx)
+}
+
+// CheckErr is Hit for IO-shaped code: when the plan fires it returns the
+// plan (with its Err) and true, so the caller can surface the injected
+// failure as a syscall error and honor Partial. Like Hit it fires at
+// most once.
+func CheckErr(site Site, idx int64) (Plan, bool) {
+	st := active.Load()
+	if st == nil || !st.matches(site, idx) {
+		return Plan{}, false
+	}
+	if !st.fire(site, idx) {
+		return Plan{}, false
+	}
+	return st.plan, true
+}
+
+// fire runs the plan's effects exactly once; it reports whether this
+// call was the firing one.
+func (st *state) fire(site Site, idx int64) bool {
 	if !st.fired.CompareAndSwap(false, true) {
-		return
+		return false
 	}
 	p := st.plan
 	if p.OnFire != nil {
@@ -96,4 +174,5 @@ func Hit(site Site, idx int64) {
 	if p.Panic {
 		panic(fmt.Sprintf("faultinject: injected panic at %s idx %d", site, idx))
 	}
+	return true
 }

@@ -68,6 +68,76 @@ func TestConcurrentHitsFireOnce(t *testing.T) {
 	}
 }
 
+func TestNthHitTriggerIgnoresIndex(t *testing.T) {
+	fired := -1
+	off := Activate(Plan{Site: SiteWALAppend, Nth: 3, OnFire: func() { fired = 1 }})
+	defer off()
+	// Indices deliberately all zero: only the call count may trigger.
+	Hit(SiteWALAppend, 0)
+	if fired != -1 {
+		t.Fatal("fired on hit 1, want hit 3")
+	}
+	Hit(SiteWALAppend, 0)
+	if fired != -1 {
+		t.Fatal("fired on hit 2, want hit 3")
+	}
+	Hit(SiteWALAppend, 0)
+	if fired != 1 {
+		t.Fatal("did not fire on hit 3")
+	}
+	fired = 0
+	Hit(SiteWALAppend, 0) // hit 4: must not re-fire
+	if fired != 0 {
+		t.Error("re-fired after the Nth hit")
+	}
+}
+
+func TestNthHitCountsOnlyMatchingSite(t *testing.T) {
+	fired := 0
+	off := Activate(Plan{Site: SiteWALFsync, Nth: 2, OnFire: func() { fired++ }})
+	defer off()
+	Hit(SiteWALAppend, 0) // other site: not counted
+	Hit(SiteWALFsync, 0)  // hit 1
+	if fired != 0 {
+		t.Fatal("fired early: foreign site was counted")
+	}
+	Hit(SiteWALFsync, 0) // hit 2
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+}
+
+func TestCheckErrReturnsInjectedError(t *testing.T) {
+	injected := errInjected
+	off := Activate(Plan{Site: SiteWALAppend, Nth: 2, Err: injected, Partial: 7})
+	defer off()
+	if _, ok := CheckErr(SiteWALAppend, 0); ok {
+		t.Fatal("fired on hit 1, want hit 2")
+	}
+	p, ok := CheckErr(SiteWALAppend, 0)
+	if !ok {
+		t.Fatal("did not fire on hit 2")
+	}
+	if p.Err != injected || p.Partial != 7 {
+		t.Errorf("plan = %+v, want Err=errInjected Partial=7", p)
+	}
+	if _, ok := CheckErr(SiteWALAppend, 0); ok {
+		t.Error("re-fired after firing once")
+	}
+}
+
+func TestCheckErrInactiveIsNoop(t *testing.T) {
+	if _, ok := CheckErr(SiteWALAppend, 0); ok {
+		t.Error("fired with no active plan")
+	}
+}
+
+var errInjected = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "injected" }
+
 func TestDoubleActivatePanics(t *testing.T) {
 	off := Activate(Plan{Site: SiteTrial, N: 0})
 	defer off()

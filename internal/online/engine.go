@@ -347,6 +347,15 @@ func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha flo
 // (tasks, utils and, for admDBF, dl/dens) is populated: machine order,
 // placement order, state buffers and the initial first-fit placement.
 func (e *Engine) initCommon() error {
+	e.initState()
+	return e.initPlacement()
+}
+
+// initState builds everything that does not depend on where tasks end
+// up: machine scan order, placement order, and the empty state buffers.
+// Restore (restore.go) calls it and then folds recorded placed lists
+// instead of running the first-fit pass.
+func (e *Engine) initState() {
 	n, m := len(e.tasks), len(e.p)
 	e.speeds = make([]float64, m)
 	for j := range e.p {
@@ -395,9 +404,11 @@ func (e *Engine) initCommon() error {
 	if e.order == SortedOrder {
 		e.cps = newCheckpoints(checkpointStride, m)
 	}
+}
 
-	// Initial placement is a plain first-fit pass in placement order:
-	// every machine state is final-so-far, so aggregate tests suffice.
+// initPlacement runs the initial first-fit pass in placement order:
+// every machine state is final-so-far, so aggregate tests suffice.
+func (e *Engine) initPlacement() error {
 	for _, id := range e.sorted {
 		chosen := -1
 		for _, j := range e.machIdx {

@@ -1,0 +1,174 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"partfeas/internal/dbf"
+	"partfeas/internal/machine"
+	"partfeas/internal/partition"
+	"partfeas/internal/task"
+)
+
+// PlacedLists returns a deep copy of every machine's placed task ids in
+// fold order, indexed by machine input index. Together with Tasks()
+// (which fixes the id space) this captures everything Restore needs to
+// rebuild the engine bit-for-bit: in SortedOrder the lists are
+// redundant (state is a function of the multiset — the engine's core
+// invariant), but in ArrivalOrder they are history: removals splice and
+// WCET updates re-admit at the tail, so the same resident multiset can
+// sit in many placements.
+func (e *Engine) PlacedLists() [][]int32 {
+	out := make([][]int32, len(e.machs))
+	for j := range e.machs {
+		out[j] = append([]int32(nil), e.machs[j].placed...)
+	}
+	return out
+}
+
+// Restore rebuilds an implicit-deadline engine from state captured by
+// Tasks() and PlacedLists(). SortedOrder delegates to New — a fresh
+// sorted solve over the same multiset is byte-identical by the engine
+// invariant, and the differential tests hold it there. ArrivalOrder
+// refolds each machine's recorded list verbatim, re-checking every
+// placement with the same admission predicate the original run passed:
+// per-machine feasibility of the final state implies feasibility of
+// every fold prefix (loads only grow along the fold and the bounds only
+// tighten), so a legitimate snapshot always verifies, while a corrupted
+// one is rejected instead of resurrected.
+func Restore(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha float64, ord Order, placed [][]int32) (*Engine, error) {
+	if ord == SortedOrder {
+		return New(ts, p, adm, alpha, ord)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
+	}
+	e := &Engine{adm: adm, order: ord, alpha: alpha}
+	switch adm.(type) {
+	case partition.EDFAdmission:
+		e.kind = admEDF
+	case partition.RMSLLAdmission:
+		e.kind = admLL
+	case partition.RMSHyperbolicAdmission:
+		e.kind = admHyperbolic
+	default:
+		return nil, fmt.Errorf("online: admission %q has no incremental state; use the batch solver", adm.Name())
+	}
+	if ord != ArrivalOrder {
+		return nil, fmt.Errorf("online: unknown order %v", ord)
+	}
+	e.tasks = ts.Clone()
+	e.p = append(machine.Platform(nil), p...)
+	e.utils = make([]float64, len(ts))
+	for i, t := range e.tasks {
+		e.utils[i] = t.Utilization()
+	}
+	e.initState()
+	if err := e.restorePlacement(placed); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RestoreConstrained is Restore for constrained-deadline engines built
+// by NewConstrained; k is the same envelope depth the original used.
+func RestoreConstrained(ts dbf.Set, p machine.Platform, alpha float64, ord Order, k int, placed [][]int32) (*Engine, error) {
+	if ord == SortedOrder {
+		return NewConstrained(ts, p, alpha, ord, k)
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("online: empty task set")
+	}
+	for i := range ts {
+		if err := validateConstrained(ts[i]); err != nil {
+			return nil, fmt.Errorf("online: task %d: %w", i, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
+	}
+	if ord != ArrivalOrder {
+		return nil, fmt.Errorf("online: unknown order %v", ord)
+	}
+	if k > maxApproxK {
+		k = maxApproxK
+	}
+	e := &Engine{kind: admDBF, order: ord, alpha: alpha, approxK: k}
+	e.tasks = make(task.Set, len(ts))
+	e.p = append(machine.Platform(nil), p...)
+	e.utils = make([]float64, len(ts))
+	e.dl = make([]int64, len(ts))
+	e.dens = make([]float64, len(ts))
+	for i, t := range ts {
+		e.tasks[i] = task.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		e.utils[i] = e.tasks[i].Utilization()
+		e.dl[i] = t.Deadline
+		e.dens[i] = float64(t.WCET) / float64(t.Deadline)
+	}
+	e.initState()
+	if err := e.restorePlacement(placed); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// restorePlacement refolds the recorded per-machine placed lists. Fold
+// order within a machine is the recorded order; machines are mutually
+// independent (every aggregate is per-machine), so the across-machine
+// order is irrelevant to the resulting floats.
+func (e *Engine) restorePlacement(placed [][]int32) error {
+	n, m := len(e.tasks), len(e.p)
+	if len(placed) != m {
+		return fmt.Errorf("online: restore: %d placed lists for %d machines", len(placed), m)
+	}
+	seen := make([]bool, n)
+	count := 0
+	for j := range placed {
+		for _, id := range placed[j] {
+			if id < 0 || int(id) >= n {
+				return fmt.Errorf("online: restore: machine %d places task id %d out of range [0, %d)", j, id, n)
+			}
+			if seen[id] {
+				return fmt.Errorf("online: restore: task %d placed twice", id)
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("online: restore: %d of %d tasks placed", count, n)
+	}
+	for j := range placed {
+		for _, id := range placed[j] {
+			ok := e.fitsAgg(j, id)
+			if perr := e.takeProbeErr(); perr != nil {
+				return fmt.Errorf("online: restore: %w", perr)
+			}
+			if !ok {
+				return fmt.Errorf("online: restore: task %d does not satisfy machine %d's admission bound — recorded placement is inconsistent", id, j)
+			}
+			e.assign[id] = int32(j)
+			e.assignPub[id] = j
+			e.place(j, id)
+		}
+	}
+	if e.cps != nil {
+		e.cps.rebuildFrom(e, 0)
+	}
+	return nil
+}

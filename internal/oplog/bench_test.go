@@ -1,0 +1,35 @@
+package oplog
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the acknowledgement-path cost of a durable
+// append: "group" is the service default (write per append, fsync on a
+// background interval — the loss window documented in the README),
+// "every" fsyncs inside each append (no loss window).
+func BenchmarkWALAppend(b *testing.B) {
+	op := Op{
+		Type: TypeAdmit, Session: "s-1",
+		Tasks: []Task{{Name: "bench-task", WCET: 2, Period: 20, Deadline: 20}},
+	}
+	run := func(b *testing.B, opts Options) {
+		w, err := Open(b.TempDir(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Append(&op); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+	b.Run("group", func(b *testing.B) { run(b, Options{FsyncInterval: 5 * time.Millisecond}) })
+	b.Run("every", func(b *testing.B) { run(b, Options{}) })
+}

@@ -1,0 +1,165 @@
+package oplog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"partfeas/internal/faultinject"
+)
+
+// Snapshots are single files snap-<op index, 16 hex digits>.pfs holding
+// an opaque payload (the service's serialized store state) after all ops
+// with index <= the file's index were applied:
+//
+//	[magic: 8][index: uint64 LE][payload length: uint32 LE]
+//	[CRC-32C of payload: uint32 LE][payload]
+//
+// They are written atomically (temp + fsync + rename + dir fsync), so a
+// crash mid-write leaves only a .tmp file, which loading ignores.
+const (
+	snapMagic     = "PFSNAP01"
+	snapHeaderLen = 24
+)
+
+// WriteSnapshot atomically persists payload as the snapshot for index.
+func WriteSnapshot(dir string, index uint64, payload []byte) error {
+	if len(payload) > maxPayloadLen {
+		return fmt.Errorf("oplog: snapshot payload %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 0, snapHeaderLen+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, index)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+
+	final := filepath.Join(dir, snapshotName(index))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("oplog: snapshot: %w", err)
+	}
+	_, werr := f.Write(buf)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: snapshot: %w", werr)
+	}
+	// Injected crash after the temp file is durable but before the
+	// rename: recovery must fall back to the previous snapshot.
+	if plan, ok := faultinject.CheckErr(faultinject.SiteSnapshotWrite, int64(index)); ok {
+		return fmt.Errorf("oplog: snapshot: %w", injectedErr(plan.Err))
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadSnapshot returns the newest snapshot that passes validation, or
+// index 0 with a nil payload when none exists. Corrupt snapshots are
+// skipped (counted in skipped) and the next older one is tried — the
+// fallback the recovery tests exercise by flipping bytes in the newest
+// file. Replay gap detection catches the case where every snapshot is
+// damaged but the WAL no longer reaches back to index 1.
+func LoadSnapshot(dir string) (index uint64, payload []byte, skipped int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, 0, nil
+		}
+		return 0, nil, 0, fmt.Errorf("oplog: load snapshot: %w", err)
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		if idx, ok := parseSnapshotName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] > idxs[j] })
+	for _, idx := range idxs {
+		payload, err := readSnapshot(filepath.Join(dir, snapshotName(idx)), idx)
+		if err != nil {
+			skipped++
+			continue
+		}
+		return idx, payload, skipped, nil
+	}
+	return 0, nil, skipped, nil
+}
+
+// PruneSnapshots removes all but the newest keep snapshots. The service
+// keeps two: the newest for fast recovery, the previous as the fallback
+// — and truncates the WAL only through the OLDER one, so the newest is
+// always re-derivable from disk.
+func PruneSnapshots(dir string, keep int) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("oplog: prune snapshots: %w", err)
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		if idx, ok := parseSnapshotName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] > idxs[j] })
+	for _, idx := range idxs[min(keep, len(idxs)):] {
+		if err := os.Remove(filepath.Join(dir, snapshotName(idx))); err != nil {
+			return fmt.Errorf("oplog: prune snapshots: %w", err)
+		}
+	}
+	return nil
+}
+
+func readSnapshot(path string, wantIndex uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: read snapshot: %w", err)
+	}
+	if len(data) < snapHeaderLen {
+		return nil, fmt.Errorf("%w: snapshot header truncated", ErrCorrupt)
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, data[:8])
+	}
+	if got := binary.LittleEndian.Uint64(data[8:]); got != wantIndex {
+		return nil, fmt.Errorf("%w: snapshot index %d does not match name (%d)", ErrCorrupt, got, wantIndex)
+	}
+	n := binary.LittleEndian.Uint32(data[16:])
+	crc := binary.LittleEndian.Uint32(data[20:])
+	if int(n) != len(data)-snapHeaderLen {
+		return nil, fmt.Errorf("%w: snapshot payload length %d, have %d bytes", ErrCorrupt, n, len(data)-snapHeaderLen)
+	}
+	payload := data[snapHeaderLen:]
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return nil, fmt.Errorf("%w: snapshot checksum %08x, want %08x", ErrCorrupt, got, crc)
+	}
+	return payload, nil
+}
+
+func snapshotName(index uint64) string {
+	return fmt.Sprintf("snap-%016x.pfs", index)
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".pfs") {
+		return 0, false
+	}
+	var idx uint64
+	if _, err := fmt.Sscanf(name, "snap-%016x.pfs", &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}

@@ -1,0 +1,546 @@
+package oplog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"partfeas/internal/faultinject"
+)
+
+// Segment files are named wal-<first op index, 16 hex digits>.log and
+// start with a 16-byte header: an 8-byte magic and the first index again
+// as fixed 64-bit LE (so a renamed file is detected).
+const (
+	segMagic     = "PFWALOG1"
+	segHeaderLen = 16
+
+	defaultSegmentBytes = 4 << 20
+)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("oplog: wal closed")
+
+// Options configures a WAL.
+type Options struct {
+	// FsyncInterval selects the commit mode. Zero means fsync on every
+	// append (no loss window, slowest). Positive means group commit: the
+	// write syscall still happens inside every Append — so a process
+	// crash loses nothing acknowledged — but fsync runs on a background
+	// ticker, so a power loss can drop up to one interval of
+	// acknowledged ops. The service documents this as the loss window.
+	FsyncInterval time.Duration
+	// SegmentBytes is the rotation threshold (default 4 MiB). A segment
+	// may exceed it by at most one record.
+	SegmentBytes int64
+	// Start is the index the first op gets when the directory has no
+	// segments (default 1). Recovery passes snapshotIndex+1 so a WAL
+	// whose segments were fully truncated resumes at the right index.
+	Start uint64
+}
+
+// Stats is a point-in-time snapshot of WAL counters, exported by the
+// service as the partfeas_wal_* metrics family.
+type Stats struct {
+	Appends      uint64 // records appended this process lifetime
+	Fsyncs       uint64 // fsync calls issued
+	Rotations    uint64 // segment rotations
+	NextIndex    uint64 // index the next append will get
+	SegmentBytes int64  // size of the active segment
+	Segments     int    // live segment files
+	Failed       bool   // sticky failure latched (WAL is read-only)
+}
+
+// WAL is an append-only segmented write-ahead log. All methods are safe
+// for concurrent use, except Replay, which must complete before the
+// first concurrent Append.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	next     uint64   // index of the next record
+	dirty    bool     // unsynced writes pending
+	failed   error    // sticky failure; WAL refuses writes once set
+	closed   bool
+	buf      []byte // frame scratch
+	segments int
+
+	appends   uint64
+	fsyncs    uint64
+	rotations uint64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+type segInfo struct {
+	path  string
+	first uint64
+}
+
+// Open validates the WAL directory, truncates a torn tail on the last
+// segment, and returns a writer positioned after the last intact record.
+// Corruption anywhere except the tail of the last segment is a loud
+// error: it means history was damaged, and replay from it would be a lie.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Start == 0 {
+		opts.Start = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oplog: open: %w", err)
+	}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts, segments: len(segs)}
+	if len(segs) == 0 {
+		if err := w.createSegmentLocked(opts.Start); err != nil {
+			return nil, err
+		}
+		w.next = opts.Start
+	} else {
+		next := segs[0].first
+		for i, seg := range segs {
+			if seg.first != next {
+				return nil, fmt.Errorf("oplog: segment %s starts at index %d, want %d (gap)", filepath.Base(seg.path), seg.first, next)
+			}
+			end, last, err := scanSegment(seg, i == len(segs)-1)
+			if err != nil {
+				return nil, err
+			}
+			next = end
+			if i == len(segs)-1 {
+				f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+				if err != nil {
+					return nil, fmt.Errorf("oplog: open: %w", err)
+				}
+				if err := f.Truncate(last); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("oplog: truncate torn tail: %w", err)
+				}
+				if _, err := f.Seek(last, 0); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("oplog: open: %w", err)
+				}
+				w.f, w.size = f, last
+			}
+		}
+		w.next = next
+	}
+	if opts.FsyncInterval > 0 {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop(opts.FsyncInterval)
+	}
+	return w, nil
+}
+
+// scanSegment walks one segment's records, verifying checksums and index
+// continuity. It returns the index after the last intact record and the
+// byte offset where intact data ends. Damage is tolerated (reported via
+// the returned offset, for truncation) only when tail is true.
+func scanSegment(seg segInfo, tail bool) (next uint64, end int64, err error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("oplog: open: %w", err)
+	}
+	if err := checkSegHeader(data, seg.first); err != nil {
+		return 0, 0, fmt.Errorf("oplog: segment %s: %w", filepath.Base(seg.path), err)
+	}
+	off := int64(segHeaderLen)
+	idx := seg.first
+	var op Op
+	for int(off) < len(data) {
+		n, err := decodeFrame(data[off:], &op)
+		if err != nil {
+			if tail && (errors.Is(err, ErrShortRecord) || errors.Is(err, ErrCorrupt)) {
+				return idx, off, nil // torn tail: caller truncates here
+			}
+			return 0, 0, fmt.Errorf("oplog: segment %s offset %d: %w", filepath.Base(seg.path), off, err)
+		}
+		if op.Index != idx {
+			return 0, 0, fmt.Errorf("oplog: segment %s offset %d: record index %d, want %d", filepath.Base(seg.path), off, op.Index, idx)
+		}
+		idx++
+		off += int64(n)
+	}
+	return idx, off, nil
+}
+
+// Append assigns the next index to op, encodes it, and writes the frame
+// to the active segment. When it returns nil the record has reached the
+// file (a process crash cannot lose it); with FsyncInterval 0 it has
+// also been fsynced. This return is the service's acknowledgement point.
+// Any write or sync failure latches the WAL failed: all later appends
+// are refused, which the service surfaces as degraded read-only mode.
+func (w *WAL) Append(op *Op) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	if w.closed {
+		return 0, ErrClosed
+	}
+	idx := w.next
+	op.Index = idx
+	w.buf = appendFrame(w.buf[:0], op)
+	frame := w.buf
+	if w.size+int64(len(frame)) > w.opts.SegmentBytes && w.size > segHeaderLen {
+		if err := w.rotateLocked(idx); err != nil {
+			return 0, err
+		}
+	}
+	if plan, ok := faultinject.CheckErr(faultinject.SiteWALAppend, int64(idx)); ok {
+		if plan.Partial > 0 {
+			nb := plan.Partial
+			if nb > len(frame) {
+				nb = len(frame)
+			}
+			w.f.Write(frame[:nb]) // the simulated torn write; error irrelevant
+		}
+		return 0, w.fail("append", injectedErr(plan.Err))
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, w.fail("append", err)
+	}
+	w.size += int64(len(frame))
+	w.next = idx + 1
+	w.dirty = true
+	w.appends++
+	if w.opts.FsyncInterval == 0 {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// Sync forces an fsync of any pending writes. The graceful-drain path
+// calls it to flush the group-commit window before snapshotting.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.failed != nil {
+		return w.failed
+	}
+	if !w.dirty {
+		return nil
+	}
+	if plan, ok := faultinject.CheckErr(faultinject.SiteWALFsync, int64(w.next-1)); ok {
+		return w.fail("fsync", injectedErr(plan.Err))
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail("fsync", err)
+	}
+	w.dirty = false
+	w.fsyncs++
+	return nil
+}
+
+func (w *WAL) syncLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	defer close(w.syncDone)
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// rotateLocked syncs and closes the active segment and starts a new one
+// whose first index is idx. Old records are always durable before any
+// record lands in the new segment.
+func (w *WAL) rotateLocked(idx uint64) error {
+	if plan, ok := faultinject.CheckErr(faultinject.SiteWALRotate, int64(idx)); ok {
+		return w.fail("rotate", injectedErr(plan.Err))
+	}
+	if w.dirty {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return w.fail("rotate", err)
+	}
+	w.f = nil
+	if err := w.createSegmentLocked(idx); err != nil {
+		w.failed = err
+		return err
+	}
+	w.rotations++
+	return nil
+}
+
+// createSegmentLocked creates wal-<first>.log with its header, fsyncs
+// it, and fsyncs the directory so the file name itself is durable.
+func (w *WAL) createSegmentLocked(first uint64) error {
+	path := filepath.Join(w.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("oplog: create segment: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("oplog: create segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("oplog: create segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, segHeaderLen
+	w.segments++
+	return nil
+}
+
+// Replay streams every intact record with index >= start, in order,
+// through fn. It must run before any concurrent Append. A first
+// available record above start is a gap — history the snapshot does not
+// cover was truncated — and fails loudly rather than replaying a lie.
+func (w *WAL) Replay(start uint64, fn func(*Op) error) error {
+	segs, err := segmentFiles(w.dir)
+	if err != nil {
+		return err
+	}
+	expected := start
+	var op Op
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("oplog: replay: %w", err)
+		}
+		if err := checkSegHeader(data, seg.first); err != nil {
+			return fmt.Errorf("oplog: segment %s: %w", filepath.Base(seg.path), err)
+		}
+		off := segHeaderLen
+		for off < len(data) {
+			n, err := decodeFrame(data[off:], &op)
+			if err != nil {
+				// Open already truncated the torn tail; damage here is
+				// either a new IO error or mid-history corruption.
+				return fmt.Errorf("oplog: replay: segment %s offset %d: %w", filepath.Base(seg.path), off, err)
+			}
+			off += n
+			if op.Index < start {
+				continue
+			}
+			if op.Index != expected {
+				return fmt.Errorf("oplog: replay: record index %d, want %d (gap)", op.Index, expected)
+			}
+			faultinject.Hit(faultinject.SiteWALReplay, int64(op.Index))
+			if err := fn(&op); err != nil {
+				return fmt.Errorf("oplog: replay op %d (%s): %w", op.Index, op.Type, err)
+			}
+			expected++
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes whole segments whose records all have index
+// <= index. The active segment is never removed. The caller invokes it
+// after a snapshot at `index` is durable — and, because two snapshots
+// are retained, passes the OLDER snapshot's index, so the newest
+// snapshot stays re-derivable from disk even if it later turns corrupt.
+func (w *WAL) TruncateThrough(index uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := segmentFiles(w.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].first > index+1 {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return fmt.Errorf("oplog: truncate: %w", err)
+		}
+		w.segments--
+		removed = true
+	}
+	if removed {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// NextIndex returns the index the next Append will assign.
+func (w *WAL) NextIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next
+}
+
+// Stats returns current counters for the metrics exporter.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Appends:      w.appends,
+		Fsyncs:       w.fsyncs,
+		Rotations:    w.rotations,
+		NextIndex:    w.next,
+		SegmentBytes: w.size,
+		Segments:     w.segments,
+		Failed:       w.failed != nil,
+	}
+}
+
+// Close stops the group-commit ticker, issues a final fsync, and closes
+// the active segment. The final sync error is returned so a drain can
+// report an incomplete flush.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	stop := w.stopSync
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.syncDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	if err != nil && !errors.Is(err, w.failed) {
+		return err
+	}
+	return err
+}
+
+// Crash closes the WAL abruptly, issuing no final fsync — exactly the
+// on-disk state a process kill leaves behind (completed write syscalls
+// survive, the group-commit window may not). For crash-simulation
+// harnesses only.
+func (w *WAL) Crash() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	stop := w.stopSync
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.syncDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// fail latches the sticky failure and returns it.
+func (w *WAL) fail(stage string, err error) error {
+	w.failed = fmt.Errorf("oplog: %s: %w", stage, err)
+	return w.failed
+}
+
+func injectedErr(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("injected failure")
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("wal-%016x.log", first)
+}
+
+func segmentFiles(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: list segments: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, "wal-%016x.log", &first); err != nil {
+			return nil, fmt.Errorf("oplog: unrecognized segment name %q", name)
+		}
+		segs = append(segs, segInfo{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+func checkSegHeader(data []byte, first uint64) error {
+	if len(data) < segHeaderLen {
+		return fmt.Errorf("%w: segment header truncated", ErrCorrupt)
+	}
+	if string(data[:8]) != segMagic {
+		return fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, data[:8])
+	}
+	if got := binary.LittleEndian.Uint64(data[8:]); got != first {
+		return fmt.Errorf("%w: header first index %d does not match name (%d)", ErrCorrupt, got, first)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("oplog: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("oplog: sync dir: %w", err)
+	}
+	return nil
+}

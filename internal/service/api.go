@@ -247,6 +247,10 @@ type SessionResponse struct {
 	Tasks         []TaskJSON    `json:"tasks"`
 	Machines      []MachineJSON `json:"machines"`
 	Test          TestResponse  `json:"test"`
+	// Durability reports how the acknowledgement is backed: "wal" when
+	// the op was appended to the write-ahead log before this response,
+	// "none" when the server runs without a data directory.
+	Durability string `json:"durability,omitempty"`
 }
 
 // AddTaskRequest admits one more task into a session.
@@ -283,6 +287,10 @@ type BatchAdmissionResponse struct {
 	// Test is the session state after the batch on any admission, or the
 	// rejection witness when nothing was admitted.
 	Test TestResponse `json:"test"`
+	// Durability reports how the acknowledgement is backed: "wal" when
+	// the op was appended to the write-ahead log before this response,
+	// "none" when the server runs without a data directory.
+	Durability string `json:"durability,omitempty"`
 }
 
 // UpdateWCETRequest changes one task's WCET (incremental re-test via
@@ -315,6 +323,10 @@ type AdmissionResponse struct {
 	// Test is the re-test outcome for the mutated (or rolled-back
 	// tentative) set.
 	Test TestResponse `json:"test"`
+	// Durability reports how the acknowledgement is backed: "wal" when
+	// the op was appended to the write-ahead log before this response,
+	// "none" when the server runs without a data directory.
+	Durability string `json:"durability,omitempty"`
 }
 
 // RepartitionRequest measures (and optionally repairs) the drift between
@@ -359,6 +371,10 @@ type RepartitionResponse struct {
 	Partial bool `json:"partial"`
 	// Test is the session's state after any migrations.
 	Test TestResponse `json:"test"`
+	// Durability reports how the acknowledgement is backed: "wal" when
+	// the op was appended to the write-ahead log before this response,
+	// "none" when the server runs without a data directory.
+	Durability string `json:"durability,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -119,6 +119,7 @@ func (s *session) freshConstrainedReport(alpha float64) (partfeas.Report, error)
 // typed analysis error (horizon or demand overflow) is surfaced rather
 // than downgraded to a verdict.
 func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alpha float64, placement online.Order) (*session, error) {
+	defer st.dur.rlock()()
 	if in.Scheduler != partfeas.EDF {
 		return nil, &httpError{code: http.StatusBadRequest, msg: "constrained-deadline sessions require the EDF scheduler"}
 	}
@@ -146,6 +147,7 @@ func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alp
 		dls:         append([]int64(nil), dls...),
 		eng:         eng,
 		mx:          st.mx,
+		dur:         st.dur,
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -154,6 +156,10 @@ func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alp
 	}
 	st.seq++
 	s.id = fmt.Sprintf("s-%d", st.seq)
+	if err := st.dur.logOp(createOp(s, s.dls)); err != nil {
+		st.seq--
+		return nil, err
+	}
 	st.m[s.id] = s
 	return s, nil
 }

@@ -27,6 +27,9 @@ const StatusClientClosedRequest = 499
 type httpError struct {
 	code int
 	msg  string
+	// retryAfter, when non-zero, is rendered as a Retry-After header —
+	// used by the degraded read-only mode's 503s.
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -89,6 +92,10 @@ func (s *Server) wrap(endpoint string, fn func(w http.ResponseWriter, r *http.Re
 		resp, st, err := fn(w, r)
 		if err != nil {
 			code = s.statusFor(r, err)
+			var he *httpError
+			if errors.As(err, &he) && he.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+			}
 			writeJSON(w, code, ErrorResponse{Error: err.Error()})
 			return
 		}
@@ -298,6 +305,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 		_ = s.sessions.remove(sess.id)
 		return nil, 0, err
 	}
+	s.markDurability(w, &state.Durability)
 	return state, http.StatusCreated, nil
 }
 
@@ -315,10 +323,12 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) (any, 
 	return state, 0, nil
 }
 
-func (s *Server) handleSessionDelete(_ http.ResponseWriter, r *http.Request) (any, int, error) {
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	if err := s.sessions.remove(r.PathValue("id")); err != nil {
 		return nil, 0, err
 	}
+	var discard string
+	s.markDurability(w, &discard)
 	return nil, http.StatusNoContent, nil
 }
 
@@ -364,6 +374,7 @@ func (s *Server) handleSessionAddTask(w http.ResponseWriter, r *http.Request) (a
 	if err != nil {
 		return nil, 0, err
 	}
+	s.markDurability(w, &resp.Durability)
 	return resp, 0, nil
 }
 
@@ -400,10 +411,11 @@ func (s *Server) handleSessionAdmitBatch(w http.ResponseWriter, r *http.Request)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.markDurability(w, &resp.Durability)
 	return resp, 0, nil
 }
 
-func (s *Server) handleSessionRemoveTask(_ http.ResponseWriter, r *http.Request) (any, int, error) {
+func (s *Server) handleSessionRemoveTask(w http.ResponseWriter, r *http.Request) (any, int, error) {
 	idx, err := strconv.Atoi(r.PathValue("index"))
 	if err != nil {
 		return nil, 0, badRequest("task index %q is not an integer", r.PathValue("index"))
@@ -418,6 +430,7 @@ func (s *Server) handleSessionRemoveTask(_ http.ResponseWriter, r *http.Request)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.markDurability(w, &resp.Durability)
 	return resp, 0, nil
 }
 
@@ -436,6 +449,7 @@ func (s *Server) handleSessionUpdateWCET(w http.ResponseWriter, r *http.Request)
 	if err != nil {
 		return nil, 0, err
 	}
+	s.markDurability(w, &resp.Durability)
 	return resp, 0, nil
 }
 
@@ -457,12 +471,25 @@ func (s *Server) handleSessionRepartition(w http.ResponseWriter, r *http.Request
 	if err != nil {
 		return nil, 0, err
 	}
+	if req.Apply {
+		s.markDurability(w, &resp.Durability)
+	}
 	return resp, 0, nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+}
+
+// markDurability stamps a mutation response with the durability level its
+// acknowledgement carries: "wal" means the op was appended to the
+// write-ahead log before the response was produced, "none" means the
+// server runs without -data-dir and the op lives only in memory.
+func (s *Server) markDurability(w http.ResponseWriter, field *string) {
+	m := s.dur.mode()
+	*field = m
+	w.Header().Set("X-Durability", m)
 }
 
 func cacheHeader(hit bool) string {

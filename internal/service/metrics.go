@@ -41,9 +41,12 @@ type Metrics struct {
 	admitCnt  [nPaths]atomic.Uint64
 	admitSum  [nPaths]atomic.Uint64 // nanoseconds
 
-	// sessionsActive and poolStats are read at scrape time.
+	// sessionsActive, poolStats and walStats are read at scrape time.
+	// walStats is nil on a non-durable server, which omits the
+	// partfeas_wal_* family entirely.
 	sessionsActive func() int
 	poolStats      func() PoolStats
+	walStats       func() WALStats
 }
 
 type reqKey struct {
@@ -292,6 +295,41 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "partfeas_admission_duration_seconds_sum{path=%q} %g\n", p.String(), float64(m.admitSum[p].Load())/1e9)
 		fmt.Fprintf(w, "partfeas_admission_duration_seconds_count{path=%q} %d\n", p.String(), m.admitCnt[p].Load())
+	}
+
+	if m.walStats != nil {
+		ws := m.walStats()
+		fmt.Fprintf(w, "# HELP partfeas_wal_appends_total Ops appended to the write-ahead log.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_appends_total counter\n")
+		fmt.Fprintf(w, "partfeas_wal_appends_total %d\n", ws.Appends)
+		fmt.Fprintf(w, "# HELP partfeas_wal_fsyncs_total Group-commit fsyncs issued on the active segment.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_fsyncs_total counter\n")
+		fmt.Fprintf(w, "partfeas_wal_fsyncs_total %d\n", ws.Fsyncs)
+		fmt.Fprintf(w, "# HELP partfeas_wal_rotations_total Segment rotations.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_rotations_total counter\n")
+		fmt.Fprintf(w, "partfeas_wal_rotations_total %d\n", ws.Rotations)
+		fmt.Fprintf(w, "# HELP partfeas_wal_snapshots_total Snapshots written since start.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_snapshots_total counter\n")
+		fmt.Fprintf(w, "partfeas_wal_snapshots_total %d\n", ws.Snapshots)
+		fmt.Fprintf(w, "# HELP partfeas_wal_segments Live WAL segment files.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_segments gauge\n")
+		fmt.Fprintf(w, "partfeas_wal_segments %d\n", ws.Segments)
+		fmt.Fprintf(w, "# HELP partfeas_wal_segment_bytes Bytes in the active segment.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_segment_bytes gauge\n")
+		fmt.Fprintf(w, "partfeas_wal_segment_bytes %d\n", ws.SegmentBytes)
+		fmt.Fprintf(w, "# HELP partfeas_wal_next_index Index the next appended op will take.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_next_index gauge\n")
+		fmt.Fprintf(w, "partfeas_wal_next_index %d\n", ws.NextIndex)
+		fmt.Fprintf(w, "# HELP partfeas_wal_last_snapshot_index Last op index covered by a snapshot.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_last_snapshot_index gauge\n")
+		fmt.Fprintf(w, "partfeas_wal_last_snapshot_index %d\n", ws.LastSnapshot)
+		degraded := 0
+		if ws.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# HELP partfeas_wal_degraded 1 while the server is read-only after a WAL failure.\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_degraded gauge\n")
+		fmt.Fprintf(w, "partfeas_wal_degraded %d\n", degraded)
 	}
 
 	fmt.Fprintf(w, "# HELP partfeas_http_request_duration_seconds Request latency quantiles (log-bucket upper bounds).\n")

@@ -34,6 +34,20 @@ type Config struct {
 	AnalyzeBudget int64
 	// Logf receives lifecycle and panic lines; nil discards them.
 	Logf func(format string, args ...any)
+
+	// DataDir, when non-empty, enables durability: every session-mutating
+	// op is appended to a write-ahead log under this directory before it
+	// is acknowledged, and periodic snapshots bound recovery replay. Only
+	// NewDurable honors it; New ignores the durability fields entirely.
+	DataDir string
+	// FsyncInterval is the group-commit window: writes reach the OS on
+	// every append (process-crash safe), fsync runs on this cadence
+	// (power-loss window). 0 means 5ms; negative means fsync every append.
+	FsyncInterval time.Duration
+	// SnapshotEvery triggers a snapshot after this many appended ops.
+	// 0 means 1024; negative disables automatic snapshots (Close still
+	// writes a final one).
+	SnapshotEvery int
 }
 
 // Server is the admission-control service: the handler set plus the
@@ -49,6 +63,11 @@ type Server struct {
 
 	hs *http.Server
 	ln net.Listener
+
+	// dur is nil unless the server was built with NewDurable; every
+	// durability hook is nil-receiver-safe, so the non-durable path pays
+	// one branch per call site.
+	dur *durability
 }
 
 // New builds a Server from cfg (see Config for zero-value defaults).
@@ -80,6 +99,57 @@ func New(cfg Config) *Server {
 	s.sessions.mx = s.metrics
 	s.handler = s.routes()
 	return s
+}
+
+// NewDurable builds a Server whose session mutations are durable: it
+// recovers the session store from cfg.DataDir (latest valid snapshot plus
+// write-ahead log replay through the real engine paths), then arranges
+// for every subsequent mutation to be appended — and acknowledged — via
+// the WAL. cfg.DataDir must be non-empty. The caller owns Close (Shutdown
+// calls it), which drains the group-commit buffer and writes a final
+// snapshot.
+func NewDurable(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: NewDurable requires Config.DataDir")
+	}
+	fsync := cfg.FsyncInterval
+	if fsync == 0 {
+		fsync = 5 * time.Millisecond
+	} else if fsync < 0 {
+		fsync = 0 // oplog convention: 0 = fsync on every append
+	}
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1024
+	} else if snapEvery < 0 {
+		snapEvery = 0 // durability convention: 0 = no automatic snapshots
+	}
+	s := New(cfg)
+	dur, err := openDurability(cfg.DataDir, fsync, snapEvery, s.sessions, s.logf)
+	if err != nil {
+		return nil, err
+	}
+	s.dur = dur
+	s.metrics.walStats = dur.walStats
+	return s, nil
+}
+
+// Close releases the durability layer: it flushes the WAL group-commit
+// buffer, writes a final snapshot, and closes the log. A server built
+// with New has nothing to release. Safe to call more than once.
+func (s *Server) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.Close()
+}
+
+// Crash abandons the durability layer without the final fsync or
+// snapshot, simulating a process kill: records whose write syscalls
+// completed survive, buffered fsync state is lost. Test and loadgen
+// hook; a production server should use Close.
+func (s *Server) Crash() {
+	s.dur.crash()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -135,10 +205,16 @@ func (s *Server) Serve() error {
 // call returns when the last one finishes or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.hs == nil {
-		return nil
+		return s.Close()
 	}
 	s.logf("service: draining")
 	err := s.hs.Shutdown(ctx)
+	// With every in-flight request finished, the WAL buffer drains and
+	// the final snapshot covers all acknowledged ops — a restart after a
+	// clean drain replays zero records.
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
 	s.logf("service: stopped")
 	return err
 }

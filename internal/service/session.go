@@ -10,6 +10,7 @@ import (
 	"partfeas"
 	"partfeas/internal/dbf"
 	"partfeas/internal/online"
+	"partfeas/internal/oplog"
 	"partfeas/internal/partition"
 	"partfeas/internal/pipeline"
 )
@@ -43,7 +44,8 @@ type session struct {
 	eng       *online.Engine   // nil while the resident set is (force-)infeasible
 	tester    *partfeas.Tester // batch fallback; nil when stale (rebuilt lazily)
 	closed    bool
-	mx        *Metrics // per-path admission metrics; nil in bare tests
+	mx        *Metrics    // per-path admission metrics; nil in bare tests
+	dur       *durability // WAL ack gate; nil without -data-dir (all calls nil-safe)
 
 	// Constrained-deadline sessions (deadline_model "constrained") admit
 	// through the engine's tiered DBF pipeline and are engine-only: the
@@ -78,7 +80,8 @@ type sessionStore struct {
 	seq uint64
 	max int
 	m   map[string]*session
-	mx  *Metrics // propagated into every session it creates
+	mx  *Metrics    // propagated into every session it creates
+	dur *durability // propagated likewise; nil without -data-dir
 }
 
 func newSessionStore(max int) *sessionStore {
@@ -98,6 +101,7 @@ func (st *sessionStore) count() int {
 // validated instance. The instance is deep-copied so later request
 // buffers cannot alias session state.
 func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Order) (*session, error) {
+	defer st.dur.rlock()()
 	tester, err := partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
 	if err != nil {
 		return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
@@ -112,6 +116,7 @@ func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement on
 		placement: placement,
 		tester:    tester,
 		mx:        st.mx,
+		dur:       st.dur,
 	}
 	s.armEngine() // sessions may open infeasible; they just start on the batch path
 	st.mu.Lock()
@@ -121,8 +126,40 @@ func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement on
 	}
 	st.seq++
 	s.id = fmt.Sprintf("s-%d", st.seq)
+	if err := st.dur.logOp(createOp(s, nil)); err != nil {
+		st.seq--
+		return nil, err
+	}
 	st.m[s.id] = s
 	return s, nil
+}
+
+// createOp encodes a session creation (the last fallible step before the
+// store insert, so a logged create always replays successfully). dls is
+// non-nil only for constrained sessions.
+func createOp(s *session, dls []int64) *oplog.Op {
+	op := &oplog.Op{
+		Type:      oplog.TypeCreate,
+		Session:   s.id,
+		Alpha:     s.alpha,
+		Scheduler: s.in.Scheduler.String(),
+		Placement: s.placement.String(),
+		Machines:  make([]oplog.Machine, len(s.in.Platform)),
+		Tasks:     make([]oplog.Task, len(s.in.Tasks)),
+	}
+	if s.constrained {
+		op.DeadlineModel = "constrained"
+	}
+	for i, m := range s.in.Platform {
+		op.Machines[i] = oplog.Machine{Name: m.Name, Speed: m.Speed}
+	}
+	for i, t := range s.in.Tasks {
+		op.Tasks[i] = oplog.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		if dls != nil {
+			op.Tasks[i].Deadline = dls[i]
+		}
+	}
+	return op
 }
 
 func (st *sessionStore) get(id string) (*session, error) {
@@ -136,9 +173,16 @@ func (st *sessionStore) get(id string) (*session, error) {
 }
 
 func (st *sessionStore) remove(id string) error {
+	defer st.dur.rlock()()
 	st.mu.Lock()
 	s, ok := st.m[id]
-	delete(st.m, id)
+	if ok {
+		if err := st.dur.logOp(&oplog.Op{Type: oplog.TypeDestroy, Session: id}); err != nil {
+			st.mu.Unlock()
+			return err
+		}
+		delete(st.m, id)
+	}
 	st.mu.Unlock()
 	if !ok {
 		return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
@@ -304,6 +348,7 @@ func (s *session) test(ctx context.Context, alpha float64) (TestResponse, error)
 // queued interior admits cost one suffix replay instead of n; with no
 // contention the queue holds a single entry and the plain path runs.
 func (s *session) addTask(ctx context.Context, t partfeas.Task, dl int64, force bool) (AdmissionResponse, error) {
+	defer s.dur.rlock()()
 	if err := s.checkDeadlineArg(dl, t.Period, force); err != nil {
 		return AdmissionResponse{}, err
 	}
@@ -365,6 +410,24 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 		}
 		return
 	}
+	// The coalesced group commits as one logged best-effort batch: replay
+	// admits the same tasks in the same queue order through AdmitBatch,
+	// which the engine keeps verdict-identical to sequential admission.
+	batch := &oplog.Op{
+		Type: oplog.TypeAdmitBatch, Session: s.id,
+		BatchMode: online.BestEffort.String(),
+		Tasks:     make([]oplog.Task, len(live)),
+	}
+	for i, w := range live {
+		batch.Tasks[i] = oplog.Task{Name: w.t.Name, WCET: w.t.WCET, Period: w.t.Period, Deadline: w.dl}
+	}
+	if lerr := s.dur.logOp(batch); lerr != nil {
+		for _, w := range live {
+			w.err = lerr
+			close(w.done)
+		}
+		return
+	}
 	start := time.Now()
 	var res partition.Result
 	var admitted []bool
@@ -422,15 +485,24 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 	}
 }
 
-// addTaskLocked is the single-admit body; the caller holds s.mu.
+// addTaskLocked is the single-admit body; the caller holds s.mu. The op
+// is acknowledged (logged) before any state changes and applied with
+// cancellation stripped, so a durable admit is all-or-nothing.
 func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, dl int64, force bool) (AdmissionResponse, error) {
 	if s.closed {
 		return AdmissionResponse{}, errSessionClosed
 	}
+	if err := ctxGuard(ctx); err != nil {
+		return AdmissionResponse{}, err
+	}
+	if err := s.dur.logOp(&oplog.Op{
+		Type: oplog.TypeAdmit, Session: s.id, Force: force,
+		Tasks: []oplog.Task{{Name: t.Name, WCET: t.WCET, Period: t.Period, Deadline: dl}},
+	}); err != nil {
+		return AdmissionResponse{}, err
+	}
+	ctx = s.dur.applyCtx(ctx)
 	if s.eng != nil {
-		if err := ctxGuard(ctx); err != nil {
-			return AdmissionResponse{}, err
-		}
 		start := time.Now()
 		var res partition.Result
 		var admitted bool
@@ -523,6 +595,7 @@ func (s *session) observeTier(d time.Duration) {
 // semantics; all-or-nothing then degenerates to reject-all, since
 // adding tasks cannot restore feasibility.
 func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, dls []int64, mode online.BatchMode) (BatchAdmissionResponse, error) {
+	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -549,10 +622,25 @@ func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, dls []in
 			Test:     TestResponseFrom(rep),
 		}, nil
 	}
-	if s.eng != nil {
-		if err := ctxGuard(ctx); err != nil {
-			return BatchAdmissionResponse{}, err
+	if err := ctxGuard(ctx); err != nil {
+		return BatchAdmissionResponse{}, err
+	}
+	batch := &oplog.Op{
+		Type: oplog.TypeAdmitBatch, Session: s.id,
+		BatchMode: mode.String(),
+		Tasks:     make([]oplog.Task, len(ts)),
+	}
+	for i, t := range ts {
+		batch.Tasks[i] = oplog.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		if dls != nil {
+			batch.Tasks[i].Deadline = dls[i]
 		}
+	}
+	if err := s.dur.logOp(batch); err != nil {
+		return BatchAdmissionResponse{}, err
+	}
+	ctx = s.dur.applyCtx(ctx)
+	if s.eng != nil {
 		start := time.Now()
 		var res partition.Result
 		var admitted []bool
@@ -728,6 +816,7 @@ func (s *session) commitInfeasible(cand partfeas.TaskSet) error {
 // whose shrunken set re-solves infeasible — the session still commits
 // it, on the batch path.
 func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, error) {
+	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -739,10 +828,14 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	if len(s.in.Tasks) == 1 {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: "cannot remove the last task; delete the session instead"}
 	}
+	if err := ctxGuard(ctx); err != nil {
+		return AdmissionResponse{}, err
+	}
+	if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeRemove, Session: s.id, Target: idx}); err != nil {
+		return AdmissionResponse{}, err
+	}
+	ctx = s.dur.applyCtx(ctx)
 	if s.eng != nil {
-		if err := ctxGuard(ctx); err != nil {
-			return AdmissionResponse{}, err
-		}
 		res, ok, err := s.eng.Remove(idx)
 		if err != nil {
 			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
@@ -794,6 +887,7 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 // updateWCET changes one task's WCET through the engine's incremental
 // path, rolling back when the re-test rejects and force is unset.
 func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force bool) (AdmissionResponse, error) {
+	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -805,10 +899,14 @@ func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force boo
 	if s.constrained && force {
 		return AdmissionResponse{}, errConstrainedForce
 	}
+	if err := ctxGuard(ctx); err != nil {
+		return AdmissionResponse{}, err
+	}
+	if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeUpdateWCET, Session: s.id, Target: idx, WCET: wcet, Force: force}); err != nil {
+		return AdmissionResponse{}, err
+	}
+	ctx = s.dur.applyCtx(ctx)
 	if s.eng != nil {
-		if err := ctxGuard(ctx); err != nil {
-			return AdmissionResponse{}, err
-		}
 		res, ok, err := s.eng.UpdateWCET(idx, wcet)
 		if err != nil {
 			return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: err.Error()}
@@ -871,6 +969,7 @@ var errNoEngine = &httpError{code: http.StatusConflict, msg: "session has no arm
 // applying up to maxMoves migrations. Sorted sessions report zero drift
 // by construction; arrival sessions accumulate it and drain it here.
 func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (RepartitionResponse, error) {
+	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -885,6 +984,14 @@ func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (Re
 	if err := ctxGuard(ctx); err != nil {
 		return RepartitionResponse{}, err
 	}
+	if apply {
+		// Logged before planning: re-planning over the identical engine
+		// state is deterministic, so replay re-derives the same moves.
+		if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeRepartition, Session: s.id, Target: maxMoves}); err != nil {
+			return RepartitionResponse{}, err
+		}
+	}
+	ctx = s.dur.applyCtx(ctx)
 	pl, err := s.eng.PlanRepartition()
 	if err != nil {
 		return RepartitionResponse{}, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
