@@ -1,6 +1,7 @@
 package oplog
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -414,6 +415,28 @@ func TestSnapshotWriteLoadFallbackPrune(t *testing.T) {
 	idx, payload, _, err = LoadSnapshot(dir)
 	if err != nil || idx != 30 || string(payload) != "state@30" {
 		t.Fatalf("post-prune load = (%d, %q, %v)", idx, payload, err)
+	}
+}
+
+// TestSnapshotLargerThanRecordCap pins that the WAL's per-record
+// allocation bound (maxPayloadLen) does not apply to snapshot files: a
+// store whose serialized state exceeds it must still snapshot, or the
+// WAL would grow without bound once the store is large enough.
+func TestSnapshotLargerThanRecordCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes a >64 MiB snapshot")
+	}
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("0123456789abcdef"), maxPayloadLen/16+1)
+	if err := WriteSnapshot(dir, 7, payload); err != nil {
+		t.Fatalf("WriteSnapshot(%d bytes): %v", len(payload), err)
+	}
+	idx, got, skipped, err := LoadSnapshot(dir)
+	if err != nil || idx != 7 || skipped != 0 {
+		t.Fatalf("load = (%d, _, %d, %v), want (7, _, 0, nil)", idx, skipped, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large snapshot payload corrupted on round-trip")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,9 +28,13 @@ const (
 )
 
 // WriteSnapshot atomically persists payload as the snapshot for index.
+// Snapshots are read back whole by name, so the per-record WAL
+// allocation bound (maxPayloadLen) does not apply here; the only limit
+// is the format's uint32 length field — a large store must still be
+// able to snapshot, or the WAL would grow without bound.
 func WriteSnapshot(dir string, index uint64, payload []byte) error {
-	if len(payload) > maxPayloadLen {
-		return fmt.Errorf("oplog: snapshot payload %d bytes exceeds limit", len(payload))
+	if uint64(len(payload)) > math.MaxUint32 {
+		return fmt.Errorf("oplog: snapshot payload %d bytes exceeds format limit", len(payload))
 	}
 	buf := make([]byte, 0, snapHeaderLen+len(payload))
 	buf = append(buf, snapMagic...)

@@ -83,6 +83,7 @@ type durability struct {
 	sinceSnap int
 	lastSnap  uint64
 	snapCount uint64
+	snapFails uint64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -94,9 +95,10 @@ type durability struct {
 // the partfeas_wal_* metrics family.
 type WALStats struct {
 	oplog.Stats
-	Snapshots    uint64
-	LastSnapshot uint64
-	Degraded     bool
+	Snapshots        uint64
+	SnapshotFailures uint64
+	LastSnapshot     uint64
+	Degraded         bool
 }
 
 // openDurability loads the newest valid snapshot (falling back past
@@ -237,22 +239,25 @@ func (d *durability) Snapshot() error {
 	idx := d.wal.NextIndex() - 1
 	d.mu.Lock()
 	last := d.lastSnap
-	d.sinceSnap = 0
 	d.mu.Unlock()
 	if idx <= last {
 		return nil
 	}
 	payload, err := d.encodeStore()
 	if err != nil {
-		return err
+		return d.snapshotFailed(err)
 	}
 	if err := oplog.WriteSnapshot(d.dir, idx, payload); err != nil {
-		return err
+		return d.snapshotFailed(err)
 	}
+	// sinceSnap resets only now that the snapshot is durably on disk: a
+	// failed attempt keeps the counter at/above snapEvery, so the next
+	// acknowledged op kicks a retry instead of waiting a full window.
 	d.mu.Lock()
 	prev := d.lastSnap
 	d.lastSnap = idx
 	d.snapCount++
+	d.sinceSnap = 0
 	d.mu.Unlock()
 	if err := oplog.PruneSnapshots(d.dir, 2); err != nil {
 		return err
@@ -301,16 +306,27 @@ func (d *durability) crash() {
 	})
 }
 
+// snapshotFailed counts a failed snapshot attempt (surfaced as
+// partfeas_wal_snapshot_failures_total so operators notice persistent
+// failure before the WAL grows huge) and passes the error through.
+func (d *durability) snapshotFailed(err error) error {
+	d.mu.Lock()
+	d.snapFails++
+	d.mu.Unlock()
+	return err
+}
+
 // walStats is the metrics callback.
 func (d *durability) walStats() WALStats {
 	d.mu.Lock()
-	snaps, last := d.snapCount, d.lastSnap
+	snaps, fails, last := d.snapCount, d.snapFails, d.lastSnap
 	d.mu.Unlock()
 	return WALStats{
-		Stats:        d.wal.Stats(),
-		Snapshots:    snaps,
-		LastSnapshot: last,
-		Degraded:     d.degraded.Load(),
+		Stats:            d.wal.Stats(),
+		Snapshots:        snaps,
+		SnapshotFailures: fails,
+		LastSnapshot:     last,
+		Degraded:         d.degraded.Load(),
 	}
 }
 

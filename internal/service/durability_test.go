@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"partfeas"
@@ -341,6 +342,122 @@ func TestDurableCrashMatrix(t *testing.T) {
 				t.Errorf("recovered store matches neither acked nor acked+faulted reference:\n  got %s\nacked %s\n plus %s", got, acked, plus)
 			}
 		})
+	}
+}
+
+// TestDestroyMutationWALOrdering regresses a WAL ordering race: a
+// per-session mutation that had already passed its s.closed check could
+// append its op after the session's TypeDestroy record; replay then
+// applied the destroy first, hit "targets unknown session" on the
+// orphaned mutation, and the server permanently refused to start from
+// that WAL. remove() now closes the session under s.mu before the
+// destroy record is appended, so the destroy is the session's last
+// logged op by construction — this test races mutators against the
+// destroy and asserts the directory always recovers.
+func TestDestroyMutationWALOrdering(t *testing.T) {
+	rounds := 20
+	if testing.Short() {
+		rounds = 4
+	}
+	ctx := context.Background()
+	in := partfeas.Instance{
+		Tasks:     partfeas.TaskSet{{Name: "a", WCET: 1, Period: 4}, {Name: "b", WCET: 1, Period: 8}},
+		Platform:  partfeas.Platform{{Name: "m0", Speed: 2}, {Name: "m1", Speed: 2}},
+		Scheduler: partfeas.EDF,
+	}
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		srv := mustDurable(t, dir, Config{FsyncInterval: -1, SnapshotEvery: -1})
+		s, err := srv.sessions.create(in, 1, online.SortedOrder)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					var err error
+					if i%2 == 0 {
+						_, err = s.addTask(ctx, partfeas.Task{Name: fmt.Sprintf("w%d-%d", w, i), WCET: 1, Period: 1000}, 0, false)
+					} else {
+						_, err = s.updateWCET(ctx, 0, int64(1+i%2), false)
+					}
+					if err == errSessionClosed {
+						return
+					}
+					if err != nil {
+						t.Errorf("worker %d op %d: %v", w, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		close(start)
+		if err := srv.sessions.remove(s.id); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+		wg.Wait()
+		want := storeBytes(t, srv)
+		srv.Crash()
+		// The key assertion: the WAL must replay cleanly (pre-fix, a
+		// mutation record after the destroy made this open fail).
+		rec := mustDurable(t, dir, Config{FsyncInterval: -1, SnapshotEvery: -1})
+		if got := storeBytes(t, rec); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: recovered store differs:\n got %s\nwant %s", round, got, want)
+		}
+		rec.Crash()
+	}
+}
+
+// TestSnapshotFailureRetries pins the retry contract around a failed
+// snapshot: the pending-op counter is not consumed by the failure (so
+// the next acknowledged op kicks a retry instead of waiting out a full
+// snapshot window with no snapshot taken), and the failure is visible
+// to operators via partfeas_wal_snapshot_failures_total.
+func TestSnapshotFailureRetries(t *testing.T) {
+	srv := mustDurable(t, t.TempDir(), Config{FsyncInterval: -1, SnapshotEvery: 1 << 20})
+	steps := durabilityScript()[:5]
+	runScript(t, srv, steps)
+	d := srv.dur
+	pending := func() int {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.sinceSnap
+	}
+	if got := pending(); got != len(steps) {
+		t.Fatalf("sinceSnap = %d after %d acknowledged ops", got, len(steps))
+	}
+
+	deactivate := faultinject.Activate(faultinject.Plan{Site: faultinject.SiteSnapshotWrite, Nth: 1, Err: errInjectedDisk})
+	err := d.Snapshot()
+	deactivate()
+	if err == nil {
+		t.Fatal("Snapshot with injected write fault: want error")
+	}
+	if got := pending(); got != len(steps) {
+		t.Errorf("failed snapshot consumed the pending-op counter: sinceSnap = %d, want %d", got, len(steps))
+	}
+	if ws := d.walStats(); ws.SnapshotFailures != 1 || ws.Snapshots != 0 || ws.LastSnapshot != 0 {
+		t.Errorf("stats after failure = %+v, want 1 failure and no snapshot", ws)
+	}
+	w := do(t, srv, "GET", "/metrics", "")
+	if !strings.Contains(w.Body.String(), "partfeas_wal_snapshot_failures_total 1") {
+		t.Errorf("metrics do not report the snapshot failure:\n%s", w.Body)
+	}
+
+	// With the fault gone the retry succeeds and resets the counter.
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("retry Snapshot: %v", err)
+	}
+	if got := pending(); got != 0 {
+		t.Errorf("sinceSnap = %d after successful snapshot, want 0", got)
+	}
+	if ws := d.walStats(); ws.Snapshots != 1 || ws.LastSnapshot != uint64(len(steps)) {
+		t.Errorf("stats after retry = %+v, want one snapshot at index %d", ws, len(steps))
 	}
 }
 

@@ -311,6 +311,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP partfeas_wal_snapshots_total Snapshots written since start.\n")
 		fmt.Fprintf(w, "# TYPE partfeas_wal_snapshots_total counter\n")
 		fmt.Fprintf(w, "partfeas_wal_snapshots_total %d\n", ws.Snapshots)
+		fmt.Fprintf(w, "# HELP partfeas_wal_snapshot_failures_total Snapshot attempts that failed (persistent failure lets the WAL grow unbounded).\n")
+		fmt.Fprintf(w, "# TYPE partfeas_wal_snapshot_failures_total counter\n")
+		fmt.Fprintf(w, "partfeas_wal_snapshot_failures_total %d\n", ws.SnapshotFailures)
 		fmt.Fprintf(w, "# HELP partfeas_wal_segments Live WAL segment files.\n")
 		fmt.Fprintf(w, "# TYPE partfeas_wal_segments gauge\n")
 		fmt.Fprintf(w, "partfeas_wal_segments %d\n", ws.Segments)

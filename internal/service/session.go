@@ -175,21 +175,26 @@ func (st *sessionStore) get(id string) (*session, error) {
 func (st *sessionStore) remove(id string) error {
 	defer st.dur.rlock()()
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	s, ok := st.m[id]
-	if ok {
-		if err := st.dur.logOp(&oplog.Op{Type: oplog.TypeDestroy, Session: id}); err != nil {
-			st.mu.Unlock()
-			return err
-		}
-		delete(st.m, id)
-	}
-	st.mu.Unlock()
 	if !ok {
 		return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
 	}
+	// The destroy record must be the session's last WAL op. Every
+	// per-session mutation checks s.closed under s.mu before logging its
+	// own op, so holding s.mu across the TypeDestroy append and the close
+	// guarantees no mutation record can land after it — replay would
+	// otherwise apply the destroy first and refuse to start on the
+	// orphaned mutation op. (Lock order st.mu → s.mu matches the
+	// documented gate → store → session hierarchy; nothing acquires them
+	// in the opposite order.)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := st.dur.logOp(&oplog.Op{Type: oplog.TypeDestroy, Session: id}); err != nil {
+		return err
+	}
 	s.closed = true
-	s.mu.Unlock()
+	delete(st.m, id)
 	return nil
 }
 
