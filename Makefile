@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke crashsmoke fuzz bench benchsmoke benchjson bench5 bench6 bench7 bench8
+.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke fuzz bench benchsmoke benchjson bench5 bench6 bench7 bench8 bench9
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
 ## the fault-injection matrix, the admission-server smoke, an open-loop
-## load-generator smoke, the durability crash-recovery smoke, a short fuzz
-## smoke of the partition invariants, and a one-iteration benchmark smoke
-## (catches benchmarks whose setup asserts fail).
-ci: vet build test race faultsmoke servesmoke loadsmoke crashsmoke fuzz benchsmoke
+## load-generator smoke, the durability crash-recovery smoke, the policy
+## arena smoke, a short fuzz smoke of the partition invariants, and a
+## one-iteration benchmark smoke (catches benchmarks whose setup asserts
+## fail).
+ci: vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +52,14 @@ crashsmoke:
 	$(GO) test -race -short -timeout 120s -count=1 \
 		-run 'WAL|Torn|Snapshot|Injected|Durab|Crash|Degraded|Drain|Replay|Recovery' \
 		./internal/oplog ./internal/service
+
+## arenasmoke: race every canonical placement policy on the churn preset
+## (tenant + machine churn) under the race detector — the worker-count
+## determinism and lane-differential-replay tests run here — then drive
+## the CLI once end to end.
+arenasmoke:
+	$(GO) test -race -timeout 120s -count=1 ./internal/arena ./cmd/arena
+	$(GO) run ./cmd/arena -preset churn -workers 8
 
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).
@@ -110,3 +119,14 @@ bench8:
 		-note 'durable sessions: WAL append modes, crash recovery; engine suite unchanged' \
 		-baseline results/BENCH_7.json -max-regress 0.25 \
 		-o results/BENCH_8.json
+
+## bench9: record the policy-arena benchmarks (per-tick lane cost by
+## policy) alongside the online-engine suite to results/BENCH_9.json,
+## gated against the BENCH_8 baseline — the gate fails if any engine
+## benchmark regresses (the Policy interface must not tax the tail admit
+## path); the new BenchmarkArenaTick entries pass through as additions.
+bench9:
+	$(GO) run ./cmd/benchjson -pkg "./internal/online ./internal/arena" -benchtime 0.3s \
+		-note 'policy arena: pluggable placement policies; engine suite unchanged' \
+		-baseline results/BENCH_8.json -max-regress 0.25 \
+		-o results/BENCH_9.json

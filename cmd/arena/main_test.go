@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partfeas/internal/benchfmt"
+)
+
+// TestRunSmoke is the arenasmoke body: the smoke preset raced across
+// all canonical policies must finish, write a CSV with one row per lane
+// per tick, and record a well-formed benchfmt suite.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ticks.csv")
+	out := filepath.Join(dir, "arena.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "smoke", "", "", 4, 0, 0, csv, out, "test"); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "first_fit_sorted") || !strings.Contains(buf.String(), "k_choices") {
+		t.Fatalf("summary missing lanes:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if want := 1 + 5*60; len(lines) != want { // header + 5 lanes × 60 ticks
+		t.Fatalf("%d CSV lines, want %d", len(lines), want)
+	}
+	suite, err := benchfmt.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Results) != 5 {
+		t.Fatalf("suite has %d results, want 5", len(suite.Results))
+	}
+	for _, r := range suite.Results {
+		if !strings.HasPrefix(r.Name, "Arena/smoke/") || r.Iterations == 0 {
+			t.Errorf("malformed result %+v", r)
+		}
+		if acc := r.Extra["accept-ratio"]; acc <= 0 || acc > 1 {
+			t.Errorf("%s accept-ratio %v", r.Name, acc)
+		}
+	}
+}
+
+func TestRunScenarioFileAndOverrides(t *testing.T) {
+	dir := t.TempDir()
+	scPath := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(scPath, []byte(`{"name":"filed","seed":3,"ticks":40,"machines":6,"arrival":{"kind":"diurnal","rate":2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "", scPath, "best_fit, worst_fit", 1, 9, 25, "", "", ""); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "scenario filed: 25 ticks") {
+		t.Fatalf("tick override not applied:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "no-such-preset", "", "", 1, 0, 0, "", "", ""); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run(&buf, "smoke", "", "gravity_fit", 1, 0, 0, "", "", ""); err == nil || !strings.Contains(err.Error(), "gravity_fit") {
+		t.Errorf("unknown policy: %v", err)
+	}
+}

@@ -49,6 +49,7 @@
 //	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
 //	loadgen -mix 0.9 -pareto 1.5             # interior-heavy, heavy-tailed WCETs
 //	loadgen -suite dbf -deadline-ratio 0.4   # constrained deadlines, tiered admission
+//	loadgen -policy best_fit                 # session under a non-default placement policy
 //	loadgen -o results/LOADGEN.json          # record a benchfmt suite
 package main
 
@@ -69,6 +70,7 @@ import (
 	"time"
 
 	"partfeas/internal/benchfmt"
+	"partfeas/internal/online"
 	"partfeas/internal/service"
 )
 
@@ -82,6 +84,7 @@ func main() {
 		mix       = flag.Float64("mix", 0.5, "interior fraction of single-task admits, in [0,1]")
 		pareto    = flag.Float64("pareto", 0, "Pareto tail index for WCET draws; 0 keeps WCETs fixed")
 		suite     = flag.String("suite", "implicit", `workload suite: "implicit" (D = T) or "dbf" (constrained deadlines, tiered admission)`)
+		policy    = flag.String("policy", "", "session placement policy ("+online.PolicyNames()+`; default "" lets the server pick first_fit_sorted)`)
 		dlRatio   = flag.Float64("deadline-ratio", 0.5, "dbf suite: lower bound of the uniform D/T draw, in (0,1]")
 		out       = flag.String("o", "", "write per-endpoint results as a benchfmt JSON suite")
 		note      = flag.String("note", "", "free-form label recorded in the suite document")
@@ -90,6 +93,14 @@ func main() {
 		crashes   = flag.Int("crashes", 0, "with -data-dir: kill and restart the in-process server this many times during the run")
 	)
 	flag.Parse()
+	if *policy != "" {
+		// Reject unknown policies before any load is generated: a typo
+		// should die at flag parsing, not as a mid-run session 400.
+		if _, err := online.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -policy:", err)
+			os.Exit(2)
+		}
+	}
 	if *crashes > 0 {
 		// Blackout-window failures are the point of crash mode, so the
 		// error budget only applies when the caller set one explicitly.
@@ -99,7 +110,7 @@ func main() {
 			*maxErrors = -1
 		}
 	}
-	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *dlRatio, *out, *note, *maxErrors, *dataDir, *crashes); err != nil {
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *policy, *dlRatio, *out, *note, *maxErrors, *dataDir, *crashes); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -263,7 +274,7 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName string, dlRatio float64, out, note string, maxErrors int, dataDir string, crashes int) error {
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName, policy string, dlRatio float64, out, note string, maxErrors int, dataDir string, crashes int) error {
 	if !(rate > 0) {
 		return fmt.Errorf("rate %v must be positive", rate)
 	}
@@ -277,6 +288,11 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		return fmt.Errorf("suite %q must be \"implicit\" or \"dbf\"", suiteName)
 	}
 	dbfSuite := suiteName == "dbf"
+	if policy != "" {
+		if _, err := online.ParsePolicy(policy); err != nil {
+			return err
+		}
+	}
 	if dbfSuite && !(dlRatio > 0 && dlRatio <= 1) {
 		return fmt.Errorf("deadline-ratio %v must be in (0,1]", dlRatio)
 	}
@@ -316,7 +332,7 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	addr = strings.TrimSuffix(addr, "/")
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	sessionID, err := openSession(client, addr, dbfSuite)
+	sessionID, err := openSession(client, addr, dbfSuite, policy)
 	if err != nil {
 		return fmt.Errorf("opening load session: %w", err)
 	}
@@ -593,10 +609,13 @@ func scrapeTiers(client *http.Client, addr string) (map[string]float64, error) {
 	return got, nil
 }
 
-func openSession(client *http.Client, addr string, dbfSuite bool) (string, error) {
+func openSession(client *http.Client, addr string, dbfSuite bool, policy string) (string, error) {
 	body := loadBody
 	if dbfSuite {
 		body = loadBodyDBF
+	}
+	if policy != "" {
+		body = strings.TrimSuffix(body, "}") + fmt.Sprintf(`,"placement":%q}`, policy)
 	}
 	resp, err := client.Post(addr+"/v1/sessions", "application/json", strings.NewReader(body))
 	if err != nil {

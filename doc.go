@@ -50,7 +50,13 @@
 // Tester.UpdateWCET re-tests a WCET change incrementally. A Tester is
 // not safe for concurrent use; internal/service pools them for the HTTP
 // server (cmd/serve), whose responses are byte-identical to direct
-// library calls.
+// library calls. Long-lived admission loops are served by the
+// incremental engine in internal/online, built with NewEngine and an
+// Options struct whose Policy field selects the placement policy —
+// first-fit over the paper's sorted order (the default, byte-identical
+// to a fresh solve), or the arrival-order, best-fit, worst-fit and
+// k-choices alternatives raced against each other by internal/arena
+// and cmd/arena.
 //
 // Cancellation is cooperative with bounded latency everywhere: an
 // expired or cancelled context surfaces as a PipelineError (check with

@@ -1,0 +1,356 @@
+package arena
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"partfeas/internal/online"
+	"partfeas/internal/task"
+)
+
+// allLanes exercises every canonical policy plus the repartition
+// wrapper grammar in one arena.
+var allLanes = []string{
+	"first_fit_sorted", "first_fit_arrival", "best_fit", "worst_fit",
+	"k_choices", "k_choices_4", "first_fit_arrival+repartition_25",
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	sc, err := Preset("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildStream(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same scenario built two different streams")
+	}
+	if a.Arrivals == 0 {
+		t.Fatal("stream produced no arrivals")
+	}
+}
+
+func TestStreamInvariants(t *testing.T) {
+	for _, name := range Presets() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := BuildStream(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		up := make([]bool, sc.Machines)
+		upCount := sc.Machines
+		for i := range up {
+			up[i] = true
+		}
+		arrived := make(map[int]int) // seq -> tick
+		departed := make(map[int]bool)
+		lastTick := 0
+		for _, ev := range st.Events {
+			if ev.Tick < lastTick || ev.Tick >= sc.Ticks {
+				t.Fatalf("%s: event tick %d out of order/range", name, ev.Tick)
+			}
+			lastTick = ev.Tick
+			switch ev.Kind {
+			case EvAdmit:
+				if err := ev.Task.Validate(); err != nil {
+					t.Fatalf("%s: seq %d: %v", name, ev.Seq, err)
+				}
+				if _, dup := arrived[ev.Seq]; dup {
+					t.Fatalf("%s: seq %d arrives twice", name, ev.Seq)
+				}
+				arrived[ev.Seq] = ev.Tick
+			case EvDepart:
+				at, ok := arrived[ev.Seq]
+				if !ok || departed[ev.Seq] {
+					t.Fatalf("%s: seq %d departs unarrived or twice", name, ev.Seq)
+				}
+				if ev.Tick <= at {
+					t.Fatalf("%s: seq %d departs at tick %d, arrived %d", name, ev.Seq, ev.Tick, at)
+				}
+				departed[ev.Seq] = true
+			case EvMachineDown:
+				if !up[ev.Machine] || upCount == 1 {
+					t.Fatalf("%s: machine %d down while down or last", name, ev.Machine)
+				}
+				up[ev.Machine] = false
+				upCount--
+			case EvMachineUp:
+				if up[ev.Machine] {
+					t.Fatalf("%s: machine %d up while up", name, ev.Machine)
+				}
+				up[ev.Machine] = true
+				upCount++
+			}
+		}
+		if len(arrived) != st.Arrivals {
+			t.Fatalf("%s: %d arrivals seen, header says %d", name, len(arrived), st.Arrivals)
+		}
+	}
+}
+
+// TestWorldDeterminism is the tentpole promise: the deterministic
+// scorecard is byte-identical at any worker count.
+func TestWorldDeterminism(t *testing.T) {
+	for _, preset := range []string{"churn", "bursty"} {
+		sc, err := Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *RunResult
+		for _, workers := range []int{1, 2, 8} {
+			w, err := NewWorld(sc, allLanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := w.Run(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Lanes, ref.Lanes) {
+				t.Fatalf("%s: lane names differ at %d workers", preset, workers)
+			}
+			for i := range ref.Lanes {
+				if !scoresEqual(res.Scores[i], ref.Scores[i]) {
+					t.Fatalf("%s: lane %s scores differ between 1 and %d workers", preset, ref.Lanes[i], workers)
+				}
+			}
+		}
+	}
+}
+
+// scoresEqual compares bitwise, including the float fields.
+func scoresEqual(a, b []TickScore) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if math.Float64bits(x.AcceptanceCum) != math.Float64bits(y.AcceptanceCum) ||
+			math.Float64bits(x.UtilSpread) != math.Float64bits(y.UtilSpread) {
+			return false
+		}
+		x.AcceptanceCum, y.AcceptanceCum = 0, 0
+		x.UtilSpread, y.UtilSpread = 0, 0
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLaneDifferentialReplay replays every lane's recorded engine-op
+// trace against independently constructed engines and demands the
+// observable final state match byte for byte — each World lane is
+// exactly a fresh engine driven with the same ops and policy.
+func TestLaneDifferentialReplay(t *testing.T) {
+	sc, err := Preset("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Ticks = 150
+	w, err := NewWorld(sc, allLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.traceOps = true
+	if _, err := w.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range w.Lanes() {
+		pol, err := online.ParsePolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e *online.Engine
+		for k, op := range w.lastTraces[i] {
+			switch op.kind {
+			case opFresh:
+				e, err = online.NewEngine(task.Set{op.t}, op.plat, online.Options{
+					Policy: pol, Admission: w.adm, Alpha: sc.Alpha,
+				})
+				if err != nil {
+					t.Fatalf("lane %s: replay op %d: %v", name, k, err)
+				}
+			case opAdmit:
+				_, ok, err := e.Admit(op.t)
+				if err != nil || !ok {
+					t.Fatalf("lane %s: replay op %d: admitted=%v err=%v", name, k, ok, err)
+				}
+			case opRemove:
+				_, ok, err := e.Remove(op.id)
+				if err != nil || !ok {
+					t.Fatalf("lane %s: replay op %d: removed=%v err=%v", name, k, ok, err)
+				}
+			case opDrop:
+				e = nil
+			}
+		}
+		want := w.lastEngines[i]
+		if (e == nil) != (want == nil) {
+			t.Fatalf("lane %s: replay engine nil=%v, lane engine nil=%v", name, e == nil, want == nil)
+		}
+		if e == nil {
+			continue
+		}
+		if err := want.SelfCheck(); err != nil {
+			t.Fatalf("lane %s: %v", name, err)
+		}
+		if !reflect.DeepEqual(e.Tasks(), want.Tasks()) {
+			t.Fatalf("lane %s: replayed tasks differ", name)
+		}
+		if !reflect.DeepEqual(e.PlacedLists(), want.PlacedLists()) {
+			t.Fatalf("lane %s: replayed placement differs", name)
+		}
+		gr, wr := e.Result(), want.Result()
+		if !reflect.DeepEqual(gr.Assignment, wr.Assignment) {
+			t.Fatalf("lane %s: replayed assignment differs", name)
+		}
+		for j := range wr.Loads {
+			if math.Float64bits(gr.Loads[j]) != math.Float64bits(wr.Loads[j]) {
+				t.Fatalf("lane %s: machine %d load %v vs %v (not bitwise equal)", name, j, gr.Loads[j], wr.Loads[j])
+			}
+		}
+	}
+}
+
+func TestWorldRejectsBadInput(t *testing.T) {
+	sc, _ := Preset("smoke")
+	if _, err := NewWorld(sc, nil); err == nil {
+		t.Error("no policies accepted")
+	}
+	if _, err := NewWorld(sc, []string{"quantum_fit"}); err == nil || !strings.Contains(err.Error(), "quantum_fit") {
+		t.Errorf("unknown policy: %v", err)
+	}
+	if _, err := NewWorld(sc, []string{"best_fit", "best_fit"}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate lane: %v", err)
+	}
+	bad := sc
+	bad.Ticks = 0
+	if _, err := NewWorld(bad, []string{"best_fit"}); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{Ticks: 10, Machines: 2, Arrival: ArrivalSpec{Rate: 1}}
+	}
+	sc := base()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Speeds != "uniform" || sc.Arrival.Kind != "poisson" || sc.Util.Kind != "uniform" ||
+		sc.Alpha != 1 || sc.Admission != "edf" || sc.PeriodLo != 100 || sc.PeriodHi != 100000 {
+		t.Fatalf("defaults not filled: %+v", sc)
+	}
+	for _, mut := range []func(*Scenario){
+		func(s *Scenario) { s.Machines = 0 },
+		func(s *Scenario) { s.Arrival.Rate = 0 },
+		func(s *Scenario) { s.Arrival.Kind = "lumpy" },
+		func(s *Scenario) { s.Util.Kind = "trimodal" },
+		func(s *Scenario) { s.Util.Lo = 0.5; s.Util.Hi = 0.2 },
+		func(s *Scenario) { s.Speeds = "warp" },
+		func(s *Scenario) { s.Admission = "vibes" },
+		func(s *Scenario) { s.PMachineDown = 0.5 }, // no way back up
+		func(s *Scenario) { s.PMachineDown = 1.5; s.PMachineUp = 0.1 },
+		func(s *Scenario) { s.Alpha = -1 },
+		func(s *Scenario) { s.PeriodLo = 500; s.PeriodHi = 400 },
+	} {
+		s := base()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("accepted %+v", s)
+		}
+	}
+}
+
+func TestPresetAndLoadScenario(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	for _, name := range Presets() {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 7, "ticks": 20, "machines": 4, "arrival": {"kind": "bursty", "rate": 1.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != path || sc.Arrival.BurstRate != 6 {
+		t.Fatalf("loaded scenario %+v", sc)
+	}
+	if _, err := LoadScenario(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"ticks": -1`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScenario(path); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestCSVAndSummaries(t *testing.T) {
+	sc, err := Preset("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(sc, []string{"first_fit_sorted", "best_fit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := 1 + 2*sc.Ticks
+	if len(lines) != want {
+		t.Fatalf("%d CSV lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[1], "smoke,first_fit_sorted,0,") {
+		t.Fatalf("first row %q", lines[1])
+	}
+	sums := res.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, s := range sums {
+		if s.Offered == 0 || s.Admitted == 0 {
+			t.Fatalf("lane %s saw no traffic: %+v", s.Lane, s)
+		}
+		if s.AcceptanceRatio < 0 || s.AcceptanceRatio > 1 {
+			t.Fatalf("lane %s acceptance %v", s.Lane, s.AcceptanceRatio)
+		}
+		if s.Offered != sums[0].Offered {
+			t.Fatalf("lanes saw different offered counts: %+v vs %+v", s, sums[0])
+		}
+	}
+}

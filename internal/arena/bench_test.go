@@ -1,0 +1,52 @@
+package arena
+
+import (
+	"testing"
+
+	"partfeas/internal/online"
+)
+
+// BenchmarkArenaTick measures the per-tick cost of driving one lane
+// over the steady preset's stream, per policy. The stream is built once
+// outside the timer; each iteration is one tick (the lane restarts when
+// the stream is exhausted).
+func BenchmarkArenaTick(b *testing.B) {
+	sc, err := Preset("steady")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Ticks = 200
+	st, err := BuildStream(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm, err := admissionTest(sc.Admission)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"first_fit_sorted", "first_fit_arrival", "best_fit", "k_choices"} {
+		pol, err := online.ParsePolicy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var l *lane
+			idx, tick := 0, 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if l == nil || tick == sc.Ticks {
+					l = newLane(name, pol, adm, sc.Alpha, st.Platform, sc.Ticks)
+					idx, tick = 0, 0
+				}
+				for idx < len(st.Events) && st.Events[idx].Tick == tick {
+					if err := l.apply(st.Events[idx]); err != nil {
+						b.Fatal(err)
+					}
+					idx++
+				}
+				l.endTick(tick)
+				tick++
+			}
+		})
+	}
+}

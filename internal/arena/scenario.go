@@ -1,0 +1,285 @@
+// Package arena races pluggable placement policies on one deterministic
+// arrival stream.
+//
+// A World pre-generates a single event stream — task arrivals drawn
+// from a Poisson, bursty (two-state MMPP) or diurnal process, per-task
+// lifetimes (tenant churn), and machine down/up events — and feeds the
+// identical stream to N lanes, one per policy. Each lane drives its own
+// online.Engine and is scored per tick: cumulative acceptance ratio,
+// migration count, machine-utilization spread, replay work visited, and
+// wall-clock per-op latency quantiles. Everything except the wall-clock
+// quantiles is a pure function of the Scenario, byte-identical at any
+// worker count: lanes are mutually independent, so the worker pool only
+// decides which lane runs when, never what a lane computes.
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"partfeas/internal/partition"
+	"partfeas/internal/workload"
+)
+
+// ArrivalSpec describes the arrival process feeding the stream.
+type ArrivalSpec struct {
+	// Kind is "poisson" (constant rate), "bursty" (two-state Markov
+	// modulated Poisson: calm at Rate, burst at BurstRate) or "diurnal"
+	// (rate swings sinusoidally around Rate with period PeriodTicks).
+	Kind string `json:"kind"`
+	// Rate is the mean arrivals per tick in the base state (> 0).
+	Rate float64 `json:"rate"`
+	// BurstRate is the bursty in-burst rate; 0 means 4×Rate.
+	BurstRate float64 `json:"burst_rate,omitempty"`
+	// PBurst / PCalm are the bursty per-tick calm→burst and burst→calm
+	// switch probabilities; 0 means 0.05 and 0.2.
+	PBurst float64 `json:"p_burst,omitempty"`
+	PCalm  float64 `json:"p_calm,omitempty"`
+	// PeriodTicks is the diurnal sinusoid period; 0 means 100.
+	PeriodTicks int `json:"period_ticks,omitempty"`
+}
+
+// UtilSpec describes the per-task utilization draw.
+type UtilSpec struct {
+	// Kind is "uniform" on [Lo, Hi], "pareto" (bounded Pareto on
+	// [Lo, Hi] with tail index Alpha — heavy-tailed: mostly-small tasks
+	// with rare elephants) or "bimodal" (80% in the bottom quarter of
+	// [Lo, Hi], 20% in the top quarter).
+	Kind string `json:"kind"`
+	// Lo and Hi bound the draw; 0 values mean 0.05 and 0.9.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Alpha is the Pareto tail index; 0 means 1.3.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Scenario is the full deterministic description of one arena run. It
+// is JSON-serializable so scenario files can be shared; Validate fills
+// defaults in place, so the zero value of most fields is usable.
+type Scenario struct {
+	// Name labels the scenario in CSV and benchfmt output.
+	Name string `json:"name,omitempty"`
+	// Seed drives the single SplitMix64 stream everything is drawn
+	// from; two runs with equal Scenario values are byte-identical.
+	Seed uint64 `json:"seed"`
+	// Ticks is the stream length (> 0).
+	Ticks int `json:"ticks"`
+	// Machines is the platform size (> 0).
+	Machines int `json:"machines"`
+	// Speeds is the workload speed family: "uniform", "geometric",
+	// "big.LITTLE" or "identical"; "" means "uniform".
+	Speeds string `json:"speeds,omitempty"`
+
+	Arrival ArrivalSpec `json:"arrival"`
+	Util    UtilSpec    `json:"util"`
+
+	// PeriodLo / PeriodHi bound the log-uniform period draw; 0 values
+	// mean 100 and 100000.
+	PeriodLo int64 `json:"period_lo,omitempty"`
+	PeriodHi int64 `json:"period_hi,omitempty"`
+
+	// MeanLifetime is the mean resident lifetime in ticks (tenant
+	// churn, exponential); ≤ 0 means tasks never depart.
+	MeanLifetime float64 `json:"mean_lifetime,omitempty"`
+
+	// PMachineDown / PMachineUp are per-machine per-tick probabilities
+	// of a machine leaving / rejoining the platform. The stream never
+	// takes the last machine down. 0 disables machine churn.
+	PMachineDown float64 `json:"p_machine_down,omitempty"`
+	PMachineUp   float64 `json:"p_machine_up,omitempty"`
+
+	// Alpha is the engines' speed augmentation; 0 means 1.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Admission is the implicit-deadline admission test every lane
+	// uses: "edf", "rms_ll" or "rms_hyperbolic"; "" means "edf".
+	Admission string `json:"admission,omitempty"`
+}
+
+// Validate checks the scenario and fills defaulted fields in place.
+func (sc *Scenario) Validate() error {
+	if sc.Ticks <= 0 {
+		return fmt.Errorf("arena: ticks %d must be positive", sc.Ticks)
+	}
+	if sc.Machines <= 0 {
+		return fmt.Errorf("arena: machines %d must be positive", sc.Machines)
+	}
+	if sc.Speeds == "" {
+		sc.Speeds = "uniform"
+	}
+	if _, err := speedFamily(sc.Speeds); err != nil {
+		return err
+	}
+	if sc.Arrival.Kind == "" {
+		sc.Arrival.Kind = "poisson"
+	}
+	switch sc.Arrival.Kind {
+	case "poisson":
+	case "bursty":
+		if sc.Arrival.BurstRate == 0 {
+			sc.Arrival.BurstRate = 4 * sc.Arrival.Rate
+		}
+		if sc.Arrival.PBurst == 0 {
+			sc.Arrival.PBurst = 0.05
+		}
+		if sc.Arrival.PCalm == 0 {
+			sc.Arrival.PCalm = 0.2
+		}
+		if !prob(sc.Arrival.PBurst) || !prob(sc.Arrival.PCalm) {
+			return fmt.Errorf("arena: bursty switch probabilities (%v, %v) must be in [0, 1]", sc.Arrival.PBurst, sc.Arrival.PCalm)
+		}
+		if sc.Arrival.BurstRate < 0 || math.IsNaN(sc.Arrival.BurstRate) {
+			return fmt.Errorf("arena: burst rate %v must be non-negative", sc.Arrival.BurstRate)
+		}
+	case "diurnal":
+		if sc.Arrival.PeriodTicks == 0 {
+			sc.Arrival.PeriodTicks = 100
+		}
+		if sc.Arrival.PeriodTicks < 2 {
+			return fmt.Errorf("arena: diurnal period %d ticks too short", sc.Arrival.PeriodTicks)
+		}
+	default:
+		return fmt.Errorf("arena: unknown arrival kind %q (want poisson, bursty or diurnal)", sc.Arrival.Kind)
+	}
+	if !(sc.Arrival.Rate > 0) || math.IsInf(sc.Arrival.Rate, 0) {
+		return fmt.Errorf("arena: arrival rate %v must be positive and finite", sc.Arrival.Rate)
+	}
+
+	if sc.Util.Kind == "" {
+		sc.Util.Kind = "uniform"
+	}
+	if sc.Util.Lo == 0 {
+		sc.Util.Lo = 0.05
+	}
+	if sc.Util.Hi == 0 {
+		sc.Util.Hi = 0.9
+	}
+	if !(sc.Util.Lo > 0) || sc.Util.Hi < sc.Util.Lo || math.IsInf(sc.Util.Hi, 0) {
+		return fmt.Errorf("arena: utilization bounds [%v, %v] invalid", sc.Util.Lo, sc.Util.Hi)
+	}
+	switch sc.Util.Kind {
+	case "uniform", "bimodal":
+	case "pareto":
+		if sc.Util.Alpha == 0 {
+			sc.Util.Alpha = 1.3
+		}
+		if !(sc.Util.Alpha > 0) || math.IsInf(sc.Util.Alpha, 0) {
+			return fmt.Errorf("arena: pareto alpha %v must be positive and finite", sc.Util.Alpha)
+		}
+	default:
+		return fmt.Errorf("arena: unknown utilization kind %q (want uniform, pareto or bimodal)", sc.Util.Kind)
+	}
+
+	if sc.PeriodLo == 0 {
+		sc.PeriodLo = 100
+	}
+	if sc.PeriodHi == 0 {
+		sc.PeriodHi = 100000
+	}
+	if sc.PeriodLo <= 0 || sc.PeriodHi < sc.PeriodLo {
+		return fmt.Errorf("arena: period range [%d, %d] invalid", sc.PeriodLo, sc.PeriodHi)
+	}
+	if math.IsNaN(sc.MeanLifetime) || math.IsInf(sc.MeanLifetime, 0) {
+		return fmt.Errorf("arena: mean lifetime %v invalid", sc.MeanLifetime)
+	}
+	if !prob(sc.PMachineDown) || !prob(sc.PMachineUp) {
+		return fmt.Errorf("arena: machine churn probabilities (%v, %v) must be in [0, 1]", sc.PMachineDown, sc.PMachineUp)
+	}
+	if sc.PMachineDown > 0 && sc.PMachineUp == 0 {
+		return fmt.Errorf("arena: machines can go down (p=%v) but never come back (p_machine_up=0)", sc.PMachineDown)
+	}
+	if sc.Alpha == 0 {
+		sc.Alpha = 1
+	}
+	if !(sc.Alpha > 0) || math.IsInf(sc.Alpha, 0) {
+		return fmt.Errorf("arena: alpha %v must be positive and finite", sc.Alpha)
+	}
+	if sc.Admission == "" {
+		sc.Admission = "edf"
+	}
+	if _, err := admissionTest(sc.Admission); err != nil {
+		return err
+	}
+	return nil
+}
+
+func prob(p float64) bool { return p >= 0 && p <= 1 && !math.IsNaN(p) }
+
+func speedFamily(name string) (workload.SpeedFamily, error) {
+	for _, f := range workload.SpeedFamilies {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("arena: unknown speed family %q (want uniform, geometric, big.LITTLE or identical)", name)
+}
+
+func admissionTest(name string) (partition.AdmissionTest, error) {
+	switch name {
+	case "edf":
+		return partition.EDFAdmission{}, nil
+	case "rms_ll":
+		return partition.RMSLLAdmission{}, nil
+	case "rms_hyperbolic":
+		return partition.RMSHyperbolicAdmission{}, nil
+	}
+	return nil, fmt.Errorf("arena: unknown admission test %q (want edf, rms_ll or rms_hyperbolic)", name)
+}
+
+// Presets lists the built-in scenario names for help strings.
+func Presets() []string {
+	return []string{"smoke", "steady", "bursty", "diurnal", "churn", "heavytail"}
+}
+
+// Preset returns a named built-in scenario, validated.
+func Preset(name string) (Scenario, error) {
+	var sc Scenario
+	switch name {
+	case "smoke":
+		sc = Scenario{Name: name, Seed: 1, Ticks: 60, Machines: 8,
+			Arrival: ArrivalSpec{Kind: "poisson", Rate: 2}, MeanLifetime: 25}
+	case "steady":
+		sc = Scenario{Name: name, Seed: 42, Ticks: 400, Machines: 24,
+			Arrival: ArrivalSpec{Kind: "poisson", Rate: 4}, MeanLifetime: 60}
+	case "bursty":
+		sc = Scenario{Name: name, Seed: 42, Ticks: 400, Machines: 24,
+			Arrival: ArrivalSpec{Kind: "bursty", Rate: 2}, MeanLifetime: 60}
+	case "diurnal":
+		sc = Scenario{Name: name, Seed: 42, Ticks: 600, Machines: 24,
+			Arrival: ArrivalSpec{Kind: "diurnal", Rate: 4, PeriodTicks: 200}, MeanLifetime: 60}
+	case "churn":
+		sc = Scenario{Name: name, Seed: 42, Ticks: 400, Machines: 16,
+			Arrival: ArrivalSpec{Kind: "poisson", Rate: 3}, MeanLifetime: 40,
+			PMachineDown: 0.01, PMachineUp: 0.08}
+	case "heavytail":
+		sc = Scenario{Name: name, Seed: 42, Ticks: 400, Machines: 24,
+			Arrival: ArrivalSpec{Kind: "poisson", Rate: 4},
+			Util:    UtilSpec{Kind: "pareto"}, MeanLifetime: 60}
+	default:
+		return Scenario{}, fmt.Errorf("arena: unknown preset %q (want one of smoke, steady, bursty, diurnal, churn, heavytail)", name)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("arena: %w", err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("arena: %s: %w", path, err)
+	}
+	if sc.Name == "" {
+		sc.Name = path
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,156 @@
+package arena
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TickScore is one lane's deterministic per-tick scorecard. Every field
+// is a pure function of (Scenario, policy): the determinism tests hold
+// Scores byte-identical across worker counts, so nothing wall-clock may
+// ever live here — that is TickLatency's job.
+type TickScore struct {
+	Tick     int
+	Offered  int // arrivals offered this tick
+	Admitted int // arrivals accepted this tick
+	Rejected int // arrivals refused this tick
+	Departed int // residents retired by the stream this tick
+	Evicted  int // residents dropped by a rebuild (churn / refused removal)
+	Resident int // residents at tick end
+	// Migrations counts residents whose machine changed since the
+	// previous tick end — repartition hooks and churn rebuilds both
+	// land here.
+	Migrations int
+	// Visited sums the engines' replay-visited positions this tick —
+	// the arena's deterministic proxy for placement work.
+	Visited int
+	// AcceptanceCum is lifetime admitted/offered (1 before any offer).
+	AcceptanceCum float64
+	// UtilSpread is max−min of load/speed over the up machines at tick
+	// end: 0 is perfectly balanced.
+	UtilSpread float64
+}
+
+// TickLatency is one lane's wall-clock per-op latency quantiles for a
+// tick, in nanoseconds. Ops counts the engine calls measured. It is
+// reported, plotted and summarized — and deliberately excluded from
+// every determinism check.
+type TickLatency struct {
+	Tick int
+	Ops  int
+	P50  float64
+	P90  float64
+	P99  float64
+	Max  float64
+}
+
+func tickLatency(tick int, ns []float64) TickLatency {
+	tl := TickLatency{Tick: tick, Ops: len(ns)}
+	if len(ns) == 0 {
+		return tl
+	}
+	s := append([]float64(nil), ns...)
+	sort.Float64s(s)
+	tl.P50 = quantile(s, 0.50)
+	tl.P90 = quantile(s, 0.90)
+	tl.P99 = quantile(s, 0.99)
+	tl.Max = s[len(s)-1]
+	return tl
+}
+
+// quantile reads the q-th quantile from an ascending slice by the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// LaneSummary aggregates one lane over the whole run.
+type LaneSummary struct {
+	Lane            string
+	Offered         int
+	Admitted        int
+	Evicted         int
+	Migrations      int
+	Visited         int
+	AcceptanceRatio float64 // lifetime admitted/offered
+	MeanSpread      float64 // mean per-tick utilization spread
+	FinalResident   int
+	P99Ns           float64 // p99 over all measured ops
+	Ops             int
+}
+
+// RunResult is everything a World run produced, indexed [lane][tick].
+type RunResult struct {
+	Scenario Scenario
+	Lanes    []string
+	Scores   [][]TickScore
+	Latency  [][]TickLatency
+}
+
+// Summaries folds each lane's per-tick rows into one line. The P99 is
+// re-derived from per-tick quantiles (max of tick p99s would overstate;
+// we take the op-weighted mean as a stable, cheap summary).
+func (r *RunResult) Summaries() []LaneSummary {
+	out := make([]LaneSummary, len(r.Lanes))
+	for i, name := range r.Lanes {
+		s := LaneSummary{Lane: name}
+		spreadSum := 0.0
+		wp99 := 0.0
+		for _, ts := range r.Scores[i] {
+			s.Offered += ts.Offered
+			s.Admitted += ts.Admitted
+			s.Evicted += ts.Evicted
+			s.Migrations += ts.Migrations
+			s.Visited += ts.Visited
+			spreadSum += ts.UtilSpread
+			s.FinalResident = ts.Resident
+		}
+		for _, tl := range r.Latency[i] {
+			s.Ops += tl.Ops
+			wp99 += tl.P99 * float64(tl.Ops)
+		}
+		s.AcceptanceRatio = 1
+		if s.Offered > 0 {
+			s.AcceptanceRatio = float64(s.Admitted) / float64(s.Offered)
+		}
+		if n := len(r.Scores[i]); n > 0 {
+			s.MeanSpread = spreadSum / float64(n)
+		}
+		if s.Ops > 0 {
+			s.P99Ns = wp99 / float64(s.Ops)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// WriteCSV emits one row per lane per tick: the deterministic scorecard
+// joined with the wall-clock latency columns.
+func (r *RunResult) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "scenario,lane,tick,offered,admitted,rejected,departed,evicted,resident,migrations,visited,acceptance_cum,util_spread,ops,p50_ns,p90_ns,p99_ns,max_ns"); err != nil {
+		return err
+	}
+	for i, name := range r.Lanes {
+		for k, ts := range r.Scores[i] {
+			tl := r.Latency[i][k]
+			if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%.0f,%.0f,%.0f,%.0f\n",
+				r.Scenario.Name, name, ts.Tick, ts.Offered, ts.Admitted, ts.Rejected,
+				ts.Departed, ts.Evicted, ts.Resident, ts.Migrations, ts.Visited,
+				ts.AcceptanceCum, ts.UtilSpread,
+				tl.Ops, tl.P50, tl.P90, tl.P99, tl.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

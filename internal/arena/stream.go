@@ -1,0 +1,180 @@
+package arena
+
+import (
+	"fmt"
+	"math"
+
+	"partfeas/internal/machine"
+	"partfeas/internal/task"
+	"partfeas/internal/workload"
+)
+
+// EventKind discriminates stream events. The numeric order is the
+// within-tick delivery order: machine churn first (so admissions see
+// the tick's platform), then departures (freeing capacity), then
+// arrivals.
+type EventKind uint8
+
+const (
+	// EvMachineDown removes Machine from the platform; residents on it
+	// are re-placed (lane rebuild) and may be evicted.
+	EvMachineDown EventKind = iota
+	// EvMachineUp returns Machine to the platform.
+	EvMachineUp
+	// EvDepart retires arrival Seq. Lanes that rejected Seq ignore it —
+	// departures are keyed on the stream's global sequence number, not
+	// on any lane's private engine ids, precisely so one stream can
+	// drive lanes whose admission decisions diverge.
+	EvDepart
+	// EvAdmit offers Task (arrival number Seq) to every lane.
+	EvAdmit
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvMachineDown:
+		return "machine_down"
+	case EvMachineUp:
+		return "machine_up"
+	case EvDepart:
+		return "depart"
+	case EvAdmit:
+		return "admit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one element of the shared stream.
+type Event struct {
+	Tick    int
+	Kind    EventKind
+	Seq     int       // EvAdmit, EvDepart: global arrival sequence number
+	Task    task.Task // EvAdmit only
+	Machine int       // EvMachineDown, EvMachineUp: full-platform index
+}
+
+// Stream is the fully materialized event sequence plus the platform it
+// runs on. Building it consumes the scenario's entire random budget up
+// front, so lanes never touch the RNG and the stream is identical for
+// every lane and worker count by construction.
+type Stream struct {
+	Platform machine.Platform // full platform, speed-ascending
+	Events   []Event          // tick-major, within-tick order per EventKind
+	Arrivals int              // total EvAdmit count
+	Ticks    int
+}
+
+// BuildStream materializes the scenario. The same validated Scenario
+// always yields the same stream, bit for bit.
+func BuildStream(sc Scenario) (*Stream, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := workload.NewRNG(sc.Seed)
+	fam, err := speedFamily(sc.Speeds)
+	if err != nil {
+		return nil, err
+	}
+	plat, err := fam.Platform(rng, sc.Machines)
+	if err != nil {
+		return nil, err
+	}
+	plat = plat.SortedBySpeed() // the paper's scan order; subsets stay sorted
+
+	st := &Stream{Platform: plat, Ticks: sc.Ticks}
+	up := make([]bool, sc.Machines)
+	for j := range up {
+		up[j] = true
+	}
+	upCount := sc.Machines
+	departAt := make(map[int][]int) // tick -> seqs, appended in seq order
+	burst := false
+	seq := 0
+
+	for tick := 0; tick < sc.Ticks; tick++ {
+		if sc.PMachineDown > 0 {
+			for j := 0; j < sc.Machines; j++ {
+				if up[j] {
+					if upCount > 1 && rng.Float64() < sc.PMachineDown {
+						up[j] = false
+						upCount--
+						st.Events = append(st.Events, Event{Tick: tick, Kind: EvMachineDown, Machine: j})
+					}
+				} else if rng.Float64() < sc.PMachineUp {
+					up[j] = true
+					upCount++
+					st.Events = append(st.Events, Event{Tick: tick, Kind: EvMachineUp, Machine: j})
+				}
+			}
+		}
+		for _, s := range departAt[tick] {
+			st.Events = append(st.Events, Event{Tick: tick, Kind: EvDepart, Seq: s})
+		}
+		delete(departAt, tick)
+
+		rate := sc.Arrival.Rate
+		switch sc.Arrival.Kind {
+		case "bursty":
+			if burst {
+				if rng.Float64() < sc.Arrival.PCalm {
+					burst = false
+				}
+			} else if rng.Float64() < sc.Arrival.PBurst {
+				burst = true
+			}
+			if burst {
+				rate = sc.Arrival.BurstRate
+			}
+		case "diurnal":
+			rate *= 1 + 0.8*math.Sin(2*math.Pi*float64(tick)/float64(sc.Arrival.PeriodTicks))
+			if rate < 0 {
+				rate = 0
+			}
+		}
+		for k := rng.Poisson(rate); k > 0; k-- {
+			u, err := drawUtil(rng, sc.Util)
+			if err != nil {
+				return nil, err
+			}
+			p, err := workload.LogUniformPeriod(rng, sc.PeriodLo, sc.PeriodHi)
+			if err != nil {
+				return nil, err
+			}
+			w := int64(math.Round(u * float64(p)))
+			if w < 1 {
+				w = 1
+			}
+			t := task.Task{Name: fmt.Sprintf("a%d", seq), WCET: w, Period: p}
+			st.Events = append(st.Events, Event{Tick: tick, Kind: EvAdmit, Seq: seq, Task: t})
+			if sc.MeanLifetime > 0 {
+				life := int(math.Round(rng.Exp(sc.MeanLifetime)))
+				if life < 1 {
+					life = 1 // departures land strictly after the arrival tick
+				}
+				if d := tick + life; d < sc.Ticks {
+					departAt[d] = append(departAt[d], seq)
+				}
+			}
+			seq++
+		}
+	}
+	st.Arrivals = seq
+	return st, nil
+}
+
+func drawUtil(rng *workload.RNG, u UtilSpec) (float64, error) {
+	switch u.Kind {
+	case "uniform":
+		return rng.Range(u.Lo, u.Hi), nil
+	case "pareto":
+		return rng.ParetoBounded(u.Alpha, u.Lo, u.Hi)
+	case "bimodal":
+		q := (u.Hi - u.Lo) / 4
+		if rng.Float64() < 0.8 {
+			return rng.Range(u.Lo, u.Lo+q), nil
+		}
+		return rng.Range(u.Hi-q, u.Hi), nil
+	}
+	return 0, fmt.Errorf("arena: unknown utilization kind %q", u.Kind)
+}

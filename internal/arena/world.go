@@ -1,0 +1,119 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+
+	"partfeas/internal/online"
+	"partfeas/internal/partition"
+)
+
+// World binds one materialized stream to a set of policy lanes.
+type World struct {
+	sc    Scenario
+	st    *Stream
+	names []string
+	pols  []online.Policy
+	adm   partition.AdmissionTest
+
+	// traceOps is the differential-test hook: when set, Run keeps each
+	// lane's engine-op trace and final engine for replay comparison.
+	traceOps    bool
+	lastTraces  [][]laneOp
+	lastEngines []*online.Engine
+}
+
+// NewWorld validates the scenario, materializes the stream once, and
+// parses the policy names (online.ParsePolicy grammar, duplicates
+// rejected — a duplicate lane would silently score twice).
+func NewWorld(sc Scenario, policies []string) (*World, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("arena: no policies")
+	}
+	st, err := BuildStream(sc) // validates sc and fills defaults
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil { // re-run on our copy for the defaults
+		return nil, err
+	}
+	adm, err := admissionTest(sc.Admission)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{sc: sc, st: st, adm: adm}
+	seen := make(map[string]bool)
+	for _, name := range policies {
+		pol, err := online.ParsePolicy(name)
+		if err != nil {
+			return nil, fmt.Errorf("arena: %w", err)
+		}
+		if seen[pol.Name()] {
+			return nil, fmt.Errorf("arena: duplicate policy lane %q", pol.Name())
+		}
+		seen[pol.Name()] = true
+		w.names = append(w.names, pol.Name())
+		w.pols = append(w.pols, pol)
+	}
+	return w, nil
+}
+
+// Scenario returns the validated (defaults-filled) scenario.
+func (w *World) Scenario() Scenario { return w.sc }
+
+// Stream exposes the materialized stream (read-only by convention).
+func (w *World) Stream() *Stream { return w.st }
+
+// Lanes returns the canonical lane names in lane order.
+func (w *World) Lanes() []string { return append([]string(nil), w.names...) }
+
+// Run races every lane over the shared stream using the given number of
+// workers (≤ 0 or > lanes is clamped). Workers only pick which lane
+// runs next; a lane is always executed sequentially by one goroutine
+// against its own engine, so Scores is byte-identical for any worker
+// count. Latency is wall-clock and carries no such promise.
+func (w *World) Run(workers int) (*RunResult, error) {
+	n := len(w.pols)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	scores := make([][]TickScore, n)
+	lats := make([][]TickLatency, n)
+	errs := make([]error, n)
+	w.lastTraces = make([][]laneOp, n)
+	w.lastEngines = make([]*online.Engine, n)
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				l := newLane(w.names[i], w.pols[i], w.adm, w.sc.Alpha, w.st.Platform, w.st.Ticks)
+				l.traceOn = w.traceOps
+				errs[i] = l.run(w.st)
+				scores[i] = l.scores
+				lats[i] = l.lats
+				if w.traceOps {
+					w.lastTraces[i] = l.trace
+					w.lastEngines[i] = l.e
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("arena: lane %s: %w", w.names[i], err)
+		}
+	}
+	return &RunResult{Scenario: w.sc, Lanes: w.Lanes(), Scores: scores, Latency: lats}, nil
+}

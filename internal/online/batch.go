@@ -57,7 +57,21 @@ func (e *Engine) AdmitBatch(ts []task.Task, mode BatchMode) (res partition.Resul
 			return partition.Result{}, nil, fmt.Errorf("online: batch task %d: %w", i, err)
 		}
 	}
-	return e.admitBatch(ts, nil, mode)
+	e.enterOp()
+	res, admitted, err = e.admitBatch(ts, nil, mode)
+	if e.exitOp(err == nil && anyTrue(admitted)) {
+		res = e.Result() // re-snapshot past the applied repartition
+	}
+	return res, admitted, err
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 // admitBatch is the shared batch core. dls carries per-task deadlines
@@ -67,7 +81,7 @@ func (e *Engine) admitBatch(ts []task.Task, dls []int64, mode BatchMode) (res pa
 	if len(ts) == 0 {
 		return e.Result(), nil, nil
 	}
-	if e.order == ArrivalOrder || len(ts) == 1 {
+	if !e.ordered || len(ts) == 1 {
 		return e.admitBatchSequential(ts, dls, mode)
 	}
 

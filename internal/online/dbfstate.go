@@ -35,7 +35,6 @@ package online
 // never collide with a live state.
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -94,51 +93,17 @@ func validateConstrained(t dbf.Task) error {
 // the tiers against. In SortedOrder every mutation leaves the engine
 // byte-identical to a fresh dbf.FirstFit(ts, p, alpha, k ≤ 0) solve over
 // the surviving multiset, regardless of which tiers answered.
+//
+// Deprecated: use NewEngine with Options{Policy, Alpha, Deadlines,
+// ApproxK}; this wrapper maps the Order enum onto the equivalent
+// first-fit policies and is equivalent bit-for-bit.
 func NewConstrained(ts dbf.Set, p machine.Platform, alpha float64, ord Order, k int) (*Engine, error) {
-	if len(ts) == 0 {
-		return nil, fmt.Errorf("online: empty task set")
+	pol, err := policyForOrder(ord)
+	if err != nil {
+		return nil, err
 	}
-	for i := range ts {
-		if err := validateConstrained(ts[i]); err != nil {
-			return nil, fmt.Errorf("online: task %d: %w", i, err)
-		}
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if alpha == 0 {
-		alpha = 1
-	}
-	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
-	}
-	switch ord {
-	case SortedOrder, ArrivalOrder:
-	default:
-		return nil, fmt.Errorf("online: unknown order %v", ord)
-	}
-	if k > maxApproxK {
-		k = maxApproxK
-	}
-	e := &Engine{kind: admDBF, order: ord, alpha: alpha, approxK: k}
-	e.tasks = make(task.Set, len(ts))
-	e.p = append(machine.Platform(nil), p...)
-	e.utils = make([]float64, len(ts))
-	e.dl = make([]int64, len(ts))
-	e.dens = make([]float64, len(ts))
-	for i, t := range ts {
-		e.tasks[i] = task.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
-		e.utils[i] = e.tasks[i].Utilization()
-		e.dl[i] = t.Deadline
-		e.dens[i] = float64(t.WCET) / float64(t.Deadline)
-	}
-	if err := e.initCommon(); err != nil {
-		if errors.Is(err, ErrInfeasible) {
-			return nil, err
-		}
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	return e, nil
+	tts, dls := splitConstrained(ts)
+	return NewEngine(tts, p, Options{Policy: pol, Alpha: alpha, Deadlines: dls, ApproxK: k})
 }
 
 // AdmitConstrained offers one constrained-deadline task. On an

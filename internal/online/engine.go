@@ -4,14 +4,17 @@
 // hyperbolic product) across Admit / Remove / UpdateWCET calls instead
 // of re-solving the whole instance on every mutation.
 //
-// The engine runs in one of two placement orders:
+// Where a task lands is decided by a pluggable placement Policy
+// (policy.go); the engine runs in one of two regimes according to
+// Policy.Ordered():
 //
-//   - SortedOrder is the paper's order (utilization-descending tasks,
-//     speed-ascending machines). Every mutation leaves the engine in
-//     exactly the state a fresh partition.Solver.Solve(alpha) over the
-//     surviving task multiset would produce — decisions, assignments and
-//     per-machine load floats are byte-identical, which the differential
-//     tests enforce. Mutations that land at the end of the order are
+//   - The ordered policy (FirstFitSorted) is the paper's order
+//     (utilization-descending tasks, speed-ascending machines,
+//     first-fit). Every mutation leaves the engine in exactly the state
+//     a fresh partition.Solver.Solve(alpha) over the surviving task
+//     multiset would produce — decisions, assignments and per-machine
+//     load floats are byte-identical, which the differential tests
+//     enforce. Mutations that land at the end of the order are
 //     answered in O(log m) via a machine-capacity tree; interior
 //     mutations replay only the affected suffix, and the replay walks
 //     that suffix densely but does near-zero work per stationary task:
@@ -28,12 +31,16 @@
 // batch into the placement order and runs one replay for all of its
 // insertions, with all-or-nothing and best-effort failure modes.
 //
-//   - ArrivalOrder places each task when it arrives and never revisits
+//   - Local policies (FirstFitArrival, BestFit, WorstFit, KChoices,
+//     PeriodicRepartition) place each task when it arrives by one
+//     Policy.Select call against current aggregates and never revisit
 //     earlier placements, so every operation is O(m) worst case and
-//     O(log m) typical. This forfeits the sorted-order guarantee the
-//     paper's bounds are proved for; the gap is observable as drift
-//     against the sorted solve, and the repartitioner (repartition.go)
-//     measures it and proposes bounded migration plans that restore it.
+//     O(log m) typical for the first-fit selectors. This forfeits the
+//     sorted-order guarantee the paper's bounds are proved for; the gap
+//     is observable as drift against the sorted solve, and the
+//     repartitioner (repartition.go) measures it and proposes bounded
+//     migration plans that restore it — automatically on a cadence
+//     under the PeriodicRepartition policy wrapper.
 //
 // All mutations are transactional: a mutation that would make the set
 // infeasible is rolled back via an undo journal and the engine stays in
@@ -55,6 +62,10 @@ import (
 )
 
 // Order selects the sequence tasks are offered to first-fit in.
+//
+// Deprecated: orders generalized to placement policies. SortedOrder is
+// FirstFitSorted() and ArrivalOrder is FirstFitArrival(), bit-for-bit;
+// the Order-taking constructors remain as thin wrappers over NewEngine.
 type Order int
 
 const (
@@ -219,10 +230,11 @@ type OpStats struct {
 // concurrent use; callers serialize access (the service layer holds its
 // per-session mutex around every call).
 type Engine struct {
-	adm   partition.AdmissionTest
-	kind  admKind
-	order Order
-	alpha float64
+	adm     partition.AdmissionTest
+	kind    admKind
+	pol     Policy
+	ordered bool // pol.Ordered(): the paper's sorted placement order
+	alpha   float64
 
 	p       machine.Platform
 	machIdx []int     // scan order (speed-ascending), machine input indices
@@ -284,6 +296,15 @@ type Engine struct {
 	stats    OpStats
 	loadsBuf []float64 // Result scratch
 
+	// Periodic-repartition hook (PeriodicRepartition policies): after
+	// every repartEvery-th successful top-level mutation the engine
+	// plans and applies a full sorted-first-fit repartition. hookDepth
+	// guards nested public calls (the batch undo path calls Remove)
+	// from firing the hook mid-operation.
+	repartEvery int
+	repartCnt   int
+	hookDepth   int
+
 	// Constrained-deadline state (admDBF only; see dbfstate.go).
 	dl       []int64   // task id → relative deadline
 	dens     []float64 // task id → density C/D
@@ -301,46 +322,16 @@ type Engine struct {
 // other AdmissionTest is rejected. The inputs are copied. If the initial
 // set does not partition, New returns ErrInfeasible: engines represent
 // feasible states only.
+//
+// Deprecated: use NewEngine with Options{Policy, Admission, Alpha};
+// this wrapper maps SortedOrder to FirstFitSorted and ArrivalOrder to
+// FirstFitArrival and is equivalent bit-for-bit.
 func New(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha float64, ord Order) (*Engine, error) {
-	if err := ts.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if alpha == 0 {
-		alpha = 1
-	}
-	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
-	}
-	e := &Engine{adm: adm, order: ord, alpha: alpha}
-	switch adm.(type) {
-	case partition.EDFAdmission:
-		e.kind = admEDF
-	case partition.RMSLLAdmission:
-		e.kind = admLL
-	case partition.RMSHyperbolicAdmission:
-		e.kind = admHyperbolic
-	default:
-		return nil, fmt.Errorf("online: admission %q has no incremental state; use the batch solver", adm.Name())
-	}
-	switch ord {
-	case SortedOrder, ArrivalOrder:
-	default:
-		return nil, fmt.Errorf("online: unknown order %v", ord)
-	}
-
-	e.tasks = ts.Clone()
-	e.p = append(machine.Platform(nil), p...)
-	e.utils = make([]float64, len(ts))
-	for i, t := range e.tasks {
-		e.utils[i] = t.Utilization()
-	}
-	if err := e.initCommon(); err != nil {
+	pol, err := policyForOrder(ord)
+	if err != nil {
 		return nil, err
 	}
-	return e, nil
+	return NewEngine(ts, p, Options{Policy: pol, Admission: adm, Alpha: alpha})
 }
 
 // initCommon finishes construction once the kind-specific per-task state
@@ -377,7 +368,7 @@ func (e *Engine) initState() {
 	for i := range e.sorted {
 		e.sorted[i] = int32(i)
 	}
-	if e.order == SortedOrder {
+	if e.ordered {
 		sort.SliceStable(e.sorted, func(a, b int) bool {
 			return e.less(e.sorted[a], e.sorted[b])
 		})
@@ -401,22 +392,17 @@ func (e *Engine) initState() {
 	for i := range e.thetaPos {
 		e.thetaPos[i] = math.NaN()
 	}
-	if e.order == SortedOrder {
+	if e.ordered {
 		e.cps = newCheckpoints(checkpointStride, m)
 	}
 }
 
-// initPlacement runs the initial first-fit pass in placement order:
-// every machine state is final-so-far, so aggregate tests suffice.
+// initPlacement runs the initial placement pass in placement order:
+// every machine state is final-so-far, so aggregate tests (one policy
+// Select per task) suffice.
 func (e *Engine) initPlacement() error {
 	for _, id := range e.sorted {
-		chosen := -1
-		for _, j := range e.machIdx {
-			if e.fitsAgg(j, id) {
-				chosen = j
-				break
-			}
-		}
+		chosen := e.selectPlace(id)
 		if err := e.takeProbeErr(); err != nil {
 			return err
 		}
@@ -449,7 +435,7 @@ func (e *Engine) LastOpStats() OpStats { return e.stats }
 // float comparison), deadline ascending, then arrival id, which is
 // exactly the tie-break a stable sort of ids gives.
 func (e *Engine) less(a, b int32) bool {
-	if e.order == ArrivalOrder {
+	if !e.ordered {
 		return a < b
 	}
 	if e.kind == admDBF {
@@ -645,6 +631,45 @@ func (e *Engine) firstFitAgg(id int32) int {
 		}
 		from = pp + 1
 	}
+}
+
+// selectPlace asks the policy for task id's machine against current
+// aggregates — the local decision every non-replay placement makes
+// (initial placement, tail admits, local WCET re-admission). Under
+// FirstFitSorted and FirstFitArrival this is exactly the capacity-tree
+// probe (firstFitAgg), so those engines behave identically to the
+// pre-Policy orders; replayFrom never consults the policy because
+// suffix replay is defined only for the ordered (first-fit) policy.
+func (e *Engine) selectPlace(id int32) int { return e.pol.Select(View{e: e}, id) }
+
+// enterOp / exitOp bracket every public mutation. When the outermost
+// mutation of a PeriodicRepartition engine commits, exitOp counts it
+// and, on every repartEvery-th commit, folds accumulated drift back by
+// planning and applying a full sorted-first-fit repartition. Nested
+// public calls (the all-or-nothing batch undo path calls Remove) never
+// fire the hook mid-operation, and a failed repartition (infeasible
+// target) is dropped: the engine's own state is feasible regardless,
+// and the next window retries. exitOp reports whether a repartition
+// was applied, so callers re-snapshot their Result only when the hook
+// actually moved tasks — the common no-hook admit path must not pay a
+// second O(m) snapshot.
+func (e *Engine) enterOp() { e.hookDepth++ }
+
+func (e *Engine) exitOp(mutated bool) bool {
+	e.hookDepth--
+	if !mutated || e.hookDepth != 0 || e.repartEvery <= 0 {
+		return false
+	}
+	e.repartCnt++
+	if e.repartCnt < e.repartEvery {
+		return false
+	}
+	e.repartCnt = 0
+	if pl, err := e.PlanRepartition(); err == nil && pl.TargetFeasible {
+		e.ApplyRepartition(pl, 0)
+		return true
+	}
+	return false
 }
 
 func (e *Engine) dirtyAt(j int) bool { return e.dirty[j] == e.epoch }
@@ -1251,7 +1276,12 @@ func (e *Engine) Admit(t task.Task) (res partition.Result, admitted bool, err er
 		return partition.Result{}, false, fmt.Errorf("online: %w", err)
 	}
 	// On a constrained-deadline engine an implicit task is D = P.
-	return e.admitOne(t, t.Period)
+	e.enterOp()
+	res, admitted, err = e.admitOne(t, t.Period)
+	if e.exitOp(admitted && err == nil) {
+		res = e.Result() // re-snapshot past the applied repartition
+	}
+	return res, admitted, err
 }
 
 // admitOne is the shared single-admit body; the caller has validated t
@@ -1268,7 +1298,7 @@ func (e *Engine) admitOne(t task.Task, d int64) (res partition.Result, admitted 
 	}
 
 	k := len(e.sorted)
-	if e.order == SortedOrder {
+	if e.ordered {
 		k = sort.Search(len(e.sorted), func(i int) bool { return e.less(id, e.sorted[i]) })
 	}
 	e.pos = append(e.pos, 0)
@@ -1278,10 +1308,11 @@ func (e *Engine) admitOne(t task.Task, d int64) (res partition.Result, admitted 
 
 	if k == len(e.sorted)-1 {
 		// End of the placement order: every machine's current aggregate
-		// is its state at this point, so this is a single O(log m)
-		// capacity query (plus exact verification).
+		// is its state at this point, so the policy selects against live
+		// state — for the first-fit policies a single O(log m) capacity
+		// query (plus exact verification).
 		e.stats = OpStats{Tail: true, ReplayFrom: -1, BatchSize: 1}
-		chosen := e.firstFitAgg(id)
+		chosen := e.selectPlace(id)
 		if perr := e.takeProbeErr(); perr != nil {
 			e.rollback()
 			return partition.Result{}, false, fmt.Errorf("online: %w", perr)
@@ -1314,20 +1345,30 @@ func (e *Engine) admitOne(t task.Task, d int64) (res partition.Result, admitted 
 }
 
 // Remove deletes task id (later ids shift down by one, mirroring the
-// caller's slice semantics). In SortedOrder the remainder is re-placed
-// exactly as a fresh solve would place it; first-fit is not monotone
-// under removals, so the shrunken set can fail — in that case the engine
-// rolls back, ok is false, and res is the failed fresh-solve witness for
-// the shrunken set. In ArrivalOrder removal is local (the machine's fold
-// is re-closed over the surviving tasks) and always succeeds.
+// caller's slice semantics). Under the ordered policy the remainder is
+// re-placed exactly as a fresh solve would place it; first-fit is not
+// monotone under removals, so the shrunken set can fail — in that case
+// the engine rolls back, ok is false, and res is the failed fresh-solve
+// witness for the shrunken set. Under local policies removal is local
+// (the machine's fold is re-closed over the surviving tasks) and always
+// succeeds.
 func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
+	e.enterOp()
+	res, ok, err = e.removeInner(id)
+	if e.exitOp(ok && err == nil) {
+		res = e.Result() // re-snapshot past the applied repartition
+	}
+	return res, ok, err
+}
+
+func (e *Engine) removeInner(id int) (res partition.Result, ok bool, err error) {
 	if id < 0 || id >= len(e.tasks) {
 		return partition.Result{}, false, fmt.Errorf("online: Remove task %d out of range [0, %d)", id, len(e.tasks))
 	}
 	if len(e.tasks) == 1 {
 		return partition.Result{}, false, fmt.Errorf("online: cannot remove the last task")
 	}
-	if e.order == ArrivalOrder {
+	if !e.ordered {
 		// Local removal: close the machine's fold over the survivors.
 		// Every admission aggregate shrinks, so feasibility is preserved
 		// and the operation always commits. sorted is the identity in
@@ -1367,14 +1408,24 @@ func (e *Engine) Remove(id int) (res partition.Result, ok bool, err error) {
 	return e.Result(), true, nil
 }
 
-// UpdateWCET changes task id's worst-case execution time. In SortedOrder
-// the task is re-ranked and the affected suffix replayed, leaving the
-// engine byte-identical to a fresh solve over the updated multiset; on
-// infeasibility the change is rolled back (ok false) and res is the
-// failed fresh-solve witness for the updated set. In ArrivalOrder the
-// task is re-admitted against current aggregates; if no machine fits it
-// the change rolls back likewise.
+// UpdateWCET changes task id's worst-case execution time. Under the
+// ordered policy the task is re-ranked and the affected suffix
+// replayed, leaving the engine byte-identical to a fresh solve over the
+// updated multiset; on infeasibility the change is rolled back (ok
+// false) and res is the failed fresh-solve witness for the updated set.
+// Under local policies the task is re-admitted against current
+// aggregates via the policy's Select; if no machine fits it the change
+// rolls back likewise.
 func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, err error) {
+	e.enterOp()
+	res, ok, err = e.updateWCETInner(id, wcet)
+	if e.exitOp(ok && err == nil) {
+		res = e.Result() // re-snapshot past the applied repartition
+	}
+	return res, ok, err
+}
+
+func (e *Engine) updateWCETInner(id int, wcet int64) (res partition.Result, ok bool, err error) {
 	if id < 0 || id >= len(e.tasks) {
 		return partition.Result{}, false, fmt.Errorf("online: UpdateWCET task %d out of range [0, %d)", id, len(e.tasks))
 	}
@@ -1388,10 +1439,10 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 		return e.Result(), true, nil
 	}
 	o := e.assign[id]
-	if e.order == ArrivalOrder {
+	if !e.ordered {
 		// Local re-admission: splice the task out of its machine's fold,
-		// then first-fit it against current aggregates. The placement
-		// order (arrival order) is untouched either way.
+		// then re-select against current aggregates via the policy. The
+		// placement order (arrival order) is untouched either way.
 		e.begin(edit{op: opNone})
 		e.stats = OpStats{Tail: true, ReplayFrom: -1}
 		oldWCET, oldUtil := e.tasks[id].WCET, e.utils[id]
@@ -1411,7 +1462,7 @@ func (e *Engine) UpdateWCET(id int, wcet int64) (res partition.Result, ok bool, 
 		}
 		e.splice(int(o), int32(id))
 		e.journalAssign(int32(id))
-		chosen := e.firstFitAgg(int32(id))
+		chosen := e.selectPlace(int32(id))
 		if perr := e.takeProbeErr(); perr != nil {
 			undo()
 			e.rollback()
@@ -1578,7 +1629,18 @@ func (e *Engine) Len() int { return len(e.tasks) }
 func (e *Engine) Alpha() float64 { return e.alpha }
 
 // OrderMode returns the engine's placement order.
-func (e *Engine) OrderMode() Order { return e.order }
+//
+// Deprecated: orders generalized to policies; use PlacementPolicy.
+// Every local policy reports ArrivalOrder.
+func (e *Engine) OrderMode() Order {
+	if e.ordered {
+		return SortedOrder
+	}
+	return ArrivalOrder
+}
+
+// PlacementPolicy returns the engine's placement policy.
+func (e *Engine) PlacementPolicy() Policy { return e.pol }
 
 // Tasks returns a copy of the resident task multiset in id order.
 func (e *Engine) Tasks() task.Set { return e.tasks.Clone() }
@@ -1623,7 +1685,7 @@ func (e *Engine) SelfCheck() error {
 				return fmt.Errorf("online: task %d multiply placed", id)
 			}
 			placedOn[id] = j
-			if e.order == SortedOrder && x > 0 && e.pos[mc.placed[x-1]] >= e.pos[id] {
+			if e.ordered && x > 0 && e.pos[mc.placed[x-1]] >= e.pos[id] {
 				return fmt.Errorf("online: machine %d placed list out of position order at %d", j, x)
 			}
 			load += e.utils[id]

@@ -123,7 +123,7 @@ func (e *Engine) ApplyRepartition(pl Plan, maxMoves int) (int, error) {
 // rolls everything back.
 func (e *Engine) applyFull(pl Plan) error {
 	order := e.sorted
-	if e.order == ArrivalOrder {
+	if !e.ordered {
 		order = make([]int32, len(e.tasks))
 		for i := range order {
 			order[i] = int32(i)

@@ -2,7 +2,6 @@ package online
 
 import (
 	"fmt"
-	"math"
 
 	"partfeas/internal/dbf"
 	"partfeas/internal/machine"
@@ -27,104 +26,63 @@ func (e *Engine) PlacedLists() [][]int32 {
 }
 
 // Restore rebuilds an implicit-deadline engine from state captured by
-// Tasks() and PlacedLists(). SortedOrder delegates to New — a fresh
-// sorted solve over the same multiset is byte-identical by the engine
-// invariant, and the differential tests hold it there. ArrivalOrder
-// refolds each machine's recorded list verbatim, re-checking every
-// placement with the same admission predicate the original run passed:
-// per-machine feasibility of the final state implies feasibility of
-// every fold prefix (loads only grow along the fold and the bounds only
-// tighten), so a legitimate snapshot always verifies, while a corrupted
-// one is rejected instead of resurrected.
+// Tasks() and PlacedLists(). Under the ordered policy it delegates to a
+// fresh build — a fresh sorted solve over the same multiset is
+// byte-identical by the engine invariant, and the differential tests
+// hold it there. Under local policies each machine's recorded list is
+// refolded verbatim, re-checking every placement with the same
+// admission predicate the original run passed: per-machine feasibility
+// of the final state implies feasibility of every fold prefix (loads
+// only grow along the fold and the bounds only tighten), so a
+// legitimate snapshot always verifies, while a corrupted one is
+// rejected instead of resurrected.
+//
+// Deprecated: use NewEngine with Options{Policy, Admission, Alpha,
+// Placed}; this wrapper maps the Order enum onto the equivalent
+// first-fit policies.
 func Restore(ts task.Set, p machine.Platform, adm partition.AdmissionTest, alpha float64, ord Order, placed [][]int32) (*Engine, error) {
-	if ord == SortedOrder {
-		return New(ts, p, adm, alpha, ord)
-	}
-	if err := ts.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if alpha == 0 {
-		alpha = 1
-	}
-	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
-	}
-	e := &Engine{adm: adm, order: ord, alpha: alpha}
-	switch adm.(type) {
-	case partition.EDFAdmission:
-		e.kind = admEDF
-	case partition.RMSLLAdmission:
-		e.kind = admLL
-	case partition.RMSHyperbolicAdmission:
-		e.kind = admHyperbolic
-	default:
-		return nil, fmt.Errorf("online: admission %q has no incremental state; use the batch solver", adm.Name())
-	}
-	if ord != ArrivalOrder {
-		return nil, fmt.Errorf("online: unknown order %v", ord)
-	}
-	e.tasks = ts.Clone()
-	e.p = append(machine.Platform(nil), p...)
-	e.utils = make([]float64, len(ts))
-	for i, t := range e.tasks {
-		e.utils[i] = t.Utilization()
-	}
-	e.initState()
-	if err := e.restorePlacement(placed); err != nil {
+	pol, err := policyForOrder(ord)
+	if err != nil {
 		return nil, err
 	}
-	return e, nil
+	if placed == nil {
+		// Restore always means "use the recorded lists": a nil record is
+		// a corrupt snapshot and must fail verification, not silently
+		// fall back to a fresh placement.
+		placed = [][]int32{}
+	}
+	return NewEngine(ts, p, Options{Policy: pol, Admission: adm, Alpha: alpha, Placed: placed})
 }
 
 // RestoreConstrained is Restore for constrained-deadline engines built
 // by NewConstrained; k is the same envelope depth the original used.
+//
+// Deprecated: use NewEngine with Options{Policy, Alpha, Deadlines,
+// ApproxK, Placed}.
 func RestoreConstrained(ts dbf.Set, p machine.Platform, alpha float64, ord Order, k int, placed [][]int32) (*Engine, error) {
-	if ord == SortedOrder {
-		return NewConstrained(ts, p, alpha, ord, k)
-	}
-	if len(ts) == 0 {
-		return nil, fmt.Errorf("online: empty task set")
-	}
-	for i := range ts {
-		if err := validateConstrained(ts[i]); err != nil {
-			return nil, fmt.Errorf("online: task %d: %w", i, err)
-		}
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("online: %w", err)
-	}
-	if alpha == 0 {
-		alpha = 1
-	}
-	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
-		return nil, fmt.Errorf("online: alpha %v must be positive", alpha)
-	}
-	if ord != ArrivalOrder {
-		return nil, fmt.Errorf("online: unknown order %v", ord)
-	}
-	if k > maxApproxK {
-		k = maxApproxK
-	}
-	e := &Engine{kind: admDBF, order: ord, alpha: alpha, approxK: k}
-	e.tasks = make(task.Set, len(ts))
-	e.p = append(machine.Platform(nil), p...)
-	e.utils = make([]float64, len(ts))
-	e.dl = make([]int64, len(ts))
-	e.dens = make([]float64, len(ts))
-	for i, t := range ts {
-		e.tasks[i] = task.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
-		e.utils[i] = e.tasks[i].Utilization()
-		e.dl[i] = t.Deadline
-		e.dens[i] = float64(t.WCET) / float64(t.Deadline)
-	}
-	e.initState()
-	if err := e.restorePlacement(placed); err != nil {
+	pol, err := policyForOrder(ord)
+	if err != nil {
 		return nil, err
 	}
-	return e, nil
+	if placed == nil {
+		placed = [][]int32{} // see Restore: nil must fail verification
+	}
+	tts, dls := splitConstrained(ts)
+	return NewEngine(tts, p, Options{Policy: pol, Alpha: alpha, Deadlines: dls, ApproxK: k, Placed: placed})
+}
+
+// splitConstrained decomposes a dbf.Set into the implicit task set and
+// the parallel deadline slice NewEngine's Options take. The deadline
+// slice is non-nil even for an empty set, so the constrained pipeline
+// is always selected.
+func splitConstrained(ts dbf.Set) (task.Set, []int64) {
+	tts := make(task.Set, len(ts))
+	dls := make([]int64, len(ts))
+	for i, t := range ts {
+		tts[i] = task.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		dls[i] = t.Deadline
+	}
+	return tts, dls
 }
 
 // restorePlacement refolds the recorded per-machine placed lists. Fold

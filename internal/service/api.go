@@ -218,12 +218,15 @@ type CreateSessionRequest struct {
 	// Alpha is the augmentation every admission decision in this session
 	// is made at; 0 means 1.
 	Alpha float64 `json:"alpha,omitempty"`
-	// Placement selects how the session's incremental engine orders
-	// tasks: "sorted" (default) keeps every decision byte-identical to
-	// the paper's fresh utilization-sorted solve; "arrival" places tasks
-	// in arrival order — O(m) mutations that forfeit the sorted-order
-	// guarantee, with the drift measured and repaired via the
-	// repartition endpoint.
+	// Placement selects the session engine's placement policy:
+	// "first_fit_sorted" (default) keeps every decision byte-identical
+	// to the paper's fresh utilization-sorted solve; "first_fit_arrival",
+	// "best_fit", "worst_fit" and "k_choices" place tasks as they arrive
+	// — O(m) mutations that forfeit the sorted-order guarantee, with the
+	// drift measured and repaired via the repartition endpoint. The
+	// legacy names "sorted" and "arrival" are accepted as aliases; the
+	// response's placement field always echoes the resolved canonical
+	// name. Unknown values are a 400 naming the offending value.
 	Placement string `json:"placement,omitempty"`
 	// DeadlineModel selects the admission analysis: "implicit" (default)
 	// tests utilization bounds with D = P; "constrained" accepts per-task

@@ -118,16 +118,14 @@ func (s *session) freshConstrainedReport(alpha float64) (partfeas.Report, error)
 // pipeline cannot place at the session alpha fails creation, and a
 // typed analysis error (horizon or demand overflow) is surfaced rather
 // than downgraded to a verdict.
-func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alpha float64, placement online.Order) (*session, error) {
+func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alpha float64, placement online.Policy) (*session, error) {
 	defer st.dur.rlock()()
 	if in.Scheduler != partfeas.EDF {
 		return nil, &httpError{code: http.StatusBadRequest, msg: "constrained-deadline sessions require the EDF scheduler"}
 	}
-	cs := make(dbf.Set, len(in.Tasks))
-	for i, t := range in.Tasks {
-		cs[i] = dbf.Task{Name: t.Name, WCET: t.WCET, Deadline: dls[i], Period: t.Period}
-	}
-	eng, err := online.NewConstrained(cs, in.Platform, alpha, placement, sessionApproxK)
+	eng, err := online.NewEngine(in.Tasks, in.Platform, online.Options{
+		Policy: placement, Alpha: alpha, Deadlines: dls, ApproxK: sessionApproxK,
+	})
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, online.ErrInfeasible) {

@@ -404,17 +404,17 @@ func (d *durability) applyCreate(op *oplog.Op) error {
 }
 
 // instanceFromOp rebuilds a create op's instance, deadlines and
-// placement order.
-func instanceFromOp(op *oplog.Op) (partfeas.Instance, []int64, online.Order, error) {
+// placement policy.
+func instanceFromOp(op *oplog.Op) (partfeas.Instance, []int64, online.Policy, error) {
 	var in partfeas.Instance
 	sched, err := parseScheduler(op.Scheduler)
 	if err != nil {
-		return in, nil, 0, err
+		return in, nil, nil, err
 	}
 	in.Scheduler = sched
 	placement, err := parsePlacement(op.Placement)
 	if err != nil {
-		return in, nil, 0, err
+		return in, nil, nil, err
 	}
 	in.Tasks = make(partfeas.TaskSet, len(op.Tasks))
 	dls := make([]int64, len(op.Tasks))
@@ -441,14 +441,11 @@ func parseScheduler(s string) (partfeas.Scheduler, error) {
 	return 0, fmt.Errorf("unknown scheduler %q", s)
 }
 
-func parsePlacement(s string) (online.Order, error) {
-	switch s {
-	case "", online.SortedOrder.String():
-		return online.SortedOrder, nil
-	case online.ArrivalOrder.String():
-		return online.ArrivalOrder, nil
-	}
-	return 0, fmt.Errorf("unknown placement %q", s)
+// parsePlacement resolves a recorded placement name. ParsePolicy keeps
+// the legacy "sorted"/"arrival" aliases older WALs and snapshots wrote,
+// so pre-policy durable state replays unchanged.
+func parsePlacement(s string) (online.Policy, error) {
+	return online.ParsePolicy(s)
 }
 
 func parseBatchMode(s string) (online.BatchMode, error) {
@@ -510,7 +507,7 @@ func (d *durability) encodeStore() ([]byte, error) {
 			ID:          s.id,
 			Scheduler:   s.in.Scheduler.String(),
 			Alpha:       s.alpha,
-			Placement:   s.placement.String(),
+			Placement:   s.placement.Name(),
 			Constrained: s.constrained,
 			Tasks:       make([]oplog.Task, len(s.in.Tasks)),
 			Machines:    make([]MachineJSON, len(s.in.Platform)),
@@ -558,6 +555,16 @@ func (d *durability) restoreStore(payload []byte) error {
 	return nil
 }
 
+// snapPlaced normalizes a snapshot's placed lists for NewEngine: a nil
+// record is a corrupt snapshot and must fail placement verification,
+// not silently rebuild a fresh placement.
+func snapPlaced(placed [][]int32) [][]int32 {
+	if placed == nil {
+		return [][]int32{}
+	}
+	return placed
+}
+
 func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
 	sched, err := parseScheduler(ss.Scheduler)
 	if err != nil {
@@ -592,7 +599,10 @@ func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
 		for i, t := range ss.Tasks {
 			s.dls[i] = t.Deadline
 		}
-		eng, err := online.RestoreConstrained(s.constrainedSet(), s.in.Platform, ss.Alpha, placement, sessionApproxK, ss.Placed)
+		eng, err := online.NewEngine(s.in.Tasks, s.in.Platform, online.Options{
+			Policy: placement, Alpha: ss.Alpha, Deadlines: s.dls,
+			ApproxK: sessionApproxK, Placed: snapPlaced(ss.Placed),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -606,7 +616,9 @@ func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := online.Restore(s.in.Tasks, s.in.Platform, adm, ss.Alpha, placement, ss.Placed)
+	eng, err := online.NewEngine(s.in.Tasks, s.in.Platform, online.Options{
+		Policy: placement, Admission: adm, Alpha: ss.Alpha, Placed: snapPlaced(ss.Placed),
+	})
 	if err != nil {
 		return nil, err
 	}

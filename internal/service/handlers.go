@@ -280,14 +280,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 	if err := checkAlpha(req.Alpha); err != nil {
 		return nil, 0, err
 	}
-	var placement online.Order
-	switch req.Placement {
-	case "", online.SortedOrder.String():
-		placement = online.SortedOrder
-	case online.ArrivalOrder.String():
-		placement = online.ArrivalOrder
-	default:
-		return nil, 0, badRequest("unknown placement %q (want %q or %q)", req.Placement, online.SortedOrder, online.ArrivalOrder)
+	placement, err := online.ParsePolicy(req.Placement)
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSessionCreatePolicyNames checks that session create accepts every
+// canonical placement policy name (plus the legacy aliases) and echoes
+// the resolved canonical name back, and that an unknown name is a 400
+// naming the offending value.
+func TestSessionCreatePolicyNames(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct{ request, want string }{
+		{"", "first_fit_sorted"},
+		{"first_fit_sorted", "first_fit_sorted"},
+		{"sorted", "first_fit_sorted"},
+		{"first_fit_arrival", "first_fit_arrival"},
+		{"arrival", "first_fit_arrival"},
+		{"best_fit", "best_fit"},
+		{"worst_fit", "worst_fit"},
+		{"k_choices", "k_choices"},
+		{"k_choices_4", "k_choices_4"},
+	}
+	for _, tc := range cases {
+		body := fmt.Sprintf(`{"tasks":[{"wcet":1,"period":8},{"wcet":3,"period":8}],"speeds":[1,2],"scheduler":"edf","placement":%q}`, tc.request)
+		w := do(t, s, http.MethodPost, "/v1/sessions", body)
+		if w.Code != http.StatusCreated {
+			t.Fatalf("placement %q: %d %s", tc.request, w.Code, w.Body)
+		}
+		var sess SessionResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &sess); err != nil {
+			t.Fatal(err)
+		}
+		if sess.Placement != tc.want {
+			t.Errorf("placement %q: response echoes %q, want %q", tc.request, sess.Placement, tc.want)
+		}
+		// The engine must actually run the policy: one more admit works
+		// under every lane (total util 0.5+1 on speeds 1+2).
+		if w := do(t, s, http.MethodPost, "/v1/sessions/"+sess.ID+"/tasks", `{"task":{"wcet":2,"period":8}}`); w.Code != http.StatusOK {
+			t.Errorf("placement %q: admit: %d %s", tc.request, w.Code, w.Body)
+		}
+	}
+
+	w := do(t, s, http.MethodPost, "/v1/sessions",
+		`{"tasks":[{"wcet":1,"period":8}],"speeds":[1],"scheduler":"edf","placement":"telepathy_fit"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown placement: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "telepathy_fit") || !strings.Contains(w.Body.String(), "first_fit_sorted") {
+		t.Fatalf("400 body should name the value and the valid set: %s", w.Body)
+	}
+}
+
+// TestSessionCreatePolicyConstrained checks the constrained pipeline
+// takes the new policy names too, and still refuses repartition lanes.
+func TestSessionCreatePolicyConstrained(t *testing.T) {
+	s := newTestServer(t)
+	body := `{"tasks":[{"wcet":1,"period":8,"deadline":4},{"wcet":2,"period":8,"deadline":8}],"speeds":[1,2],"scheduler":"edf","deadline_model":"constrained","placement":"best_fit"}`
+	w := do(t, s, http.MethodPost, "/v1/sessions", body)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body)
+	}
+	var sess SessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Placement != "best_fit" {
+		t.Fatalf("placement = %q", sess.Placement)
+	}
+	bad := strings.Replace(body, `"placement":"best_fit"`, `"placement":"best_fit+repartition_5"`, 1)
+	if w := do(t, s, http.MethodPost, "/v1/sessions", bad); w.Code != http.StatusBadRequest {
+		t.Fatalf("constrained repartition policy: %d %s", w.Code, w.Body)
+	}
+}

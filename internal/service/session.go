@@ -26,11 +26,12 @@ import (
 // falls back to the batch Tester path (eng == nil) and re-arms the
 // engine on the next feasible commit.
 //
-// Placement selects the engine's order: SortedOrder sessions stay
-// byte-identical to the paper's fresh sorted solve at every step;
-// ArrivalOrder sessions place tasks as they arrive — the drift that
-// accumulates against the sorted guarantee is measured and repaired via
-// repartition().
+// Placement is the engine's placement policy (online.Policy):
+// first_fit_sorted sessions stay byte-identical to the paper's fresh
+// sorted solve at every step; every other policy (first_fit_arrival,
+// best_fit, worst_fit, k_choices) places tasks as they arrive — the
+// drift that accumulates against the sorted guarantee is measured and
+// repaired via repartition().
 //
 // The per-session mutex serializes operations, so concurrent clients of
 // one session see a linearizable task set; distinct sessions share
@@ -40,7 +41,7 @@ type session struct {
 	id        string
 	in        partfeas.Instance
 	alpha     float64
-	placement online.Order
+	placement online.Policy
 	eng       *online.Engine   // nil while the resident set is (force-)infeasible
 	tester    *partfeas.Tester // batch fallback; nil when stale (rebuilt lazily)
 	closed    bool
@@ -100,7 +101,7 @@ func (st *sessionStore) count() int {
 // create validates nothing itself — the handler passes a decoded,
 // validated instance. The instance is deep-copied so later request
 // buffers cannot alias session state.
-func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Order) (*session, error) {
+func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Policy) (*session, error) {
 	defer st.dur.rlock()()
 	tester, err := partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
 	if err != nil {
@@ -143,7 +144,7 @@ func createOp(s *session, dls []int64) *oplog.Op {
 		Session:   s.id,
 		Alpha:     s.alpha,
 		Scheduler: s.in.Scheduler.String(),
-		Placement: s.placement.String(),
+		Placement: s.placement.Name(),
 		Machines:  make([]oplog.Machine, len(s.in.Platform)),
 		Tasks:     make([]oplog.Task, len(s.in.Tasks)),
 	}
@@ -210,7 +211,9 @@ func (s *session) armEngine() {
 	if err != nil {
 		return
 	}
-	eng, err := online.New(s.in.Tasks, s.in.Platform, adm, s.alpha, s.placement)
+	eng, err := online.NewEngine(s.in.Tasks, s.in.Platform, online.Options{
+		Policy: s.placement, Admission: adm, Alpha: s.alpha,
+	})
 	if err != nil {
 		return // ErrInfeasible or unsupported: stay on the batch path
 	}
@@ -282,7 +285,7 @@ func (s *session) state(ctx context.Context) (SessionResponse, error) {
 		ID:        s.id,
 		Scheduler: s.in.Scheduler.String(),
 		Alpha:     s.alpha,
-		Placement: s.placement.String(),
+		Placement: s.placement.Name(),
 		Tasks:     make([]TaskJSON, len(s.in.Tasks)),
 		Machines:  make([]MachineJSON, len(s.in.Platform)),
 		Test:      TestResponseFrom(rep),
@@ -1002,7 +1005,7 @@ func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (Re
 		return RepartitionResponse{}, &httpError{code: http.StatusInternalServerError, msg: err.Error()}
 	}
 	resp := RepartitionResponse{
-		Placement:      s.placement.String(),
+		Placement:      s.placement.Name(),
 		TargetFeasible: pl.TargetFeasible,
 		MovesTotal:     len(pl.Moves),
 		DriftFraction:  pl.DriftFraction(s.eng.Len()),

@@ -129,7 +129,9 @@ func TestSessionRepartitionEndpoint(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &sess); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Placement != "arrival" {
+	// The response echoes the resolved canonical policy name, even when
+	// the request used the legacy "arrival" alias.
+	if sess.Placement != "first_fit_arrival" {
 		t.Fatalf("placement = %q", sess.Placement)
 	}
 	// Ascending utilizations are first-fit's worst arrival order.

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Poisson draws a Poisson(mean) variate with Knuth's product method,
+// splitting large means into chunks of at most 500 so exp(-mean) never
+// underflows. Cost is O(mean) uniforms per draw — fine for per-tick
+// arrival counts, wrong for mean ≫ 10⁴. mean ≤ 0 returns 0.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 || math.IsNaN(mean) {
+		return 0
+	}
+	n := 0
+	for mean > 0 {
+		chunk := mean
+		if chunk > 500 {
+			chunk = 500
+		}
+		mean -= chunk
+		l := math.Exp(-chunk)
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// ParetoBounded draws from the bounded Pareto distribution on [lo, hi]
+// with tail index alpha, by inverting the CDF
+//
+//	F(x) = (1 − (lo/x)^α) / (1 − (lo/hi)^α).
+//
+// Small alpha (≈1–1.5) gives the heavy-tailed utilization mixes that
+// stress bin-packing heuristics: most draws hug lo, rare draws near hi.
+func (r *RNG) ParetoBounded(alpha, lo, hi float64) (float64, error) {
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return 0, fmt.Errorf("workload: pareto alpha %v must be positive and finite", alpha)
+	}
+	if !(lo > 0) || hi < lo || math.IsInf(hi, 0) {
+		return 0, fmt.Errorf("workload: pareto bounds [%v, %v] invalid", lo, hi)
+	}
+	if lo == hi {
+		return lo, nil
+	}
+	u := r.Float64()
+	ratio := math.Pow(lo/hi, alpha)
+	x := lo / math.Pow(1-u*(1-ratio), 1/alpha)
+	// Guard the open-interval edge: float error can nudge past hi.
+	return math.Min(x, hi), nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := NewRNG(7)
+	for _, mean := range []float64{0.3, 2, 17, 900} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(rng.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v): sample mean %v", mean, got)
+		}
+	}
+	if rng.Poisson(0) != 0 || rng.Poisson(-3) != 0 || rng.Poisson(math.NaN()) != 0 {
+		t.Errorf("degenerate means must draw 0")
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 200; i++ {
+		if x, y := a.Poisson(5), b.Poisson(5); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestParetoBounded(t *testing.T) {
+	rng := NewRNG(3)
+	lo, hi := 0.05, 0.9
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x, err := rng.ParetoBounded(1.3, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x < lo || x > hi {
+			t.Fatalf("draw %v outside [%v, %v]", x, lo, hi)
+		}
+		sum += x
+	}
+	// Heavy tail with index 1.3 on this range: mean well below the
+	// midpoint but above lo.
+	mean := sum / n
+	if mean < lo || mean > (lo+hi)/2 {
+		t.Errorf("pareto sample mean %v not left-skewed in [%v, %v]", mean, lo, hi)
+	}
+	if x, err := rng.ParetoBounded(2, 0.3, 0.3); err != nil || x != 0.3 {
+		t.Errorf("degenerate range: x=%v err=%v", x, err)
+	}
+	for _, bad := range [][3]float64{{0, 1, 2}, {-1, 1, 2}, {2, 0, 1}, {2, 2, 1}, {2, 1, math.Inf(1)}} {
+		if _, err := rng.ParetoBounded(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ParetoBounded(%v) accepted", bad)
+		}
+	}
+}
