@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke fuzz bench benchsmoke benchjson bench5 bench6 bench7 bench8 bench9
+.PHONY: ci vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke clustersmoke fuzz bench benchsmoke benchjson bench5 bench6 bench7 bench8 bench9 bench10
 
 ## ci: the full verification gate — vet, build, unit tests, race detector,
 ## the fault-injection matrix, the admission-server smoke, an open-loop
@@ -8,7 +8,7 @@ GO ?= go
 ## arena smoke, a short fuzz smoke of the partition invariants, and a
 ## one-iteration benchmark smoke (catches benchmarks whose setup asserts
 ## fail).
-ci: vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke fuzz benchsmoke
+ci: vet build test race faultsmoke servesmoke loadsmoke crashsmoke arenasmoke clustersmoke fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,17 @@ crashsmoke:
 arenasmoke:
 	$(GO) test -race -timeout 120s -count=1 ./internal/arena ./cmd/arena
 	$(GO) run ./cmd/arena -preset churn -workers 8
+
+## clustersmoke: the sharded-cluster suite under the race detector — the
+## consistent-hash ring properties (golden mapping, uniformity,
+## bounded relocation), the epoch-fenced migration determinism and
+## crash matrix, and an in-process 3-replica cluster behind a
+## coordinator with one forced migration and one replica crash + WAL
+## restart.
+clustersmoke:
+	$(GO) test -race -timeout 180s -count=1 \
+		-run 'Ring|Cluster|Migrat' \
+		./internal/cluster ./internal/service
 
 ## fuzz: short smokes of the partition-engine invariant fuzzer and the
 ## rational arithmetic differential fuzzer (covers the Add/Cmp fast paths).
@@ -130,3 +141,16 @@ bench9:
 		-note 'policy arena: pluggable placement policies; engine suite unchanged' \
 		-baseline results/BENCH_8.json -max-regress 0.25 \
 		-o results/BENCH_9.json
+
+## bench10: record the cluster benchmarks (coordinator-forwarded admit
+## vs direct, one full epoch-fenced session migration) alongside the
+## online-engine suite to results/BENCH_10.json, gated against the
+## BENCH_9 baseline — the gate fails if any engine benchmark regresses
+## (clustering is a separate layer and must not tax the engine); the new
+## BenchmarkDirectAdmit / BenchmarkForwardedAdmit /
+## BenchmarkSessionMigration entries pass through as additions.
+bench10:
+	$(GO) run ./cmd/benchjson -pkg "./internal/online ./internal/cluster" -benchtime 0.3s \
+		-note 'sharded cluster: forwarded vs direct admit, epoch-fenced migration; engine suite unchanged' \
+		-baseline results/BENCH_9.json -max-regress 0.25 \
+		-o results/BENCH_10.json

@@ -42,10 +42,21 @@
 // run verifies the load session survived recovery and reports the
 // restart count.
 //
+// With `-replicas N` the load runs against an in-process cluster: N
+// replicas behind a coordinator that routes each session op to its
+// owner by consistent hash. The summary then splits latency by shard —
+// which replica answered (from the X-Shard header the coordinator
+// stamps) versus requests the coordinator answered locally — and
+// `-crashes` kills and restarts a *random replica* instead of the whole
+// server (requires -data-dir so the victim recovers its sessions).
+// `-addr` also accepts a comma-separated list of targets; each gets its
+// own load session and the arrival stream round-robins across them.
+//
 // Usage:
 //
 //	loadgen                                  # in-process server, 200 req/s for 2s
 //	loadgen -data-dir /tmp/pf -crashes 3     # kill/restart under load, thrice
+//	loadgen -replicas 3 -data-dir /tmp/pfc -crashes 2   # 3-shard cluster, kill random replicas
 //	loadgen -addr http://127.0.0.1:8377 -rate 1000 -duration 10s -clients 32
 //	loadgen -mix 0.9 -pareto 1.5             # interior-heavy, heavy-tailed WCETs
 //	loadgen -suite dbf -deadline-ratio 0.4   # constrained deadlines, tiered admission
@@ -70,6 +81,7 @@ import (
 	"time"
 
 	"partfeas/internal/benchfmt"
+	"partfeas/internal/cluster"
 	"partfeas/internal/online"
 	"partfeas/internal/service"
 )
@@ -90,7 +102,8 @@ func main() {
 		note      = flag.String("note", "", "free-form label recorded in the suite document")
 		maxErrors = flag.Int("max-errors", 0, "exit nonzero when more requests than this fail")
 		dataDir   = flag.String("data-dir", "", "run the in-process server durably from this directory (WAL + snapshots)")
-		crashes   = flag.Int("crashes", 0, "with -data-dir: kill and restart the in-process server this many times during the run")
+		crashes   = flag.Int("crashes", 0, "with -data-dir: kill and restart the in-process server (or a random replica with -replicas) this many times during the run")
+		replicasN = flag.Int("replicas", 0, "start an in-process cluster: this many replicas behind a coordinator (0 runs a single server)")
 	)
 	flag.Parse()
 	if *policy != "" {
@@ -110,7 +123,7 @@ func main() {
 			*maxErrors = -1
 		}
 	}
-	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *policy, *dlRatio, *out, *note, *maxErrors, *dataDir, *crashes); err != nil {
+	if err := run(os.Stdout, *addr, *rate, *duration, *clients, *seed, *mix, *pareto, *suite, *policy, *dlRatio, *out, *note, *maxErrors, *dataDir, *crashes, *replicasN); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -121,9 +134,10 @@ func main() {
 // loop so the seeded rng stays race-free), and the instant the open-loop
 // process emitted it.
 type job struct {
-	kind  int
-	body  string
-	sched time.Time
+	kind   int
+	body   string
+	target int // index into the target list (round-robin with -addr a,b,c)
+	sched  time.Time
 }
 
 // endpoint kinds, reported separately so the orders-of-magnitude cost
@@ -274,7 +288,7 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName, policy string, dlRatio float64, out, note string, maxErrors int, dataDir string, crashes int) error {
+func run(w io.Writer, addr string, rate float64, duration time.Duration, clients int, seed int64, mix, pareto float64, suiteName, policy string, dlRatio float64, out, note string, maxErrors int, dataDir string, crashes, replicasN int) error {
 	if !(rate > 0) {
 		return fmt.Errorf("rate %v must be positive", rate)
 	}
@@ -302,8 +316,31 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	if crashes > 0 && (dataDir == "" || addr != "") {
 		return fmt.Errorf("-crashes requires -data-dir and an in-process server (empty -addr)")
 	}
-	var restarter *serverRestarter
-	if addr == "" {
+	if replicasN > 0 && addr != "" {
+		return fmt.Errorf("-replicas starts an in-process cluster; it conflicts with -addr")
+	}
+	if replicasN < 0 {
+		return fmt.Errorf("replicas %d must be ≥ 0", replicasN)
+	}
+	var restarter crasher
+	switch {
+	case replicasN > 0:
+		h, err := startCluster(replicasN, dataDir, seed)
+		if err != nil {
+			return err
+		}
+		restarter = h
+		defer h.close()
+		// One load session per replica, all through the coordinator: the
+		// ring spreads the session IDs, so the shard report exercises
+		// every replica instead of a single owner.
+		addr = strings.TrimSuffix(strings.Repeat(h.addr+",", replicasN), ",")
+		mode := ""
+		if dataDir != "" {
+			mode = fmt.Sprintf(" (durable: %s)", dataDir)
+		}
+		fmt.Fprintf(w, "loadgen: in-process cluster: coordinator %s, %d replica(s)%s\n", h.addr, replicasN, mode)
+	case addr == "":
 		cfg := service.Config{Addr: "127.0.0.1:0", DataDir: dataDir}
 		var srv *service.Server
 		var err error
@@ -320,8 +357,9 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		}
 		go func() { _ = srv.Serve() }()
 		cfg.Addr = srv.Addr() // pin the port so restarts keep the address
-		restarter = &serverRestarter{srv: srv, cfg: cfg}
-		defer restarter.close()
+		sr := &serverRestarter{srv: srv, cfg: cfg}
+		restarter = sr
+		defer sr.close()
 		addr = "http://" + srv.Addr()
 		mode := ""
 		if dataDir != "" {
@@ -329,24 +367,38 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		}
 		fmt.Fprintf(w, "loadgen: in-process server on %s%s\n", srv.Addr(), mode)
 	}
-	addr = strings.TrimSuffix(addr, "/")
+	var targets []string
+	for _, t := range strings.Split(addr, ",") {
+		if t = strings.TrimSuffix(strings.TrimSpace(t), "/"); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no targets in -addr %q", addr)
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	sessionID, err := openSession(client, addr, dbfSuite, policy)
-	if err != nil {
-		return fmt.Errorf("opening load session: %w", err)
+	sessionIDs := make([]string, len(targets))
+	for i, t := range targets {
+		id, err := openSession(client, t, dbfSuite, policy)
+		if err != nil {
+			return fmt.Errorf("opening load session on %s: %w", t, err)
+		}
+		sessionIDs[i] = id
 	}
 	tierBase := map[string]float64{}
+	var err error
 	if dbfSuite {
 		// Baseline the tier counters so an external server's prior
 		// traffic (and our own session-create solve) doesn't pollute
 		// the run's hit rates.
-		if tierBase, err = scrapeTiers(client, addr); err != nil {
+		if tierBase, err = scrapeTiers(client, targets[0]); err != nil {
 			return fmt.Errorf("scraping tier baseline: %w", err)
 		}
 	}
 
 	var stats [kindCount]epStats
+	shards := &shardAgg{m: map[string]*epStats{}}
 	jobs := make(chan job, 1<<14)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -354,8 +406,10 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				failed := fire(client, addr, sessionID, j.kind, j.body)
-				stats[j.kind].record(time.Since(j.sched), failed)
+				failed, shard := fire(client, targets[j.target], sessionIDs[j.target], j.kind, j.body)
+				d := time.Since(j.sched)
+				stats[j.kind].record(d, failed)
+				shards.get(shard).record(d, failed)
 			}
 		}()
 	}
@@ -398,7 +452,7 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		j := job{kind: slots[sent%len(slots)], sched: next}
+		j := job{kind: slots[sent%len(slots)], target: sent % len(targets), sched: next}
 		switch j.kind {
 		case kindTailAdd:
 			j.kind, j.body = gen.add()
@@ -417,16 +471,18 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 	if crashes > 0 {
 		// The durable claim under test: the load session (and whatever
 		// mix of mutations was acknowledged) survives every kill.
-		resp, err := client.Get(addr + "/v1/sessions/" + sessionID)
-		if err != nil {
-			return fmt.Errorf("session lookup after %d restart(s): %w", crashes, err)
+		for i, t := range targets {
+			resp, err := client.Get(t + "/v1/sessions/" + sessionIDs[i])
+			if err != nil {
+				return fmt.Errorf("session lookup after %d restart(s): %w", crashes, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("session %s lost after %d restart(s): status %d", sessionIDs[i], crashes, resp.StatusCode)
+			}
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("session %s lost after %d restart(s): status %d", sessionID, crashes, resp.StatusCode)
-		}
-		fmt.Fprintf(w, "loadgen: server killed and recovered %d time(s); session %s intact\n", restarter.recoveries(), sessionID)
+		fmt.Fprintf(w, "loadgen: killed and recovered %d time(s); session %s intact\n", restarter.recoveries(), strings.Join(sessionIDs, ","))
 	}
 
 	bench := "loadgen"
@@ -474,8 +530,40 @@ func run(w io.Writer, addr string, rate float64, duration time.Duration, clients
 			},
 		})
 	}
+	// Shard split: which replica answered (the coordinator stamps X-Shard
+	// on every forwarded response) vs requests answered locally. Only
+	// meaningful behind a coordinator; a direct target is all "local".
+	if labels := shards.labels(); len(labels) > 1 || (len(labels) == 1 && labels[0] != "local") {
+		fmt.Fprintf(w, "%-26s %8s %7s %10s %10s\n", "shard", "count", "errors", "p50", "p99")
+		for _, label := range labels {
+			st := shards.m[label]
+			sort.Slice(st.durations, func(i, j int) bool { return st.durations[i] < st.durations[j] })
+			n := len(st.durations)
+			fmt.Fprintf(w, "%-26s %8d %7d %10v %10v\n", label, n, st.errors,
+				quantile(st.durations, 0.50).Round(time.Microsecond), quantile(st.durations, 0.99).Round(time.Microsecond))
+			suite.Results = append(suite.Results, benchfmt.Result{
+				Name:       "Loadgen/shard/" + label,
+				Iterations: int64(n),
+				Extra: map[string]float64{
+					"p50-µs/op": float64(quantile(st.durations, 0.50).Microseconds()),
+					"p99-µs/op": float64(quantile(st.durations, 0.99).Microseconds()),
+					"errors":    float64(st.errors),
+				},
+			})
+		}
+		forwarded, local := 0, 0
+		for _, label := range labels {
+			if label == "local" {
+				local = len(shards.m[label].durations)
+			} else {
+				forwarded += len(shards.m[label].durations)
+			}
+		}
+		fmt.Fprintf(w, "loadgen: %d forwarded, %d answered locally\n", forwarded, local)
+	}
+
 	if dbfSuite {
-		after, err := scrapeTiers(client, addr)
+		after, err := scrapeTiers(client, targets[0])
 		if err != nil {
 			return fmt.Errorf("scraping tier counters: %w", err)
 		}
@@ -645,8 +733,10 @@ func decodeBody(r io.Reader, dst any) error {
 
 // fire issues one request of the given kind; every kind answers 200 on a
 // healthy server (admission rejections are 200 + rolled_back), so any
-// other outcome counts as a failure.
-func fire(client *http.Client, addr, sessionID string, kind int, body string) (failed bool) {
+// other outcome counts as a failure. The shard label is the X-Shard
+// header a coordinator stamps on forwarded responses, "local" when the
+// target answered itself, "unreachable" on a transport error.
+func fire(client *http.Client, addr, sessionID string, kind int, body string) (failed bool, shard string) {
 	var resp *http.Response
 	var err error
 	switch kind {
@@ -668,9 +758,143 @@ func fire(client *http.Client, addr, sessionID string, kind int, body string) (f
 			strings.NewReader(`{}`))
 	}
 	if err != nil {
-		return true
+		return true, "unreachable"
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode != http.StatusOK
+	if shard = resp.Header.Get("X-Shard"); shard == "" {
+		shard = "local"
+	}
+	return resp.StatusCode != http.StatusOK, shard
+}
+
+// shardAgg splits outcomes by the shard that answered.
+type shardAgg struct {
+	mu sync.Mutex
+	m  map[string]*epStats
+}
+
+func (a *shardAgg) get(label string) *epStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.m[label]
+	if st == nil {
+		st = &epStats{}
+		a.m[label] = st
+	}
+	return st
+}
+
+func (a *shardAgg) labels() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.m))
+	for l := range a.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// crasher is the kill/restart hook crash mode drives: the whole server
+// in single mode, a random replica in cluster mode.
+type crasher interface {
+	crashRestart() error
+	recoveries() int
+}
+
+// clusterHarness owns an in-process cluster: N replicas (durable when
+// dataDir is set, each in its own subdirectory) behind a coordinator.
+type clusterHarness struct {
+	mu       sync.Mutex
+	coord    *cluster.Coordinator
+	replicas []*service.Server
+	cfgs     []service.Config
+	addr     string
+	rng      *rand.Rand
+	recs     int
+}
+
+func startCluster(n int, dataDir string, seed int64) (*clusterHarness, error) {
+	h := &clusterHarness{rng: rand.New(rand.NewSource(seed + 1))}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := service.Config{Addr: "127.0.0.1:0"}
+		var srv *service.Server
+		var err error
+		if dataDir != "" {
+			cfg.DataDir = fmt.Sprintf("%s/replica-%d", dataDir, i)
+			srv, err = service.NewDurable(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("replica %d: %w", i, err)
+			}
+		} else {
+			srv = service.New(cfg)
+		}
+		if err := srv.Listen(); err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		go func() { _ = srv.Serve() }()
+		cfg.Addr = srv.Addr() // pin the port so a restart keeps the address
+		h.replicas = append(h.replicas, srv)
+		h.cfgs = append(h.cfgs, cfg)
+		urls[i] = "http://" + srv.Addr()
+	}
+	h.coord = cluster.New(cluster.Config{
+		Addr:           "127.0.0.1:0",
+		Replicas:       urls,
+		HealthInterval: 250 * time.Millisecond,
+		IDPrefix:       "lg",
+	})
+	if err := h.coord.Listen(); err != nil {
+		return nil, err
+	}
+	go func() { _ = h.coord.Serve() }()
+	h.addr = "http://" + h.coord.Addr()
+	return h, nil
+}
+
+// crashRestart kills a random replica — no final fsync, no final
+// snapshot — and brings it back on the same port from its directory.
+func (h *clusterHarness) crashRestart() error {
+	h.mu.Lock()
+	i := h.rng.Intn(len(h.replicas))
+	srv := h.replicas[i]
+	cfg := h.cfgs[i]
+	h.mu.Unlock()
+	srv.Crash()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = srv.Shutdown(ctx)
+	cancel()
+	next, err := service.NewDurable(cfg)
+	if err != nil {
+		return fmt.Errorf("replica %d: %w", i, err)
+	}
+	if err := next.Listen(); err != nil {
+		return fmt.Errorf("replica %d: %w", i, err)
+	}
+	go func() { _ = next.Serve() }()
+	h.mu.Lock()
+	h.replicas[i] = next
+	h.recs++
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *clusterHarness) recoveries() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.recs
+}
+
+func (h *clusterHarness) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = h.coord.Shutdown(ctx)
+	h.mu.Lock()
+	reps := append([]*service.Server(nil), h.replicas...)
+	h.mu.Unlock()
+	for _, srv := range reps {
+		_ = srv.Shutdown(ctx)
+	}
 }

@@ -20,7 +20,7 @@ import (
 func TestRunInProcess(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "load.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 1.5, "implicit", "", 0.5, out, "smoke", 0, "", 0); err != nil {
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 1.5, "implicit", "", 0.5, out, "smoke", 0, "", 0, 0); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	suite, err := benchfmt.Load(out)
@@ -57,7 +57,7 @@ func TestRunInProcess(t *testing.T) {
 func TestRunDBFSuite(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "dbf.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 0, "dbf", "", 0.4, out, "dbf smoke", 0, "", 0); err != nil {
+	if err := run(&buf, "", 400, 500*time.Millisecond, 4, 1, 0.5, 0, "dbf", "", 0.4, out, "dbf smoke", 0, "", 0, 0); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	suite, err := benchfmt.Load(out)
@@ -132,25 +132,25 @@ func TestQuantile(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, time.Millisecond, 1, 1, 0.5, 0, "implicit", "", 0.5, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 0, time.Millisecond, 1, 1, 0.5, 0, "implicit", "", 0.5, "", "", 0, "", 0, 0); err == nil {
 		t.Error("rate 0 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 1.5, 0, "implicit", "", 0.5, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 1.5, 0, "implicit", "", 0.5, "", "", 0, "", 0, 0); err == nil {
 		t.Error("mix 1.5 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, -1, "implicit", "", 0.5, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, -1, "implicit", "", 0.5, "", "", 0, "", 0, 0); err == nil {
 		t.Error("pareto -1 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "arbitrary", "", 0.5, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "arbitrary", "", 0.5, "", "", 0, "", 0, 0); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", "", 0, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", "", 0, "", "", 0, "", 0, 0); err == nil {
 		t.Error("deadline-ratio 0 accepted for dbf suite")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", "", 1.5, "", "", 0, "", 0); err == nil {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "dbf", "", 1.5, "", "", 0, "", 0, 0); err == nil {
 		t.Error("deadline-ratio 1.5 accepted")
 	}
-	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "implicit", "gravity_fit", 0.5, "", "", 0, "", 0); err == nil || !strings.Contains(err.Error(), "gravity_fit") {
+	if err := run(&buf, "", 100, time.Millisecond, 1, 1, 0.5, 0, "implicit", "gravity_fit", 0.5, "", "", 0, "", 0, 0); err == nil || !strings.Contains(err.Error(), "gravity_fit") {
 		t.Errorf("unknown policy: %v", err)
 	}
 }
@@ -160,7 +160,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // every mixed endpoint must still answer 200.
 func TestRunWithPolicy(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 300, 300*time.Millisecond, 4, 1, 0.5, 0, "implicit", "best_fit", 0.5, "", "", 0, "", 0); err != nil {
+	if err := run(&buf, "", 300, 300*time.Millisecond, 4, 1, 0.5, 0, "implicit", "best_fit", 0.5, "", "", 0, "", 0, 0); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 }

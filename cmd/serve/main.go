@@ -33,6 +33,13 @@
 // SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
 // requests finish (bounded by -drain), the WAL group-commit buffer
 // flushes and a final snapshot is written, then the process exits 0.
+//
+// With -coordinator the process is a cluster coordinator instead of a
+// replica: it routes /v1/sessions/* to the owner replica by consistent
+// hash of the session ID (-replicas lists their base URLs, -vnodes sets
+// the ring's virtual-node count), answers stateless endpoints locally,
+// health-checks replicas, and serves the /v1/cluster membership API
+// (join / leave / rebalance / migrate).
 package main
 
 import (
@@ -44,9 +51,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"partfeas/internal/cluster"
 	"partfeas/internal/service"
 )
 
@@ -64,12 +73,69 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durability directory (write-ahead log + snapshots); empty disables durability")
 		fsyncInt = flag.Duration("fsync-interval", 5*time.Millisecond, "WAL group-commit fsync cadence; 0 fsyncs on every append (requires -data-dir)")
 		snapEvry = flag.Int("snapshot-every", 1024, "ops between automatic snapshots; 0 disables automatic snapshots (requires -data-dir)")
+
+		coord    = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a replica")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (requires -coordinator)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring (requires -coordinator)")
+		healthIv = flag.Duration("health-interval", 2*time.Second, "replica health-probe cadence (requires -coordinator)")
 	)
 	flag.Parse()
-	if err := run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *maxKeys, *sessions, *budget, *dataDir, *fsyncInt, *snapEvry); err != nil {
+	var err error
+	if *coord {
+		err = runCoordinator(*addr, *replicas, *vnodes, *healthIv, *drain)
+	} else {
+		err = run(*addr, *timeout, *maxTO, *drain, *shards, *maxIdle, *maxKeys, *sessions, *budget, *dataDir, *fsyncInt, *snapEvry)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+}
+
+func runCoordinator(addr, replicas string, vnodes int, healthIv, drain time.Duration) error {
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var urls []string
+	for _, u := range strings.Split(replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("-coordinator requires -replicas (comma-separated base URLs)")
+	}
+	c := cluster.New(cluster.Config{
+		Addr:           addr,
+		Replicas:       urls,
+		VNodes:         vnodes,
+		HealthInterval: healthIv,
+		Logf:           logger.Printf,
+	})
+	if err := c.Listen(); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- c.Serve() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("serve: signal received, draining for up to %v", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := c.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func run(addr string, timeout, maxTO, drain time.Duration, shards, maxIdle, maxKeys, sessions int, budget int64, dataDir string, fsyncInt time.Duration, snapEvery int) error {

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"partfeas/internal/service"
+)
+
+// The admit benchmarks drive a steady-state operation: the candidate
+// task is deterministically infeasible, so the engine tests it, rejects
+// it and rolls back — the session never grows and every iteration costs
+// the same. BenchmarkForwardedAdmit minus BenchmarkDirectAdmit is the
+// coordinator's routing overhead (one extra proxy hop plus the ring
+// lookup and header rewrite).
+
+const benchCreate = `{"tasks":[{"name":"base","wcet":3,"period":4}],"speeds":[1],"scheduler":"edf"}`
+const benchAdmit = `{"task":{"name":"cand","wcet":1,"period":2}}`
+
+func benchAdmitLoop(b *testing.B, url string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, _, data := httpDo(b, http.MethodPost, url, benchAdmit)
+		if code != http.StatusOK {
+			b.Fatalf("admit: %d %s", code, data)
+		}
+	}
+}
+
+func BenchmarkDirectAdmit(b *testing.B) {
+	rep := startReplica(b, false)
+	code, _, data := httpDo(b, http.MethodPost, rep.url+"/v1/sessions", benchCreate)
+	if code != http.StatusCreated {
+		b.Fatalf("create: %d %s", code, data)
+	}
+	benchAdmitLoop(b, rep.url+"/v1/sessions/s-1/tasks")
+}
+
+func BenchmarkForwardedAdmit(b *testing.B) {
+	rep := startReplica(b, false)
+	c := startCoordinator(b, rep)
+	id, _ := createSessionWith(b, coordURL(c), benchCreate)
+	benchAdmitLoop(b, coordURL(c)+"/v1/sessions/"+id+"/tasks")
+}
+
+// BenchmarkSessionMigration measures one full epoch-fenced handoff —
+// snapshot, prepare, cutover, tail commit, confirm — by bouncing a
+// session between two replicas; each iteration is one migration.
+func BenchmarkSessionMigration(b *testing.B) {
+	a, c := startReplica(b, false), startReplica(b, false)
+	code, _, data := httpDo(b, http.MethodPost, a.url+"/v1/sessions", benchCreate)
+	if code != http.StatusCreated {
+		b.Fatalf("create: %d %s", code, data)
+	}
+	holder, other := a.url, c.url
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, _, data := httpDo(b, http.MethodPost, holder+"/v1/sessions/s-1/migrate",
+			fmt.Sprintf(`{"target":%q}`, other))
+		if code != http.StatusOK {
+			b.Fatalf("migrate %d: %d %s", i, code, data)
+		}
+		holder, other = other, holder
+	}
+}
+
+// createSessionWith is createSession with an explicit instance body.
+func createSessionWith(t testing.TB, base, body string) (id, shard string) {
+	t.Helper()
+	code, hdr, data := httpDo(t, http.MethodPost, base+"/v1/sessions", body)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, data)
+	}
+	var sr service.SessionResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("create response: %v", err)
+	}
+	return sr.ID, hdr.Get("X-Shard")
+}

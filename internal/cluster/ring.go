@@ -1,0 +1,154 @@
+// Package cluster shards the admission service across replicas: a
+// consistent-hash ring maps every session ID to its owning replica, and
+// a thin coordinator routes /v1/sessions/* traffic there, drives
+// epoch-fenced live migrations when membership changes, and answers
+// stateless endpoints locally.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member when a Ring (or
+// coordinator Config) does not specify one. 64 points per member keeps
+// the per-member load spread within a few percent of uniform for small
+// clusters while the ring stays a few KiB.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring. Each member contributes
+// vnodes points at FNV-1a positions; a key is owned by the member whose
+// point follows the key's hash clockwise. Immutability makes membership
+// changes copy-on-write (With / Without), so concurrent lookups never
+// need a lock — swap the pointer.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, unique
+	points  []point  // sorted by (hash, member, vnode)
+}
+
+type point struct {
+	hash   uint64
+	member string
+	vnode  int
+}
+
+// NewRing builds a ring over members (duplicates collapse) with the
+// given virtual-node count (≤ 0 means DefaultVNodes). An empty member
+// list is a valid ring that owns nothing.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, members: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashKey(m + "#" + strconv.Itoa(v)), member: m, vnode: v})
+		}
+	}
+	// Ties are astronomically rare at 64-bit but must still break
+	// deterministically, or two processes could route one session to
+	// different owners.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		if a.member != b.member {
+			return a.member < b.member
+		}
+		return a.vnode < b.vnode
+	})
+	return r
+}
+
+// hashKey is FNV-1a 64 finished with a splitmix64 round: stable across
+// processes, platforms and restarts (a ring rebuilt from the same
+// membership routes identically forever). The finalizer matters — raw
+// FNV-1a mixes too little for short, similar keys (vnode labels differ
+// by a digit), which clumps a member's points and skews ownership
+// shares several-fold.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner maps a key to its owning member, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last hash
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member list (shared slice; do not mutate).
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Has reports membership.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}
+
+// With returns a ring with member added (or r itself if present).
+func (r *Ring) With(member string) *Ring {
+	if r.Has(member) {
+		return r
+	}
+	return NewRing(append(append([]string(nil), r.members...), member), r.vnodes)
+}
+
+// Without returns a ring with member removed (or r itself if absent).
+func (r *Ring) Without(member string) *Ring {
+	if !r.Has(member) {
+		return r
+	}
+	rest := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// Spread returns, for n sample keys "k0".."k<n-1>", how many land on
+// each member — the uniformity measure the property tests bound.
+func (r *Ring) Spread(n int) map[string]int {
+	out := make(map[string]int, len(r.members))
+	for i := 0; i < n; i++ {
+		out[r.Owner("k"+strconv.Itoa(i))]++
+	}
+	return out
+}
+
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members × %d vnodes)", len(r.members), r.vnodes)
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingGolden pins the mapping across process restarts: these owners
+// were computed once and hard-coded, so any change to the hash, the
+// point layout or the tie-break — which would strand every durable
+// session on the wrong replica after a rolling restart — fails here.
+func TestRingGolden(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	golden := map[string]string{
+		"s-1":        "http://a:1",
+		"s-2":        "http://a:1",
+		"s-3":        "http://c:1",
+		"session-42": "http://c:1",
+		"partfeas":   "http://a:1",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (hash layout changed!)", k, got, want)
+		}
+	}
+}
+
+// TestRingDeterminism: member order, duplicates, and rebuild must not
+// affect the mapping — two coordinators configured with the same set in
+// any order route identically.
+func TestRingDeterminism(t *testing.T) {
+	members := []string{"http://r0", "http://r1", "http://r2", "http://r3", "http://r4"}
+	a := NewRing(members, 0)
+	shuffled := []string{"http://r3", "http://r0", "http://r4", "http://r2", "http://r1", "http://r0"}
+	b := NewRing(shuffled, 0)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("sess-%d", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("Owner(%q): %q (ordered) != %q (shuffled)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingUniformity bounds the ownership skew: with DefaultVNodes every
+// member's share of 50k keys must sit within ±40% of the fair share
+// (measured skew is ~±12%; the band leaves margin without letting a
+// collapsed member through).
+func TestRingUniformity(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://replica-%d:8377", i)
+		}
+		r := NewRing(members, 0)
+		const keys = 50000
+		spread := r.Spread(keys)
+		mean := float64(keys) / float64(n)
+		for _, m := range members {
+			got := float64(spread[m])
+			if got < 0.6*mean || got > 1.4*mean {
+				t.Errorf("%d members: %s owns %.0f keys, outside [%.0f, %.0f]", n, m, got, 0.6*mean, 1.4*mean)
+			}
+		}
+	}
+}
+
+// TestRingRelocationOnAdd: adding one member to an n-ring must move
+// ~1/(n+1) of keys, and every moved key must move TO the new member —
+// a rebalance touches exactly the sessions the new replica takes over.
+func TestRingRelocationOnAdd(t *testing.T) {
+	members := []string{"http://r0", "http://r1", "http://r2", "http://r3", "http://r4"}
+	before := NewRing(members, 0)
+	after := before.With("http://r5")
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "http://r5" {
+			t.Fatalf("key %q moved %s→%s, not to the new member", k, ob, oa)
+		}
+	}
+	want := float64(keys) / 6
+	if f := float64(moved); f < 0.5*want || f > 2*want {
+		t.Errorf("add relocated %d keys, want ~%.0f (±2×)", moved, want)
+	}
+}
+
+// TestRingRelocationOnRemove: removing a member must move exactly the
+// keys it owned, each to a surviving member, and nothing else.
+func TestRingRelocationOnRemove(t *testing.T) {
+	members := []string{"http://r0", "http://r1", "http://r2", "http://r3", "http://r4"}
+	before := NewRing(members, 0)
+	const victim = "http://r2"
+	after := before.Without(victim)
+	const keys = 20000
+	moved, owned := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == victim {
+			owned++
+		}
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob != victim {
+			t.Fatalf("key %q moved %s→%s though its owner stayed in the ring", k, ob, oa)
+		}
+		if oa == victim || !after.Has(oa) {
+			t.Fatalf("key %q landed on %s, not a surviving member", k, oa)
+		}
+	}
+	if moved != owned {
+		t.Errorf("removal moved %d keys but the victim owned %d — bystanders moved", moved, owned)
+	}
+}
+
+// TestRingFuzzMembership drives random join/leave sequences and checks
+// the relocation invariant at every step: a membership delta of one
+// member never moves a key between two surviving members.
+func TestRingFuzzMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := make([]string, 12)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("http://node-%d", i)
+	}
+	r := NewRing(pool[:4], 0)
+	keys := make([]string, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sess-%d", rng.Int63())
+	}
+	for step := 0; step < 40; step++ {
+		m := pool[rng.Intn(len(pool))]
+		var next *Ring
+		if r.Has(m) && r.Size() > 1 {
+			next = r.Without(m)
+		} else {
+			next = r.With(m)
+		}
+		joined := next.Size() > r.Size()
+		for _, k := range keys {
+			ob, oa := r.Owner(k), next.Owner(k)
+			if ob == oa {
+				continue
+			}
+			if joined && oa != m {
+				t.Fatalf("step %d: join of %s moved %q from %s to %s", step, m, k, ob, oa)
+			}
+			if !joined && ob != m {
+				t.Fatalf("step %d: leave of %s moved %q owned by %s", step, m, k, ob)
+			}
+		}
+		r = next
+	}
+}
+
+// TestRingCopyOnWrite: With/Without never mutate the receiver, and
+// no-op changes return the same ring.
+func TestRingCopyOnWrite(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b"}, 8)
+	if r.With("http://a") != r {
+		t.Error("With(existing) built a new ring")
+	}
+	if r.Without("http://zzz") != r {
+		t.Error("Without(absent) built a new ring")
+	}
+	r2 := r.With("http://c")
+	if r.Size() != 2 || !r2.Has("http://c") || r2.Size() != 3 {
+		t.Errorf("With mutated the receiver: %v / %v", r, r2)
+	}
+	r3 := r2.Without("http://a")
+	if !r2.Has("http://a") || r3.Has("http://a") {
+		t.Error("Without mutated the receiver")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring owns %q", got)
+	}
+	if r.Size() != 0 {
+		t.Errorf("empty ring size %d", r.Size())
+	}
+	one := r.With("http://a")
+	if got := one.Owner("anything"); got != "http://a" {
+		t.Errorf("single-member ring routed to %q", got)
+	}
+}

@@ -68,6 +68,24 @@ const (
 	// SiteWALReplay fires per replayed op during recovery; idx is the
 	// op index about to be applied.
 	SiteWALReplay Site = "oplog/replay"
+
+	// The session-migration crash points, in protocol order. idx is 0
+	// except at SiteMigrateReplay, where it is the tail-op index about to
+	// be applied on the destination.
+	//
+	// SiteMigrateSnapshot fires on the source before the prepared
+	// snapshot is sent to the destination.
+	SiteMigrateSnapshot Site = "migrate/snapshot"
+	// SiteMigrateStream fires on the source after the session is fenced
+	// and the MigrateOut record is durable, before the WAL tail is
+	// streamed in the commit request.
+	SiteMigrateStream Site = "migrate/stream"
+	// SiteMigrateReplay fires on the destination per replayed tail op
+	// during migration commit.
+	SiteMigrateReplay Site = "migrate/replay"
+	// SiteMigrateCutover fires on the source before the MigrateOut fence
+	// record is appended (the ownership cutover point).
+	SiteMigrateCutover Site = "migrate/cutover"
 )
 
 // Plan describes one deterministic fault.

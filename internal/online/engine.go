@@ -672,6 +672,13 @@ func (e *Engine) exitOp(mutated bool) bool {
 	return false
 }
 
+// RepartCount reports the periodic-repartition hook's position in its
+// cadence window: mutations committed since the last rebuild. Snapshot
+// it alongside PlacedLists and hand it back via Options.RepartCnt, so a
+// restored engine fires its next rebuild at the same mutation its
+// never-restored twin does. Always 0 for non-repartitioning policies.
+func (e *Engine) RepartCount() int { return e.repartCnt }
+
 func (e *Engine) dirtyAt(j int) bool { return e.dirty[j] == e.epoch }
 
 // begin opens a mutation's undo scope.

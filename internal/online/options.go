@@ -50,6 +50,15 @@ type Options struct {
 	// function of the multiset, so it is rebuilt fresh and Placed is
 	// ignored.
 	Placed [][]int32
+
+	// RepartCnt restores the PeriodicRepartition cadence counter
+	// (Engine.RepartCount): mutations committed since the hook's last
+	// rebuild. A snapshot-restored engine must resume the window where
+	// the snapshot left it, or replaying the same ops fires rebuilds at
+	// different mutations and the restored state diverges from the
+	// original. Ignored (and clamped into the window) unless the policy
+	// repartitions.
+	RepartCnt int
 }
 
 // NewEngine builds an engine for the task set and platform under opts.
@@ -98,6 +107,9 @@ func NewEngine(ts task.Set, p machine.Platform, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("online: policy %q: repartition is not supported for constrained-deadline engines", pol.Name())
 		}
 		e.repartEvery = rp.repartitionEvery()
+		if opts.RepartCnt > 0 {
+			e.repartCnt = opts.RepartCnt % e.repartEvery
+		}
 	}
 
 	if constrained {

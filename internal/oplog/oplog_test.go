@@ -31,6 +31,31 @@ func sampleOps() []Op {
 		{Type: TypeRemove, Session: "s-1", Target: 0},
 		{Type: TypeRepartition, Session: "s-1", Target: 16},
 		{Type: TypeDestroy, Session: "s-1"},
+		{Type: TypeMigrateOut, Session: "s-1", Peer: "http://127.0.0.1:9001", Epoch: 3, Snapshot: []byte(`{"id":"s-1"}`)},
+		{Type: TypeMigrateIn, Session: "s-1", Peer: "http://127.0.0.1:9002", Epoch: 3, Snapshot: []byte{0, 1, 2, 255}},
+	}
+}
+
+// TestDecodeV1Compat proves pre-cluster (version 1) records still decode:
+// a v1 payload is byte-for-byte a v2 payload with zero migration fields
+// minus the three trailing zero bytes, with the version byte rewritten.
+func TestDecodeV1Compat(t *testing.T) {
+	for _, want := range sampleOps() {
+		if want.Type == TypeMigrateOut || want.Type == TypeMigrateIn {
+			continue // these types never existed in v1 logs
+		}
+		want.Index = 7
+		want.Epoch, want.Peer, want.Snapshot = 0, "", nil
+		payload := appendPayload(nil, &want)
+		v1 := append([]byte(nil), payload[:len(payload)-3]...)
+		v1[0] = recordVersionV1
+		var got Op
+		if err := decodePayload(v1, &got); err != nil {
+			t.Fatalf("%s: decode v1: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: v1 round trip:\n got %+v\nwant %+v", want.Type, got, want)
+		}
 	}
 }
 

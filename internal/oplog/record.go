@@ -53,6 +53,15 @@ const (
 	TypeRepartition
 	// TypeDestroy records a session deletion.
 	TypeDestroy
+	// TypeMigrateOut records a session's ownership handoff to another
+	// replica (Peer), fencing it locally. Snapshot carries the session's
+	// final encoded state so a crashed source can re-drive the transfer
+	// idempotently; Epoch is the ownership epoch the destination assumes.
+	TypeMigrateOut
+	// TypeMigrateIn records a session's arrival from another replica:
+	// Snapshot is the post-replay state the destination activated, Epoch
+	// the ownership epoch it now holds.
+	TypeMigrateIn
 
 	typeMax
 )
@@ -73,6 +82,10 @@ func (t Type) String() string {
 		return "repartition"
 	case TypeDestroy:
 		return "destroy"
+	case TypeMigrateOut:
+		return "migrate-out"
+	case TypeMigrateIn:
+		return "migrate-in"
 	default:
 		return fmt.Sprintf("oplog.Type(%d)", uint8(t))
 	}
@@ -118,10 +131,22 @@ type Op struct {
 	Target int
 	// WCET is TypeUpdateWCET's new worst-case execution time.
 	WCET int64
+
+	// Migration fields (version 2; zero on records decoded from v1).
+	// Epoch is the ownership epoch a TypeMigrateOut cedes or a
+	// TypeMigrateIn assumes; Peer is the counterpart replica's base URL;
+	// Snapshot is the session's encoded final state at the handoff.
+	Epoch    uint64
+	Peer     string
+	Snapshot []byte
 }
 
 const (
-	recordVersion = 1
+	// recordVersion is what new records are written as. Version 2 added
+	// the migration fields (Epoch, Peer, Snapshot); version 1 records
+	// decode with those fields zero, so pre-cluster WALs replay unchanged.
+	recordVersion   = 2
+	recordVersionV1 = 1
 
 	// frameHeaderLen is the length + checksum prefix of every record.
 	frameHeaderLen = 8
@@ -167,6 +192,10 @@ func appendPayload(buf []byte, op *Op) []byte {
 	buf = appendString(buf, op.BatchMode)
 	buf = binary.AppendUvarint(buf, uint64(op.Target))
 	buf = binary.AppendUvarint(buf, uint64(op.WCET))
+	buf = binary.AppendUvarint(buf, op.Epoch)
+	buf = appendString(buf, op.Peer)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Snapshot)))
+	buf = append(buf, op.Snapshot...)
 	return buf
 }
 
@@ -187,8 +216,8 @@ func decodePayload(payload []byte, op *Op) error {
 	d := decoder{buf: payload}
 	ver := d.byte()
 	typ := d.byte()
-	if d.err == nil && ver != recordVersion {
-		return fmt.Errorf("%w: record version %d, want %d", ErrCorrupt, ver, recordVersion)
+	if d.err == nil && ver != recordVersion && ver != recordVersionV1 {
+		return fmt.Errorf("%w: record version %d, want %d or %d", ErrCorrupt, ver, recordVersionV1, recordVersion)
 	}
 	if d.err == nil && (Type(typ) <= typeInvalid || Type(typ) >= typeMax) {
 		return fmt.Errorf("%w: unknown op type %d", ErrCorrupt, typ)
@@ -233,6 +262,14 @@ func decodePayload(payload []byte, op *Op) error {
 	op.BatchMode = d.str()
 	op.Target = int(d.uvarint())
 	op.WCET = int64(d.uvarint())
+	op.Epoch = 0
+	op.Peer = ""
+	op.Snapshot = nil
+	if ver >= recordVersion {
+		op.Epoch = d.uvarint()
+		op.Peer = d.str()
+		op.Snapshot = d.bytes()
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -315,6 +352,23 @@ func (d *decoder) f64() float64 {
 	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
 	d.off += 8
 	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return b
 }
 
 func (d *decoder) str() string {

@@ -118,7 +118,7 @@ func (s *session) freshConstrainedReport(alpha float64) (partfeas.Report, error)
 // pipeline cannot place at the session alpha fails creation, and a
 // typed analysis error (horizon or demand overflow) is surfaced rather
 // than downgraded to a verdict.
-func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alpha float64, placement online.Policy) (*session, error) {
+func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alpha float64, placement online.Policy, id string) (*session, error) {
 	defer st.dur.rlock()()
 	if in.Scheduler != partfeas.EDF {
 		return nil, &httpError{code: http.StatusBadRequest, msg: "constrained-deadline sessions require the EDF scheduler"}
@@ -144,18 +144,19 @@ func (st *sessionStore) createConstrained(in partfeas.Instance, dls []int64, alp
 		constrained: true,
 		dls:         append([]int64(nil), dls...),
 		eng:         eng,
+		epoch:       1,
 		mx:          st.mx,
 		dur:         st.dur,
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if len(st.m) >= st.max {
-		return nil, &httpError{code: http.StatusTooManyRequests, msg: fmt.Sprintf("session limit %d reached", st.max)}
+	if err := st.assignID(s, id); err != nil {
+		return nil, err
 	}
-	st.seq++
-	s.id = fmt.Sprintf("s-%d", st.seq)
 	if err := st.dur.logOp(createOp(s, s.dls)); err != nil {
-		st.seq--
+		if id == "" {
+			st.seq--
+		}
 		return nil, err
 	}
 	st.m[s.id] = s

@@ -337,17 +337,35 @@ func (d *durability) walStats() WALStats {
 // and destroy log after their last fallible step, so their replay must
 // succeed; any error there is real corruption.
 func (d *durability) apply(op *oplog.Op) error {
-	ctx := context.Background()
 	switch op.Type {
 	case oplog.TypeCreate:
 		return d.applyCreate(op)
 	case oplog.TypeDestroy:
 		return d.st.remove(op.Session)
+	case oplog.TypeMigrateOut:
+		return d.st.applyMigrateOut(op)
+	case oplog.TypeMigrateIn:
+		return d.st.applyMigrateIn(op)
 	}
 	s, err := d.st.get(op.Session)
 	if err != nil {
 		return fmt.Errorf("op %d (%s) targets unknown session %q", op.Index, op.Type, op.Session)
 	}
+	err = applySessionOp(context.Background(), s, op)
+	var he *httpError
+	if errors.As(err, &he) {
+		return nil // deterministic rejection: a no-op live, a no-op now
+	}
+	return err
+}
+
+// applySessionOp drives one logged per-session mutation through the same
+// paths the live server runs. Shared by recovery replay and migration
+// commit (the destination replays the source's WAL tail through it).
+// httpErrors are deterministic rejections and propagate for the caller
+// to tolerate.
+func applySessionOp(ctx context.Context, s *session, op *oplog.Op) error {
+	var err error
 	switch op.Type {
 	case oplog.TypeAdmit:
 		if len(op.Tasks) != 1 {
@@ -376,10 +394,6 @@ func (d *durability) apply(op *oplog.Op) error {
 	default:
 		return fmt.Errorf("op %d: unknown type %v", op.Index, op.Type)
 	}
-	var he *httpError
-	if errors.As(err, &he) {
-		return nil // deterministic rejection: a no-op live, a no-op now
-	}
 	return err
 }
 
@@ -388,17 +402,15 @@ func (d *durability) applyCreate(op *oplog.Op) error {
 	if err != nil {
 		return fmt.Errorf("op %d: %w", op.Index, err)
 	}
-	var s *session
+	// The recorded id is replayed explicitly, so coordinator-assigned and
+	// store-assigned ids alike reconstruct byte-identically.
 	if op.DeadlineModel == "constrained" {
-		s, err = d.st.createConstrained(in, dls, op.Alpha, placement)
+		_, err = d.st.createConstrained(in, dls, op.Alpha, placement, op.Session)
 	} else {
-		s, err = d.st.create(in, op.Alpha, placement)
+		_, err = d.st.create(in, op.Alpha, placement, op.Session)
 	}
 	if err != nil {
 		return fmt.Errorf("op %d: replay create: %w", op.Index, err)
-	}
-	if s.id != op.Session {
-		return fmt.Errorf("op %d: replayed create got id %q, want %q (log out of order)", op.Index, s.id, op.Session)
 	}
 	return nil
 }
@@ -482,6 +494,52 @@ type sessionSnap struct {
 	// verbatim; sorted-order engines re-solve and ignore it.
 	Engine bool      `json:"engine"`
 	Placed [][]int32 `json:"placed,omitempty"`
+	// RepartCnt is the PeriodicRepartition cadence counter; without it a
+	// restored engine would fire its next rebuild at a different
+	// mutation than the original and replayed state would diverge.
+	RepartCnt int `json:"repart_cnt,omitempty"`
+	// Epoch is the session's ownership epoch (see migrate.go); omitted
+	// (and restored as 1) in pre-cluster snapshots.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// snapOf builds one session's snapshot record. Caller holds s.mu (or has
+// sole ownership).
+func snapOf(s *session) sessionSnap {
+	ss := sessionSnap{
+		ID:          s.id,
+		Scheduler:   s.in.Scheduler.String(),
+		Alpha:       s.alpha,
+		Placement:   s.placement.Name(),
+		Constrained: s.constrained,
+		Tasks:       make([]oplog.Task, len(s.in.Tasks)),
+		Machines:    make([]MachineJSON, len(s.in.Platform)),
+		Engine:      s.eng != nil,
+		Epoch:       s.epoch,
+	}
+	for i, t := range s.in.Tasks {
+		ss.Tasks[i] = oplog.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+		if s.constrained {
+			ss.Tasks[i].Deadline = s.dls[i]
+		}
+	}
+	for i, m := range s.in.Platform {
+		ss.Machines[i] = MachineJSON{Name: m.Name, Speed: m.Speed}
+	}
+	if s.eng != nil {
+		ss.Placed = s.eng.PlacedLists()
+		ss.RepartCnt = s.eng.RepartCount()
+	}
+	return ss
+}
+
+// encodeSession serializes one session's state. Restore followed by
+// re-encode is byte-stable, which is what lets migration prove the
+// destination's copy equals the source's with one comparison. Caller
+// holds s.mu.
+func encodeSession(s *session) ([]byte, error) {
+	ss := snapOf(s)
+	return json.Marshal(&ss)
 }
 
 // encodeStore serializes every session. Caller holds the exclusive gate,
@@ -496,35 +554,14 @@ func (d *durability) encodeStore() ([]byte, error) {
 	d.st.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool {
 		a, b := sessions[i].id, sessions[j].id
-		if len(a) != len(b) { // ids are "s-<n>": shorter means smaller n
+		if len(a) != len(b) { // "s-<n>" ids: shorter means smaller n; any total order works
 			return len(a) < len(b)
 		}
 		return a < b
 	})
 	for _, s := range sessions {
 		s.mu.Lock()
-		ss := sessionSnap{
-			ID:          s.id,
-			Scheduler:   s.in.Scheduler.String(),
-			Alpha:       s.alpha,
-			Placement:   s.placement.Name(),
-			Constrained: s.constrained,
-			Tasks:       make([]oplog.Task, len(s.in.Tasks)),
-			Machines:    make([]MachineJSON, len(s.in.Platform)),
-			Engine:      s.eng != nil,
-		}
-		for i, t := range s.in.Tasks {
-			ss.Tasks[i] = oplog.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
-			if s.constrained {
-				ss.Tasks[i].Deadline = s.dls[i]
-			}
-		}
-		for i, m := range s.in.Platform {
-			ss.Machines[i] = MachineJSON{Name: m.Name, Speed: m.Speed}
-		}
-		if s.eng != nil {
-			ss.Placed = s.eng.PlacedLists()
-		}
+		ss := snapOf(s)
 		s.mu.Unlock()
 		snap.Sessions = append(snap.Sessions, ss)
 	}
@@ -544,7 +581,7 @@ func (d *durability) restoreStore(payload []byte) error {
 	d.st.seq = snap.Seq
 	d.st.mu.Unlock()
 	for i := range snap.Sessions {
-		s, err := d.restoreSession(&snap.Sessions[i])
+		s, err := d.st.restoreSession(&snap.Sessions[i])
 		if err != nil {
 			return fmt.Errorf("session %s: %w", snap.Sessions[i].ID, err)
 		}
@@ -565,7 +602,10 @@ func snapPlaced(placed [][]int32) [][]int32 {
 	return placed
 }
 
-func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
+// restoreSession rebuilds one session from its snapshot record. Used by
+// snapshot recovery, MigrateIn replay, and migration staging (which
+// detaches mx/noLog until activation).
+func (st *sessionStore) restoreSession(ss *sessionSnap) (*session, error) {
 	sched, err := parseScheduler(ss.Scheduler)
 	if err != nil {
 		return nil, err
@@ -579,8 +619,12 @@ func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
 		alpha:       ss.Alpha,
 		placement:   placement,
 		constrained: ss.Constrained,
-		mx:          d.st.mx,
-		dur:         d,
+		epoch:       ss.Epoch,
+		mx:          st.mx,
+		dur:         st.dur,
+	}
+	if s.epoch == 0 {
+		s.epoch = 1 // pre-cluster snapshot
 	}
 	s.in.Scheduler = sched
 	s.in.Tasks = make(partfeas.TaskSet, len(ss.Tasks))
@@ -617,7 +661,8 @@ func (d *durability) restoreSession(ss *sessionSnap) (*session, error) {
 		return nil, err
 	}
 	eng, err := online.NewEngine(s.in.Tasks, s.in.Platform, online.Options{
-		Policy: placement, Admission: adm, Alpha: ss.Alpha, Placed: snapPlaced(ss.Placed),
+		Policy: placement, Admission: adm, Alpha: ss.Alpha,
+		Placed: snapPlaced(ss.Placed), RepartCnt: ss.RepartCnt,
 	})
 	if err != nil {
 		return nil, err

@@ -30,6 +30,13 @@ type httpError struct {
 	// retryAfter, when non-zero, is rendered as a Retry-After header —
 	// used by the degraded read-only mode's 503s.
 	retryAfter int
+	// owner, when non-empty, is rendered as an X-Session-Owner header —
+	// the 421 redirect a migrated session's tombstone answers with.
+	owner string
+	// migration marks a transient mid-handoff 503 (X-Migration header) so
+	// the coordinator can retry it internally; the WAL-degraded 503 does
+	// not set it and passes through to the client unchanged.
+	migration bool
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -64,6 +71,10 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}/tasks/{index}", s.wrap("/v1/sessions/{id}/tasks/{index}", s.handleSessionRemoveTask))
 	mux.HandleFunc("POST /v1/sessions/{id}/wcet", s.wrap("/v1/sessions/{id}/wcet", s.handleSessionUpdateWCET))
 	mux.HandleFunc("POST /v1/sessions/{id}/repartition", s.wrap("/v1/sessions/{id}/repartition", s.handleSessionRepartition))
+	mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.wrap("/v1/sessions/{id}/migrate", s.handleMigrate))
+	mux.HandleFunc("GET /internal/v1/sessions", s.wrap("/internal/v1/sessions", s.handleSessionIndex))
+	mux.HandleFunc("POST /internal/v1/migration/prepare", s.wrap("/internal/v1/migration/prepare", s.handleMigratePrepare))
+	mux.HandleFunc("POST /internal/v1/migration/commit", s.wrap("/internal/v1/migration/commit", s.handleMigrateCommit))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -93,8 +104,16 @@ func (s *Server) wrap(endpoint string, fn func(w http.ResponseWriter, r *http.Re
 		if err != nil {
 			code = s.statusFor(r, err)
 			var he *httpError
-			if errors.As(err, &he) && he.retryAfter > 0 {
-				w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+			if errors.As(err, &he) {
+				if he.retryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+				}
+				if he.owner != "" {
+					w.Header().Set("X-Session-Owner", he.owner)
+				}
+				if he.migration {
+					w.Header().Set("X-Migration", "in-progress")
+				}
 			}
 			writeJSON(w, code, ErrorResponse{Error: err.Error()})
 			return
@@ -286,11 +305,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (an
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	// X-Session-ID is the coordinator's pre-assigned id: the
+	// consistent-hash ring routes by id, so the id must exist before the
+	// session does. Direct clients normally omit it and get "s-<n>".
+	id := r.Header.Get("X-Session-ID")
 	var sess *session
 	if constrained {
-		sess, err = s.sessions.createConstrained(in, req.Deadlines(), req.Alpha, placement)
+		sess, err = s.sessions.createConstrained(in, req.Deadlines(), req.Alpha, placement, id)
 	} else {
-		sess, err = s.sessions.create(in, req.Alpha, placement)
+		sess, err = s.sessions.create(in, req.Alpha, placement, id)
 	}
 	if err != nil {
 		return nil, 0, err

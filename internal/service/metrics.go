@@ -41,6 +41,14 @@ type Metrics struct {
 	admitCnt  [nPaths]atomic.Uint64
 	admitSum  [nPaths]atomic.Uint64 // nanoseconds
 
+	// Session migration counters: completed outbound/inbound handoffs,
+	// failed attempts, and the end-to-end duration of outbound ones.
+	migrOut    atomic.Uint64
+	migrIn     atomic.Uint64
+	migrFailed atomic.Uint64
+	migrHist   [histBuckets + 1]atomic.Uint64
+	migrSum    atomic.Uint64 // nanoseconds
+
 	// sessionsActive, poolStats and walStats are read at scrape time.
 	// walStats is nil on a non-durable server, which omits the
 	// partfeas_wal_* family entirely.
@@ -153,6 +161,21 @@ func (m *Metrics) AdmissionObserved(p AdmissionPath, d time.Duration) {
 	m.admitSum[p].Add(uint64(d.Nanoseconds()))
 }
 
+// MigrationOut records one completed outbound session handoff and its
+// end-to-end duration (snapshot through confirmed commit).
+func (m *Metrics) MigrationOut(d time.Duration) {
+	m.migrOut.Add(1)
+	m.migrHist[bucketOf(d)].Add(1)
+	m.migrSum.Add(uint64(d.Nanoseconds()))
+}
+
+// MigrationIn records one session activated here by an inbound handoff.
+func (m *Metrics) MigrationIn() { m.migrIn.Add(1) }
+
+// MigrationFailed records one migration attempt that did not complete
+// (the session is either still live at the source or re-drivable).
+func (m *Metrics) MigrationFailed() { m.migrFailed.Add(1) }
+
 // admitQuantile estimates the q-quantile of one path's admission
 // latency histogram; 0 with no data.
 func (m *Metrics) admitQuantile(p AdmissionPath, q float64) time.Duration {
@@ -167,6 +190,29 @@ func (m *Metrics) admitQuantile(p AdmissionPath, q float64) time.Duration {
 	var cum uint64
 	for i := 0; i <= histBuckets; i++ {
 		cum += m.admitHist[p][i].Load()
+		if cum > rank {
+			if i == histBuckets {
+				return histBase << uint(histBuckets-1)
+			}
+			return histBase << uint(i)
+		}
+	}
+	return histBase << uint(histBuckets-1)
+}
+
+// histQuantile estimates the q-quantile of a log-bucketed histogram with
+// the given observation count; 0 with no data.
+func histQuantile(hist *[histBuckets + 1]atomic.Uint64, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += hist[i].Load()
 		if cum > rank {
 			if i == histBuckets {
 				return histBase << uint(histBuckets-1)
@@ -281,6 +327,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE partfeas_sessions_active gauge\n")
 		fmt.Fprintf(w, "partfeas_sessions_active %d\n", m.sessionsActive())
 	}
+
+	fmt.Fprintf(w, "# HELP partfeas_migrations_total Completed session migrations by direction.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_migrations_total counter\n")
+	fmt.Fprintf(w, "partfeas_migrations_total{direction=\"out\"} %d\n", m.migrOut.Load())
+	fmt.Fprintf(w, "partfeas_migrations_total{direction=\"in\"} %d\n", m.migrIn.Load())
+	fmt.Fprintf(w, "# HELP partfeas_migration_failures_total Migration attempts that did not complete.\n")
+	fmt.Fprintf(w, "# TYPE partfeas_migration_failures_total counter\n")
+	fmt.Fprintf(w, "partfeas_migration_failures_total %d\n", m.migrFailed.Load())
+	fmt.Fprintf(w, "# HELP partfeas_migration_duration_seconds Outbound migration end-to-end latency quantiles (log-bucket upper bounds).\n")
+	fmt.Fprintf(w, "# TYPE partfeas_migration_duration_seconds summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "partfeas_migration_duration_seconds{quantile=\"%g\"} %g\n", q, histQuantile(&m.migrHist, m.migrOut.Load(), q).Seconds())
+	}
+	fmt.Fprintf(w, "partfeas_migration_duration_seconds_sum %g\n", float64(m.migrSum.Load())/1e9)
+	fmt.Fprintf(w, "partfeas_migration_duration_seconds_count %d\n", m.migrOut.Load())
 
 	fmt.Fprintf(w, "# HELP partfeas_admissions_total Session admissions by engine path.\n")
 	fmt.Fprintf(w, "# TYPE partfeas_admissions_total counter\n")

@@ -64,6 +64,9 @@ type Server struct {
 	hs *http.Server
 	ln net.Listener
 
+	// peerClient carries migration traffic to other replicas.
+	peerClient *http.Client
+
 	// dur is nil unless the server was built with NewDurable; every
 	// durability hook is nil-receiver-safe, so the non-durable path pays
 	// one branch per call site.
@@ -91,9 +94,10 @@ func New(cfg Config) *Server {
 		cfg.AnalyzeBudget = 2_000_000
 	}
 	s := &Server{
-		cfg:      cfg,
-		pool:     NewTesterPool(cfg.PoolShards, cfg.PoolMaxIdlePerKey, cfg.PoolMaxKeys),
-		sessions: newSessionStore(cfg.MaxSessions),
+		cfg:        cfg,
+		pool:       NewTesterPool(cfg.PoolShards, cfg.PoolMaxIdlePerKey, cfg.PoolMaxKeys),
+		sessions:   newSessionStore(cfg.MaxSessions),
+		peerClient: &http.Client{},
 	}
 	s.metrics = NewMetrics(s.sessions.count, s.pool.Stats)
 	s.sessions.mx = s.metrics

@@ -48,6 +48,21 @@ type session struct {
 	mx        *Metrics    // per-path admission metrics; nil in bare tests
 	dur       *durability // WAL ack gate; nil without -data-dir (all calls nil-safe)
 
+	// Cluster ownership (see migrate.go). epoch is the session's
+	// ownership epoch: 1 at creation, incremented once per completed
+	// migration, and the fencing token that keeps a stale owner from
+	// acknowledging mutations the new owner's state lacks. fenced refuses
+	// mutations while a handoff is between its fence and cutover points;
+	// migrating marks an outbound transfer whose post-snapshot ops are
+	// being captured into tail; noLog suppresses WAL appends while a
+	// staged inbound copy replays its tail (the MigrateIn record carries
+	// the final state instead).
+	epoch     uint64
+	fenced    bool
+	migrating bool
+	noLog     bool
+	tail      []*oplog.Op
+
 	// Constrained-deadline sessions (deadline_model "constrained") admit
 	// through the engine's tiered DBF pipeline and are engine-only: the
 	// engine is always armed, force commits and repartition are refused,
@@ -83,13 +98,27 @@ type sessionStore struct {
 	m   map[string]*session
 	mx  *Metrics    // propagated into every session it creates
 	dur *durability // propagated likewise; nil without -data-dir
+
+	// staging holds inbound migrations between prepare and commit, keyed
+	// by session id; moved holds outbound tombstones (id → new owner)
+	// that answer every later request with a 421 redirect. A moved entry
+	// retains the session's final state until the destination
+	// acknowledges the commit, so a source that crashed (or lost the ack)
+	// can re-drive the handoff idempotently.
+	staging map[string]*stagedSession
+	moved   map[string]*movedSession
 }
 
 func newSessionStore(max int) *sessionStore {
 	if max <= 0 {
 		max = 1024
 	}
-	return &sessionStore{max: max, m: map[string]*session{}}
+	return &sessionStore{
+		max:     max,
+		m:       map[string]*session{},
+		staging: map[string]*stagedSession{},
+		moved:   map[string]*movedSession{},
+	}
 }
 
 func (st *sessionStore) count() int {
@@ -100,8 +129,11 @@ func (st *sessionStore) count() int {
 
 // create validates nothing itself — the handler passes a decoded,
 // validated instance. The instance is deep-copied so later request
-// buffers cannot alias session state.
-func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Policy) (*session, error) {
+// buffers cannot alias session state. id, when non-empty, is a
+// caller-assigned session id (the cluster coordinator assigns ids so the
+// consistent-hash ring can route the session before it exists); empty
+// means the store assigns the next "s-<n>".
+func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement online.Policy, id string) (*session, error) {
 	defer st.dur.rlock()()
 	tester, err := partfeas.NewTester(in.Tasks, in.Platform, in.Scheduler)
 	if err != nil {
@@ -116,23 +148,87 @@ func (st *sessionStore) create(in partfeas.Instance, alpha float64, placement on
 		alpha:     alpha,
 		placement: placement,
 		tester:    tester,
+		epoch:     1,
 		mx:        st.mx,
 		dur:       st.dur,
 	}
 	s.armEngine() // sessions may open infeasible; they just start on the batch path
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if len(st.m) >= st.max {
-		return nil, &httpError{code: http.StatusTooManyRequests, msg: fmt.Sprintf("session limit %d reached", st.max)}
+	if err := st.assignID(s, id); err != nil {
+		return nil, err
 	}
-	st.seq++
-	s.id = fmt.Sprintf("s-%d", st.seq)
 	if err := st.dur.logOp(createOp(s, nil)); err != nil {
-		st.seq--
+		if id == "" {
+			st.seq--
+		}
 		return nil, err
 	}
 	st.m[s.id] = s
 	return s, nil
+}
+
+// assignID gives s its id under st.mu: the next "s-<n>" when id is
+// empty, or the caller's explicit id after uniqueness and shape checks.
+// Explicit auto-shaped ids advance seq past their number so a later
+// store-assigned id can never collide (WAL replay recreates sessions by
+// their recorded explicit ids and relies on this).
+func (st *sessionStore) assignID(s *session, id string) error {
+	if len(st.m) >= st.max {
+		return &httpError{code: http.StatusTooManyRequests, msg: fmt.Sprintf("session limit %d reached", st.max)}
+	}
+	if id == "" {
+		st.seq++
+		s.id = fmt.Sprintf("s-%d", st.seq)
+		return nil
+	}
+	if err := checkSessionID(id); err != nil {
+		return err
+	}
+	if _, ok := st.m[id]; ok {
+		return &httpError{code: http.StatusConflict, msg: fmt.Sprintf("session %q already exists", id)}
+	}
+	if _, ok := st.moved[id]; ok {
+		return &httpError{code: http.StatusConflict, msg: fmt.Sprintf("session id %q was migrated away and is retired here", id)}
+	}
+	if n, ok := autoSeq(id); ok && n > st.seq {
+		st.seq = n
+	}
+	s.id = id
+	return nil
+}
+
+// checkSessionID vets an explicit session id at the boundary.
+func checkSessionID(id string) error {
+	if len(id) > 128 {
+		return badRequest("session id longer than 128 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return badRequest("session id %q contains %q (want [A-Za-z0-9._-])", id, string(c))
+		}
+	}
+	return nil
+}
+
+// autoSeq parses a store-assigned "s-<n>" id; ok is false for any other
+// shape (coordinator ids, client ids).
+func autoSeq(id string) (uint64, bool) {
+	if len(id) < 3 || id[0] != 's' || id[1] != '-' || id[2] == '0' {
+		return 0, false
+	}
+	var n uint64
+	for i := 2; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' || n > (^uint64(0)-uint64(c-'0'))/10 {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, true
 }
 
 // createOp encodes a session creation (the last fallible step before the
@@ -166,8 +262,15 @@ func createOp(s *session, dls []int64) *oplog.Op {
 func (st *sessionStore) get(id string) (*session, error) {
 	st.mu.Lock()
 	s, ok := st.m[id]
+	var mv *movedSession
+	if !ok {
+		mv = st.moved[id]
+	}
 	st.mu.Unlock()
 	if !ok {
+		if mv != nil {
+			return nil, movedErr(id, mv.target)
+		}
 		return nil, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
 	}
 	return s, nil
@@ -179,6 +282,9 @@ func (st *sessionStore) remove(id string) error {
 	defer st.mu.Unlock()
 	s, ok := st.m[id]
 	if !ok {
+		if mv := st.moved[id]; mv != nil {
+			return movedErr(id, mv.target)
+		}
 		return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)}
 	}
 	// The destroy record must be the session's last WAL op. Every
@@ -191,6 +297,16 @@ func (st *sessionStore) remove(id string) error {
 	// in the opposite order.)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fenced {
+		return errFenced
+	}
+	if s.migrating {
+		// Destroy wins over an in-flight outbound transfer: abort the
+		// capture here; the migration goroutine observes migrating ==
+		// false at its fence step and reports the transfer failed.
+		s.migrating = false
+		s.tail = nil
+	}
 	if err := st.dur.logOp(&oplog.Op{Type: oplog.TypeDestroy, Session: id}); err != nil {
 		return err
 	}
@@ -200,6 +316,59 @@ func (st *sessionStore) remove(id string) error {
 }
 
 var errSessionClosed = &httpError{code: http.StatusNotFound, msg: "session closed"}
+
+// errFenced answers mutations that land between a migration's fence and
+// its cutover: the op was not acknowledged; retry shortly and the 421
+// redirect (or the unfenced session, if the transfer aborted) will
+// answer. The migration flag marks the 503 as a transient handoff stall
+// so forwarders can retry it internally instead of surfacing it — unlike
+// the WAL-degraded 503, which must reach the client unchanged.
+var errFenced = &httpError{
+	code:       http.StatusServiceUnavailable,
+	msg:        "session ownership is being transferred; retry",
+	retryAfter: 1,
+	migration:  true,
+}
+
+// movedErr is the tombstone answer after cutover: the session lives on
+// another replica, named in the X-Session-Owner header.
+func movedErr(id, target string) *httpError {
+	return &httpError{
+		code:  http.StatusMisdirectedRequest,
+		msg:   fmt.Sprintf("session %q migrated to %s", id, target),
+		owner: target,
+	}
+}
+
+// guard is every mutation's closed/fenced check, taken under s.mu before
+// the op is logged: a fenced session acknowledges nothing, which is what
+// makes the ownership epoch a real fence and not advice.
+func (s *session) guard() error {
+	if s.closed {
+		return errSessionClosed
+	}
+	if s.fenced {
+		return errFenced
+	}
+	return nil
+}
+
+// logOp is the session-level acknowledgement point: the WAL append (ack)
+// plus, while an outbound migration is capturing, the tail record that
+// will be streamed to the new owner. Caller holds s.mu, which is what
+// makes "tail = exactly the acknowledged ops after the snapshot" exact.
+func (s *session) logOp(op *oplog.Op) error {
+	if s.noLog {
+		return nil // staged inbound replay: the MigrateIn record carries the state
+	}
+	if err := s.dur.logOp(op); err != nil {
+		return err
+	}
+	if s.migrating {
+		s.tail = append(s.tail, op)
+	}
+	return nil
+}
 
 // armEngine (re)builds the incremental engine over the current task set,
 // leaving it nil when the set is infeasible at the session augmentation
@@ -396,8 +565,8 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 	live := group[:0]
 	for _, w := range group {
 		switch {
-		case s.closed:
-			w.err = errSessionClosed
+		case s.guard() != nil:
+			w.err = s.guard()
 			close(w.done)
 		case ctxGuard(w.ctx) != nil:
 			w.err = ctxGuard(w.ctx)
@@ -429,7 +598,7 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 	for i, w := range live {
 		batch.Tasks[i] = oplog.Task{Name: w.t.Name, WCET: w.t.WCET, Period: w.t.Period, Deadline: w.dl}
 	}
-	if lerr := s.dur.logOp(batch); lerr != nil {
+	if lerr := s.logOp(batch); lerr != nil {
 		for _, w := range live {
 			w.err = lerr
 			close(w.done)
@@ -497,13 +666,13 @@ func (s *session) drainAdmits(group []*admitWaiter) {
 // is acknowledged (logged) before any state changes and applied with
 // cancellation stripped, so a durable admit is all-or-nothing.
 func (s *session) addTaskLocked(ctx context.Context, t partfeas.Task, dl int64, force bool) (AdmissionResponse, error) {
-	if s.closed {
-		return AdmissionResponse{}, errSessionClosed
+	if err := s.guard(); err != nil {
+		return AdmissionResponse{}, err
 	}
 	if err := ctxGuard(ctx); err != nil {
 		return AdmissionResponse{}, err
 	}
-	if err := s.dur.logOp(&oplog.Op{
+	if err := s.logOp(&oplog.Op{
 		Type: oplog.TypeAdmit, Session: s.id, Force: force,
 		Tasks: []oplog.Task{{Name: t.Name, WCET: t.WCET, Period: t.Period, Deadline: dl}},
 	}); err != nil {
@@ -606,8 +775,8 @@ func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, dls []in
 	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return BatchAdmissionResponse{}, errSessionClosed
+	if err := s.guard(); err != nil {
+		return BatchAdmissionResponse{}, err
 	}
 	for i := range ts {
 		var dl int64
@@ -644,7 +813,7 @@ func (s *session) addTaskBatch(ctx context.Context, ts []partfeas.Task, dls []in
 			batch.Tasks[i].Deadline = dls[i]
 		}
 	}
-	if err := s.dur.logOp(batch); err != nil {
+	if err := s.logOp(batch); err != nil {
 		return BatchAdmissionResponse{}, err
 	}
 	ctx = s.dur.applyCtx(ctx)
@@ -827,8 +996,8 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return AdmissionResponse{}, errSessionClosed
+	if err := s.guard(); err != nil {
+		return AdmissionResponse{}, err
 	}
 	if idx < 0 || idx >= len(s.in.Tasks) {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
@@ -839,7 +1008,7 @@ func (s *session) removeTask(ctx context.Context, idx int) (AdmissionResponse, e
 	if err := ctxGuard(ctx); err != nil {
 		return AdmissionResponse{}, err
 	}
-	if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeRemove, Session: s.id, Target: idx}); err != nil {
+	if err := s.logOp(&oplog.Op{Type: oplog.TypeRemove, Session: s.id, Target: idx}); err != nil {
 		return AdmissionResponse{}, err
 	}
 	ctx = s.dur.applyCtx(ctx)
@@ -898,8 +1067,8 @@ func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force boo
 	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return AdmissionResponse{}, errSessionClosed
+	if err := s.guard(); err != nil {
+		return AdmissionResponse{}, err
 	}
 	if idx < 0 || idx >= len(s.in.Tasks) {
 		return AdmissionResponse{}, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("task index %d out of range [0, %d)", idx, len(s.in.Tasks))}
@@ -910,7 +1079,7 @@ func (s *session) updateWCET(ctx context.Context, idx int, wcet int64, force boo
 	if err := ctxGuard(ctx); err != nil {
 		return AdmissionResponse{}, err
 	}
-	if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeUpdateWCET, Session: s.id, Target: idx, WCET: wcet, Force: force}); err != nil {
+	if err := s.logOp(&oplog.Op{Type: oplog.TypeUpdateWCET, Session: s.id, Target: idx, WCET: wcet, Force: force}); err != nil {
 		return AdmissionResponse{}, err
 	}
 	ctx = s.dur.applyCtx(ctx)
@@ -980,8 +1149,8 @@ func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (Re
 	defer s.dur.rlock()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return RepartitionResponse{}, errSessionClosed
+	if err := s.guard(); err != nil {
+		return RepartitionResponse{}, err
 	}
 	if s.constrained {
 		return RepartitionResponse{}, errConstrainedRepartition
@@ -995,7 +1164,7 @@ func (s *session) repartition(ctx context.Context, maxMoves int, apply bool) (Re
 	if apply {
 		// Logged before planning: re-planning over the identical engine
 		// state is deterministic, so replay re-derives the same moves.
-		if err := s.dur.logOp(&oplog.Op{Type: oplog.TypeRepartition, Session: s.id, Target: maxMoves}); err != nil {
+		if err := s.logOp(&oplog.Op{Type: oplog.TypeRepartition, Session: s.id, Target: maxMoves}); err != nil {
 			return RepartitionResponse{}, err
 		}
 	}
